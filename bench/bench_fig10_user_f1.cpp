@@ -1,0 +1,73 @@
+// Reproduces Figure 10 of the paper: per-candidate F1 of the expertise
+// assessment across the 30-query workload, against the number of social
+// resources available for that candidate, with the linear regression
+// between the two.
+//
+// Expected shape (Sec. 3.7): a handful of candidates above F1 = 0.7, some
+// completely unassessable (F1 = 0), about half above the average, and a
+// positive resources-vs-F1 correlation ("users do not completely expose
+// their own interests and expertise on social networks").
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace crowdex;
+  const auto& bw = bench::BenchWorld::Get();
+  eval::ExperimentRunner runner(&bw.world);
+
+  core::ExpertFinderConfig cfg;  // Paper's final setting, all networks.
+  core::ExpertFinder finder(&bw.analyzed, cfg);
+  std::vector<eval::UserReliability> users =
+      runner.PerUserReliability(finder, bw.world.queries, /*top_k=*/20);
+
+  double f1_sum = 0;
+  std::vector<double> f1s;
+  std::vector<double> x;
+  std::vector<double> y;
+  for (const auto& u : users) {
+    f1_sum += u.metrics.f1;
+    f1s.push_back(u.metrics.f1);
+    x.push_back(static_cast<double>(u.resources));
+    y.push_back(u.metrics.f1);
+  }
+  std::sort(f1s.begin(), f1s.end());
+  double average = f1_sum / users.size();
+  size_t mid = f1s.size() / 2;
+  double median = f1s.size() % 2 == 1 ? f1s[mid]
+                                      : 0.5 * (f1s[mid - 1] + f1s[mid]);
+
+  std::printf("\n=== Figure 10: per-candidate F1 vs available resources ===\n");
+  std::printf("%-10s %10s %10s %10s %12s %10s\n", "candidate", "precision",
+              "recall", "F1", "#resources", "exposure");
+  for (const auto& u : users) {
+    const auto& c = bw.world.candidates[u.candidate];
+    std::printf("%-10s %10.3f %10.3f %10.3f %12zu %10.2f\n", c.name.c_str(),
+                u.metrics.precision, u.metrics.recall, u.metrics.f1,
+                u.resources, c.exposure);
+  }
+
+  int above_07 = 0;
+  int zero = 0;
+  int above_avg = 0;
+  for (const auto& u : users) {
+    if (u.metrics.f1 > 0.70) ++above_07;
+    if (u.metrics.f1 == 0.0) ++zero;
+    if (u.metrics.f1 > average) ++above_avg;
+  }
+  std::printf("\naverage F1 %.3f, median %.3f\n", average, median);
+  std::printf("candidates with F1 > 0.70: %d (paper: 6)\n", above_07);
+  std::printf("candidates with F1 = 0: %d (paper: 8 deemed unreliable)\n",
+              zero);
+  std::printf("candidates above average: %d (paper: ~half)\n", above_avg);
+
+  eval::LinearFit fit = eval::FitLinear(x, y);
+  std::printf(
+      "\nresources-vs-F1 regression: F1 = %.3g * resources + %.3f "
+      "(pearson %.3f)\n",
+      fit.slope, fit.intercept, fit.pearson);
+  std::printf("(expected: positive correlation — Fig. 10's P-Fit line)\n");
+  return 0;
+}

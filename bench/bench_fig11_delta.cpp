@@ -1,0 +1,63 @@
+// Reproduces Figure 11 of the paper: the differential number of retrieved
+// experts — (experts retrieved by the system) minus (experts expected per
+// the ground truth) — for each of the 30 questions, at resource distances
+// 0, 1, and 2.
+//
+// Expected shape (Sec. 3.7): the spread of Δ widens with distance; at
+// distance 2 about a third of the questions are under-represented while a
+// few are clearly over-represented.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace crowdex;
+  const auto& bw = bench::BenchWorld::Get();
+  eval::ExperimentRunner runner(&bw.world);
+
+  core::CorpusIndex shared(&bw.analyzed, platform::kAllPlatformsMask);
+
+  std::printf("\n=== Figure 11: delta of retrieved experts per question ===\n");
+  std::printf("%-9s %-24s %9s %8s %8s %8s\n", "question", "domain", "expected",
+              "d0", "d1", "d2");
+
+  double avg[3] = {0, 0, 0};
+  int under_at_2 = 0;
+  int over_at_2 = 0;
+  std::array<std::vector<int>, 3> deltas;
+
+  std::array<std::unique_ptr<core::ExpertFinder>, 3> finders;
+  for (int dist = 0; dist <= 2; ++dist) {
+    core::ExpertFinderConfig cfg;
+    cfg.max_distance = dist;
+    finders[dist] =
+        std::make_unique<core::ExpertFinder>(&bw.analyzed, cfg, &shared);
+  }
+
+  for (const auto& q : bw.world.queries) {
+    int row[3];
+    for (int dist = 0; dist <= 2; ++dist) {
+      eval::QueryResult r = runner.EvaluateQuery(*finders[dist], q);
+      row[dist] = r.delta_experts;
+      avg[dist] += r.delta_experts;
+      deltas[dist].push_back(r.delta_experts);
+    }
+    if (row[2] < -2) ++under_at_2;
+    if (row[2] > 2) ++over_at_2;
+    std::printf("%-9d %-24s %9zu %8d %8d %8d\n", q.id,
+                std::string(DomainName(q.domain)).c_str(),
+                bw.world.RelevantExperts(q).size(), row[0], row[1], row[2]);
+  }
+
+  std::printf("\naverage delta: d0 %.1f, d1 %.1f, d2 %.1f\n", avg[0] / 30.0,
+              avg[1] / 30.0, avg[2] / 30.0);
+  std::printf("questions under-represented at distance 2 (delta < -2): %d\n",
+              under_at_2);
+  std::printf("questions over-represented at distance 2 (delta > +2): %d\n",
+              over_at_2);
+  std::printf(
+      "(expected: negative deltas dominate at distance 0; spread widens "
+      "with distance — Fig. 11)\n");
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Performance microbenchmarks (google-benchmark) for the pipeline stages:
+// tokenization, stemming, language identification, entity annotation,
+// index construction, retrieval, and the Table-1 graph enumeration.
+// These are ours (not a paper artifact); they quantify the cost of each
+// stage of Fig. 4 and of the Eq. 1/Eq. 3 evaluation path.
+
+#include <benchmark/benchmark.h>
+
+#include "core/analyzed_world.h"
+#include "core/expert_finder.h"
+#include "entity/annotator.h"
+#include "index/search_index.h"
+#include "synth/text_gen.h"
+#include "synth/world.h"
+#include "text/language_id.h"
+#include "text/pipeline.h"
+
+namespace {
+
+using namespace crowdex;
+
+const char* kSampleTweet =
+    "@anna MichaelPhelps is the best! Great #freestyle gold medal at the "
+    "olympic swimming pool https://pic.example/xyz &amp; more to come";
+
+const char* kSamplePage =
+    "the champion won another gold medal in the freestyle final at the "
+    "olympic pool after a season of intense training with his coach and the "
+    "national team breaking the world record in the last lap of the race";
+
+struct SmallWorld {
+  synth::SyntheticWorld world;
+  core::AnalyzedWorld analyzed;
+
+  static const SmallWorld& Get() {
+    static SmallWorld* w = [] {
+      auto* sw = new SmallWorld();
+      synth::WorldConfig cfg;
+      cfg.scale = 0.05;
+      sw->world = synth::GenerateWorld(cfg);
+      sw->analyzed = core::AnalyzeWorld(&sw->world);
+      return sw;
+    }();
+    return *w;
+  }
+};
+
+void BM_Tokenize(benchmark::State& state) {
+  text::Tokenizer tokenizer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(kSampleTweet));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_PorterStem(benchmark::State& state) {
+  text::PorterStemmer stemmer;
+  const char* words[] = {"swimming",   "connection", "databases",
+                         "relational", "happiness",  "programming"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stemmer.Stem(words[i++ % 6]));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_LanguageIdentify(benchmark::State& state) {
+  text::LanguageIdentifier id;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(id.Identify(kSamplePage));
+  }
+}
+BENCHMARK(BM_LanguageIdentify);
+
+void BM_TextPipeline(benchmark::State& state) {
+  text::TextPipeline pipeline;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.Process(kSamplePage));
+  }
+}
+BENCHMARK(BM_TextPipeline);
+
+void BM_EntityAnnotate(benchmark::State& state) {
+  static const entity::KnowledgeBase* kb =
+      new entity::KnowledgeBase(entity::BuildDefaultKnowledgeBase());
+  entity::EntityAnnotator annotator(kb);
+  text::Tokenizer tokenizer;
+  std::vector<std::string> tokens = tokenizer.Tokenize(kSamplePage);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(annotator.Annotate(tokens));
+  }
+}
+BENCHMARK(BM_EntityAnnotate);
+
+void BM_AnalyzeText(benchmark::State& state) {
+  static const entity::KnowledgeBase* kb =
+      new entity::KnowledgeBase(entity::BuildDefaultKnowledgeBase());
+  platform::ResourceExtractor extractor(kb);
+  std::string text = kSamplePage;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.AnalyzeText(text));
+  }
+}
+BENCHMARK(BM_AnalyzeText);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto& sw = SmallWorld::Get();
+  for (auto _ : state) {
+    core::CorpusIndex index(&sw.analyzed, platform::kAllPlatformsMask);
+    benchmark::DoNotOptimize(index.document_count());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(
+          core::CorpusIndex(&sw.analyzed, platform::kAllPlatformsMask)
+              .document_count()));
+}
+BENCHMARK(BM_IndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_Search(benchmark::State& state) {
+  const auto& sw = SmallWorld::Get();
+  static const core::CorpusIndex* index =
+      new core::CorpusIndex(&sw.analyzed, platform::kAllPlatformsMask);
+  index::AnalyzedQuery q = sw.analyzed.extractor->AnalyzeQuery(
+      sw.world.queries[static_cast<size_t>(state.range(0))].text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Search(q, 0.6));
+  }
+}
+BENCHMARK(BM_Search)->Arg(0)->Arg(13)->Arg(22)->Unit(benchmark::kMicrosecond);
+
+void BM_CollectResources(benchmark::State& state) {
+  const auto& sw = SmallWorld::Get();
+  const auto& net = sw.world.networks[static_cast<size_t>(state.range(0))];
+  graph::NodeId profile =
+      sw.world.candidate_profiles[static_cast<size_t>(state.range(0))][0];
+  graph::CollectOptions opts;
+  opts.max_distance = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.graph.CollectResources(profile, opts));
+  }
+}
+BENCHMARK(BM_CollectResources)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RankQuery(benchmark::State& state) {
+  const auto& sw = SmallWorld::Get();
+  static const core::ExpertFinder* finder = [] {
+    core::ExpertFinderConfig cfg;
+    return new core::ExpertFinder(&SmallWorld::Get().analyzed, cfg);
+  }();
+  const auto& query = sw.world.queries[4];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder->Rank(query));
+  }
+}
+BENCHMARK(BM_RankQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_FinderConstruction(benchmark::State& state) {
+  const auto& sw = SmallWorld::Get();
+  static const core::CorpusIndex* index =
+      new core::CorpusIndex(&sw.analyzed, platform::kAllPlatformsMask);
+  for (auto _ : state) {
+    core::ExpertFinderConfig cfg;
+    core::ExpertFinder finder(&sw.analyzed, cfg, index);
+    benchmark::DoNotOptimize(finder.ReachableResources(0));
+  }
+}
+BENCHMARK(BM_FinderConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_WorldGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    synth::WorldConfig cfg;
+    cfg.scale = 0.01;
+    benchmark::DoNotOptimize(synth::GenerateWorld(cfg).TotalNodes());
+  }
+}
+BENCHMARK(BM_WorldGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Reproduces Table 3 and Figure 9 of the paper: retrieval quality per
+// social network (All / FB / TW / LI) and per resource distance (0/1/2),
+// plus the 11-point precision and DCG curves for the All configuration.
+//
+// Expected shape (paper): distance 0 is worse than random; adding
+// distance-1 and distance-2 resources improves every metric; Twitter at
+// distance 2 is the strongest single network; LinkedIn trails overall.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/significance.h"
+
+int main() {
+  using namespace crowdex;
+  const auto& bw = bench::BenchWorld::Get();
+  eval::ExperimentRunner runner(&bw.world);
+  const auto& queries = bw.world.queries;
+
+  eval::AggregateMetrics random = runner.RandomBaseline(queries);
+  bench::CsvCollector csv("tab3_networks");
+  csv.Add("Random", random);
+
+  std::printf("\n=== Table 3: per-network, per-distance metrics ===\n");
+  bench::PrintMetricsHeader("SN / Dist");
+  bench::PrintMetricsRow("Random", random);
+
+  struct NetworkRow {
+    const char* name;
+    platform::PlatformMask mask;
+  };
+  const NetworkRow kNetworks[] = {
+      {"All", platform::kAllPlatformsMask},
+      {"FB", platform::MaskOf(platform::Platform::kFacebook)},
+      {"TW", platform::MaskOf(platform::Platform::kTwitter)},
+      {"LI", platform::MaskOf(platform::Platform::kLinkedIn)},
+  };
+
+  // Keep the All-network distance curves for Fig. 9.
+  std::array<eval::AggregateMetrics, 3> all_by_distance;
+
+  for (const NetworkRow& net : kNetworks) {
+    // The corpus index depends only on the platform mask; share it across
+    // the three distance configurations.
+    core::ExpertFinderConfig base;
+    base.platforms = net.mask;
+    core::CorpusIndex shared(&bw.analyzed, net.mask);
+    for (int dist = 0; dist <= 2; ++dist) {
+      core::ExpertFinderConfig config = base;
+      config.max_distance = dist;
+      core::ExpertFinder finder(&bw.analyzed, config, &shared);
+      eval::AggregateMetrics m = runner.Evaluate(finder, queries);
+      std::string label =
+          std::string(net.name) + " dist " + std::to_string(dist);
+      csv.Add(label, m);
+      bench::PrintMetricsRow(label, m);
+      if (net.mask == platform::kAllPlatformsMask) {
+        all_by_distance[dist] = m;
+      }
+    }
+  }
+
+  // Significance of the paper's two headline comparisons, via paired
+  // bootstrap over per-query average precision.
+  {
+    auto per_query_ap = [&](const core::ExpertFinderConfig& cfg,
+                            const core::CorpusIndex* shared) {
+      core::ExpertFinder finder(&bw.analyzed, cfg, shared);
+      std::vector<double> aps;
+      for (const auto& q : queries) {
+        aps.push_back(runner.EvaluateQuery(finder, q).average_precision);
+      }
+      return aps;
+    };
+    core::CorpusIndex all_idx(&bw.analyzed, platform::kAllPlatformsMask);
+    core::ExpertFinderConfig d1;
+    d1.max_distance = 1;
+    core::ExpertFinderConfig d2;
+    d2.max_distance = 2;
+    auto ap1 = per_query_ap(d1, &all_idx);
+    auto ap2 = per_query_ap(d2, &all_idx);
+    eval::BootstrapResult dist = eval::PairedBootstrap(ap2, ap1);
+    std::printf(
+        "\npaired bootstrap, dist 2 vs dist 1 (All): dMAP %+0.4f, "
+        "p = %.4f\n",
+        dist.mean_difference, dist.p_value);
+
+    core::ExpertFinderConfig tw;
+    tw.platforms = platform::MaskOf(platform::Platform::kTwitter);
+    core::ExpertFinderConfig fb;
+    fb.platforms = platform::MaskOf(platform::Platform::kFacebook);
+    core::CorpusIndex tw_idx(&bw.analyzed, tw.platforms);
+    core::CorpusIndex fb_idx(&bw.analyzed, fb.platforms);
+    eval::BootstrapResult net = eval::PairedBootstrap(
+        per_query_ap(tw, &tw_idx), per_query_ap(fb, &fb_idx));
+    std::printf(
+        "paired bootstrap, TW vs FB at dist 2:       dMAP %+0.4f, "
+        "p = %.4f\n",
+        net.mean_difference, net.p_value);
+  }
+
+  std::printf(
+      "\n=== Figure 9a: 11-point interpolated precision (All networks) "
+      "===\n%-24s",
+      "recall ->");
+  for (int i = 0; i <= 10; ++i) std::printf("  %.1f ", i / 10.0);
+  std::printf("\n");
+  bench::PrintPrecision11("Random", random.precision11);
+  for (int dist = 0; dist <= 2; ++dist) {
+    bench::PrintPrecision11("Distance " + std::to_string(dist),
+                            all_by_distance[dist].precision11);
+  }
+
+  std::printf("\n=== Figure 9b: DCG vs retrieved users (All networks) ===\n");
+  std::printf("%-24s", "#users ->");
+  for (size_t k = 1; k <= eval::kDcgCurvePoints; ++k) std::printf(" %6zu", k);
+  std::printf("\n");
+  bench::PrintDcgCurve("Random", random.dcg_curve);
+  for (int dist = 0; dist <= 2; ++dist) {
+    bench::PrintDcgCurve("Distance " + std::to_string(dist),
+                         all_by_distance[dist].dcg_curve);
+  }
+  return 0;
+}

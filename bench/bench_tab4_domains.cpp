@@ -1,0 +1,91 @@
+// Reproduces Table 4 of the paper: MAP / MRR / NDCG@10 broken down by
+// expertise domain, social network (All / FB / TW / LI), and resource
+// distance (0/1/2).
+//
+// Expected shape (Sec. 3.6-3.7): Twitter leads computer engineering,
+// science, sport, technology & games; Facebook is strong on location,
+// music, sport, movies & tv; LinkedIn trails everywhere except
+// computer-engineering profiles at distance 0.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace crowdex;
+  const auto& bw = bench::BenchWorld::Get();
+  eval::ExperimentRunner runner(&bw.world);
+
+  struct NetworkRow {
+    const char* name;
+    platform::PlatformMask mask;
+  };
+  const NetworkRow kNetworks[] = {
+      {"All", platform::kAllPlatformsMask},
+      {"FB", platform::MaskOf(platform::Platform::kFacebook)},
+      {"TW", platform::MaskOf(platform::Platform::kTwitter)},
+      {"LI", platform::MaskOf(platform::Platform::kLinkedIn)},
+  };
+
+  // metrics[domain][dist][network] -> (map, mrr, ndcg10).
+  struct Cell {
+    double map = 0, mrr = 0, ndcg10 = 0;
+  };
+  Cell table[kNumDomains][3][4];
+
+  for (int n = 0; n < 4; ++n) {
+    core::CorpusIndex shared(&bw.analyzed, kNetworks[n].mask);
+    for (int dist = 0; dist <= 2; ++dist) {
+      core::ExpertFinderConfig cfg;
+      cfg.platforms = kNetworks[n].mask;
+      cfg.max_distance = dist;
+      core::ExpertFinder finder(&bw.analyzed, cfg, &shared);
+      for (Domain d : kAllDomains) {
+        auto queries = synth::QueriesForDomain(d);
+        eval::AggregateMetrics m = runner.Evaluate(finder, queries);
+        Cell& cell = table[DomainIndex(d)][dist][n];
+        cell.map = m.map;
+        cell.mrr = m.mrr;
+        cell.ndcg10 = m.ndcg_at_10;
+      }
+    }
+  }
+
+  std::printf("\n=== Table 4: per-domain metrics (All | FB | TW | LI) ===\n");
+  for (Domain d : kAllDomains) {
+    std::printf("\n%s\n", std::string(DomainName(d)).c_str());
+    std::printf("  %-6s | %-31s | %-31s | %-31s\n", "dist",
+                "MAP   All    FB    TW    LI", "MRR   All    FB    TW    LI",
+                "N@10  All    FB    TW    LI");
+    for (int dist = 0; dist <= 2; ++dist) {
+      std::printf("  %-6d |", dist);
+      for (int n = 0; n < 4; ++n) {
+        std::printf(" %.3f", table[DomainIndex(d)][dist][n].map);
+      }
+      std::printf("       |");
+      for (int n = 0; n < 4; ++n) {
+        std::printf(" %.3f", table[DomainIndex(d)][dist][n].mrr);
+      }
+      std::printf("       |");
+      for (int n = 0; n < 4; ++n) {
+        std::printf(" %.3f", table[DomainIndex(d)][dist][n].ndcg10);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Per-domain winner summary at distance 2 (the headline of Sec. 3.6).
+  std::printf("\n=== Best single network per domain (MAP at distance 2) ===\n");
+  for (Domain d : kAllDomains) {
+    int best = 1;
+    for (int n = 2; n < 4; ++n) {
+      if (table[DomainIndex(d)][2][n].map > table[DomainIndex(d)][2][best].map) {
+        best = n;
+      }
+    }
+    std::printf("  %-24s -> %s (MAP %.3f)\n",
+                std::string(DomainName(d)).c_str(), kNetworks[best].name,
+                table[DomainIndex(d)][2][best].map);
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+#ifndef CROWDEX_BENCH_BENCH_UTIL_H_
+#define CROWDEX_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/analyzed_world.h"
+#include "eval/csv.h"
+#include "core/expert_finder.h"
+#include "eval/experiment.h"
+#include "io/corpus_cache.h"
+#include "synth/world.h"
+
+namespace crowdex::bench {
+
+/// Scale of the benchmark worlds. 1.0 reproduces the paper's dataset size
+/// (~330k resources). Override with the CROWDEX_BENCH_SCALE environment
+/// variable for quicker runs.
+inline double BenchScale() {
+  if (const char* env = std::getenv("CROWDEX_BENCH_SCALE")) {
+    double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+/// Generates and analyzes the benchmark world once per process.
+///
+/// The analysis output is cached on disk (CROWDEX_CACHE_DIR, default
+/// /tmp), keyed by (seed, scale, candidates, pipeline options), so the
+/// nine bench binaries share one analysis pass instead of repeating the
+/// most expensive step.
+struct BenchWorld {
+  synth::SyntheticWorld world;
+  core::AnalyzedWorld analyzed;
+
+  static std::string CachePath(const synth::WorldConfig& config) {
+    const char* dir = std::getenv("CROWDEX_CACHE_DIR");
+    if (dir == nullptr) dir = "/tmp";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s/crowdex_%llu_%.4f_%d.cdx", dir,
+                  static_cast<unsigned long long>(config.seed), config.scale,
+                  config.num_candidates);
+    return buf;
+  }
+
+  static const BenchWorld& Get() {
+    static BenchWorld* instance = [] {
+      auto* bw = new BenchWorld();
+      synth::WorldConfig config;
+      config.scale = BenchScale();
+      auto t0 = std::chrono::steady_clock::now();
+      bw->world = synth::GenerateWorld(config);
+      auto t1 = std::chrono::steady_clock::now();
+
+      io::CacheFingerprint fingerprint;
+      fingerprint.world_seed = config.seed;
+      fingerprint.world_scale = config.scale;
+      fingerprint.num_candidates =
+          static_cast<uint32_t>(config.num_candidates);
+      fingerprint.options_hash =
+          io::HashExtractorOptions(platform::ExtractorOptions{}) ^
+          synth::HashWorldConfig(config);
+      fingerprint.kb_entities = bw->world.kb.size();
+      const std::string cache_path = CachePath(config);
+
+      auto cached = io::LoadAnalyzedCorpora(fingerprint, cache_path);
+      if (cached.ok()) {
+        bw->analyzed.world = &bw->world;
+        bw->analyzed.extractor =
+            std::make_unique<platform::ResourceExtractor>(&bw->world.kb);
+        bw->analyzed.corpora = std::move(cached).value();
+        auto t2 = std::chrono::steady_clock::now();
+        std::printf(
+            "# world: %zu nodes (scale %.2f), generated in %.1fs, analysis "
+            "loaded from cache in %.1fs\n",
+            bw->world.TotalNodes(), config.scale,
+            std::chrono::duration<double>(t1 - t0).count(),
+            std::chrono::duration<double>(t2 - t1).count());
+        return bw;
+      }
+
+      bw->analyzed = core::AnalyzeWorld(&bw->world);
+      auto t2 = std::chrono::steady_clock::now();
+      Status saved =
+          io::SaveAnalyzedCorpora(bw->analyzed.corpora, fingerprint,
+                                  cache_path);
+      std::printf(
+          "# world: %zu nodes (scale %.2f), generated in %.1fs, analyzed in "
+          "%.1fs%s\n",
+          bw->world.TotalNodes(), config.scale,
+          std::chrono::duration<double>(t1 - t0).count(),
+          std::chrono::duration<double>(t2 - t1).count(),
+          saved.ok() ? ", cached" : "");
+      return bw;
+    }();
+    return *instance;
+  }
+};
+
+/// Collects labeled metric rows and, when the CROWDEX_CSV_DIR environment
+/// variable is set, writes them as CSV next to the human-readable output
+/// (tables plus the precision-11 and DCG curves for plotting).
+class CsvCollector {
+ public:
+  explicit CsvCollector(std::string stem) : stem_(std::move(stem)) {}
+
+  void Add(const std::string& label, const eval::AggregateMetrics& m) {
+    rows_.push_back({label, m});
+  }
+
+  ~CsvCollector() {
+    const char* dir = std::getenv("CROWDEX_CSV_DIR");
+    if (dir == nullptr || rows_.empty()) return;
+    std::string base = std::string(dir) + "/" + stem_;
+    Status s = eval::WriteMetricsCsv(rows_, base + "_metrics.csv");
+    if (s.ok()) s = eval::WritePrecision11Csv(rows_, base + "_p11.csv");
+    if (s.ok()) s = eval::WriteDcgCurveCsv(rows_, base + "_dcg.csv");
+    if (!s.ok()) {
+      std::fprintf(stderr, "csv export failed: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("# csv exported to %s_{metrics,p11,dcg}.csv\n",
+                  base.c_str());
+    }
+  }
+
+ private:
+  std::string stem_;
+  std::vector<eval::MetricsRow> rows_;
+};
+
+/// Prints one row of the 4-metric table used throughout Sec. 3.
+inline void PrintMetricsRow(const std::string& label,
+                            const eval::AggregateMetrics& m) {
+  std::printf("%-24s %8.4f %8.4f %8.4f %8.4f\n", label.c_str(), m.map, m.mrr,
+              m.ndcg, m.ndcg_at_10);
+}
+
+inline void PrintMetricsHeader(const char* first_column) {
+  std::printf("%-24s %8s %8s %8s %8s\n", first_column, "MAP", "MRR", "NDCG",
+              "NDCG@10");
+}
+
+/// Prints an 11-point interpolated precision curve as one line.
+inline void PrintPrecision11(const std::string& label,
+                             const std::array<double, eval::kElevenPoints>& p) {
+  std::printf("%-24s", label.c_str());
+  for (double v : p) std::printf(" %.3f", v);
+  std::printf("\n");
+}
+
+/// Prints a DCG-vs-retrieved-users curve as one line (cutoffs 1..20).
+inline void PrintDcgCurve(
+    const std::string& label,
+    const std::array<double, eval::kDcgCurvePoints>& curve) {
+  std::printf("%-24s", label.c_str());
+  for (double v : curve) std::printf(" %6.1f", v);
+  std::printf("\n");
+}
+
+}  // namespace crowdex::bench
+
+#endif  // CROWDEX_BENCH_BENCH_UTIL_H_

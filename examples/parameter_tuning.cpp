@@ -1,0 +1,57 @@
+// Parameter tuning: how a downstream user validates the paper's parameter
+// choices (Sec. 3.3) on their own population — sweep alpha and the window
+// size against the self-assessment ground truth and pick the plateau.
+//
+// Build & run:  cmake --build build && ./build/examples/parameter_tuning
+
+#include <cstdio>
+
+#include "core/analyzed_world.h"
+#include "core/expert_finder.h"
+#include "eval/experiment.h"
+#include "synth/world.h"
+
+int main() {
+  using namespace crowdex;
+
+  synth::WorldConfig config;
+  config.scale = 0.05;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  core::AnalyzedWorld analyzed = core::AnalyzeWorld(&world);
+  eval::ExperimentRunner runner(&world);
+
+  // Reuse one corpus index across the sweep (the expensive part).
+  core::CorpusIndex shared(&analyzed, platform::kAllPlatformsMask);
+
+  std::printf("alpha sweep (window = 100, distance 2):\n");
+  std::printf("%6s %8s %8s\n", "alpha", "MAP", "NDCG@10");
+  double best_alpha = 0;
+  double best_map = -1;
+  for (int a = 0; a <= 10; a += 2) {
+    core::ExpertFinderConfig cfg;
+    cfg.alpha = a / 10.0;
+    core::ExpertFinder finder(&analyzed, cfg, &shared);
+    eval::AggregateMetrics m = runner.Evaluate(finder, world.queries);
+    std::printf("%6.1f %8.4f %8.4f\n", cfg.alpha, m.map, m.ndcg_at_10);
+    if (m.map > best_map) {
+      best_map = m.map;
+      best_alpha = cfg.alpha;
+    }
+  }
+  std::printf("-> best alpha on this population: %.1f\n\n", best_alpha);
+
+  std::printf("window sweep (alpha = %.1f, distance 2):\n", best_alpha);
+  std::printf("%8s %8s %8s\n", "window", "MAP", "NDCG@10");
+  for (int w : {10, 25, 50, 100, 250, 500}) {
+    core::ExpertFinderConfig cfg;
+    cfg.alpha = best_alpha;
+    cfg.window_size = w;
+    core::ExpertFinder finder(&analyzed, cfg, &shared);
+    eval::AggregateMetrics m = runner.Evaluate(finder, world.queries);
+    std::printf("%8d %8.4f %8.4f\n", w, m.map, m.ndcg_at_10);
+  }
+  std::printf(
+      "\n(the paper lands on alpha = 0.6, window = 100 — Sec. 3.3; on a "
+      "different population, rerun this sweep.)\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Platform comparison: the paper's second question — "which is the best
+// social platform to contact the experts?" (Sec. 2.1). For one expertise
+// need, rank the experts separately on Facebook, Twitter, and LinkedIn and
+// report where each top expert is best reachable, plus which platform is
+// the strongest source of evidence for this domain.
+//
+// Build & run:  cmake --build build && ./build/examples/platform_comparison
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/analyzed_world.h"
+#include "core/expert_finder.h"
+#include "synth/world.h"
+
+int main() {
+  using namespace crowdex;
+
+  synth::WorldConfig config;
+  config.scale = 0.05;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  core::AnalyzedWorld analyzed = core::AnalyzeWorld(&world);
+
+  const std::string need =
+      "Can you list some famous European football teams? Who wins the "
+      "Champions League?";
+  std::printf("expertise need: %s\n\n", need.c_str());
+
+  // One finder per platform plus the combined one.
+  struct PlatformRun {
+    const char* name;
+    platform::PlatformMask mask;
+    core::RankedExperts result;
+  };
+  PlatformRun runs[] = {
+      {"Facebook", platform::MaskOf(platform::Platform::kFacebook), {}},
+      {"Twitter", platform::MaskOf(platform::Platform::kTwitter), {}},
+      {"LinkedIn", platform::MaskOf(platform::Platform::kLinkedIn), {}},
+      {"All", platform::kAllPlatformsMask, {}},
+  };
+
+  for (PlatformRun& run : runs) {
+    core::ExpertFinderConfig cfg;
+    cfg.platforms = run.mask;
+    core::ExpertFinder finder(&analyzed, cfg);
+    run.result = finder.RankText(need);
+    std::printf("%-9s: %3zu resources used, top experts:", run.name,
+                run.result.considered_resources);
+    for (size_t i = 0; i < run.result.ranking.size() && i < 5; ++i) {
+      std::printf(" %s",
+                  world.candidates[run.result.ranking[i].candidate]
+                      .name.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // For each of the combined top-5 experts, find the platform where their
+  // evidence is strongest — the platform to contact them on.
+  std::printf("\nrouting plan (combined ranking -> best contact platform):\n");
+  const auto& combined = runs[3].result.ranking;
+  for (size_t i = 0; i < combined.size() && i < 5; ++i) {
+    int candidate = combined[i].candidate;
+    const char* best_platform = "-";
+    double best_score = 0;
+    for (int p = 0; p < 3; ++p) {
+      for (const auto& e : runs[p].result.ranking) {
+        if (e.candidate == candidate && e.score > best_score) {
+          best_score = e.score;
+          best_platform = runs[p].name;
+        }
+      }
+    }
+    std::printf("  %zu. %-10s -> contact via %-9s (evidence score %.0f)\n",
+                i + 1, world.candidates[candidate].name.c_str(),
+                best_platform, best_score);
+  }
+  return 0;
+}

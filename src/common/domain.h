@@ -1,0 +1,59 @@
+#ifndef CROWDEX_COMMON_DOMAIN_H_
+#define CROWDEX_COMMON_DOMAIN_H_
+
+#include <array>
+#include <string_view>
+
+namespace crowdex {
+
+/// The seven expertise domains of the paper's evaluation (Sec. 3.1):
+/// computer engineering, location, movies & tv, music, science, sport, and
+/// technology & videogames.
+enum class Domain {
+  kComputerEngineering = 0,
+  kLocation,
+  kMoviesTv,
+  kMusic,
+  kScience,
+  kSport,
+  kTechnologyGames,
+};
+
+/// Number of expertise domains.
+inline constexpr int kNumDomains = 7;
+
+/// All domains, in declaration order (handy for iteration).
+inline constexpr std::array<Domain, kNumDomains> kAllDomains = {
+    Domain::kComputerEngineering, Domain::kLocation, Domain::kMoviesTv,
+    Domain::kMusic,               Domain::kScience,  Domain::kSport,
+    Domain::kTechnologyGames,
+};
+
+/// Returns the paper's display name for `domain`
+/// (e.g. "Computer engineering").
+constexpr std::string_view DomainName(Domain domain) {
+  switch (domain) {
+    case Domain::kComputerEngineering:
+      return "Computer engineering";
+    case Domain::kLocation:
+      return "Location";
+    case Domain::kMoviesTv:
+      return "Movies & TV";
+    case Domain::kMusic:
+      return "Music";
+    case Domain::kScience:
+      return "Science";
+    case Domain::kSport:
+      return "Sport";
+    case Domain::kTechnologyGames:
+      return "Technology & games";
+  }
+  return "Unknown";
+}
+
+/// Returns the integer index of `domain` in `kAllDomains`.
+constexpr int DomainIndex(Domain domain) { return static_cast<int>(domain); }
+
+}  // namespace crowdex
+
+#endif  // CROWDEX_COMMON_DOMAIN_H_

@@ -1,0 +1,155 @@
+#ifndef CROWDEX_COMMON_STATUS_H_
+#define CROWDEX_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace crowdex {
+
+/// Canonical error categories used across the library.
+///
+/// The library does not throw exceptions across API boundaries; fallible
+/// operations return a `Status` (or a `Result<T>`, see below) instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value.
+///
+/// `Status` is cheap to copy in the success case (no allocation) and carries
+/// a code plus a free-form message in the error case. Typical use:
+///
+/// ```
+/// Status s = graph.AddEdge(a, b, EdgeKind::kFollows);
+/// if (!s.ok()) return s;
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and `message`. An empty message is
+  /// allowed; `code == kOk` produces an OK status regardless of message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers for the common codes.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error holder, analogous to `absl::StatusOr<T>`.
+///
+/// Exactly one of the two states is active. Accessing `value()` on an error
+/// result aborts the process (programming error), so callers must check
+/// `ok()` first:
+///
+/// ```
+/// Result<Tokenized> r = pipeline.Run(text);
+/// if (!r.ok()) return r.status();
+/// Use(r.value());
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Constructs an error result. `status.ok()` must be false.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(state_).ok()) {
+      state_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Returns the error status; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(state_);
+  }
+
+  /// Returns the held value; must only be called when `ok()`.
+  const T& value() const& { return std::get<T>(state_); }
+  T& value() & { return std::get<T>(state_); }
+  T&& value() && { return std::get<T>(std::move(state_)); }
+
+  /// Returns the held value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> state_;
+};
+
+}  // namespace crowdex
+
+/// Propagates an error status out of the current function.
+#define CROWDEX_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::crowdex::Status crowdex_status_tmp_ = (expr);    \
+    if (!crowdex_status_tmp_.ok()) {                   \
+      return crowdex_status_tmp_;                      \
+    }                                                  \
+  } while (false)
+
+#endif  // CROWDEX_COMMON_STATUS_H_

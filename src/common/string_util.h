@@ -1,0 +1,42 @@
+#ifndef CROWDEX_COMMON_STRING_UTIL_H_
+#define CROWDEX_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crowdex {
+
+/// Returns a copy of `s` with ASCII letters lowered. Non-ASCII bytes are
+/// passed through unchanged.
+std::string AsciiToLower(std::string_view s);
+
+/// Returns true iff `c` is an ASCII letter.
+bool IsAsciiAlpha(char c);
+
+/// Returns true iff `c` is an ASCII digit.
+bool IsAsciiDigit(char c);
+
+/// Splits `s` on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view s,
+                                     std::string_view delims);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Returns `s` with leading and trailing ASCII whitespace removed.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Returns true iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Returns true iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats `value` with `digits` digits after the decimal point (fixed).
+std::string FormatDouble(double value, int digits);
+
+}  // namespace crowdex
+
+#endif  // CROWDEX_COMMON_STRING_UTIL_H_

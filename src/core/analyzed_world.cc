@@ -1,0 +1,32 @@
+#include "core/analyzed_world.h"
+
+#include <future>
+
+namespace crowdex::core {
+
+AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world) {
+  return AnalyzeWorld(world, platform::ExtractorOptions{});
+}
+
+AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
+                           const platform::ExtractorOptions& options) {
+  AnalyzedWorld out;
+  out.world = world;
+  out.extractor =
+      std::make_unique<platform::ResourceExtractor>(&world->kb, options);
+  // The three platform corpora are independent and the extractor is
+  // stateless after construction, so analyze them concurrently.
+  std::array<std::future<platform::AnalyzedCorpus>, platform::kNumPlatforms>
+      futures;
+  for (int p = 0; p < platform::kNumPlatforms; ++p) {
+    futures[p] = std::async(std::launch::async, [&, p] {
+      return out.extractor->AnalyzeNetwork(world->networks[p], world->web);
+    });
+  }
+  for (int p = 0; p < platform::kNumPlatforms; ++p) {
+    out.corpora[p] = futures[p].get();
+  }
+  return out;
+}
+
+}  // namespace crowdex::core

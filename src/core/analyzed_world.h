@@ -1,0 +1,45 @@
+#ifndef CROWDEX_CORE_ANALYZED_WORLD_H_
+#define CROWDEX_CORE_ANALYZED_WORLD_H_
+
+#include <array>
+#include <memory>
+
+#include "platform/resource_extractor.h"
+#include "synth/world.h"
+
+namespace crowdex::core {
+
+/// The synthetic world after the Fig. 4 analysis pipeline has run over
+/// every node of every platform: URL enrichment, language identification,
+/// text processing, entity annotation.
+///
+/// Analysis is the expensive step (hundreds of thousands of resources), so
+/// it runs once; any number of `ExpertFinder` configurations (platform
+/// subsets, distances, α, window sizes) can then be evaluated against the
+/// same `AnalyzedWorld`.
+struct AnalyzedWorld {
+  /// The underlying dataset. Not owned; must outlive this object.
+  const synth::SyntheticWorld* world = nullptr;
+  /// The shared analysis pipeline (also used for query analysis).
+  std::unique_ptr<platform::ResourceExtractor> extractor;
+  /// Analysis output per platform, aligned with `world->networks`.
+  std::array<platform::AnalyzedCorpus, platform::kNumPlatforms> corpora;
+
+  /// Convenience: the analyzed node for (platform, node).
+  const platform::AnalyzedNode& node(platform::Platform p,
+                                     graph::NodeId n) const {
+    return corpora[static_cast<int>(p)].nodes[n];
+  }
+};
+
+/// Runs the analysis pipeline over every network of `world` with the
+/// paper's default configuration.
+AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world);
+
+/// Same, with explicit pipeline toggles (ablation studies).
+AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
+                           const platform::ExtractorOptions& options);
+
+}  // namespace crowdex::core
+
+#endif  // CROWDEX_CORE_ANALYZED_WORLD_H_

@@ -1,0 +1,39 @@
+#include "core/config.h"
+
+#include <algorithm>
+
+namespace crowdex::core {
+
+Status ExpertFinderConfig::Validate() const {
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1]");
+  }
+  if (max_distance < 0 || max_distance > 2) {
+    return Status::InvalidArgument("max_distance must be in {0, 1, 2}");
+  }
+  if (platforms == 0) {
+    return Status::InvalidArgument("at least one platform must be selected");
+  }
+  if (distance_weight_min < 0.0 || distance_weight_max <= 0.0 ||
+      distance_weight_min > distance_weight_max) {
+    return Status::InvalidArgument(
+        "distance weights must satisfy 0 <= min <= max, max > 0");
+  }
+  if (window_size <= 0 && window_fraction > 1.0) {
+    return Status::InvalidArgument("window_fraction must be <= 1");
+  }
+  return Status::Ok();
+}
+
+double DistanceWeight(const ExpertFinderConfig& config, int distance) {
+  // Linear decrease over distances 0..2 (the paper's Table-1 horizon),
+  // independent of the configured max_distance so that, e.g., a distance-1
+  // run uses the same per-distance weights as a distance-2 run.
+  constexpr int kHorizon = 2;
+  int d = std::clamp(distance, 0, kHorizon);
+  double t = static_cast<double>(d) / kHorizon;
+  return config.distance_weight_max +
+         t * (config.distance_weight_min - config.distance_weight_max);
+}
+
+}  // namespace crowdex::core

@@ -1,0 +1,70 @@
+#ifndef CROWDEX_CORE_CONFIG_H_
+#define CROWDEX_CORE_CONFIG_H_
+
+#include "common/status.h"
+#include "platform/platform.h"
+
+namespace crowdex::core {
+
+/// How per-resource relevance is aggregated into an expert score.
+/// `kWeightedSum` is the paper's Eq. 3; the alternatives are classic
+/// expert-finding aggregates kept for ablation (cf. the document-centric
+/// models the paper builds on [3, 18]).
+enum class AggregationMode {
+  /// score(q, ex) = Σ score(q, r) · wr(r, ex)   — Eq. 3 (default).
+  kWeightedSum = 0,
+  /// score(q, ex) = |{r matching q reachable from ex}| (a "votes" model);
+  /// distance weights still apply as fractional votes.
+  kVotes,
+  /// score(q, ex) = max_r score(q, r) · wr(r, ex) (best single evidence).
+  kMaxResource,
+};
+
+/// Configuration of one expert-finding run — the parameters the paper's
+/// Sec. 3.3 studies.
+struct ExpertFinderConfig {
+  /// Term-vs-entity blend of Eq. 1. 1.0 = keywords only, 0.0 = entities
+  /// only. The paper settles on 0.6 after the sensitivity analysis of
+  /// Sec. 3.3.2.
+  double alpha = 0.6;
+
+  /// Number of top-scored relevant resources fed into the expert ranking
+  /// (Eq. 3). <= 0 means "use `window_fraction` instead". The paper settles
+  /// on 100 (Sec. 3.3.1).
+  int window_size = 100;
+
+  /// Fraction of matching resources to consider when `window_size <= 0`
+  /// (the x-axis of Fig. 6). 0 or negative means "all matching resources".
+  double window_fraction = 0.0;
+
+  /// Maximum social-graph distance of considered resources (Table 1).
+  int max_distance = 2;
+
+  /// Whether resources of *friends* (mutual follows) are traversed.
+  /// The paper's default is false; Sec. 3.3.3 evaluates true.
+  bool include_friends = false;
+
+  /// Which platforms contribute resources ("All", "FB", "TW", "LI").
+  platform::PlatformMask platforms = platform::kAllPlatformsMask;
+
+  /// Aggregation of resource relevance into expert scores.
+  AggregationMode aggregation = AggregationMode::kWeightedSum;
+
+  /// The `wr` weighting interval of Eq. 3: weights decrease linearly from
+  /// `distance_weight_max` at distance 0 to `distance_weight_min` at
+  /// distance 2 (the paper fixes [0.5, 1] — Sec. 3.3).
+  double distance_weight_max = 1.0;
+  double distance_weight_min = 0.5;
+
+  /// Validates parameter ranges.
+  Status Validate() const;
+};
+
+/// The `wr(r, ex)` of Eq. 3 for a resource at `distance`: linear
+/// interpolation between the config's weight interval over distances
+/// [0, 2]. Distances beyond 2 keep the minimum weight.
+double DistanceWeight(const ExpertFinderConfig& config, int distance);
+
+}  // namespace crowdex::core
+
+#endif  // CROWDEX_CORE_CONFIG_H_

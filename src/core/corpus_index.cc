@@ -1,0 +1,23 @@
+#include "core/corpus_index.h"
+
+namespace crowdex::core {
+
+CorpusIndex::CorpusIndex(const AnalyzedWorld* analyzed,
+                         platform::PlatformMask mask)
+    : analyzed_(analyzed), mask_(mask) {
+  for (platform::Platform p : platform::kAllPlatforms) {
+    if (!platform::MaskContains(mask, p)) continue;
+    const platform::AnalyzedCorpus& corpus =
+        analyzed_->corpora[static_cast<int>(p)];
+    for (const platform::AnalyzedNode& node : corpus.nodes) {
+      if (!node.english || node.terms.empty()) continue;
+      index::IndexableDocument doc;
+      doc.external_id = PlatformNodeKey{p, node.node}.Pack();
+      doc.terms = node.terms;
+      doc.entities = node.entities;
+      index_.Add(doc);
+    }
+  }
+}
+
+}  // namespace crowdex::core

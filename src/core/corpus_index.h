@@ -1,0 +1,63 @@
+#ifndef CROWDEX_CORE_CORPUS_INDEX_H_
+#define CROWDEX_CORE_CORPUS_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/analyzed_world.h"
+#include "index/search_index.h"
+#include "platform/platform.h"
+
+namespace crowdex::core {
+
+/// Composite key identifying a node of a specific platform network.
+struct PlatformNodeKey {
+  platform::Platform platform = platform::Platform::kFacebook;
+  graph::NodeId node = graph::kInvalidNodeId;
+
+  /// Packs the key into the 64-bit external id used by the search index.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(platform) << 32) | node;
+  }
+  static PlatformNodeKey Unpack(uint64_t packed) {
+    return {static_cast<platform::Platform>(packed >> 32),
+            static_cast<graph::NodeId>(packed & 0xFFFFFFFFu)};
+  }
+
+  friend bool operator==(const PlatformNodeKey&,
+                         const PlatformNodeKey&) = default;
+};
+
+/// The retrieval index over the English resources of a platform subset.
+///
+/// IRF/EIRF statistics are computed over exactly this collection, matching
+/// the paper's "inverse resource frequency ... in the whole resource
+/// collection" for each experimental configuration (All / FB / TW / LI).
+/// Building the index is cheap relative to analysis, so one is typically
+/// built per platform mask and shared by every `ExpertFinder` with that
+/// mask.
+class CorpusIndex {
+ public:
+  /// Indexes every analyzed English node of the platforms in `mask`.
+  /// `analyzed` must outlive this object.
+  CorpusIndex(const AnalyzedWorld* analyzed, platform::PlatformMask mask);
+
+  const index::SearchIndex& search_index() const { return index_; }
+  platform::PlatformMask mask() const { return mask_; }
+  size_t document_count() const { return index_.size(); }
+
+  /// Runs a query over this corpus (Eq. 1 scoring with `alpha`).
+  std::vector<index::ScoredDoc> Search(const index::AnalyzedQuery& query,
+                                       double alpha) const {
+    return index_.Search(query, alpha);
+  }
+
+ private:
+  const AnalyzedWorld* analyzed_;
+  platform::PlatformMask mask_;
+  index::SearchIndex index_;
+};
+
+}  // namespace crowdex::core
+
+#endif  // CROWDEX_CORE_CORPUS_INDEX_H_

@@ -1,0 +1,179 @@
+#include "core/expert_finder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace crowdex::core {
+
+ExpertFinder::ExpertFinder(const AnalyzedWorld* analyzed,
+                           const ExpertFinderConfig& config)
+    : analyzed_(analyzed),
+      config_(config),
+      owned_index_(std::make_unique<CorpusIndex>(analyzed, config.platforms)),
+      index_(owned_index_.get()) {
+  assert(config_.Validate().ok());
+  BuildAssociations();
+}
+
+ExpertFinder::ExpertFinder(const AnalyzedWorld* analyzed,
+                           const ExpertFinderConfig& config,
+                           const CorpusIndex* shared_index)
+    : analyzed_(analyzed), config_(config), index_(shared_index) {
+  assert(config_.Validate().ok());
+  assert((config_.platforms & ~shared_index->mask()) == 0 &&
+         "shared index must cover the configured platforms");
+  BuildAssociations();
+}
+
+void ExpertFinder::BuildAssociations() {
+  const synth::SyntheticWorld& world = *analyzed_->world;
+  const int num_candidates = static_cast<int>(world.candidates.size());
+  reachable_counts_.assign(num_candidates, 0);
+
+  graph::CollectOptions collect;
+  collect.max_distance = config_.max_distance;
+  collect.include_friends = config_.include_friends;
+
+  for (platform::Platform p : platform::kAllPlatforms) {
+    if (!platform::MaskContains(config_.platforms, p)) continue;
+    const int pidx = static_cast<int>(p);
+    const platform::PlatformNetwork& net = world.networks[pidx];
+    const platform::AnalyzedCorpus& corpus = analyzed_->corpora[pidx];
+
+    for (int u = 0; u < num_candidates; ++u) {
+      graph::NodeId profile = world.candidate_profiles[pidx][u];
+      auto resources = net.graph.CollectResources(profile, collect);
+      if (!resources.ok()) continue;
+      for (const graph::ResourceAtDistance& r : resources.value()) {
+        const platform::AnalyzedNode& node = corpus.nodes[r.node];
+        if (!node.english || node.terms.empty()) continue;
+        uint64_t key = PlatformNodeKey{p, r.node}.Pack();
+        associations_[key].push_back({u, r.distance});
+        ++reachable_counts_[u];
+      }
+    }
+  }
+}
+
+RankedExperts ExpertFinder::Rank(const synth::ExpertiseNeed& query) const {
+  return RankText(query.text);
+}
+
+RankedExperts ExpertFinder::RankText(const std::string& query_text) const {
+  return RankAnalyzed(analyzed_->extractor->AnalyzeQuery(query_text));
+}
+
+std::vector<index::ScoredDoc> ExpertFinder::WindowedResources(
+    const index::AnalyzedQuery& query, RankedExperts* stats) const {
+  // Social resources matching (Sec. 2.4): retrieve and score resources.
+  std::vector<index::ScoredDoc> matches = index_->Search(query, config_.alpha);
+  stats->matched_resources = matches.size();
+
+  // Keep resources reachable from at least one candidate — only those can
+  // transfer relevance to an expert via Eq. 3.
+  std::vector<index::ScoredDoc> reachable;
+  reachable.reserve(matches.size());
+  for (const index::ScoredDoc& doc : matches) {
+    if (associations_.contains(doc.external_id)) {
+      reachable.push_back(doc);
+    }
+  }
+  stats->reachable_resources = reachable.size();
+
+  // Window: the number of top relevant resources considered (Sec. 2.4.1).
+  size_t window = reachable.size();
+  if (config_.window_size > 0) {
+    window = std::min<size_t>(window, config_.window_size);
+  } else if (config_.window_fraction > 0.0) {
+    window = std::min<size_t>(
+        window, static_cast<size_t>(
+                    std::llround(config_.window_fraction * reachable.size())));
+  }
+  reachable.resize(window);
+  stats->considered_resources = window;
+  return reachable;
+}
+
+RankedExperts ExpertFinder::RankAnalyzed(
+    const index::AnalyzedQuery& query) const {
+  RankedExperts out;
+  std::vector<index::ScoredDoc> windowed = WindowedResources(query, &out);
+
+  // Expert ranking (Eq. 3 by default): aggregate resource relevance over
+  // each candidate's social neighborhood.
+  const int num_candidates =
+      static_cast<int>(analyzed_->world->candidates.size());
+  std::vector<double> scores(num_candidates, 0.0);
+  for (const index::ScoredDoc& doc : windowed) {
+    auto it = associations_.find(doc.external_id);
+    for (const Association& a : it->second) {
+      double wr = DistanceWeight(config_, a.distance);
+      switch (config_.aggregation) {
+        case AggregationMode::kWeightedSum:
+          scores[a.candidate] += doc.score * wr;
+          break;
+        case AggregationMode::kVotes:
+          scores[a.candidate] += wr;
+          break;
+        case AggregationMode::kMaxResource:
+          scores[a.candidate] =
+              std::max(scores[a.candidate], doc.score * wr);
+          break;
+      }
+    }
+  }
+
+  for (int u = 0; u < num_candidates; ++u) {
+    if (scores[u] > 0.0) out.ranking.push_back({u, scores[u]});
+  }
+  std::sort(out.ranking.begin(), out.ranking.end(),
+            [](const ExpertScore& a, const ExpertScore& b) {
+              return a.score != b.score ? a.score > b.score
+                                        : a.candidate < b.candidate;
+            });
+  return out;
+}
+
+std::vector<ResourceEvidence> ExpertFinder::Explain(
+    const std::string& query_text, int candidate, size_t top_k) const {
+  std::vector<ResourceEvidence> out;
+  if (candidate < 0 ||
+      candidate >= static_cast<int>(analyzed_->world->candidates.size())) {
+    return out;
+  }
+  RankedExperts stats;
+  index::AnalyzedQuery query = analyzed_->extractor->AnalyzeQuery(query_text);
+  for (const index::ScoredDoc& doc : WindowedResources(query, &stats)) {
+    auto it = associations_.find(doc.external_id);
+    for (const Association& a : it->second) {
+      if (a.candidate != candidate) continue;
+      PlatformNodeKey key = PlatformNodeKey::Unpack(doc.external_id);
+      ResourceEvidence ev;
+      ev.platform = key.platform;
+      ev.node = key.node;
+      ev.distance = a.distance;
+      ev.resource_score = doc.score;
+      ev.contribution = doc.score * DistanceWeight(config_, a.distance);
+      out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ResourceEvidence& a, const ResourceEvidence& b) {
+              return a.contribution != b.contribution
+                         ? a.contribution > b.contribution
+                         : a.node < b.node;
+            });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+size_t ExpertFinder::ReachableResources(int candidate) const {
+  if (candidate < 0 ||
+      candidate >= static_cast<int>(reachable_counts_.size())) {
+    return 0;
+  }
+  return reachable_counts_[candidate];
+}
+
+}  // namespace crowdex::core

@@ -1,0 +1,118 @@
+#ifndef CROWDEX_CORE_EXPERT_FINDER_H_
+#define CROWDEX_CORE_EXPERT_FINDER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analyzed_world.h"
+#include "core/config.h"
+#include "core/corpus_index.h"
+#include "synth/query_set.h"
+
+namespace crowdex::core {
+
+/// One ranked candidate expert.
+struct ExpertScore {
+  /// Candidate index in `SyntheticWorld::candidates`.
+  int candidate = -1;
+  /// The Eq. 3 expertise score (strictly positive in rankings).
+  double score = 0.0;
+};
+
+/// The outcome of ranking one expertise need.
+struct RankedExperts {
+  /// Experts with positive score, best first; ties broken by candidate
+  /// index for determinism. Candidates with no matching resources are
+  /// absent (the paper's EX ⊆ CE).
+  std::vector<ExpertScore> ranking;
+  /// Number of resources the query matched in the corpus (|RR| before the
+  /// reachability filter).
+  size_t matched_resources = 0;
+  /// Matching resources reachable from at least one candidate (|RR| after
+  /// the filter — the pool the window applies to).
+  size_t reachable_resources = 0;
+  /// Resources actually used by Eq. 3 after windowing (|RR*|).
+  size_t considered_resources = 0;
+};
+
+/// One piece of evidence explaining a candidate's expertise score: a
+/// resource that matched the query and is socially connected to them.
+struct ResourceEvidence {
+  platform::Platform platform = platform::Platform::kFacebook;
+  graph::NodeId node = graph::kInvalidNodeId;
+  /// Graph distance of the resource from the candidate (Table 1).
+  int distance = 0;
+  /// The resource's Eq. 1 relevance, score(q, r).
+  double resource_score = 0.0;
+  /// Its contribution to the candidate's Eq. 3 score:
+  /// score(q, r) · wr(r, ex).
+  double contribution = 0.0;
+};
+
+/// The social expert finding system of Fig. 1: matches an expertise need
+/// against the analyzed social resources (Eq. 1–2) and ranks candidate
+/// experts by aggregating resource relevance over their social
+/// neighborhood (Eq. 3, Table 1 distances).
+class ExpertFinder {
+ public:
+  /// Builds a finder over `analyzed` with `config`, constructing a private
+  /// corpus index for `config.platforms`. `analyzed` must outlive the
+  /// finder. Aborts on invalid config (use `config.Validate()` first when
+  /// handling untrusted input).
+  ExpertFinder(const AnalyzedWorld* analyzed, const ExpertFinderConfig& config);
+
+  /// Same, but reuses `shared_index` (must cover `config.platforms` and
+  /// outlive the finder) instead of building one — the cheap path for
+  /// parameter sweeps.
+  ExpertFinder(const AnalyzedWorld* analyzed, const ExpertFinderConfig& config,
+               const CorpusIndex* shared_index);
+
+  /// Ranks the candidate experts for `query`.
+  RankedExperts Rank(const synth::ExpertiseNeed& query) const;
+
+  /// Ranks for a free-form expertise need (quickstart path).
+  RankedExperts RankText(const std::string& query_text) const;
+
+  /// Number of distinct resources reachable from `candidate` under this
+  /// configuration (indexed English resources only). Fig. 10's x-axis.
+  size_t ReachableResources(int candidate) const;
+
+  /// Explains why `candidate` scores what it scores for `query_text`: the
+  /// top `top_k` windowed resources connected to the candidate, by
+  /// descending contribution. Useful for routing UIs ("asking Alice
+  /// because of her tweet about Phelps' freestyle gold").
+  std::vector<ResourceEvidence> Explain(const std::string& query_text,
+                                        int candidate, size_t top_k) const;
+
+  const ExpertFinderConfig& config() const { return config_; }
+  const CorpusIndex& corpus() const { return *index_; }
+
+ private:
+  struct Association {
+    int candidate;
+    int distance;
+  };
+
+  void BuildAssociations();
+  RankedExperts RankAnalyzed(const index::AnalyzedQuery& query) const;
+
+  /// The retrieval front half shared by Rank and Explain: matched ->
+  /// reachability filter -> window. Returns the windowed scored docs.
+  std::vector<index::ScoredDoc> WindowedResources(
+      const index::AnalyzedQuery& query, RankedExperts* stats) const;
+
+  const AnalyzedWorld* analyzed_;
+  ExpertFinderConfig config_;
+  std::unique_ptr<CorpusIndex> owned_index_;
+  const CorpusIndex* index_;
+  /// packed (platform, node) -> candidates that reach it, with distance.
+  std::unordered_map<uint64_t, std::vector<Association>> associations_;
+  /// Per-candidate count of distinct reachable indexed resources.
+  std::vector<size_t> reachable_counts_;
+};
+
+}  // namespace crowdex::core
+
+#endif  // CROWDEX_CORE_EXPERT_FINDER_H_

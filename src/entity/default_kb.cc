@@ -1,0 +1,628 @@
+#include "entity/knowledge_base.h"
+
+// The embedded knowledge base. This file plays the role of the Wikipedia
+// entity catalog behind the TAGME annotator used by the paper: entities
+// carry aliases (surface forms) and context terms (words that co-occur with
+// the entity), and several aliases are deliberately ambiguous across
+// domains ("python" the language vs. the snake, "milan" the city vs. the
+// football club, "apple" the company vs. the fruit, "opera" the art form
+// vs. the browser, "conductor" electrical vs. orchestral). Disambiguation
+// quality — and therefore the α sensitivity of Sec. 3.3.2 — depends on
+// resolving exactly these collisions from context.
+
+namespace crowdex::entity {
+
+namespace {
+
+using A = std::vector<std::string>;
+
+void Add(KnowledgeBase& kb, std::string name, std::string uri, EntityType type,
+         Domain domain, A aliases, A context) {
+  Entity e;
+  e.name = std::move(name);
+  e.uri = std::move(uri);
+  e.type = type;
+  e.domain = domain;
+  e.aliases = std::move(aliases);
+  e.context_terms = std::move(context);
+  kb.Add(std::move(e));
+}
+
+void AddComputerEngineering(KnowledgeBase& kb) {
+  const Domain d = Domain::kComputerEngineering;
+  Add(kb, "PHP", "wiki/PHP", EntityType::kConcept, d, {"php"},
+      {"function", "string", "web", "server", "code", "script", "array",
+       "variable", "programming"});
+  Add(kb, "Python", "wiki/Python_(programming_language)", EntityType::kConcept,
+      d, {"python"},
+      {"programming", "language", "code", "script", "function", "library",
+       "interpreter", "developer"});
+  Add(kb, "Java", "wiki/Java_(programming_language)", EntityType::kConcept, d,
+      {"java"},
+      {"programming", "language", "class", "object", "virtual", "machine",
+       "code", "compiler"});
+  Add(kb, "JavaScript", "wiki/JavaScript", EntityType::kConcept, d,
+      {"javascript", "js"},
+      {"browser", "web", "frontend", "function", "code", "script", "node"});
+  Add(kb, "C++", "wiki/C%2B%2B", EntityType::kConcept, d, {"cpp"},
+      {"programming", "language", "compiler", "template", "pointer", "memory",
+       "performance"});
+  Add(kb, "SQL", "wiki/SQL", EntityType::kConcept, d, {"sql"},
+      {"database", "query", "table", "select", "join", "index", "schema"});
+  Add(kb, "MySQL", "wiki/MySQL", EntityType::kProduct, d, {"mysql"},
+      {"database", "query", "table", "server", "storage", "transaction"});
+  Add(kb, "PostgreSQL", "wiki/PostgreSQL", EntityType::kProduct, d,
+      {"postgresql", "postgres"},
+      {"database", "query", "relational", "transaction", "index", "server"});
+  Add(kb, "Linux", "wiki/Linux", EntityType::kProduct, d, {"linux"},
+      {"kernel", "operating", "system", "shell", "server", "distribution",
+       "open", "source"});
+  Add(kb, "Git", "wiki/Git", EntityType::kProduct, d, {"git"},
+      {"version", "control", "commit", "branch", "merge", "repository",
+       "code"});
+  Add(kb, "Apache Hadoop", "wiki/Apache_Hadoop", EntityType::kProduct, d,
+      {"hadoop", "apache hadoop"},
+      {"distributed", "cluster", "data", "mapreduce", "storage", "big"});
+  Add(kb, "Stack Overflow", "wiki/Stack_Overflow", EntityType::kOrganization,
+      d, {"stack overflow", "stackoverflow"},
+      {"question", "answer", "programming", "developer", "community", "code"});
+  Add(kb, "Algorithm", "wiki/Algorithm", EntityType::kConcept, d,
+      {"algorithm", "algorithms"},
+      {"complexity", "sorting", "search", "graph", "computation", "problem",
+       "optimal"});
+  Add(kb, "Data structure", "wiki/Data_structure", EntityType::kConcept, d,
+      {"data structure", "data structures"},
+      {"array", "list", "tree", "hash", "queue", "stack", "memory"});
+  Add(kb, "Information retrieval", "wiki/Information_retrieval",
+      EntityType::kConcept, d, {"information retrieval"},
+      {"search", "index", "ranking", "query", "document", "relevance",
+       "precision"});
+  Add(kb, "Machine learning", "wiki/Machine_learning", EntityType::kConcept, d,
+      {"machine learning"},
+      {"model", "training", "data", "classifier", "neural", "prediction",
+       "feature"});
+  Add(kb, "Compiler", "wiki/Compiler", EntityType::kConcept, d,
+      {"compiler", "compilers"},
+      {"parser", "code", "optimization", "language", "syntax", "binary"});
+  Add(kb, "Database", "wiki/Database", EntityType::kConcept, d,
+      {"database", "databases"},
+      {"query", "table", "index", "transaction", "storage", "relational",
+       "schema"});
+  Add(kb, "HTML", "wiki/HTML", EntityType::kConcept, d, {"html"},
+      {"web", "page", "markup", "browser", "tag", "element", "css"});
+  Add(kb, "CSS", "wiki/CSS", EntityType::kConcept, d, {"css"},
+      {"style", "web", "page", "layout", "selector", "design", "html"});
+  Add(kb, "Regular expression", "wiki/Regular_expression",
+      EntityType::kConcept, d, {"regular expression", "regex"},
+      {"pattern", "match", "string", "text", "parse", "syntax"});
+  Add(kb, "Recursion", "wiki/Recursion", EntityType::kConcept, d,
+      {"recursion", "recursive"},
+      {"function", "call", "base", "case", "stack", "algorithm"});
+  Add(kb, "Tim Berners-Lee", "wiki/Tim_Berners-Lee", EntityType::kPerson, d,
+      {"tim berners lee", "berners lee"},
+      {"web", "www", "internet", "inventor", "protocol", "http"});
+  Add(kb, "World Wide Web", "wiki/World_Wide_Web", EntityType::kConcept, d,
+      {"world wide web", "www"},
+      {"internet", "browser", "http", "page", "hyperlink", "server"});
+  Add(kb, "API", "wiki/API", EntityType::kConcept, d, {"api", "apis"},
+      {"interface", "endpoint", "request", "response", "service", "rest"});
+  Add(kb, "Unit testing", "wiki/Unit_testing", EntityType::kConcept, d,
+      {"unit testing", "unit test", "unit tests"},
+      {"code", "assert", "coverage", "bug", "refactor", "framework"});
+  Add(kb, "MongoDB", "wiki/MongoDB", EntityType::kProduct, d, {"mongodb"},
+      {"database", "document", "nosql", "query", "collection", "shard"});
+  Add(kb, "Redis", "wiki/Redis", EntityType::kProduct, d, {"redis"},
+      {"cache", "key", "value", "memory", "latency", "store"});
+  Add(kb, "Docker", "wiki/Docker_(software)", EntityType::kProduct, d,
+      {"docker"},
+      {"container", "image", "deploy", "devops", "registry", "build"});
+  Add(kb, "Kubernetes", "wiki/Kubernetes", EntityType::kProduct, d,
+      {"kubernetes", "k8s"},
+      {"cluster", "container", "pod", "deploy", "orchestration", "node"});
+  Add(kb, "Ruby on Rails", "wiki/Ruby_on_Rails", EntityType::kProduct, d,
+      {"ruby on rails", "rails", "ruby"},
+      {"web", "framework", "backend", "server", "gem", "migration"});
+  Add(kb, "GitHub", "wiki/GitHub", EntityType::kOrganization, d, {"github"},
+      {"repository", "commit", "pull", "merge", "code", "branch"});
+  Add(kb, "B-tree", "wiki/B-tree", EntityType::kConcept, d,
+      {"btree", "b tree"},
+      {"index", "database", "node", "key", "storage", "lookup"});
+  Add(kb, "Garbage collection", "wiki/Garbage_collection_(computer_science)",
+      EntityType::kConcept, d, {"garbage collection", "gc"},
+      {"memory", "heap", "runtime", "allocation", "pause", "pointer"});
+}
+
+void AddLocation(KnowledgeBase& kb) {
+  const Domain d = Domain::kLocation;
+  Add(kb, "Milan", "wiki/Milan", EntityType::kPlace, d, {"milan", "milano"},
+      {"city", "italy", "restaurant", "fashion", "duomo", "travel", "visit"});
+  Add(kb, "Rome", "wiki/Rome", EntityType::kPlace, d, {"rome", "roma"},
+      {"city", "italy", "colosseum", "ancient", "travel", "visit", "vatican"});
+  Add(kb, "Paris", "wiki/Paris", EntityType::kPlace, d, {"paris"},
+      {"city", "france", "eiffel", "tower", "louvre", "travel", "visit"});
+  Add(kb, "London", "wiki/London", EntityType::kPlace, d, {"london"},
+      {"city", "england", "thames", "museum", "travel", "visit", "tube"});
+  Add(kb, "New York City", "wiki/New_York_City", EntityType::kPlace, d,
+      {"new york", "new york city", "nyc", "manhattan"},
+      {"city", "broadway", "park", "museum", "travel", "visit", "skyline"});
+  Add(kb, "Tokyo", "wiki/Tokyo", EntityType::kPlace, d, {"tokyo"},
+      {"city", "japan", "sushi", "temple", "travel", "visit", "shibuya"});
+  Add(kb, "Barcelona", "wiki/Barcelona", EntityType::kPlace, d, {"barcelona"},
+      {"city", "spain", "gaudi", "beach", "travel", "visit", "tapas"});
+  Add(kb, "Venice", "wiki/Venice", EntityType::kPlace, d,
+      {"venice", "venezia"},
+      {"city", "italy", "canal", "gondola", "travel", "visit", "lagoon"});
+  Add(kb, "Florence", "wiki/Florence", EntityType::kPlace, d,
+      {"florence", "firenze"},
+      {"city", "italy", "museum", "renaissance", "travel", "visit", "uffizi"});
+  Add(kb, "Berlin", "wiki/Berlin", EntityType::kPlace, d, {"berlin"},
+      {"city", "germany", "wall", "museum", "travel", "visit", "history"});
+  Add(kb, "Amsterdam", "wiki/Amsterdam", EntityType::kPlace, d, {"amsterdam"},
+      {"city", "netherlands", "canal", "bike", "travel", "visit", "museum"});
+  Add(kb, "Restaurant", "wiki/Restaurant", EntityType::kConcept, d,
+      {"restaurant", "restaurants"},
+      {"food", "menu", "dinner", "chef", "table", "reservation", "cuisine"});
+  Add(kb, "Hotel", "wiki/Hotel", EntityType::kConcept, d,
+      {"hotel", "hotels"},
+      {"room", "booking", "stay", "night", "travel", "breakfast", "lobby"});
+  Add(kb, "Museum", "wiki/Museum", EntityType::kConcept, d,
+      {"museum", "museums"},
+      {"art", "exhibition", "gallery", "history", "visit", "collection"});
+  Add(kb, "Colosseum", "wiki/Colosseum", EntityType::kPlace, d, {"colosseum"},
+      {"rome", "ancient", "amphitheatre", "gladiator", "ruins", "italy"});
+  Add(kb, "Eiffel Tower", "wiki/Eiffel_Tower", EntityType::kPlace, d,
+      {"eiffel tower", "eiffel"},
+      {"paris", "france", "tower", "iron", "landmark", "view"});
+  Add(kb, "Central Park", "wiki/Central_Park", EntityType::kPlace, d,
+      {"central park"},
+      {"new", "york", "park", "manhattan", "walk", "green"});
+  Add(kb, "Italian cuisine", "wiki/Italian_cuisine", EntityType::kConcept, d,
+      {"italian cuisine", "italian food"},
+      {"pasta", "pizza", "risotto", "restaurant", "chef", "wine", "recipe"});
+  Add(kb, "Sushi", "wiki/Sushi", EntityType::kConcept, d, {"sushi"},
+      {"japanese", "fish", "rice", "restaurant", "tokyo", "chef"});
+  Add(kb, "Duomo di Milano", "wiki/Milan_Cathedral", EntityType::kPlace, d,
+      {"duomo", "duomo di milano", "milan cathedral"},
+      {"milan", "cathedral", "gothic", "italy", "square", "landmark"});
+  Add(kb, "Naples", "wiki/Naples", EntityType::kPlace, d,
+      {"naples", "napoli"},
+      {"city", "italy", "pizza", "vesuvius", "travel", "visit"});
+  Add(kb, "Madrid", "wiki/Madrid", EntityType::kPlace, d, {"madrid"},
+      {"city", "spain", "museum", "plaza", "travel", "visit"});
+  Add(kb, "Lisbon", "wiki/Lisbon", EntityType::kPlace, d, {"lisbon"},
+      {"city", "portugal", "tram", "hill", "travel", "visit"});
+  Add(kb, "Vienna", "wiki/Vienna", EntityType::kPlace, d, {"vienna"},
+      {"city", "austria", "palace", "coffeehouse", "travel", "visit"});
+  Add(kb, "Louvre", "wiki/Louvre", EntityType::kPlace, d, {"louvre"},
+      {"paris", "museum", "art", "gallery", "exhibition", "pyramid"});
+  Add(kb, "Sagrada Familia", "wiki/Sagrada_Fam%C3%ADlia", EntityType::kPlace,
+      d, {"sagrada familia"},
+      {"barcelona", "church", "gaudi", "architecture", "basilica", "spain"});
+  Add(kb, "Gelato", "wiki/Gelato", EntityType::kConcept, d, {"gelato"},
+      {"italian", "dessert", "flavor", "cone", "shop", "summer"});
+  Add(kb, "Bed and breakfast", "wiki/Bed_and_breakfast",
+      EntityType::kConcept, d, {"bed and breakfast", "bnb"},
+      {"room", "stay", "booking", "breakfast", "host", "night"});
+}
+
+void AddMoviesTv(KnowledgeBase& kb) {
+  const Domain d = Domain::kMoviesTv;
+  Add(kb, "How I Met Your Mother", "wiki/How_I_Met_Your_Mother",
+      EntityType::kCreativeWork, d,
+      {"how i met your mother", "himym"},
+      {"sitcom", "episode", "barney", "ted", "season", "series", "actor"});
+  Add(kb, "Breaking Bad", "wiki/Breaking_Bad", EntityType::kCreativeWork, d,
+      {"breaking bad"},
+      {"series", "walter", "episode", "season", "drama", "finale"});
+  Add(kb, "Game of Thrones", "wiki/Game_of_Thrones", EntityType::kCreativeWork,
+      d, {"game of thrones"},
+      {"series", "episode", "season", "dragon", "westeros", "fantasy"});
+  Add(kb, "The Godfather", "wiki/The_Godfather", EntityType::kCreativeWork, d,
+      {"the godfather", "godfather"},
+      {"movie", "film", "mafia", "corleone", "classic", "director"});
+  Add(kb, "Inception", "wiki/Inception", EntityType::kCreativeWork, d,
+      {"inception"},
+      {"movie", "film", "dream", "nolan", "plot", "ending"});
+  Add(kb, "The Matrix", "wiki/The_Matrix", EntityType::kCreativeWork, d,
+      {"the matrix", "matrix"},
+      {"movie", "film", "neo", "simulation", "action", "trilogy"});
+  Add(kb, "Neil Patrick Harris", "wiki/Neil_Patrick_Harris",
+      EntityType::kPerson, d, {"neil patrick harris"},
+      {"actor", "sitcom", "barney", "series", "comedy", "award"});
+  Add(kb, "Leonardo DiCaprio", "wiki/Leonardo_DiCaprio", EntityType::kPerson,
+      d, {"leonardo dicaprio", "dicaprio"},
+      {"actor", "movie", "film", "oscar", "titanic", "role"});
+  Add(kb, "Al Pacino", "wiki/Al_Pacino", EntityType::kPerson, d,
+      {"al pacino", "pacino"},
+      {"actor", "movie", "film", "godfather", "role", "classic"});
+  Add(kb, "Christopher Nolan", "wiki/Christopher_Nolan", EntityType::kPerson,
+      d, {"christopher nolan", "nolan"},
+      {"director", "movie", "film", "inception", "batman", "plot"});
+  Add(kb, "Steven Spielberg", "wiki/Steven_Spielberg", EntityType::kPerson, d,
+      {"steven spielberg", "spielberg"},
+      {"director", "movie", "film", "jaws", "classic", "producer"});
+  Add(kb, "Hollywood", "wiki/Hollywood", EntityType::kPlace, d,
+      {"hollywood"},
+      {"movie", "film", "studio", "actor", "cinema", "star"});
+  Add(kb, "Netflix", "wiki/Netflix", EntityType::kOrganization, d,
+      {"netflix"},
+      {"series", "streaming", "watch", "episode", "season", "show"});
+  Add(kb, "Academy Awards", "wiki/Academy_Awards", EntityType::kConcept, d,
+      {"academy awards", "oscar", "oscars"},
+      {"movie", "film", "actor", "award", "ceremony", "winner"});
+  Add(kb, "Star Wars", "wiki/Star_Wars", EntityType::kCreativeWork, d,
+      {"star wars"},
+      {"movie", "film", "jedi", "galaxy", "saga", "trilogy"});
+  Add(kb, "Harry Potter", "wiki/Harry_Potter", EntityType::kCreativeWork, d,
+      {"harry potter"},
+      {"movie", "film", "wizard", "hogwarts", "series", "magic"});
+  Add(kb, "Quentin Tarantino", "wiki/Quentin_Tarantino", EntityType::kPerson,
+      d, {"quentin tarantino", "tarantino"},
+      {"director", "movie", "film", "pulp", "dialogue", "scene"});
+  Add(kb, "The Simpsons", "wiki/The_Simpsons", EntityType::kCreativeWork, d,
+      {"the simpsons", "simpsons"},
+      {"cartoon", "episode", "homer", "season", "series", "comedy"});
+  Add(kb, "Sitcom", "wiki/Sitcom", EntityType::kConcept, d, {"sitcom"},
+      {"comedy", "series", "episode", "laugh", "season", "show"});
+  Add(kb, "Thriller (genre)", "wiki/Thriller_(genre)", EntityType::kConcept,
+      d, {"thriller", "thrillers"},
+      {"movie", "film", "suspense", "plot", "twist", "crime"});
+  Add(kb, "Titanic", "wiki/Titanic_(1997_film)", EntityType::kCreativeWork, d,
+      {"titanic"},
+      {"movie", "film", "ship", "dicaprio", "romance", "ocean"});
+  Add(kb, "The Dark Knight", "wiki/The_Dark_Knight",
+      EntityType::kCreativeWork, d, {"the dark knight", "dark knight"},
+      {"movie", "film", "batman", "joker", "nolan", "villain"});
+  Add(kb, "Pulp Fiction", "wiki/Pulp_Fiction", EntityType::kCreativeWork, d,
+      {"pulp fiction"},
+      {"movie", "film", "tarantino", "dialogue", "scene", "classic"});
+  Add(kb, "Sherlock", "wiki/Sherlock_(TV_series)", EntityType::kCreativeWork,
+      d, {"sherlock"},
+      {"series", "episode", "detective", "season", "mystery", "london"});
+  Add(kb, "The Office", "wiki/The_Office", EntityType::kCreativeWork, d,
+      {"the office"},
+      {"sitcom", "episode", "mockumentary", "season", "comedy", "boss"});
+  Add(kb, "Meryl Streep", "wiki/Meryl_Streep", EntityType::kPerson, d,
+      {"meryl streep", "streep"},
+      {"actress", "movie", "film", "oscar", "role", "performance"});
+  Add(kb, "HBO", "wiki/HBO", EntityType::kOrganization, d, {"hbo"},
+      {"series", "network", "episode", "premium", "drama", "show"});
+  Add(kb, "Pixar", "wiki/Pixar", EntityType::kOrganization, d, {"pixar"},
+      {"animation", "movie", "film", "studio", "family", "render"});
+}
+
+void AddMusic(KnowledgeBase& kb) {
+  const Domain d = Domain::kMusic;
+  Add(kb, "Michael Jackson", "wiki/Michael_Jackson", EntityType::kPerson, d,
+      {"michael jackson"},
+      {"song", "album", "pop", "thriller", "dance", "singer", "music"});
+  Add(kb, "Madonna", "wiki/Madonna", EntityType::kPerson, d, {"madonna"},
+      {"song", "album", "pop", "singer", "tour", "music"});
+  Add(kb, "The Beatles", "wiki/The_Beatles", EntityType::kOrganization, d,
+      {"the beatles", "beatles"},
+      {"song", "album", "band", "lennon", "mccartney", "rock", "music"});
+  Add(kb, "The Rolling Stones", "wiki/The_Rolling_Stones",
+      EntityType::kOrganization, d, {"rolling stones"},
+      {"song", "album", "band", "jagger", "rock", "tour", "music"});
+  Add(kb, "Mozart", "wiki/Wolfgang_Amadeus_Mozart", EntityType::kPerson, d,
+      {"mozart", "wolfgang amadeus mozart"},
+      {"symphony", "classical", "composer", "piano", "concerto", "music"});
+  Add(kb, "Beethoven", "wiki/Ludwig_van_Beethoven", EntityType::kPerson, d,
+      {"beethoven", "ludwig van beethoven"},
+      {"symphony", "classical", "composer", "piano", "sonata", "music"});
+  Add(kb, "Guitar", "wiki/Guitar", EntityType::kConcept, d,
+      {"guitar", "guitars"},
+      {"chord", "string", "play", "acoustic", "electric", "riff", "music"});
+  Add(kb, "Piano", "wiki/Piano", EntityType::kConcept, d, {"piano"},
+      {"key", "play", "classical", "concert", "chord", "sonata", "music"});
+  Add(kb, "Jazz", "wiki/Jazz", EntityType::kConcept, d, {"jazz"},
+      {"improvisation", "saxophone", "swing", "blues", "band", "music"});
+  Add(kb, "Rock music", "wiki/Rock_music", EntityType::kConcept, d,
+      {"rock music", "rock band"},
+      {"band", "guitar", "drum", "concert", "album", "music"});
+  Add(kb, "Hip hop", "wiki/Hip_hop_music", EntityType::kConcept, d,
+      {"hip hop", "rap"},
+      {"beat", "rhyme", "artist", "album", "track", "music"});
+  Add(kb, "Thriller", "wiki/Thriller_(album)", EntityType::kCreativeWork, d,
+      {"thriller"},
+      {"album", "jackson", "song", "pop", "record", "music"});
+  Add(kb, "Billie Jean", "wiki/Billie_Jean", EntityType::kCreativeWork, d,
+      {"billie jean"},
+      {"song", "jackson", "pop", "single", "dance", "music"});
+  Add(kb, "Concert", "wiki/Concert", EntityType::kConcept, d,
+      {"concert", "concerts"},
+      {"live", "stage", "ticket", "band", "tour", "music"});
+  Add(kb, "Spotify", "wiki/Spotify", EntityType::kProduct, d, {"spotify"},
+      {"playlist", "streaming", "song", "listen", "album", "music"});
+  Add(kb, "U2", "wiki/U2", EntityType::kOrganization, d, {"u2"},
+      {"band", "bono", "song", "album", "tour", "rock", "music"});
+  Add(kb, "Coldplay", "wiki/Coldplay", EntityType::kOrganization, d,
+      {"coldplay"},
+      {"band", "song", "album", "tour", "concert", "music"});
+  Add(kb, "Adele", "wiki/Adele", EntityType::kPerson, d, {"adele"},
+      {"song", "album", "singer", "voice", "ballad", "music"});
+  Add(kb, "Opera", "wiki/Opera", EntityType::kConcept, d, {"opera"},
+      {"singer", "aria", "classical", "theatre", "soprano", "music"});
+  Add(kb, "Conducting", "wiki/Conducting", EntityType::kConcept, d,
+      {"conductor", "conducting"},
+      {"orchestra", "baton", "symphony", "classical", "tempo", "music"});
+  Add(kb, "Violin", "wiki/Violin", EntityType::kConcept, d, {"violin"},
+      {"string", "classical", "orchestra", "play", "bow", "music"});
+}
+
+void AddScience(KnowledgeBase& kb) {
+  const Domain d = Domain::kScience;
+  Add(kb, "Copper", "wiki/Copper", EntityType::kConcept, d, {"copper"},
+      {"metal", "conductor", "electron", "electrical", "wire", "element"});
+  Add(kb, "Electrical conductor", "wiki/Electrical_conductor",
+      EntityType::kConcept, d, {"conductor", "conductors"},
+      {"electron", "current", "metal", "copper", "resistance", "electrical"});
+  Add(kb, "Physics", "wiki/Physics", EntityType::kConcept, d, {"physics"},
+      {"energy", "particle", "quantum", "theory", "experiment", "force"});
+  Add(kb, "Chemistry", "wiki/Chemistry", EntityType::kConcept, d,
+      {"chemistry"},
+      {"molecule", "reaction", "element", "atom", "compound", "lab"});
+  Add(kb, "Biology", "wiki/Biology", EntityType::kConcept, d, {"biology"},
+      {"cell", "organism", "gene", "evolution", "species", "protein"});
+  Add(kb, "DNA", "wiki/DNA", EntityType::kConcept, d, {"dna"},
+      {"gene", "cell", "sequence", "genome", "protein", "helix"});
+  Add(kb, "Albert Einstein", "wiki/Albert_Einstein", EntityType::kPerson, d,
+      {"albert einstein", "einstein"},
+      {"relativity", "physics", "theory", "energy", "quantum", "genius"});
+  Add(kb, "Isaac Newton", "wiki/Isaac_Newton", EntityType::kPerson, d,
+      {"isaac newton", "newton"},
+      {"gravity", "physics", "motion", "law", "calculus", "apple"});
+  Add(kb, "Gravity", "wiki/Gravity", EntityType::kConcept, d, {"gravity"},
+      {"force", "mass", "physics", "newton", "orbit", "fall"});
+  Add(kb, "Quantum mechanics", "wiki/Quantum_mechanics", EntityType::kConcept,
+      d, {"quantum mechanics", "quantum"},
+      {"particle", "physics", "wave", "measurement", "state", "theory"});
+  Add(kb, "Electron", "wiki/Electron", EntityType::kConcept, d,
+      {"electron", "electrons"},
+      {"particle", "charge", "atom", "current", "orbital", "physics"});
+  Add(kb, "Photosynthesis", "wiki/Photosynthesis", EntityType::kConcept, d,
+      {"photosynthesis"},
+      {"plant", "light", "energy", "chlorophyll", "carbon", "oxygen"});
+  Add(kb, "Evolution", "wiki/Evolution", EntityType::kConcept, d,
+      {"evolution"},
+      {"species", "darwin", "selection", "gene", "organism", "biology"});
+  Add(kb, "Marie Curie", "wiki/Marie_Curie", EntityType::kPerson, d,
+      {"marie curie", "curie"},
+      {"radioactivity", "nobel", "physics", "chemistry", "radium", "science"});
+  Add(kb, "CERN", "wiki/CERN", EntityType::kOrganization, d, {"cern"},
+      {"particle", "collider", "physics", "experiment", "higgs", "geneva"});
+  Add(kb, "Higgs boson", "wiki/Higgs_boson", EntityType::kConcept, d,
+      {"higgs boson", "higgs"},
+      {"particle", "physics", "cern", "mass", "field", "discovery"});
+  Add(kb, "Medicine", "wiki/Medicine", EntityType::kConcept, d, {"medicine"},
+      {"patient", "disease", "treatment", "doctor", "clinical", "drug"});
+  Add(kb, "Neuron", "wiki/Neuron", EntityType::kConcept, d,
+      {"neuron", "neurons"},
+      {"brain", "synapse", "signal", "cell", "axon", "nervous"});
+  Add(kb, "Telescope", "wiki/Telescope", EntityType::kConcept, d,
+      {"telescope"},
+      {"star", "galaxy", "astronomy", "lens", "observe", "space"});
+  Add(kb, "Mars", "wiki/Mars", EntityType::kPlace, d, {"mars"},
+      {"planet", "rover", "space", "orbit", "surface", "nasa"});
+  Add(kb, "Python (snake)", "wiki/Python_(genus)", EntityType::kConcept, d,
+      {"python"},
+      {"snake", "species", "reptile", "animal", "habitat", "biology"});
+  Add(kb, "Apple (fruit)", "wiki/Apple", EntityType::kConcept, d,
+      {"apple", "apples"},
+      {"fruit", "tree", "orchard", "vitamin", "juice", "harvest"});
+  Add(kb, "Nikola Tesla", "wiki/Nikola_Tesla", EntityType::kPerson, d,
+      {"nikola tesla", "tesla"},
+      {"electricity", "current", "inventor", "coil", "physics", "alternating"});
+  Add(kb, "Charles Darwin", "wiki/Charles_Darwin", EntityType::kPerson, d,
+      {"charles darwin", "darwin"},
+      {"evolution", "species", "selection", "biology", "finch", "origin"});
+  Add(kb, "Stephen Hawking", "wiki/Stephen_Hawking", EntityType::kPerson, d,
+      {"stephen hawking", "hawking"},
+      {"black", "hole", "physics", "cosmology", "radiation", "universe"});
+  Add(kb, "Hubble Space Telescope", "wiki/Hubble_Space_Telescope",
+      EntityType::kProduct, d, {"hubble", "hubble telescope"},
+      {"telescope", "space", "galaxy", "orbit", "image", "nasa"});
+  Add(kb, "Penicillin", "wiki/Penicillin", EntityType::kConcept, d,
+      {"penicillin"},
+      {"antibiotic", "bacteria", "medicine", "infection", "mold", "dose"});
+  Add(kb, "Periodic table", "wiki/Periodic_table", EntityType::kConcept, d,
+      {"periodic table"},
+      {"element", "chemistry", "atom", "group", "metal", "symbol"});
+  Add(kb, "Graphene", "wiki/Graphene", EntityType::kConcept, d,
+      {"graphene"},
+      {"carbon", "material", "conductor", "layer", "atom", "strength"});
+  Add(kb, "NASA", "wiki/NASA", EntityType::kOrganization, d, {"nasa"},
+      {"space", "rocket", "mission", "launch", "orbit", "rover"});
+}
+
+void AddSport(KnowledgeBase& kb) {
+  const Domain d = Domain::kSport;
+  Add(kb, "Michael Phelps", "wiki/Michael_Phelps", EntityType::kPerson, d,
+      {"michael phelps", "phelps"},
+      {"swimming", "freestyle", "gold", "medal", "olympic", "pool", "race"});
+  Add(kb, "Freestyle swimming", "wiki/Freestyle_swimming",
+      EntityType::kConcept, d, {"freestyle", "freestyle swimming"},
+      {"swimming", "pool", "stroke", "race", "training", "lap"});
+  Add(kb, "Swimming", "wiki/Swimming_(sport)", EntityType::kConcept, d,
+      {"swimming", "swim"},
+      {"pool", "freestyle", "stroke", "race", "training", "water"});
+  Add(kb, "Association football", "wiki/Association_football",
+      EntityType::kConcept, d, {"football", "soccer"},
+      {"goal", "team", "match", "league", "player", "championship"});
+  Add(kb, "AC Milan", "wiki/A.C._Milan", EntityType::kSportsTeam, d,
+      {"ac milan", "milan"},
+      {"football", "team", "goal", "match", "serie", "league", "derby"});
+  Add(kb, "Inter Milan", "wiki/Inter_Milan", EntityType::kSportsTeam, d,
+      {"inter milan", "inter"},
+      {"football", "team", "goal", "match", "serie", "league", "derby"});
+  Add(kb, "Juventus", "wiki/Juventus_F.C.", EntityType::kSportsTeam, d,
+      {"juventus", "juve"},
+      {"football", "team", "goal", "match", "serie", "league", "turin"});
+  Add(kb, "Real Madrid", "wiki/Real_Madrid_CF", EntityType::kSportsTeam, d,
+      {"real madrid"},
+      {"football", "team", "goal", "match", "liga", "champions"});
+  Add(kb, "FC Barcelona", "wiki/FC_Barcelona", EntityType::kSportsTeam, d,
+      {"fc barcelona", "barcelona", "barca"},
+      {"football", "team", "goal", "match", "liga", "messi", "champions"});
+  Add(kb, "Manchester United", "wiki/Manchester_United_F.C.",
+      EntityType::kSportsTeam, d, {"manchester united", "man united"},
+      {"football", "team", "goal", "match", "premier", "league"});
+  Add(kb, "UEFA Champions League", "wiki/UEFA_Champions_League",
+      EntityType::kConcept, d, {"champions league"},
+      {"football", "final", "goal", "match", "european", "team"});
+  Add(kb, "Olympic Games", "wiki/Olympic_Games", EntityType::kConcept, d,
+      {"olympic games", "olympics", "olympic"},
+      {"medal", "gold", "athlete", "race", "record", "team"});
+  Add(kb, "Usain Bolt", "wiki/Usain_Bolt", EntityType::kPerson, d,
+      {"usain bolt", "bolt"},
+      {"sprint", "record", "gold", "medal", "race", "athlete"});
+  Add(kb, "Roger Federer", "wiki/Roger_Federer", EntityType::kPerson, d,
+      {"roger federer", "federer"},
+      {"tennis", "grand", "slam", "match", "serve", "wimbledon"});
+  Add(kb, "Tennis", "wiki/Tennis", EntityType::kConcept, d, {"tennis"},
+      {"match", "serve", "court", "racket", "set", "tournament"});
+  Add(kb, "Basketball", "wiki/Basketball", EntityType::kConcept, d,
+      {"basketball"},
+      {"team", "court", "dunk", "player", "game", "score"});
+  Add(kb, "NBA", "wiki/National_Basketball_Association", EntityType::kConcept,
+      d, {"nba"},
+      {"basketball", "team", "player", "game", "season", "playoffs"});
+  Add(kb, "Marathon", "wiki/Marathon", EntityType::kConcept, d, {"marathon"},
+      {"running", "race", "training", "finish", "runner", "kilometer"});
+  Add(kb, "Lionel Messi", "wiki/Lionel_Messi", EntityType::kPerson, d,
+      {"lionel messi", "messi"},
+      {"football", "goal", "barcelona", "player", "dribble", "champion"});
+  Add(kb, "Cristiano Ronaldo", "wiki/Cristiano_Ronaldo", EntityType::kPerson,
+      d, {"cristiano ronaldo", "ronaldo"},
+      {"football", "goal", "madrid", "player", "header", "champion"});
+  Add(kb, "FIFA World Cup", "wiki/FIFA_World_Cup", EntityType::kConcept, d,
+      {"world cup"},
+      {"football", "final", "goal", "team", "national", "trophy"});
+  Add(kb, "Serena Williams", "wiki/Serena_Williams", EntityType::kPerson, d,
+      {"serena williams", "serena"},
+      {"tennis", "serve", "grandslam", "court", "champion", "final"});
+  Add(kb, "Rafael Nadal", "wiki/Rafael_Nadal", EntityType::kPerson, d,
+      {"rafael nadal", "nadal"},
+      {"tennis", "claycourt", "grandslam", "forehand", "match", "spain"});
+  Add(kb, "Tour de France", "wiki/Tour_de_France", EntityType::kConcept, d,
+      {"tour de france"},
+      {"cycling", "stage", "mountain", "sprint", "yellow", "race"});
+  Add(kb, "Ian Thorpe", "wiki/Ian_Thorpe", EntityType::kPerson, d,
+      {"ian thorpe", "thorpe"},
+      {"swimming", "freestyle", "pool", "gold", "medal", "record"});
+  Add(kb, "Premier League", "wiki/Premier_League", EntityType::kConcept, d,
+      {"premier league"},
+      {"football", "england", "match", "goal", "season", "title"});
+  Add(kb, "Boston Marathon", "wiki/Boston_Marathon", EntityType::kConcept, d,
+      {"boston marathon"},
+      {"marathon", "running", "race", "finish", "qualifier", "april"});
+  Add(kb, "CrossFit", "wiki/CrossFit", EntityType::kConcept, d,
+      {"crossfit"},
+      {"workout", "gym", "fitness", "training", "strength", "box"});
+}
+
+void AddTechnologyGames(KnowledgeBase& kb) {
+  const Domain d = Domain::kTechnologyGames;
+  Add(kb, "Diablo III", "wiki/Diablo_III", EntityType::kCreativeWork, d,
+      {"diablo 3", "diablo iii", "diablo"},
+      {"game", "blizzard", "play", "character", "level", "loot"});
+  Add(kb, "Graphics card", "wiki/Graphics_card", EntityType::kProduct, d,
+      {"graphic card", "graphics card", "gpu"},
+      {"game", "nvidia", "performance", "memory", "fps", "hardware"});
+  Add(kb, "Nvidia", "wiki/Nvidia", EntityType::kOrganization, d, {"nvidia"},
+      {"gpu", "card", "driver", "performance", "gaming", "hardware"});
+  Add(kb, "AMD", "wiki/AMD", EntityType::kOrganization, d, {"amd", "radeon"},
+      {"cpu", "gpu", "processor", "card", "performance", "hardware"});
+  Add(kb, "Intel", "wiki/Intel", EntityType::kOrganization, d, {"intel"},
+      {"cpu", "processor", "core", "chip", "performance", "hardware"});
+  Add(kb, "PlayStation", "wiki/PlayStation", EntityType::kProduct, d,
+      {"playstation", "ps3", "ps4"},
+      {"game", "console", "sony", "controller", "play", "exclusive"});
+  Add(kb, "Xbox", "wiki/Xbox", EntityType::kProduct, d, {"xbox"},
+      {"game", "console", "microsoft", "controller", "play", "live"});
+  Add(kb, "Nintendo", "wiki/Nintendo", EntityType::kOrganization, d,
+      {"nintendo", "wii"},
+      {"game", "console", "mario", "play", "japan", "handheld"});
+  Add(kb, "iPhone", "wiki/IPhone", EntityType::kProduct, d, {"iphone"},
+      {"apple", "phone", "app", "screen", "camera", "ios"});
+  Add(kb, "Android", "wiki/Android_(operating_system)", EntityType::kProduct,
+      d, {"android"},
+      {"phone", "app", "google", "device", "screen", "mobile"});
+  Add(kb, "Apple Inc.", "wiki/Apple_Inc.", EntityType::kOrganization, d,
+      {"apple"},
+      {"iphone", "mac", "device", "app", "store", "launch", "ipad"});
+  Add(kb, "Google", "wiki/Google", EntityType::kOrganization, d, {"google"},
+      {"search", "android", "app", "web", "service", "cloud"});
+  Add(kb, "Facebook", "wiki/Facebook", EntityType::kOrganization, d,
+      {"facebook"},
+      {"social", "network", "post", "profile", "share", "page"});
+  Add(kb, "Twitter", "wiki/Twitter", EntityType::kOrganization, d,
+      {"twitter"},
+      {"tweet", "social", "follow", "hashtag", "post", "network"});
+  Add(kb, "Samsung", "wiki/Samsung", EntityType::kOrganization, d,
+      {"samsung", "galaxy"},
+      {"phone", "android", "screen", "device", "tablet", "launch"});
+  Add(kb, "World of Warcraft", "wiki/World_of_Warcraft",
+      EntityType::kCreativeWork, d, {"world of warcraft", "wow"},
+      {"game", "blizzard", "raid", "guild", "quest", "level"});
+  Add(kb, "Minecraft", "wiki/Minecraft", EntityType::kCreativeWork, d,
+      {"minecraft"},
+      {"game", "block", "build", "craft", "server", "world"});
+  Add(kb, "Call of Duty", "wiki/Call_of_Duty", EntityType::kCreativeWork, d,
+      {"call of duty", "cod"},
+      {"game", "shooter", "multiplayer", "map", "weapon", "mission"});
+  Add(kb, "Laptop", "wiki/Laptop", EntityType::kProduct, d,
+      {"laptop", "notebook"},
+      {"screen", "battery", "keyboard", "portable", "hardware", "memory"});
+  Add(kb, "Smartphone", "wiki/Smartphone", EntityType::kProduct, d,
+      {"smartphone", "smartphones"},
+      {"phone", "app", "screen", "camera", "battery", "mobile"});
+  Add(kb, "Blizzard Entertainment", "wiki/Blizzard_Entertainment",
+      EntityType::kOrganization, d, {"blizzard"},
+      {"game", "diablo", "warcraft", "studio", "release", "patch"});
+  Add(kb, "Tesla, Inc.", "wiki/Tesla,_Inc.", EntityType::kOrganization, d,
+      {"tesla"},
+      {"car", "electric", "battery", "model", "autopilot", "musk"});
+  Add(kb, "Opera (browser)", "wiki/Opera_(web_browser)", EntityType::kProduct,
+      d, {"opera"},
+      {"browser", "web", "tab", "page", "download", "extension"});
+  Add(kb, "The Legend of Zelda", "wiki/The_Legend_of_Zelda",
+      EntityType::kCreativeWork, d, {"zelda", "legend of zelda"},
+      {"game", "nintendo", "quest", "dungeon", "link", "openworld"});
+  Add(kb, "Skyrim", "wiki/The_Elder_Scrolls_V:_Skyrim",
+      EntityType::kCreativeWork, d, {"skyrim", "elder scrolls"},
+      {"game", "rpg", "quest", "dragon", "mod", "openworld"});
+  Add(kb, "StarCraft", "wiki/StarCraft", EntityType::kCreativeWork, d,
+      {"starcraft"},
+      {"game", "strategy", "blizzard", "esports", "ladder", "rush"});
+  Add(kb, "Steam", "wiki/Steam_(service)", EntityType::kProduct, d,
+      {"steam"},
+      {"game", "library", "sale", "download", "valve", "achievement"});
+  Add(kb, "Kindle", "wiki/Amazon_Kindle", EntityType::kProduct, d,
+      {"kindle"},
+      {"ebook", "screen", "read", "battery", "device", "amazon"});
+  Add(kb, "GoPro", "wiki/GoPro", EntityType::kProduct, d, {"gopro"},
+      {"camera", "video", "action", "mount", "footage", "battery"});
+  Add(kb, "Raspberry Pi", "wiki/Raspberry_Pi", EntityType::kProduct, d,
+      {"raspberry pi"},
+      {"board", "gpio", "project", "linux", "sensor", "maker"});
+  Add(kb, "Oculus", "wiki/Oculus_VR", EntityType::kProduct, d,
+      {"oculus", "vr headset"},
+      {"vr", "headset", "virtual", "game", "immersive", "tracking"});
+}
+
+}  // namespace
+
+KnowledgeBase BuildDefaultKnowledgeBase() {
+  KnowledgeBase kb;
+  AddComputerEngineering(kb);
+  AddLocation(kb);
+  AddMoviesTv(kb);
+  AddMusic(kb);
+  AddScience(kb);
+  AddSport(kb);
+  AddTechnologyGames(kb);
+  return kb;
+}
+
+}  // namespace crowdex::entity

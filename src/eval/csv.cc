@@ -1,0 +1,92 @@
+#include "eval/csv.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace crowdex::eval {
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+namespace {
+
+Result<std::ofstream> OpenForWrite(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  return out;
+}
+
+Status Finish(std::ofstream& out, const std::string& path) {
+  out.flush();
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteMetricsCsv(const std::vector<MetricsRow>& rows,
+                       const std::string& path) {
+  Result<std::ofstream> file = OpenForWrite(path);
+  if (!file.ok()) return file.status();
+  std::ofstream out = std::move(file).value();
+  out << "label,map,mrr,ndcg,ndcg_at_10\n";
+  for (const MetricsRow& row : rows) {
+    out << CsvEscape(row.label) << ',' << FormatDouble(row.metrics.map, 6)
+        << ',' << FormatDouble(row.metrics.mrr, 6) << ','
+        << FormatDouble(row.metrics.ndcg, 6) << ','
+        << FormatDouble(row.metrics.ndcg_at_10, 6) << '\n';
+  }
+  return Finish(out, path);
+}
+
+Status WritePrecision11Csv(const std::vector<MetricsRow>& rows,
+                           const std::string& path) {
+  Result<std::ofstream> file = OpenForWrite(path);
+  if (!file.ok()) return file.status();
+  std::ofstream out = std::move(file).value();
+  out << "label";
+  for (int i = 0; i < kElevenPoints; ++i) {
+    out << ",r" << (i < 10 ? "0" : "") << i;
+  }
+  out << '\n';
+  for (const MetricsRow& row : rows) {
+    out << CsvEscape(row.label);
+    for (double v : row.metrics.precision11) {
+      out << ',' << FormatDouble(v, 6);
+    }
+    out << '\n';
+  }
+  return Finish(out, path);
+}
+
+Status WriteDcgCurveCsv(const std::vector<MetricsRow>& rows,
+                        const std::string& path) {
+  Result<std::ofstream> file = OpenForWrite(path);
+  if (!file.ok()) return file.status();
+  std::ofstream out = std::move(file).value();
+  out << "label";
+  for (size_t k = 1; k <= kDcgCurvePoints; ++k) out << ",k" << k;
+  out << '\n';
+  for (const MetricsRow& row : rows) {
+    out << CsvEscape(row.label);
+    for (double v : row.metrics.dcg_curve) {
+      out << ',' << FormatDouble(v, 4);
+    }
+    out << '\n';
+  }
+  return Finish(out, path);
+}
+
+}  // namespace crowdex::eval

@@ -1,0 +1,40 @@
+#ifndef CROWDEX_EVAL_CSV_H_
+#define CROWDEX_EVAL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/experiment.h"
+
+namespace crowdex::eval {
+
+/// One labeled row of a metrics table (a configuration's aggregate
+/// metrics), as printed by the bench binaries.
+struct MetricsRow {
+  std::string label;
+  AggregateMetrics metrics;
+};
+
+/// Writes `rows` to `path` as CSV with columns
+/// `label,map,mrr,ndcg,ndcg_at_10` — the four-metric tables of Sec. 3.
+/// Labels are quoted; embedded quotes are doubled per RFC 4180.
+Status WriteMetricsCsv(const std::vector<MetricsRow>& rows,
+                       const std::string& path);
+
+/// Writes the 11-point interpolated precision curves of `rows` to `path`
+/// (`label,r00,r01,...,r10`), for plotting Figs. 8a/9a.
+Status WritePrecision11Csv(const std::vector<MetricsRow>& rows,
+                           const std::string& path);
+
+/// Writes the DCG-vs-retrieved-users curves of `rows` to `path`
+/// (`label,k1,...,k20`), for plotting Figs. 8b/9b.
+Status WriteDcgCurveCsv(const std::vector<MetricsRow>& rows,
+                        const std::string& path);
+
+/// Escapes one CSV field per RFC 4180 (quotes when needed).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace crowdex::eval
+
+#endif  // CROWDEX_EVAL_CSV_H_

@@ -1,0 +1,139 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace crowdex::eval {
+
+ExperimentRunner::ExperimentRunner(const synth::SyntheticWorld* world)
+    : world_(world) {}
+
+std::vector<double> ExperimentRunner::GainsForDomain(Domain domain) const {
+  std::vector<double> gains(world_->candidates.size());
+  for (size_t u = 0; u < world_->candidates.size(); ++u) {
+    int likert = world_->candidates[u].likert[DomainIndex(domain)];
+    gains[u] = std::pow(2.0, likert) - 1.0;
+  }
+  return gains;
+}
+
+QueryResult ExperimentRunner::EvaluateRanking(
+    const synth::ExpertiseNeed& query, const std::vector<int>& ranked) const {
+  QueryResult r;
+  r.query_id = query.id;
+  r.domain = query.domain;
+  r.ranked = ranked;
+
+  std::vector<int> experts = world_->RelevantExperts(query);
+  std::unordered_set<int> relevant(experts.begin(), experts.end());
+  std::vector<double> gains = GainsForDomain(query.domain);
+
+  r.average_precision = AveragePrecision(ranked, relevant);
+  r.reciprocal_rank = ReciprocalRank(ranked, relevant);
+  r.ndcg = Ndcg(ranked, gains, world_->candidates.size());
+  r.ndcg_at_10 = Ndcg(ranked, gains, 10);
+  r.precision11 = InterpolatedPrecision11(ranked, relevant);
+  for (size_t k = 0; k < kDcgCurvePoints; ++k) {
+    r.dcg_curve[k] = Dcg(ranked, gains, k + 1);
+  }
+  r.expected_experts = relevant.size();
+  r.delta_experts =
+      static_cast<int>(ranked.size()) - static_cast<int>(relevant.size());
+  return r;
+}
+
+QueryResult ExperimentRunner::EvaluateQuery(
+    const core::ExpertFinder& finder, const synth::ExpertiseNeed& query) const {
+  core::RankedExperts result = finder.Rank(query);
+  std::vector<int> ranked;
+  ranked.reserve(result.ranking.size());
+  for (const core::ExpertScore& e : result.ranking) {
+    ranked.push_back(e.candidate);
+  }
+  return EvaluateRanking(query, ranked);
+}
+
+AggregateMetrics ExperimentRunner::Aggregate(
+    const std::vector<QueryResult>& results) {
+  AggregateMetrics agg;
+  agg.query_count = results.size();
+  if (results.empty()) return agg;
+  for (const QueryResult& r : results) {
+    agg.map += r.average_precision;
+    agg.mrr += r.reciprocal_rank;
+    agg.ndcg += r.ndcg;
+    agg.ndcg_at_10 += r.ndcg_at_10;
+    for (int i = 0; i < kElevenPoints; ++i) agg.precision11[i] += r.precision11[i];
+    for (size_t k = 0; k < kDcgCurvePoints; ++k) agg.dcg_curve[k] += r.dcg_curve[k];
+  }
+  double n = static_cast<double>(results.size());
+  agg.map /= n;
+  agg.mrr /= n;
+  agg.ndcg /= n;
+  agg.ndcg_at_10 /= n;
+  for (auto& v : agg.precision11) v /= n;
+  for (auto& v : agg.dcg_curve) v /= n;
+  return agg;
+}
+
+AggregateMetrics ExperimentRunner::Evaluate(
+    const core::ExpertFinder& finder,
+    const std::vector<synth::ExpertiseNeed>& queries) const {
+  std::vector<QueryResult> results;
+  results.reserve(queries.size());
+  for (const auto& q : queries) results.push_back(EvaluateQuery(finder, q));
+  return Aggregate(results);
+}
+
+AggregateMetrics ExperimentRunner::RandomBaseline(
+    const std::vector<synth::ExpertiseNeed>& queries, int runs,
+    int selected_users, uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<QueryResult> results;
+  results.reserve(queries.size() * runs);
+  const size_t n = world_->candidates.size();
+  for (const auto& q : queries) {
+    for (int run = 0; run < runs; ++run) {
+      std::vector<size_t> pick = rng.SampleWithoutReplacement(
+          n, static_cast<size_t>(selected_users));
+      std::vector<int> ranked(pick.begin(), pick.end());
+      rng.Shuffle(ranked);
+      results.push_back(EvaluateRanking(q, ranked));
+    }
+  }
+  return Aggregate(results);
+}
+
+std::vector<UserReliability> ExperimentRunner::PerUserReliability(
+    const core::ExpertFinder& finder,
+    const std::vector<synth::ExpertiseNeed>& queries, size_t top_k) const {
+  const size_t n = world_->candidates.size();
+  std::vector<size_t> tp(n, 0), retrieved(n, 0), relevant(n, 0);
+
+  for (const auto& q : queries) {
+    core::RankedExperts result = finder.Rank(q);
+    std::unordered_set<int> in_top;
+    for (size_t i = 0; i < result.ranking.size() && i < top_k; ++i) {
+      in_top.insert(result.ranking[i].candidate);
+    }
+    for (size_t u = 0; u < n; ++u) {
+      bool is_expert = world_->candidates[u].expert[DomainIndex(q.domain)];
+      bool is_retrieved = in_top.contains(static_cast<int>(u));
+      if (is_expert) ++relevant[u];
+      if (is_retrieved) ++retrieved[u];
+      if (is_expert && is_retrieved) ++tp[u];
+    }
+  }
+
+  std::vector<UserReliability> out(n);
+  for (size_t u = 0; u < n; ++u) {
+    out[u].candidate = static_cast<int>(u);
+    out[u].metrics = PrecisionRecallF1(tp[u], retrieved[u], relevant[u]);
+    out[u].resources = finder.ReachableResources(static_cast<int>(u));
+  }
+  return out;
+}
+
+}  // namespace crowdex::eval

@@ -1,0 +1,107 @@
+#ifndef CROWDEX_EVAL_EXPERIMENT_H_
+#define CROWDEX_EVAL_EXPERIMENT_H_
+
+#include <array>
+#include <vector>
+
+#include "core/expert_finder.h"
+#include "eval/metrics.h"
+#include "synth/query_set.h"
+#include "synth/world.h"
+
+namespace crowdex::eval {
+
+/// Number of cutoffs of the DCG-vs-retrieved-users curves (Figs. 8b, 9b
+/// plot 1..20 retrieved users).
+inline constexpr size_t kDcgCurvePoints = 20;
+
+/// Per-query evaluation outcome.
+struct QueryResult {
+  int query_id = 0;
+  Domain domain = Domain::kScience;
+  /// Ranked candidate ids (best first).
+  std::vector<int> ranked;
+  double average_precision = 0.0;
+  double reciprocal_rank = 0.0;
+  double ndcg = 0.0;
+  double ndcg_at_10 = 0.0;
+  std::array<double, kElevenPoints> precision11{};
+  std::array<double, kDcgCurvePoints> dcg_curve{};
+  /// Δ of Fig. 11: retrieved experts minus ground-truth experts.
+  int delta_experts = 0;
+  /// Number of experts in the ground truth for this query's domain.
+  size_t expected_experts = 0;
+};
+
+/// Mean metrics over a set of queries.
+struct AggregateMetrics {
+  double map = 0.0;
+  double mrr = 0.0;
+  double ndcg = 0.0;
+  double ndcg_at_10 = 0.0;
+  std::array<double, kElevenPoints> precision11{};
+  std::array<double, kDcgCurvePoints> dcg_curve{};
+  size_t query_count = 0;
+};
+
+/// Per-candidate reliability over the whole workload (Fig. 10).
+struct UserReliability {
+  int candidate = -1;
+  SetMetrics metrics;
+  /// Resources reachable from this candidate under the evaluated
+  /// configuration (the x-variable of the Fig. 10 regression).
+  size_t resources = 0;
+};
+
+/// Evaluates expert rankings against the self-assessment ground truth,
+/// reproducing the metric suite of Sec. 3.2: MAP, MRR, (N)DCG, NDCG@10,
+/// and the 11-point interpolated precision curve. DCG uses graded gains
+/// `2^likert − 1` (the 7-point self-assessment), all precision-style
+/// metrics use the boolean above-average expert rule.
+class ExperimentRunner {
+ public:
+  /// `world` must outlive the runner.
+  explicit ExperimentRunner(const synth::SyntheticWorld* world);
+
+  /// Evaluates an externally produced ranking for `query`.
+  QueryResult EvaluateRanking(const synth::ExpertiseNeed& query,
+                              const std::vector<int>& ranked) const;
+
+  /// Runs `finder` on `query` and evaluates the resulting ranking.
+  QueryResult EvaluateQuery(const core::ExpertFinder& finder,
+                            const synth::ExpertiseNeed& query) const;
+
+  /// Mean metrics of `finder` over `queries`.
+  AggregateMetrics Evaluate(const core::ExpertFinder& finder,
+                            const std::vector<synth::ExpertiseNeed>& queries)
+      const;
+
+  /// The paper's random baseline: for each query, 10 runs each ranking 20
+  /// uniformly chosen candidates in random order, averaged (Sec. 3.1).
+  AggregateMetrics RandomBaseline(
+      const std::vector<synth::ExpertiseNeed>& queries, int runs = 10,
+      int selected_users = 20, uint64_t seed = 7) const;
+
+  /// Per-candidate precision/recall/F1 across `queries`, counting a
+  /// candidate as "retrieved" when it appears in the top `top_k` of a
+  /// query's ranking (Fig. 10).
+  std::vector<UserReliability> PerUserReliability(
+      const core::ExpertFinder& finder,
+      const std::vector<synth::ExpertiseNeed>& queries,
+      size_t top_k = 20) const;
+
+  /// Graded gains (2^likert − 1) of every candidate for `domain`.
+  std::vector<double> GainsForDomain(Domain domain) const;
+
+  /// Averages `results` into aggregate metrics.
+  static AggregateMetrics Aggregate(const std::vector<QueryResult>& results);
+
+  const synth::SyntheticWorld& world() const { return *world_; }
+
+ private:
+  const synth::SyntheticWorld* world_;
+};
+
+}  // namespace crowdex::eval
+
+#endif  // CROWDEX_EVAL_EXPERIMENT_H_

@@ -1,0 +1,157 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdex::eval {
+
+double AveragePrecision(const std::vector<int>& ranked,
+                        const std::unordered_set<int>& relevant) {
+  if (relevant.empty()) return 0.0;
+  double hits = 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (relevant.contains(ranked[i])) {
+      hits += 1.0;
+      sum += hits / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(relevant.size());
+}
+
+double ReciprocalRank(const std::vector<int>& ranked,
+                      const std::unordered_set<int>& relevant) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (relevant.contains(ranked[i])) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+double PrecisionAtK(const std::vector<int>& ranked,
+                    const std::unordered_set<int>& relevant, size_t k) {
+  if (k == 0) return 0.0;
+  size_t cutoff = std::min(k, ranked.size());
+  if (cutoff == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < cutoff; ++i) {
+    if (relevant.contains(ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(cutoff);
+}
+
+double RecallAtK(const std::vector<int>& ranked,
+                 const std::unordered_set<int>& relevant, size_t k) {
+  if (relevant.empty()) return 0.0;
+  size_t cutoff = std::min(k, ranked.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < cutoff; ++i) {
+    if (relevant.contains(ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double Dcg(const std::vector<int>& ranked, const std::vector<double>& gains,
+           size_t k) {
+  double dcg = 0.0;
+  size_t cutoff = std::min(k, ranked.size());
+  for (size_t i = 0; i < cutoff; ++i) {
+    int item = ranked[i];
+    double gain =
+        (item >= 0 && static_cast<size_t>(item) < gains.size()) ? gains[item]
+                                                                : 0.0;
+    dcg += gain / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return dcg;
+}
+
+double IdealDcg(const std::vector<double>& gains, size_t k) {
+  std::vector<double> sorted = gains;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double dcg = 0.0;
+  size_t cutoff = std::min(k, sorted.size());
+  for (size_t i = 0; i < cutoff; ++i) {
+    dcg += sorted[i] / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return dcg;
+}
+
+double Ndcg(const std::vector<int>& ranked, const std::vector<double>& gains,
+            size_t k) {
+  double ideal = IdealDcg(gains, k);
+  if (ideal <= 0.0) return 0.0;
+  return Dcg(ranked, gains, k) / ideal;
+}
+
+std::array<double, kElevenPoints> InterpolatedPrecision11(
+    const std::vector<int>& ranked, const std::unordered_set<int>& relevant) {
+  std::array<double, kElevenPoints> out{};
+  if (relevant.empty()) return out;
+
+  // Precision/recall after each position.
+  std::vector<double> precision(ranked.size());
+  std::vector<double> recall(ranked.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (relevant.contains(ranked[i])) ++hits;
+    precision[i] = static_cast<double>(hits) / static_cast<double>(i + 1);
+    recall[i] = static_cast<double>(hits) / static_cast<double>(relevant.size());
+  }
+
+  for (int level = 0; level < kElevenPoints; ++level) {
+    double r = level / 10.0;
+    double best = 0.0;
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      if (recall[i] + 1e-12 >= r) best = std::max(best, precision[i]);
+    }
+    out[level] = best;
+  }
+  return out;
+}
+
+SetMetrics PrecisionRecallF1(size_t true_positives, size_t retrieved,
+                             size_t relevant) {
+  SetMetrics m;
+  if (retrieved > 0) {
+    m.precision =
+        static_cast<double>(true_positives) / static_cast<double>(retrieved);
+  }
+  if (relevant > 0) {
+    m.recall =
+        static_cast<double>(true_positives) / static_cast<double>(relevant);
+  }
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  LinearFit fit;
+  size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  double nd = static_cast<double>(n);
+  double cov = sxy - sx * sy / nd;
+  double var_x = sxx - sx * sx / nd;
+  double var_y = syy - sy * sy / nd;
+  if (var_x > 0.0) {
+    fit.slope = cov / var_x;
+    fit.intercept = (sy - fit.slope * sx) / nd;
+  }
+  if (var_x > 0.0 && var_y > 0.0) {
+    fit.pearson = cov / std::sqrt(var_x * var_y);
+  }
+  return fit;
+}
+
+}  // namespace crowdex::eval

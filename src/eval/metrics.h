@@ -1,0 +1,77 @@
+#ifndef CROWDEX_EVAL_METRICS_H_
+#define CROWDEX_EVAL_METRICS_H_
+
+#include <array>
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+namespace crowdex::eval {
+
+/// Number of recall levels of the 11-point interpolated precision curve.
+inline constexpr int kElevenPoints = 11;
+
+/// Average Precision of `ranked` (item ids, best first) against the binary
+/// `relevant` set. Defined as the mean over relevant items of the precision
+/// at each relevant hit; unretrieved relevant items contribute 0.
+/// Returns 0 when `relevant` is empty.
+double AveragePrecision(const std::vector<int>& ranked,
+                        const std::unordered_set<int>& relevant);
+
+/// Reciprocal of the rank (1-based) of the first relevant item; 0 when no
+/// relevant item is retrieved.
+double ReciprocalRank(const std::vector<int>& ranked,
+                      const std::unordered_set<int>& relevant);
+
+/// Precision@k: fraction of the first k retrieved items that are relevant.
+/// Uses min(k, ranked.size()) as the denominator cutoff; returns 0 for
+/// k == 0.
+double PrecisionAtK(const std::vector<int>& ranked,
+                    const std::unordered_set<int>& relevant, size_t k);
+
+/// Recall@k: fraction of relevant items among the first k retrieved.
+double RecallAtK(const std::vector<int>& ranked,
+                 const std::unordered_set<int>& relevant, size_t k);
+
+/// Discounted Cumulative Gain over the first `k` positions with graded
+/// `gains` (indexed by item id): DCG = Σ gain_i / log2(i + 1), 1-based
+/// ranks. The paper grades users by their 7-point self-assessment, so
+/// callers typically pass `gain = 2^likert − 1`.
+double Dcg(const std::vector<int>& ranked, const std::vector<double>& gains,
+           size_t k);
+
+/// Ideal DCG: the DCG of the best possible ordering of all items.
+double IdealDcg(const std::vector<double>& gains, size_t k);
+
+/// Normalized DCG at cutoff `k` (0 when the ideal is 0).
+double Ndcg(const std::vector<int>& ranked, const std::vector<double>& gains,
+            size_t k);
+
+/// The 11-point interpolated precision curve: for each recall level
+/// r ∈ {0.0, 0.1, ..., 1.0}, the maximum precision at any point of the
+/// ranking whose recall is >= r (0 when unreachable).
+std::array<double, kElevenPoints> InterpolatedPrecision11(
+    const std::vector<int>& ranked, const std::unordered_set<int>& relevant);
+
+/// Precision / recall / F1 of an unordered retrieved set against a
+/// relevant set (used for the per-user reliability analysis of Fig. 10).
+struct SetMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+SetMetrics PrecisionRecallF1(size_t true_positives, size_t retrieved,
+                             size_t relevant);
+
+/// Least-squares linear fit y = slope·x + intercept plus the Pearson
+/// correlation coefficient (Fig. 10's resources-vs-F1 regression).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double pearson = 0.0;
+};
+LinearFit FitLinear(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace crowdex::eval
+
+#endif  // CROWDEX_EVAL_METRICS_H_

@@ -1,0 +1,52 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace crowdex::eval {
+
+BootstrapResult PairedBootstrap(const std::vector<double>& a,
+                                const std::vector<double>& b, int resamples,
+                                uint64_t seed) {
+  BootstrapResult out;
+  if (a.size() != b.size() || a.size() < 2 || resamples <= 0) {
+    return out;
+  }
+  const size_t n = a.size();
+  std::vector<double> diff(n);
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    diff[i] = a[i] - b[i];
+    mean += diff[i];
+  }
+  mean /= static_cast<double>(n);
+  out.mean_difference = mean;
+  out.resamples = resamples;
+
+  if (mean == 0.0) {
+    out.p_value = 1.0;
+    return out;
+  }
+
+  Rng rng(seed);
+  int opposite = 0;
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += diff[rng.NextBelow(n)];
+    }
+    double resampled_mean = sum / static_cast<double>(n);
+    // Count resamples whose mean lands on the other side of zero (or on
+    // zero), i.e. evidence against the observed direction.
+    if ((mean > 0.0 && resampled_mean <= 0.0) ||
+        (mean < 0.0 && resampled_mean >= 0.0)) {
+      ++opposite;
+    }
+  }
+  out.p_value = std::min(
+      1.0, 2.0 * static_cast<double>(opposite) / static_cast<double>(resamples));
+  return out;
+}
+
+}  // namespace crowdex::eval

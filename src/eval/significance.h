@@ -1,0 +1,34 @@
+#ifndef CROWDEX_EVAL_SIGNIFICANCE_H_
+#define CROWDEX_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crowdex::eval {
+
+/// Outcome of a paired bootstrap significance test.
+struct BootstrapResult {
+  /// Mean of the paired differences a[i] − b[i].
+  double mean_difference = 0.0;
+  /// Two-sided p-value: how often a resampled mean difference crosses 0.
+  double p_value = 1.0;
+  /// Bootstrap resamples drawn.
+  int resamples = 0;
+};
+
+/// Paired bootstrap test over per-query metric values.
+///
+/// `a` and `b` are the per-query scores (e.g. average precision) of two
+/// system configurations over the *same* query set, index-aligned. The
+/// test resamples queries with replacement and reports how often the mean
+/// difference changes sign — the standard way to check whether "system A
+/// beats system B by X MAP points" on 30 queries is more than noise.
+/// Deterministic in `seed`. Requires `a.size() == b.size() >= 2`; returns
+/// p = 1 otherwise.
+BootstrapResult PairedBootstrap(const std::vector<double>& a,
+                                const std::vector<double>& b,
+                                int resamples = 10000, uint64_t seed = 17);
+
+}  // namespace crowdex::eval
+
+#endif  // CROWDEX_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,225 @@
+#include "graph/social_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace crowdex::graph {
+
+std::string_view NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kUserProfile:
+      return "UserProfile";
+    case NodeKind::kResource:
+      return "Resource";
+    case NodeKind::kResourceContainer:
+      return "ResourceContainer";
+    case NodeKind::kUrl:
+      return "Url";
+  }
+  return "Unknown";
+}
+
+std::string_view EdgeKindName(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kOwns:
+      return "owns";
+    case EdgeKind::kCreates:
+      return "creates";
+    case EdgeKind::kAnnotates:
+      return "annotates";
+    case EdgeKind::kRelatesTo:
+      return "relatesTo";
+    case EdgeKind::kFollows:
+      return "follows";
+    case EdgeKind::kContains:
+      return "contains";
+    case EdgeKind::kLinksTo:
+      return "linksTo";
+  }
+  return "unknown";
+}
+
+bool EdgeAllowed(EdgeKind kind, NodeKind from, NodeKind to) {
+  switch (kind) {
+    case EdgeKind::kOwns:
+    case EdgeKind::kCreates:
+    case EdgeKind::kAnnotates:
+      return from == NodeKind::kUserProfile && to == NodeKind::kResource;
+    case EdgeKind::kRelatesTo:
+      return from == NodeKind::kUserProfile &&
+             to == NodeKind::kResourceContainer;
+    case EdgeKind::kFollows:
+      return from == NodeKind::kUserProfile && to == NodeKind::kUserProfile;
+    case EdgeKind::kContains:
+      return from == NodeKind::kResourceContainer && to == NodeKind::kResource;
+    case EdgeKind::kLinksTo:
+      return (from == NodeKind::kUserProfile || from == NodeKind::kResource ||
+              from == NodeKind::kResourceContainer) &&
+             to == NodeKind::kUrl;
+  }
+  return false;
+}
+
+NodeId SocialGraph::AddNode(NodeKind kind, std::string label) {
+  NodeId id = static_cast<NodeId>(kinds_.size());
+  kinds_.push_back(kind);
+  labels_.push_back(std::move(label));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+Status SocialGraph::AddEdge(NodeId from, NodeId to, EdgeKind kind) {
+  if (!Contains(from) || !Contains(to)) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self edges are not allowed");
+  }
+  if (!EdgeAllowed(kind, kinds_[from], kinds_[to])) {
+    return Status::InvalidArgument(
+        std::string(EdgeKindName(kind)) + " edge not allowed from " +
+        std::string(NodeKindName(kinds_[from])) + " to " +
+        std::string(NodeKindName(kinds_[to])));
+  }
+  if (HasEdge(from, to, kind)) {
+    return Status::AlreadyExists("duplicate edge");
+  }
+  out_[from].push_back({kind, to});
+  in_[to].push_back({kind, from});
+  ++edge_count_;
+  return Status::Ok();
+}
+
+std::vector<NodeId> SocialGraph::OutNeighbors(NodeId node,
+                                              EdgeKind kind) const {
+  std::vector<NodeId> result;
+  if (!Contains(node)) return result;
+  for (const Edge& e : out_[node]) {
+    if (e.kind == kind) result.push_back(e.other);
+  }
+  return result;
+}
+
+std::vector<NodeId> SocialGraph::InNeighbors(NodeId node,
+                                             EdgeKind kind) const {
+  std::vector<NodeId> result;
+  if (!Contains(node)) return result;
+  for (const Edge& e : in_[node]) {
+    if (e.kind == kind) result.push_back(e.other);
+  }
+  return result;
+}
+
+bool SocialGraph::HasEdge(NodeId from, NodeId to, EdgeKind kind) const {
+  if (!Contains(from)) return false;
+  for (const Edge& e : out_[from]) {
+    if (e.kind == kind && e.other == to) return true;
+  }
+  return false;
+}
+
+bool SocialGraph::AreFriends(NodeId a, NodeId b) const {
+  return HasEdge(a, b, EdgeKind::kFollows) && HasEdge(b, a, EdgeKind::kFollows);
+}
+
+std::vector<NodeId> SocialGraph::FollowedNonFriends(NodeId user) const {
+  std::vector<NodeId> result;
+  for (NodeId followed : OutNeighbors(user, EdgeKind::kFollows)) {
+    if (!HasEdge(followed, user, EdgeKind::kFollows)) {
+      result.push_back(followed);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> SocialGraph::Friends(NodeId user) const {
+  std::vector<NodeId> result;
+  for (NodeId followed : OutNeighbors(user, EdgeKind::kFollows)) {
+    if (HasEdge(followed, user, EdgeKind::kFollows)) {
+      result.push_back(followed);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> SocialGraph::NodesOfKind(NodeKind kind) const {
+  std::vector<NodeId> result;
+  for (NodeId i = 0; i < kinds_.size(); ++i) {
+    if (kinds_[i] == kind) result.push_back(i);
+  }
+  return result;
+}
+
+Result<std::vector<ResourceAtDistance>> SocialGraph::CollectResources(
+    NodeId user, const CollectOptions& options) const {
+  if (!Contains(user)) {
+    return Status::InvalidArgument("unknown user node");
+  }
+  if (kinds_[user] != NodeKind::kUserProfile) {
+    return Status::InvalidArgument("CollectResources requires a UserProfile");
+  }
+  if (options.max_distance < 0) {
+    return Status::InvalidArgument("max_distance must be >= 0");
+  }
+
+  // node -> smallest distance seen.
+  std::unordered_map<NodeId, int> best;
+  auto note = [&best](NodeId node, int dist) {
+    auto [it, inserted] = best.try_emplace(node, dist);
+    if (!inserted && dist < it->second) it->second = dist;
+  };
+
+  // Distance 0: the candidate profile.
+  note(user, 0);
+
+  // The social expansion of `user`: followed users, optionally friends too.
+  auto expansion = [this, &options](NodeId profile) {
+    std::vector<NodeId> linked = options.include_friends
+                                     ? OutNeighbors(profile, EdgeKind::kFollows)
+                                     : FollowedNonFriends(profile);
+    return linked;
+  };
+
+  if (options.max_distance >= 1) {
+    // Resources the candidate owns / creates / annotates.
+    for (EdgeKind k :
+         {EdgeKind::kOwns, EdgeKind::kCreates, EdgeKind::kAnnotates}) {
+      for (NodeId r : OutNeighbors(user, k)) note(r, 1);
+    }
+    // Containers the candidate relates to.
+    for (NodeId c : OutNeighbors(user, EdgeKind::kRelatesTo)) note(c, 1);
+    // Profiles the candidate follows.
+    for (NodeId p : expansion(user)) note(p, 1);
+  }
+
+  if (options.max_distance >= 2) {
+    // Resources inside containers the candidate relates to.
+    for (NodeId c : OutNeighbors(user, EdgeKind::kRelatesTo)) {
+      for (NodeId r : OutNeighbors(c, EdgeKind::kContains)) note(r, 2);
+    }
+    // Resources / containers / follows of followed profiles.
+    for (NodeId p : expansion(user)) {
+      for (EdgeKind k :
+           {EdgeKind::kOwns, EdgeKind::kCreates, EdgeKind::kAnnotates}) {
+        for (NodeId r : OutNeighbors(p, k)) note(r, 2);
+      }
+      for (NodeId c : OutNeighbors(p, EdgeKind::kRelatesTo)) note(c, 2);
+      for (NodeId pp : expansion(p)) {
+        if (pp != user) note(pp, 2);
+      }
+    }
+  }
+
+  std::vector<ResourceAtDistance> result;
+  result.reserve(best.size());
+  for (const auto& [node, dist] : best) result.push_back({node, dist});
+  std::sort(result.begin(), result.end(),
+            [](const ResourceAtDistance& a, const ResourceAtDistance& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.node < b.node;
+            });
+  return result;
+}
+
+}  // namespace crowdex::graph

@@ -1,0 +1,154 @@
+#ifndef CROWDEX_GRAPH_SOCIAL_GRAPH_H_
+#define CROWDEX_GRAPH_SOCIAL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crowdex::graph {
+
+/// Identifier of a node within one `SocialGraph`.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNodeId = 0xFFFFFFFFu;
+
+/// Node kinds of the social-graph meta-model (Fig. 2 of the paper).
+enum class NodeKind : uint8_t {
+  kUserProfile = 0,
+  kResource,
+  kResourceContainer,
+  kUrl,
+};
+
+/// Returns a display name for `kind`.
+std::string_view NodeKindName(NodeKind kind);
+
+/// Edge kinds of the meta-model. Edges are directed; `kFollows` between two
+/// profiles in both directions encodes a *friendship* (bidirectional social
+/// relationship), matching the paper's friend-vs-followed distinction.
+enum class EdgeKind : uint8_t {
+  kOwns = 0,     // UserProfile -> Resource
+  kCreates,      // UserProfile -> Resource
+  kAnnotates,    // UserProfile -> Resource (like / favorite)
+  kRelatesTo,    // UserProfile -> ResourceContainer (group/page membership)
+  kFollows,      // UserProfile -> UserProfile
+  kContains,     // ResourceContainer -> Resource
+  kLinksTo,      // {UserProfile,Resource,ResourceContainer} -> Url
+};
+
+/// Returns a display name for `kind`.
+std::string_view EdgeKindName(EdgeKind kind);
+
+/// Returns true iff the meta-model permits an edge of `kind` from a node of
+/// kind `from` to a node of kind `to` (the `AddEdge` validation rule).
+bool EdgeAllowed(EdgeKind kind, NodeKind from, NodeKind to);
+
+/// A textual resource reachable from a candidate profile, tagged with its
+/// graph distance per Table 1 of the paper.
+struct ResourceAtDistance {
+  NodeId node = kInvalidNodeId;
+  int distance = 0;
+
+  friend bool operator==(const ResourceAtDistance& a,
+                         const ResourceAtDistance& b) = default;
+};
+
+/// Options for the Table-1 resource enumeration.
+struct CollectOptions {
+  /// Maximum graph distance to explore (paper uses 2; see Sec. 2.2 for why
+  /// deeper traversal is impractical on real platforms).
+  int max_distance = 2;
+  /// When false (the paper's default), `kFollows` edges toward *friends*
+  /// (mutual follows) are not traversed — only genuinely followed users
+  /// contribute distance-1/2 resources. Sec. 3.3.3 evaluates flipping this.
+  bool include_friends = false;
+};
+
+/// The typed property graph behind the meta-model of Fig. 2.
+///
+/// The graph stores structure only; textual payloads (profile text, post
+/// bodies, container descriptions, page content) are kept by the caller in
+/// a document store keyed by `NodeId` (see `platform::ResourceExtractor`).
+/// All mutating calls validate against the meta-model and return a
+/// `Status`.
+class SocialGraph {
+ public:
+  SocialGraph() = default;
+
+  /// Adds a node of `kind` with an optional human-readable `label`
+  /// (user handle, group name, url string).
+  NodeId AddNode(NodeKind kind, std::string label = {});
+
+  /// Adds a directed edge; rejects edges the meta-model forbids and
+  /// out-of-range endpoints.
+  Status AddEdge(NodeId from, NodeId to, EdgeKind kind);
+
+  /// Node accessors.
+  size_t node_count() const { return kinds_.size(); }
+  size_t edge_count() const { return edge_count_; }
+  NodeKind kind(NodeId node) const { return kinds_[node]; }
+  const std::string& label(NodeId node) const { return labels_[node]; }
+  bool Contains(NodeId node) const { return node < kinds_.size(); }
+
+  /// Returns the targets of out-edges of `kind` from `node`.
+  std::vector<NodeId> OutNeighbors(NodeId node, EdgeKind kind) const;
+
+  /// Returns the sources of in-edges of `kind` into `node`.
+  std::vector<NodeId> InNeighbors(NodeId node, EdgeKind kind) const;
+
+  /// Returns true iff an edge (from, to, kind) exists.
+  bool HasEdge(NodeId from, NodeId to, EdgeKind kind) const;
+
+  /// True iff `a` and `b` follow each other (the paper's *friend*
+  /// relationship — a bidirectional bond, e.g. Facebook friendship or
+  /// mutual Twitter follows).
+  bool AreFriends(NodeId a, NodeId b) const;
+
+  /// Profiles that `user` follows and that do NOT follow back
+  /// (thematically-followed accounts, assimilated to topical containers by
+  /// the paper).
+  std::vector<NodeId> FollowedNonFriends(NodeId user) const;
+
+  /// Profiles sharing a mutual follow with `user`.
+  std::vector<NodeId> Friends(NodeId user) const;
+
+  /// All nodes of a given kind.
+  std::vector<NodeId> NodesOfKind(NodeKind kind) const;
+
+  /// Enumerates the textual resources reachable from `user` per Table 1:
+  ///
+  ///   distance 0: the candidate profile itself;
+  ///   distance 1: resources the candidate owns/creates/annotates,
+  ///               containers the candidate relates to, profiles the
+  ///               candidate follows;
+  ///   distance 2: resources inside related containers, resources
+  ///               owned/created/annotated by followed profiles, containers
+  ///               related to followed profiles, profiles followed by
+  ///               followed profiles.
+  ///
+  /// A node reachable at several distances is reported once, at the
+  /// smallest one. Results are sorted by (distance, node id) for
+  /// determinism. `user` must be a `kUserProfile` node.
+  Result<std::vector<ResourceAtDistance>> CollectResources(
+      NodeId user, const CollectOptions& options) const;
+
+ private:
+  struct Edge {
+    EdgeKind kind;
+    NodeId other;
+  };
+
+  std::vector<NodeKind> kinds_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<Edge>> in_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace crowdex::graph
+
+#endif  // CROWDEX_GRAPH_SOCIAL_GRAPH_H_

@@ -1,0 +1,119 @@
+#include "index/search_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace crowdex::index {
+
+DocId SearchIndex::Add(const IndexableDocument& doc) {
+  DocId id = static_cast<DocId>(external_ids_.size());
+  external_ids_.push_back(doc.external_id);
+
+  // Term frequencies.
+  std::unordered_map<std::string, uint32_t> tf;
+  for (const auto& term : doc.terms) ++tf[term];
+  for (const auto& [term, count] : tf) {
+    term_postings_[term].push_back({id, count});
+  }
+
+  // Entity postings: merge duplicate entity entries, keeping the max
+  // disambiguation confidence and summing frequencies.
+  std::unordered_map<entity::EntityId, DocEntity> merged;
+  for (const DocEntity& e : doc.entities) {
+    if (e.entity == entity::kInvalidEntityId) continue;
+    DocEntity& slot = merged[e.entity];
+    slot.entity = e.entity;
+    slot.frequency += e.frequency;
+    slot.dscore = std::max(slot.dscore, e.dscore);
+  }
+  for (const auto& [eid, e] : merged) {
+    entity_postings_[eid].push_back({id, e.frequency, e.dscore});
+  }
+  return id;
+}
+
+uint32_t SearchIndex::ResourceFrequency(const std::string& term) const {
+  auto it = term_postings_.find(term);
+  return it == term_postings_.end()
+             ? 0
+             : static_cast<uint32_t>(it->second.size());
+}
+
+uint32_t SearchIndex::EntityResourceFrequency(entity::EntityId entity) const {
+  auto it = entity_postings_.find(entity);
+  return it == entity_postings_.end()
+             ? 0
+             : static_cast<uint32_t>(it->second.size());
+}
+
+double SearchIndex::Irf(const std::string& term) const {
+  uint32_t rf = ResourceFrequency(term);
+  if (rf == 0) return 0.0;
+  return std::log(1.0 + static_cast<double>(size()) / rf);
+}
+
+double SearchIndex::Eirf(entity::EntityId entity) const {
+  uint32_t rf = EntityResourceFrequency(entity);
+  if (rf == 0) return 0.0;
+  return std::log(1.0 + static_cast<double>(size()) / rf);
+}
+
+uint32_t SearchIndex::TermFrequency(DocId doc, const std::string& term) const {
+  auto it = term_postings_.find(term);
+  if (it == term_postings_.end()) return 0;
+  for (const TermPosting& p : it->second) {
+    if (p.doc == doc) return p.tf;
+  }
+  return 0;
+}
+
+std::vector<ScoredDoc> SearchIndex::Search(const AnalyzedQuery& query,
+                                           double alpha) const {
+  assert(alpha >= 0.0 && alpha <= 1.0);
+  std::unordered_map<DocId, double> scores;
+
+  if (alpha > 0.0) {
+    // Deduplicate query terms but keep multiplicity: Eq. 1 sums over the
+    // terms *in* q, so a repeated query term contributes repeatedly.
+    std::unordered_map<std::string, uint32_t> query_tf;
+    for (const auto& t : query.terms) ++query_tf[t];
+    for (const auto& [term, qtf] : query_tf) {
+      auto it = term_postings_.find(term);
+      if (it == term_postings_.end()) continue;
+      double irf = Irf(term);
+      double weight = alpha * qtf * irf * irf;
+      for (const TermPosting& p : it->second) {
+        scores[p.doc] += weight * p.tf;
+      }
+    }
+  }
+
+  if (alpha < 1.0) {
+    std::unordered_map<entity::EntityId, uint32_t> query_ef;
+    for (entity::EntityId e : query.entities) ++query_ef[e];
+    for (const auto& [eid, qef] : query_ef) {
+      auto it = entity_postings_.find(eid);
+      if (it == entity_postings_.end()) continue;
+      double eirf = Eirf(eid);
+      double weight = (1.0 - alpha) * qef * eirf * eirf;
+      for (const EntityPosting& p : it->second) {
+        // Eq. 2: we(e,r) = 1 + dScore when disambiguation succeeded.
+        double we = p.dscore > 0.0 ? 1.0 + p.dscore : 0.0;
+        scores[p.doc] += weight * p.ef * we;
+      }
+    }
+  }
+
+  std::vector<ScoredDoc> out;
+  out.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    if (score > 0.0) out.push_back({doc, external_ids_[doc], score});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    return a.score != b.score ? a.score > b.score : a.doc < b.doc;
+  });
+  return out;
+}
+
+}  // namespace crowdex::index

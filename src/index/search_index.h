@@ -1,0 +1,120 @@
+#ifndef CROWDEX_INDEX_SEARCH_INDEX_H_
+#define CROWDEX_INDEX_SEARCH_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "entity/knowledge_base.h"
+
+namespace crowdex::index {
+
+/// Position of a document inside one `SearchIndex` (dense, 0-based).
+using DocId = uint32_t;
+
+/// An entity occurrence attached to an indexed document.
+struct DocEntity {
+  entity::EntityId entity = entity::kInvalidEntityId;
+  /// Number of occurrences in the document (the `ef(e, r)` of Eq. 1).
+  uint32_t frequency = 0;
+  /// Highest disambiguation confidence among the occurrences (the
+  /// `dScore(e, r)` of Eq. 2).
+  double dscore = 0.0;
+};
+
+/// Input document for index construction: the analyzed form of a resource
+/// (terms already sanitized / stop-worded / stemmed, entities already
+/// recognized and disambiguated).
+struct IndexableDocument {
+  /// Caller-side identifier (e.g. the graph `NodeId`); returned in results.
+  uint64_t external_id = 0;
+  std::vector<std::string> terms;
+  std::vector<DocEntity> entities;
+};
+
+/// One retrieval result.
+struct ScoredDoc {
+  DocId doc = 0;
+  uint64_t external_id = 0;
+  double score = 0.0;
+};
+
+/// The analyzed expertise need, in the same representation space as
+/// resources (Sec. 2.4's uniform vector space).
+struct AnalyzedQuery {
+  std::vector<std::string> terms;
+  std::vector<entity::EntityId> entities;
+};
+
+/// In-memory inverted index implementing the paper's retrieval model.
+///
+/// Resources are represented both as bags of words and as sets of entities
+/// (Sec. 2.4); the relevance of resource `r` for query `q` is Eq. 1:
+///
+///   score(q,r) =      α · Σ_{t ∈ q}    tf(t,r) · irf(t)²
+///             + (1 − α) · Σ_{e ∈ E(q)} ef(e,r) · eirf(e)² · we(e,r)
+///
+/// with `we(e,r) = 1 + dScore(e,r)` when the entity was disambiguated with
+/// positive confidence and 0 otherwise (Eq. 2). `irf` / `eirf` are inverse
+/// resource frequencies over the whole indexed collection.
+class SearchIndex {
+ public:
+  SearchIndex() = default;
+
+  /// Adds `doc` to the collection and returns its dense id. Frequencies
+  /// (`tf`, `ef`) are computed here; `irf`/`eirf` reflect the collection at
+  /// query time, so documents may be added at any point before searching.
+  DocId Add(const IndexableDocument& doc);
+
+  /// Number of indexed documents.
+  size_t size() const { return external_ids_.size(); }
+
+  /// Resource frequency of `term` (number of documents containing it).
+  uint32_t ResourceFrequency(const std::string& term) const;
+
+  /// Resource frequency of `entity`.
+  uint32_t EntityResourceFrequency(entity::EntityId entity) const;
+
+  /// Inverse resource frequency: log(1 + N / rf). Returns 0 for unseen
+  /// terms (they cannot contribute to any score).
+  double Irf(const std::string& term) const;
+
+  /// Entity inverse resource frequency, same formula over entity postings.
+  double Eirf(entity::EntityId entity) const;
+
+  /// Term frequency of `term` in `doc` (0 when absent).
+  uint32_t TermFrequency(DocId doc, const std::string& term) const;
+
+  /// Scores every matching document per Eq. 1 and returns them sorted by
+  /// descending score (ties broken by ascending doc id for determinism).
+  /// Only documents with score > 0 are returned. `alpha` must be in [0,1].
+  std::vector<ScoredDoc> Search(const AnalyzedQuery& query,
+                                double alpha) const;
+
+  /// External id of `doc`.
+  uint64_t external_id(DocId doc) const { return external_ids_[doc]; }
+
+  /// Number of distinct terms in the collection.
+  size_t vocabulary_size() const { return term_postings_.size(); }
+
+ private:
+  struct TermPosting {
+    DocId doc;
+    uint32_t tf;
+  };
+  struct EntityPosting {
+    DocId doc;
+    uint32_t ef;
+    double dscore;
+  };
+
+  std::vector<uint64_t> external_ids_;
+  std::unordered_map<std::string, std::vector<TermPosting>> term_postings_;
+  std::unordered_map<entity::EntityId, std::vector<EntityPosting>>
+      entity_postings_;
+};
+
+}  // namespace crowdex::index
+
+#endif  // CROWDEX_INDEX_SEARCH_INDEX_H_

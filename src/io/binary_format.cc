@@ -1,0 +1,105 @@
+#include "io/binary_format.h"
+
+#include <cstring>
+
+namespace crowdex::io {
+
+namespace {
+
+// The file format is explicitly little-endian; on big-endian hosts the
+// bytes are reordered. (All current target platforms are little-endian,
+// so the fast path is a plain memcpy.)
+template <typename T>
+void EncodeLe(T v, char* out) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+template <typename T>
+T DecodeLe(const char* in) {
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<unsigned char>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void BinaryWriter::WriteU8(uint8_t v) {
+  out_->put(static_cast<char>(v));
+}
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  char buf[4];
+  EncodeLe(v, buf);
+  out_->write(buf, sizeof(buf));
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  char buf[8];
+  EncodeLe(v, buf);
+  out_->write(buf, sizeof(buf));
+}
+
+void BinaryWriter::WriteDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Status BinaryReader::ReadBytes(void* dst, size_t n) {
+  in_->read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in_->gcount()) != n) {
+    return Status::OutOfRange("truncated input");
+  }
+  return Status::Ok();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  char b;
+  CROWDEX_RETURN_IF_ERROR(ReadBytes(&b, 1));
+  return static_cast<uint8_t>(b);
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  char buf[4];
+  CROWDEX_RETURN_IF_ERROR(ReadBytes(buf, sizeof(buf)));
+  return DecodeLe<uint32_t>(buf);
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  char buf[8];
+  CROWDEX_RETURN_IF_ERROR(ReadBytes(buf, sizeof(buf)));
+  return DecodeLe<uint64_t>(buf);
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  Result<uint64_t> bits = ReadU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  uint64_t raw = bits.value();
+  std::memcpy(&v, &raw, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  Result<uint32_t> len = ReadU32();
+  if (!len.ok()) return len.status();
+  if (len.value() > max_string_bytes_) {
+    return Status::OutOfRange("string length " + std::to_string(len.value()) +
+                              " exceeds limit");
+  }
+  std::string s(len.value(), '\0');
+  CROWDEX_RETURN_IF_ERROR(ReadBytes(s.data(), s.size()));
+  return s;
+}
+
+}  // namespace crowdex::io

@@ -1,0 +1,63 @@
+#ifndef CROWDEX_IO_BINARY_FORMAT_H_
+#define CROWDEX_IO_BINARY_FORMAT_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+
+namespace crowdex::io {
+
+/// Little-endian primitive writer over a `std::ostream`.
+///
+/// The encoding is deliberately simple and explicit (fixed-width
+/// little-endian integers, length-prefixed strings) so that files are
+/// portable across platforms and the reader can validate sizes before
+/// allocating.
+class BinaryWriter {
+ public:
+  /// `out` must outlive the writer.
+  explicit BinaryWriter(std::ostream* out) : out_(out) {}
+
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteDouble(double v);
+  /// Length-prefixed (u32) byte string.
+  void WriteString(const std::string& s);
+
+  /// True iff every write so far succeeded.
+  bool ok() const { return out_->good(); }
+
+ private:
+  std::ostream* out_;
+};
+
+/// Little-endian primitive reader over a `std::istream`. All read methods
+/// return an error `Status` on truncated or corrupt input instead of
+/// returning garbage.
+class BinaryReader {
+ public:
+  /// `in` must outlive the reader. `max_string_bytes` bounds a single
+  /// string allocation (corruption guard).
+  explicit BinaryReader(std::istream* in, size_t max_string_bytes = 1 << 26)
+      : in_(in), max_string_bytes_(max_string_bytes) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+
+ private:
+  Status ReadBytes(void* dst, size_t n);
+
+  std::istream* in_;
+  size_t max_string_bytes_;
+};
+
+}  // namespace crowdex::io
+
+#endif  // CROWDEX_IO_BINARY_FORMAT_H_

@@ -1,0 +1,205 @@
+#include "io/corpus_cache.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "io/binary_format.h"
+
+namespace crowdex::io {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x43445831;  // "CDX1"
+constexpr uint32_t kVersion = 3;
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+Status WriteCorpus(BinaryWriter& w, const platform::AnalyzedCorpus& corpus) {
+  w.WriteU8(static_cast<uint8_t>(corpus.platform));
+  w.WriteU64(corpus.nodes_with_text);
+  w.WriteU64(corpus.english_nodes);
+  w.WriteU64(corpus.nodes_with_url);
+  w.WriteU32(static_cast<uint32_t>(corpus.nodes.size()));
+  for (const platform::AnalyzedNode& node : corpus.nodes) {
+    w.WriteU32(node.node);
+    w.WriteU8(static_cast<uint8_t>(node.language));
+    w.WriteU8(static_cast<uint8_t>((node.has_text ? 1 : 0) |
+                                   (node.english ? 2 : 0)));
+    w.WriteU32(static_cast<uint32_t>(node.terms.size()));
+    for (const auto& term : node.terms) w.WriteString(term);
+    w.WriteU32(static_cast<uint32_t>(node.entities.size()));
+    for (const auto& e : node.entities) {
+      w.WriteU32(e.entity);
+      w.WriteU32(e.frequency);
+      w.WriteDouble(e.dscore);
+    }
+  }
+  if (!w.ok()) return Status::Internal("write failed");
+  return Status::Ok();
+}
+
+Result<platform::AnalyzedCorpus> ReadCorpus(BinaryReader& r) {
+  platform::AnalyzedCorpus corpus;
+
+  Result<uint8_t> plat = r.ReadU8();
+  if (!plat.ok()) return plat.status();
+  if (plat.value() >= platform::kNumPlatforms) {
+    return Status::InvalidArgument("bad platform id");
+  }
+  corpus.platform = static_cast<platform::Platform>(plat.value());
+
+  Result<uint64_t> with_text = r.ReadU64();
+  if (!with_text.ok()) return with_text.status();
+  corpus.nodes_with_text = with_text.value();
+  Result<uint64_t> english = r.ReadU64();
+  if (!english.ok()) return english.status();
+  corpus.english_nodes = english.value();
+  Result<uint64_t> with_url = r.ReadU64();
+  if (!with_url.ok()) return with_url.status();
+  corpus.nodes_with_url = with_url.value();
+
+  Result<uint32_t> count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  corpus.nodes.reserve(count.value());
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    platform::AnalyzedNode node;
+    Result<uint32_t> id = r.ReadU32();
+    if (!id.ok()) return id.status();
+    node.node = id.value();
+    Result<uint8_t> lang = r.ReadU8();
+    if (!lang.ok()) return lang.status();
+    node.language = static_cast<text::Language>(lang.value());
+    Result<uint8_t> flags = r.ReadU8();
+    if (!flags.ok()) return flags.status();
+    node.has_text = (flags.value() & 1) != 0;
+    node.english = (flags.value() & 2) != 0;
+
+    Result<uint32_t> term_count = r.ReadU32();
+    if (!term_count.ok()) return term_count.status();
+    node.terms.reserve(term_count.value());
+    for (uint32_t t = 0; t < term_count.value(); ++t) {
+      Result<std::string> term = r.ReadString();
+      if (!term.ok()) return term.status();
+      node.terms.push_back(std::move(term).value());
+    }
+
+    Result<uint32_t> entity_count = r.ReadU32();
+    if (!entity_count.ok()) return entity_count.status();
+    node.entities.reserve(entity_count.value());
+    for (uint32_t e = 0; e < entity_count.value(); ++e) {
+      index::DocEntity de;
+      Result<uint32_t> eid = r.ReadU32();
+      if (!eid.ok()) return eid.status();
+      de.entity = eid.value();
+      Result<uint32_t> freq = r.ReadU32();
+      if (!freq.ok()) return freq.status();
+      de.frequency = freq.value();
+      Result<double> dscore = r.ReadDouble();
+      if (!dscore.ok()) return dscore.status();
+      de.dscore = dscore.value();
+      node.entities.push_back(de);
+    }
+    corpus.nodes.push_back(std::move(node));
+  }
+  return corpus;
+}
+
+}  // namespace
+
+uint64_t HashExtractorOptions(const platform::ExtractorOptions& options) {
+  uint64_t h = 0xA5A5A5A5DEADBEEFULL;
+  h = Mix(h, options.enrich_urls ? 1 : 0);
+  h = Mix(h, options.pipeline.stem ? 1 : 0);
+  h = Mix(h, options.pipeline.remove_stopwords ? 1 : 0);
+  h = Mix(h, options.pipeline.tokenizer.min_token_length);
+  h = Mix(h, options.pipeline.tokenizer.max_token_length);
+  h = Mix(h, options.pipeline.tokenizer.strip_urls ? 1 : 0);
+  h = Mix(h, options.pipeline.tokenizer.strip_mentions ? 1 : 0);
+  h = Mix(h, options.pipeline.tokenizer.keep_hashtag_words ? 1 : 0);
+  h = Mix(h, options.pipeline.tokenizer.drop_pure_numbers ? 1 : 0);
+  h = Mix(h, static_cast<uint64_t>(
+                 std::llround(options.annotator.min_dscore * 1e6)));
+  h = Mix(h, static_cast<uint64_t>(
+                 std::llround(options.annotator.unambiguous_floor * 1e6)));
+  return h;
+}
+
+Status SaveAnalyzedCorpora(
+    const std::array<platform::AnalyzedCorpus, platform::kNumPlatforms>&
+        corpora,
+    const CacheFingerprint& fingerprint, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  BinaryWriter w(&out);
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteU64(fingerprint.world_seed);
+  w.WriteDouble(fingerprint.world_scale);
+  w.WriteU32(fingerprint.num_candidates);
+  w.WriteU64(fingerprint.options_hash);
+  w.WriteU64(fingerprint.kb_entities);
+  for (const auto& corpus : corpora) {
+    CROWDEX_RETURN_IF_ERROR(WriteCorpus(w, corpus));
+  }
+  out.flush();
+  if (!out) return Status::Internal("flush failed for " + path);
+  return Status::Ok();
+}
+
+Result<std::array<platform::AnalyzedCorpus, platform::kNumPlatforms>>
+LoadAnalyzedCorpora(const CacheFingerprint& fingerprint,
+                    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no cache file at " + path);
+  }
+  BinaryReader r(&in);
+
+  Result<uint32_t> magic = r.ReadU32();
+  if (!magic.ok()) return magic.status();
+  if (magic.value() != kMagic) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  Result<uint32_t> version = r.ReadU32();
+  if (!version.ok()) return version.status();
+  if (version.value() != kVersion) {
+    return Status::FailedPrecondition("cache version mismatch");
+  }
+
+  CacheFingerprint stored;
+  Result<uint64_t> seed = r.ReadU64();
+  if (!seed.ok()) return seed.status();
+  stored.world_seed = seed.value();
+  Result<double> scale = r.ReadDouble();
+  if (!scale.ok()) return scale.status();
+  stored.world_scale = scale.value();
+  Result<uint32_t> candidates = r.ReadU32();
+  if (!candidates.ok()) return candidates.status();
+  stored.num_candidates = candidates.value();
+  Result<uint64_t> options_hash = r.ReadU64();
+  if (!options_hash.ok()) return options_hash.status();
+  stored.options_hash = options_hash.value();
+  Result<uint64_t> kb_entities = r.ReadU64();
+  if (!kb_entities.ok()) return kb_entities.status();
+  stored.kb_entities = kb_entities.value();
+
+  if (!(stored == fingerprint)) {
+    return Status::FailedPrecondition(
+        "cache fingerprint mismatch (stale cache?)");
+  }
+
+  std::array<platform::AnalyzedCorpus, platform::kNumPlatforms> corpora;
+  for (int p = 0; p < platform::kNumPlatforms; ++p) {
+    Result<platform::AnalyzedCorpus> corpus = ReadCorpus(r);
+    if (!corpus.ok()) return corpus.status();
+    corpora[p] = std::move(corpus).value();
+  }
+  return corpora;
+}
+
+}  // namespace crowdex::io

@@ -1,0 +1,52 @@
+#ifndef CROWDEX_IO_CORPUS_CACHE_H_
+#define CROWDEX_IO_CORPUS_CACHE_H_
+
+#include <array>
+#include <string>
+
+#include "common/status.h"
+#include "platform/resource_extractor.h"
+
+namespace crowdex::io {
+
+/// Identifies the world + pipeline configuration a cached analysis belongs
+/// to. Loading fails when the fingerprint does not match, so a stale cache
+/// can never silently poison an experiment.
+struct CacheFingerprint {
+  uint64_t world_seed = 0;
+  double world_scale = 0.0;
+  uint32_t num_candidates = 0;
+  /// Hash of the extractor options (URL enrichment, stemming, ...).
+  uint64_t options_hash = 0;
+  /// Number of entities in the knowledge base the analysis used — the KB
+  /// is compiled in, so a rebuilt binary with a grown catalog must not
+  /// accept an old cache.
+  uint64_t kb_entities = 0;
+
+  friend bool operator==(const CacheFingerprint&,
+                         const CacheFingerprint&) = default;
+};
+
+/// Computes the options component of the fingerprint.
+uint64_t HashExtractorOptions(const platform::ExtractorOptions& options);
+
+/// Saves the per-platform analysis output (`corpora`) to `path` under
+/// `fingerprint`. The Fig. 4 analysis is by far the most expensive step of
+/// an experiment (~1 minute at full scale), and it is a pure function of
+/// (world seed, scale, pipeline options) — so benches cache it on disk and
+/// reload in seconds.
+Status SaveAnalyzedCorpora(
+    const std::array<platform::AnalyzedCorpus, platform::kNumPlatforms>&
+        corpora,
+    const CacheFingerprint& fingerprint, const std::string& path);
+
+/// Loads corpora from `path`, verifying the format and `fingerprint`.
+/// Returns NotFound when the file does not exist, FailedPrecondition when
+/// the fingerprint mismatches, OutOfRange/InvalidArgument on corruption.
+Result<std::array<platform::AnalyzedCorpus, platform::kNumPlatforms>>
+LoadAnalyzedCorpora(const CacheFingerprint& fingerprint,
+                    const std::string& path);
+
+}  // namespace crowdex::io
+
+#endif  // CROWDEX_IO_CORPUS_CACHE_H_

@@ -1,0 +1,166 @@
+#include "platform/crawler.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace crowdex::platform {
+
+namespace {
+
+using graph::EdgeKind;
+using graph::NodeId;
+using graph::NodeKind;
+
+}  // namespace
+
+std::vector<Privacy> AssignProfilePrivacy(
+    const PlatformNetwork& truth, double p_public, double p_friends_only,
+    const std::vector<graph::NodeId>& always_public, Rng rng) {
+  std::vector<Privacy> privacy(truth.graph.node_count(), Privacy::kPublic);
+  for (NodeId n = 0; n < truth.graph.node_count(); ++n) {
+    if (truth.graph.kind(n) != NodeKind::kUserProfile) continue;
+    double roll = rng.NextDouble();
+    if (roll < p_public) {
+      privacy[n] = Privacy::kPublic;
+    } else if (roll < p_public + p_friends_only) {
+      privacy[n] = Privacy::kFriendsOnly;
+    } else {
+      privacy[n] = Privacy::kPrivate;
+    }
+  }
+  for (NodeId n : always_public) {
+    if (n < privacy.size()) privacy[n] = Privacy::kPublic;
+  }
+  return privacy;
+}
+
+Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
+                                 const std::vector<graph::NodeId>& authorized,
+                                 const std::vector<Privacy>& privacy,
+                                 const CrawlPolicy& policy) {
+  if (authorized.empty()) {
+    return Status::InvalidArgument("no authorized profiles");
+  }
+  if (privacy.size() != truth.graph.node_count()) {
+    return Status::InvalidArgument(
+        "privacy vector must cover every node of the network");
+  }
+  std::unordered_set<NodeId> auth_set;
+  for (NodeId n : authorized) {
+    if (!truth.graph.Contains(n) ||
+        truth.graph.kind(n) != NodeKind::kUserProfile) {
+      return Status::InvalidArgument("authorized id is not a profile");
+    }
+    auth_set.insert(n);
+  }
+
+  CrawlResult result;
+  result.network.platform = truth.platform;
+  CrawlStats& stats = result.stats;
+
+  auto profile_visible = [&](NodeId p) {
+    if (auth_set.contains(p)) return true;
+    if (!policy.respect_privacy) return true;
+    return privacy[p] == Privacy::kPublic;
+  };
+
+  // Copies a node into the crawled network once; returns its new id.
+  auto copy_node = [&](NodeId n) -> NodeId {
+    auto it = result.node_map.find(n);
+    if (it != result.node_map.end()) return it->second;
+    NodeId fresh = result.network.AddNode(
+        truth.graph.kind(n), truth.graph.label(n), truth.node_text[n],
+        truth.node_url[n]);
+    result.node_map.emplace(n, fresh);
+    return fresh;
+  };
+  auto copy_edge = [&](NodeId from, NodeId to, EdgeKind kind) {
+    // Both endpoints are guaranteed copied by the callers.
+    (void)result.network.graph.AddEdge(result.node_map.at(from),
+                                       result.node_map.at(to), kind);
+  };
+
+  // One request against the API budget; false = budget exhausted.
+  auto spend_request = [&]() {
+    if (policy.max_requests > 0 && stats.requests_used >= policy.max_requests) {
+      stats.budget_exhausted = true;
+      return false;
+    }
+    ++stats.requests_used;
+    return true;
+  };
+
+  // Fetches the resources a profile owns/creates/annotates.
+  auto fetch_profile_resources = [&](NodeId p) {
+    for (EdgeKind k :
+         {EdgeKind::kOwns, EdgeKind::kCreates, EdgeKind::kAnnotates}) {
+      for (NodeId r : truth.graph.OutNeighbors(p, k)) {
+        copy_node(r);
+        copy_edge(p, r, k);
+        ++stats.resources_fetched;
+      }
+    }
+  };
+
+  // Fetches a container's description and its (capped) recent resources.
+  auto fetch_container = [&](NodeId member, NodeId c) {
+    if (!spend_request()) return;
+    copy_node(c);
+    copy_edge(member, c, EdgeKind::kRelatesTo);
+    std::vector<NodeId> posts = truth.graph.OutNeighbors(c, EdgeKind::kContains);
+    size_t limit = posts.size();
+    if (policy.max_container_resources > 0 &&
+        limit > static_cast<size_t>(policy.max_container_resources)) {
+      limit = static_cast<size_t>(policy.max_container_resources);
+      ++stats.containers_truncated;
+    }
+    for (size_t i = 0; i < limit; ++i) {
+      copy_node(posts[i]);
+      copy_edge(c, posts[i], EdgeKind::kContains);
+      ++stats.resources_fetched;
+    }
+    stats.resources_denied += posts.size() - limit;
+  };
+
+  // BFS over profiles, depth <= 1 profile-hops (profiles reached through a
+  // follow are expanded once more, giving the Table-1 distance-2 reach).
+  std::deque<std::pair<NodeId, int>> queue;
+  std::unordered_set<NodeId> expanded;
+  for (NodeId seed : authorized) queue.emplace_back(seed, 0);
+
+  while (!queue.empty()) {
+    auto [p, hops] = queue.front();
+    queue.pop_front();
+    if (expanded.contains(p)) continue;
+
+    ++stats.profiles_visited;
+    if (!profile_visible(p)) {
+      ++stats.profiles_denied;
+      continue;
+    }
+    if (!spend_request()) break;
+    expanded.insert(p);
+    copy_node(p);
+
+    fetch_profile_resources(p);
+    for (NodeId c : truth.graph.OutNeighbors(p, EdgeKind::kRelatesTo)) {
+      fetch_container(p, c);
+    }
+    for (NodeId followed : truth.graph.OutNeighbors(p, EdgeKind::kFollows)) {
+      if (!profile_visible(followed)) {
+        ++stats.profiles_denied;
+        continue;
+      }
+      copy_node(followed);
+      copy_edge(p, followed, EdgeKind::kFollows);
+      if (truth.graph.HasEdge(followed, p, EdgeKind::kFollows)) {
+        copy_edge(followed, p, EdgeKind::kFollows);
+      }
+      if (hops < 1) queue.emplace_back(followed, hops + 1);
+    }
+  }
+  return result;
+}
+
+}  // namespace crowdex::platform

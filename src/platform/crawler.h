@@ -1,0 +1,94 @@
+#ifndef CROWDEX_PLATFORM_CRAWLER_H_
+#define CROWDEX_PLATFORM_CRAWLER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "platform/network.h"
+
+namespace crowdex::platform {
+
+/// Visibility of a profile's content to a third-party crawler.
+///
+/// The paper collected data through platform APIs "according to the
+/// privacy settings of the involved users and their contacts" (Sec. 2.3);
+/// e.g. only 80 of the 13k Facebook friends of the 40 candidates exposed
+/// their activities (footnote 5). This models that gate.
+enum class Privacy : uint8_t {
+  /// Profile and resources visible to anyone.
+  kPublic = 0,
+  /// Visible only to friends (mutual follows) of the owner — which a
+  /// third-party crawler is not, unless the owner authorized it.
+  kFriendsOnly,
+  /// Visible to nobody but the owner.
+  kPrivate,
+};
+
+/// API budget and retrieval limits for one crawl.
+struct CrawlPolicy {
+  /// Maximum profile/container fetches before the crawl stops (platform
+  /// rate limits; <= 0 means unlimited).
+  int max_requests = 0;
+  /// "For each resource container we retrieved the most recent resources"
+  /// (Sec. 3.1): cap on resources fetched per container (<= 0 = all).
+  int max_container_resources = 0;
+  /// When false, privacy is ignored (what the platform owner itself could
+  /// do — the paper notes owners "are able to access the full user
+  /// information", Sec. 3.7).
+  bool respect_privacy = true;
+};
+
+/// Outcome statistics of a crawl.
+struct CrawlStats {
+  int requests_used = 0;
+  size_t profiles_visited = 0;
+  size_t profiles_denied = 0;
+  size_t resources_fetched = 0;
+  size_t resources_denied = 0;
+  size_t containers_truncated = 0;
+  bool budget_exhausted = false;
+};
+
+/// The visible network extracted by a crawl, with the mapping back to the
+/// ground-truth node ids.
+struct CrawlResult {
+  PlatformNetwork network;
+  /// truth node id -> crawled node id (absent = not visible/collected).
+  std::unordered_map<graph::NodeId, graph::NodeId> node_map;
+  CrawlStats stats;
+};
+
+/// Assigns a privacy level to every profile of `truth` (resources inherit
+/// their owner's level; ownerless container posts are public). `p_public`
+/// + `p_friends_only` must be <= 1; the rest are private. Deterministic in
+/// `rng`. Profiles in `always_public` (e.g. celebrity/brand accounts) are
+/// forced public.
+std::vector<Privacy> AssignProfilePrivacy(
+    const PlatformNetwork& truth, double p_public, double p_friends_only,
+    const std::vector<graph::NodeId>& always_public, Rng rng);
+
+/// Simulates the Resource Extraction step against a platform API: starting
+/// from `authorized` profiles (the candidates who granted OAuth tokens),
+/// walks the Table-1 neighborhood (distance <= 2) and copies every node the
+/// crawler is allowed to see into a fresh `PlatformNetwork`.
+///
+/// Visibility rules (when `policy.respect_privacy`):
+///  * authorized profiles: everything visible (they granted the token);
+///  * other profiles: visible iff `privacy` is public — `kFriendsOnly`
+///    content is hidden because the crawler is a third-party app, not the
+///    user's friend;
+///  * resources inherit their creating/owning profile's visibility;
+///    container-contained resources without a visible owner are public.
+///
+/// Each profile or container expansion costs one request against
+/// `policy.max_requests`.
+Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
+                                 const std::vector<graph::NodeId>& authorized,
+                                 const std::vector<Privacy>& privacy,
+                                 const CrawlPolicy& policy);
+
+}  // namespace crowdex::platform
+
+#endif  // CROWDEX_PLATFORM_CRAWLER_H_

@@ -1,0 +1,48 @@
+#ifndef CROWDEX_PLATFORM_NETWORK_H_
+#define CROWDEX_PLATFORM_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "platform/platform.h"
+
+namespace crowdex::platform {
+
+/// One social platform's extracted state: the meta-model graph plus the
+/// textual payload of every node.
+///
+/// This is what the Resource Extraction step (Fig. 4) materializes from a
+/// platform's API: profiles, posts/tweets/group posts (resources),
+/// group/page descriptions (resource containers), and the URLs they link
+/// to. `node_text[n]` / `node_url[n]` are aligned with graph node ids;
+/// URL-less nodes carry an empty `node_url`.
+struct PlatformNetwork {
+  Platform platform = Platform::kFacebook;
+  graph::SocialGraph graph;
+  /// Raw text of each node (profile description, post body, container
+  /// description). Empty for nodes without text (e.g. Url nodes).
+  std::vector<std::string> node_text;
+  /// URL attached to each node ("" when none). Resolved against the
+  /// `WebPageStore` during analysis.
+  std::vector<std::string> node_url;
+
+  /// Adds a node and its payload in lockstep with the graph.
+  graph::NodeId AddNode(graph::NodeKind kind, std::string label,
+                        std::string text, std::string url = {}) {
+    graph::NodeId id = graph.AddNode(kind, std::move(label));
+    node_text.push_back(std::move(text));
+    node_url.push_back(std::move(url));
+    return id;
+  }
+
+  /// Validates that payload vectors are aligned with the graph.
+  bool Consistent() const {
+    return node_text.size() == graph.node_count() &&
+           node_url.size() == graph.node_count();
+  }
+};
+
+}  // namespace crowdex::platform
+
+#endif  // CROWDEX_PLATFORM_NETWORK_H_

@@ -1,0 +1,26 @@
+#include "platform/platform.h"
+
+namespace crowdex::platform {
+
+std::string_view PlatformMaskName(PlatformMask mask) {
+  switch (mask) {
+    case kAllPlatformsMask:
+      return "All";
+    case MaskOf(Platform::kFacebook):
+      return "FB";
+    case MaskOf(Platform::kTwitter):
+      return "TW";
+    case MaskOf(Platform::kLinkedIn):
+      return "LI";
+    case MaskOf(Platform::kFacebook) | MaskOf(Platform::kTwitter):
+      return "FB+TW";
+    case MaskOf(Platform::kFacebook) | MaskOf(Platform::kLinkedIn):
+      return "FB+LI";
+    case MaskOf(Platform::kTwitter) | MaskOf(Platform::kLinkedIn):
+      return "TW+LI";
+    default:
+      return "none";
+  }
+}
+
+}  // namespace crowdex::platform

@@ -1,0 +1,73 @@
+#ifndef CROWDEX_PLATFORM_PLATFORM_H_
+#define CROWDEX_PLATFORM_PLATFORM_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace crowdex::platform {
+
+/// The social platforms the paper evaluates (Sec. 3).
+enum class Platform : uint8_t {
+  kFacebook = 0,
+  kTwitter,
+  kLinkedIn,
+};
+
+/// Number of platforms.
+inline constexpr int kNumPlatforms = 3;
+
+/// All platforms, in declaration order.
+inline constexpr std::array<Platform, kNumPlatforms> kAllPlatforms = {
+    Platform::kFacebook, Platform::kTwitter, Platform::kLinkedIn};
+
+/// Returns the paper's short name for `p` ("FB", "TW", "LI").
+constexpr std::string_view PlatformShortName(Platform p) {
+  switch (p) {
+    case Platform::kFacebook:
+      return "FB";
+    case Platform::kTwitter:
+      return "TW";
+    case Platform::kLinkedIn:
+      return "LI";
+  }
+  return "??";
+}
+
+/// Returns the full display name of `p`.
+constexpr std::string_view PlatformName(Platform p) {
+  switch (p) {
+    case Platform::kFacebook:
+      return "Facebook";
+    case Platform::kTwitter:
+      return "Twitter";
+    case Platform::kLinkedIn:
+      return "LinkedIn";
+  }
+  return "Unknown";
+}
+
+/// Bit mask over platforms; bit i = `kAllPlatforms[i]`.
+using PlatformMask = uint8_t;
+
+/// Mask containing only `p`.
+constexpr PlatformMask MaskOf(Platform p) {
+  return static_cast<PlatformMask>(1u << static_cast<int>(p));
+}
+
+/// Mask of all platforms (the paper's "All" configuration).
+inline constexpr PlatformMask kAllPlatformsMask =
+    MaskOf(Platform::kFacebook) | MaskOf(Platform::kTwitter) |
+    MaskOf(Platform::kLinkedIn);
+
+/// True iff `mask` contains `p`.
+constexpr bool MaskContains(PlatformMask mask, Platform p) {
+  return (mask & MaskOf(p)) != 0;
+}
+
+/// Display label for a mask ("All", "FB", "FB+TW", ...).
+std::string_view PlatformMaskName(PlatformMask mask);
+
+}  // namespace crowdex::platform
+
+#endif  // CROWDEX_PLATFORM_PLATFORM_H_

@@ -1,0 +1,89 @@
+#include "platform/resource_extractor.h"
+
+#include <unordered_map>
+
+namespace crowdex::platform {
+
+ResourceExtractor::ResourceExtractor(const entity::KnowledgeBase* kb)
+    : ResourceExtractor(kb, entity::AnnotatorOptions{}) {}
+
+ResourceExtractor::ResourceExtractor(const entity::KnowledgeBase* kb,
+                                     entity::AnnotatorOptions annotator_options)
+    : annotator_(kb, annotator_options) {}
+
+ResourceExtractor::ResourceExtractor(const entity::KnowledgeBase* kb,
+                                     const ExtractorOptions& options)
+    : pipeline_(options.pipeline),
+      annotator_(kb, options.annotator),
+      enrich_urls_(options.enrich_urls) {}
+
+AnalyzedNode ResourceExtractor::AnalyzeText(const std::string& text) const {
+  AnalyzedNode out;
+  out.has_text = !text.empty();
+  if (!out.has_text) return out;
+
+  out.language = pipeline_.language_identifier().Identify(text);
+  out.english = out.language == text::Language::kEnglish;
+  if (!out.english) return out;
+
+  // Entity recognition runs on unstemmed tokens (entity aliases are surface
+  // forms), term extraction on the full pipeline output.
+  std::vector<std::string> raw_tokens = pipeline_.tokenizer().Tokenize(text);
+  std::vector<entity::Annotation> annotations = annotator_.Annotate(raw_tokens);
+
+  std::unordered_map<entity::EntityId, index::DocEntity> merged;
+  for (const auto& a : annotations) {
+    index::DocEntity& slot = merged[a.entity];
+    slot.entity = a.entity;
+    slot.frequency += 1;
+    slot.dscore = std::max(slot.dscore, a.dscore);
+  }
+  out.entities.reserve(merged.size());
+  for (const auto& [id, e] : merged) out.entities.push_back(e);
+
+  out.terms = pipeline_.ProcessTerms(text);
+  return out;
+}
+
+AnalyzedCorpus ResourceExtractor::AnalyzeNetwork(
+    const PlatformNetwork& network, const WebPageStore& web) const {
+  AnalyzedCorpus corpus;
+  corpus.platform = network.platform;
+  corpus.nodes.reserve(network.graph.node_count());
+
+  for (graph::NodeId n = 0; n < network.graph.node_count(); ++n) {
+    std::string text = network.node_text[n];
+    const std::string& url = network.node_url[n];
+    if (!url.empty()) {
+      ++corpus.nodes_with_url;
+      if (enrich_urls_) {
+        // URL content extraction: append the linked page's main content.
+        Result<std::string> page = web.Fetch(url);
+        if (page.ok()) {
+          if (!text.empty()) text += ' ';
+          text += page.value();
+        }
+      }
+    }
+    AnalyzedNode analyzed = AnalyzeText(text);
+    analyzed.node = n;
+    if (analyzed.has_text) ++corpus.nodes_with_text;
+    if (analyzed.english) ++corpus.english_nodes;
+    corpus.nodes.push_back(std::move(analyzed));
+  }
+  return corpus;
+}
+
+index::AnalyzedQuery ResourceExtractor::AnalyzeQuery(
+    const std::string& query_text) const {
+  index::AnalyzedQuery q;
+  q.terms = pipeline_.ProcessTerms(query_text);
+  std::vector<std::string> raw_tokens =
+      pipeline_.tokenizer().Tokenize(query_text);
+  for (const auto& a : annotator_.Annotate(raw_tokens)) {
+    q.entities.push_back(a.entity);
+  }
+  return q;
+}
+
+}  // namespace crowdex::platform

@@ -1,0 +1,93 @@
+#ifndef CROWDEX_PLATFORM_RESOURCE_EXTRACTOR_H_
+#define CROWDEX_PLATFORM_RESOURCE_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "entity/annotator.h"
+#include "entity/knowledge_base.h"
+#include "index/search_index.h"
+#include "platform/network.h"
+#include "platform/web_page_store.h"
+#include "text/pipeline.h"
+
+namespace crowdex::platform {
+
+/// The analyzed form of one node's textual content, ready for indexing.
+struct AnalyzedNode {
+  graph::NodeId node = graph::kInvalidNodeId;
+  /// Detected language of the (URL-enriched) text.
+  text::Language language = text::Language::kUnknown;
+  /// True iff the node had any text at all.
+  bool has_text = false;
+  /// True iff the URL-enriched text was classified as English; only English
+  /// nodes are indexed, per Sec. 3.1.
+  bool english = false;
+  /// Processed index terms (stemmed, stop-word free).
+  std::vector<std::string> terms;
+  /// Recognized + disambiguated entities with frequencies.
+  std::vector<index::DocEntity> entities;
+};
+
+/// Per-platform analysis output.
+struct AnalyzedCorpus {
+  Platform platform = Platform::kFacebook;
+  /// One entry per graph node (aligned with node ids).
+  std::vector<AnalyzedNode> nodes;
+  /// Counts for dataset statistics (Fig. 5a).
+  size_t nodes_with_text = 0;
+  size_t english_nodes = 0;
+  size_t nodes_with_url = 0;
+};
+
+/// Feature toggles for the analysis pipeline (ablation studies; defaults
+/// are the paper's configuration).
+struct ExtractorOptions {
+  entity::AnnotatorOptions annotator;
+  text::TextPipelineOptions pipeline;
+  /// Enrich resources with the extracted content of linked Web pages
+  /// (the Alchemy step of Sec. 2.3). Off = resources stand alone.
+  bool enrich_urls = true;
+};
+
+/// The analysis pipeline of Fig. 4: URL content extraction -> language
+/// identification -> text processing -> entity recognition and
+/// disambiguation. The same pipeline analyzes expertise needs (queries);
+/// see `AnalyzeQuery`.
+class ResourceExtractor {
+ public:
+  /// `kb` must outlive the extractor. Annotation options are the
+  /// annotator's defaults unless overridden.
+  explicit ResourceExtractor(const entity::KnowledgeBase* kb);
+  ResourceExtractor(const entity::KnowledgeBase* kb,
+                    entity::AnnotatorOptions annotator_options);
+  ResourceExtractor(const entity::KnowledgeBase* kb,
+                    const ExtractorOptions& options);
+
+  /// Analyzes one text blob (resource body + extracted URL content already
+  /// merged). Exposed for query analysis and tests.
+  AnalyzedNode AnalyzeText(const std::string& text) const;
+
+  /// Analyzes every node of `network`, enriching nodes that carry a URL
+  /// with the page text found in `web` (missing pages degrade gracefully
+  /// to the resource's own text).
+  AnalyzedCorpus AnalyzeNetwork(const PlatformNetwork& network,
+                                const WebPageStore& web) const;
+
+  /// Analyzes an expertise need: same text processing and entity
+  /// recognition, no language filter (queries are English by construction).
+  index::AnalyzedQuery AnalyzeQuery(const std::string& query_text) const;
+
+  const text::TextPipeline& pipeline() const { return pipeline_; }
+  const entity::EntityAnnotator& annotator() const { return annotator_; }
+  bool enrich_urls() const { return enrich_urls_; }
+
+ private:
+  text::TextPipeline pipeline_;
+  entity::EntityAnnotator annotator_;
+  bool enrich_urls_ = true;
+};
+
+}  // namespace crowdex::platform
+
+#endif  // CROWDEX_PLATFORM_RESOURCE_EXTRACTOR_H_

@@ -1,0 +1,21 @@
+#include "platform/web_page_store.h"
+
+namespace crowdex::platform {
+
+void WebPageStore::Put(std::string url, std::string extracted_text) {
+  pages_[std::move(url)] = std::move(extracted_text);
+}
+
+Result<std::string> WebPageStore::Fetch(std::string_view url) const {
+  auto it = pages_.find(std::string(url));
+  if (it == pages_.end()) {
+    return Status::NotFound("no page for url: " + std::string(url));
+  }
+  return it->second;
+}
+
+bool WebPageStore::Contains(std::string_view url) const {
+  return pages_.contains(std::string(url));
+}
+
+}  // namespace crowdex::platform

@@ -1,0 +1,46 @@
+#ifndef CROWDEX_PLATFORM_WEB_PAGE_STORE_H_
+#define CROWDEX_PLATFORM_WEB_PAGE_STORE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace crowdex::platform {
+
+/// Simulated external Web.
+///
+/// The paper enriches resources with text extracted from linked Web pages
+/// (via the Alchemy extraction API — Sec. 2.3, footnote 4). We do not have
+/// the live Web, so linked pages are materialized into this store by the
+/// synthetic world generator: each URL maps to the "main content" text that
+/// a boilerplate-removal extractor would return. 70 % of generated
+/// resources carry a URL, matching the dataset statistics of Sec. 3.1.
+class WebPageStore {
+ public:
+  WebPageStore() = default;
+
+  /// Registers `url` -> `extracted_text`. Re-registering a URL overwrites
+  /// the previous content (the Web changes).
+  void Put(std::string url, std::string extracted_text);
+
+  /// Returns the extracted main content of `url`, or NotFound. A NotFound
+  /// is not an error for callers: real extraction fails routinely (dead
+  /// links, paywalls) and the pipeline must degrade to the resource's own
+  /// text.
+  Result<std::string> Fetch(std::string_view url) const;
+
+  /// True iff `url` resolves.
+  bool Contains(std::string_view url) const;
+
+  /// Number of stored pages.
+  size_t size() const { return pages_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> pages_;
+};
+
+}  // namespace crowdex::platform
+
+#endif  // CROWDEX_PLATFORM_WEB_PAGE_STORE_H_

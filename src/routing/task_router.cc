@@ -1,0 +1,59 @@
+#include "routing/task_router.h"
+
+#include <array>
+
+namespace crowdex::routing {
+
+TaskRouter::TaskRouter(const core::ExpertFinder* finder, RouterOptions options)
+    : finder_(finder), options_(options) {}
+
+platform::Platform TaskRouter::ContactPlatform(const std::string& task_text,
+                                               int candidate) const {
+  std::array<double, platform::kNumPlatforms> by_platform{};
+  for (const core::ResourceEvidence& ev :
+       finder_->Explain(task_text, candidate, /*top_k=*/1000)) {
+    by_platform[static_cast<int>(ev.platform)] += ev.contribution;
+  }
+  int best = 0;
+  for (int p = 1; p < platform::kNumPlatforms; ++p) {
+    if (by_platform[p] > by_platform[best]) best = p;
+  }
+  return platform::kAllPlatforms[best];
+}
+
+RoutingPlan TaskRouter::Route(const std::vector<Task>& tasks) const {
+  RoutingPlan plan;
+  // The load vector grows lazily from observed candidate ids, so the
+  // router depends only on the public finder interface.
+  auto load_of = [&plan](int candidate) -> int& {
+    if (static_cast<size_t>(candidate) >= plan.load.size()) {
+      plan.load.resize(static_cast<size_t>(candidate) + 1, 0);
+    }
+    return plan.load[static_cast<size_t>(candidate)];
+  };
+
+  for (const Task& task : tasks) {
+    core::RankedExperts ranked = finder_->RankText(task.text);
+    int assigned = 0;
+    for (const core::ExpertScore& expert : ranked.ranking) {
+      if (assigned >= task.experts_needed) break;
+      if (expert.score <= options_.min_score) break;  // Ranking is sorted.
+      int& load = load_of(expert.candidate);
+      if (load >= options_.max_load_per_expert) continue;
+      ++load;
+      Assignment a;
+      a.task_id = task.id;
+      a.candidate = expert.candidate;
+      a.expertise_score = expert.score;
+      a.contact_platform = ContactPlatform(task.text, expert.candidate);
+      plan.assignments.push_back(a);
+      ++assigned;
+    }
+    if (assigned < task.experts_needed) {
+      plan.shortfalls.emplace_back(task.id, assigned);
+    }
+  }
+  return plan;
+}
+
+}  // namespace crowdex::routing

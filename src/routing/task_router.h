@@ -1,0 +1,86 @@
+#ifndef CROWDEX_ROUTING_TASK_ROUTER_H_
+#define CROWDEX_ROUTING_TASK_ROUTER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/expert_finder.h"
+
+namespace crowdex::routing {
+
+/// A unit of crowd work: a question, recommendation request, or generic
+/// task to be answered by a small crowd of experts (Sec. 1 of the paper).
+struct Task {
+  int id = 0;
+  std::string text;
+  /// How many experts this task should be routed to.
+  int experts_needed = 3;
+};
+
+/// One (task -> expert) routing decision.
+struct Assignment {
+  int task_id = 0;
+  int candidate = -1;
+  /// The expert's Eq. 3 score for the task.
+  double expertise_score = 0.0;
+  /// The platform where the expert's evidence for this task is strongest —
+  /// the natural channel to contact them on (the paper's second research
+  /// question, Sec. 2.1).
+  platform::Platform contact_platform = platform::Platform::kFacebook;
+};
+
+/// The outcome of routing a batch of tasks.
+struct RoutingPlan {
+  /// All assignments, grouped by task in input order, best expert first.
+  std::vector<Assignment> assignments;
+  /// Tasks that received fewer experts than requested
+  /// (id -> number actually assigned, possibly 0).
+  std::vector<std::pair<int, int>> shortfalls;
+  /// Number of tasks assigned to each candidate (index = candidate id).
+  std::vector<int> load;
+};
+
+/// Routing policy knobs.
+struct RouterOptions {
+  /// Maximum number of tasks routed to one expert within a batch. Social
+  /// contacts answer out of goodwill, not payment — they are "not
+  /// available on a continuous and demanding basis" (Sec. 1), so load must
+  /// be spread.
+  int max_load_per_expert = 3;
+  /// Experts scoring below this are never assigned.
+  double min_score = 0.0;
+};
+
+/// Routes task batches to experts using an `ExpertFinder`, respecting
+/// per-expert load limits.
+///
+/// The algorithm is greedy in task order: each task takes the best-ranked
+/// experts that still have capacity. Determinism follows from the finder's
+/// deterministic rankings.
+class TaskRouter {
+ public:
+  /// `finder` must outlive the router and should cover all platforms if
+  /// `contact_platform` recommendations are wanted.
+  TaskRouter(const core::ExpertFinder* finder, RouterOptions options);
+  explicit TaskRouter(const core::ExpertFinder* finder)
+      : TaskRouter(finder, RouterOptions{}) {}
+
+  /// Routes `tasks`. Tasks are processed in input order; an empty result
+  /// list for a task is reported in `shortfalls` with count 0.
+  RoutingPlan Route(const std::vector<Task>& tasks) const;
+
+  const RouterOptions& options() const { return options_; }
+
+ private:
+  /// Picks the contact platform for (task, candidate) by strongest
+  /// evidence contribution.
+  platform::Platform ContactPlatform(const std::string& task_text,
+                                     int candidate) const;
+
+  const core::ExpertFinder* finder_;
+  RouterOptions options_;
+};
+
+}  // namespace crowdex::routing
+
+#endif  // CROWDEX_ROUTING_TASK_ROUTER_H_

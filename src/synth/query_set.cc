@@ -1,0 +1,132 @@
+#include "synth/query_set.h"
+
+namespace crowdex::synth {
+
+const std::vector<ExpertiseNeed>& DefaultQuerySet() {
+  static const auto* kQueries = new std::vector<ExpertiseNeed>{
+      // Computer engineering (paper example: PHP string length).
+      {1,
+       "Which PHP function can I use in order to obtain the length of a "
+       "string?",
+       Domain::kComputerEngineering},
+      {2,
+       "How do I write a SQL query with a join over two tables and an "
+       "index?",
+       Domain::kComputerEngineering},
+      {3,
+       "What is the best way to debug a recursion bug in Python code?",
+       Domain::kComputerEngineering},
+      {4,
+       "Can someone explain how a compiler parses the syntax of a "
+       "programming language?",
+       Domain::kComputerEngineering},
+      {5,
+       "How do I merge a branch in Git without losing my commit history?",
+       Domain::kComputerEngineering},
+
+      // Location (paper example: restaurants in Milan).
+      {6, "Can you list some restaurants in Milan?", Domain::kLocation},
+      {7,
+       "What museums should I visit during a trip to Paris near the Eiffel "
+       "Tower?",
+       Domain::kLocation},
+      {8,
+       "I am planning a vacation in Rome, is the Colosseum worth a guided "
+       "tour?",
+       Domain::kLocation},
+      {9,
+       "Which hotel in Tokyo would you recommend for a week of travel and "
+       "sushi food?",
+       Domain::kLocation},
+
+      // Movies & TV (paper example: actors in How I Met Your Mother).
+      {10,
+       "Can you list some famous actors in How I Met Your Mother?",
+       Domain::kMoviesTv},
+      {11,
+       "Is the ending of Inception explained by the director Christopher "
+       "Nolan?",
+       Domain::kMoviesTv},
+      {12,
+       "Which season of Breaking Bad has the best episodes?",
+       Domain::kMoviesTv},
+      {13,
+       "What movie should I watch tonight, something like The Godfather "
+       "with Al Pacino?",
+       Domain::kMoviesTv},
+
+      // Music (paper example: songs of Michael Jackson).
+      {14,
+       "Can you list some famous songs of Michael Jackson?",
+       Domain::kMusic},
+      {15,
+       "Which album of The Beatles should I listen to first?",
+       Domain::kMusic},
+      {16,
+       "What are good piano pieces by Mozart for a beginner concert?",
+       Domain::kMusic},
+      {17,
+       "Can you suggest a playlist of rock music with great guitar "
+       "tracks?",
+       Domain::kMusic},
+
+      // Science (paper example: copper conductor).
+      {18, "Why is copper a good conductor?", Domain::kScience},
+      {19,
+       "How does DNA store the genes of a cell, in simple terms?",
+       Domain::kScience},
+      {20,
+       "What did the CERN experiment measure about the Higgs boson "
+       "particle?",
+       Domain::kScience},
+      {21,
+       "Can someone explain Einstein's theory of gravity versus Newton's "
+       "law?",
+       Domain::kScience},
+
+      // Sport (paper example: European football teams; intro example:
+      // best freestyle swimmers).
+      {22, "Can you list some famous European football teams?",
+       Domain::kSport},
+      {23, "Who are the best freestyle swimmers of the Olympic Games?",
+       Domain::kSport},
+      {24,
+       "Did Michael Phelps win another gold medal in the swimming pool?",
+       Domain::kSport},
+      {25,
+       "What is a good training plan for my first marathon race?",
+       Domain::kSport},
+      {26,
+       "Will Real Madrid or FC Barcelona win the Champions League final "
+       "match?",
+       Domain::kSport},
+
+      // Technology & videogames (paper example: graphics card for
+      // Diablo 3).
+      {27,
+       "I am looking for a graphic card to play Diablo 3 but I don't want "
+       "to spend too much. What do you suggest?",
+       Domain::kTechnologyGames},
+      {28,
+       "Should I buy an iPhone or an Android smartphone for the camera?",
+       Domain::kTechnologyGames},
+      {29,
+       "Which console has better exclusive games, PlayStation or Xbox?",
+       Domain::kTechnologyGames},
+      {30,
+       "What laptop spec do I need to stream Call of Duty multiplayer "
+       "with high fps?",
+       Domain::kTechnologyGames},
+  };
+  return *kQueries;
+}
+
+std::vector<ExpertiseNeed> QueriesForDomain(Domain domain) {
+  std::vector<ExpertiseNeed> out;
+  for (const auto& q : DefaultQuerySet()) {
+    if (q.domain == domain) out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace crowdex::synth

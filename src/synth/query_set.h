@@ -1,0 +1,33 @@
+#ifndef CROWDEX_SYNTH_QUERY_SET_H_
+#define CROWDEX_SYNTH_QUERY_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/domain.h"
+
+namespace crowdex::synth {
+
+/// One expertise need of the evaluation workload.
+struct ExpertiseNeed {
+  /// Stable id (1-based, as in the paper's Fig. 11 "Question 1..30").
+  int id = 0;
+  /// Natural-language question text.
+  std::string text;
+  /// The domain this need refers to (every need maps to exactly one of the
+  /// seven domains — Sec. 3.1).
+  Domain domain = Domain::kScience;
+};
+
+/// Returns the 30-query evaluation workload, modeled on Sec. 3.1's examples
+/// (e.g. "Which PHP function can I use in order to obtain the length of a
+/// string?", "Can you list some restaurants in Milan?"), extended to 30
+/// needs spanning all seven domains.
+const std::vector<ExpertiseNeed>& DefaultQuerySet();
+
+/// Returns the subset of `DefaultQuerySet()` for `domain`.
+std::vector<ExpertiseNeed> QueriesForDomain(Domain domain);
+
+}  // namespace crowdex::synth
+
+#endif  // CROWDEX_SYNTH_QUERY_SET_H_

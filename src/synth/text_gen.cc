@@ -1,0 +1,179 @@
+#include "synth/text_gen.h"
+
+#include <cassert>
+
+#include "synth/vocabulary.h"
+
+namespace crowdex::synth {
+
+TextGenerator::TextGenerator(const entity::KnowledgeBase* kb, Rng rng)
+    : kb_(kb), rng_(rng) {
+  static_assert(kNumSubtopics <= 8, "subtopic arrays are sized for 8 slices");
+  domain_entities_.resize(kNumDomains);
+  subtopic_words_.resize(kNumDomains);
+  subtopic_entities_.resize(kNumDomains);
+  for (Domain d : kAllDomains) {
+    int di = DomainIndex(d);
+    domain_entities_[di] = kb_->EntitiesInDomain(d);
+    for (int s = 0; s < kNumSubtopics; ++s) {
+      subtopic_words_[di][s] = DomainSubtopicWords(d, s);
+    }
+    for (entity::EntityId id : domain_entities_[di]) {
+      // Slice entities semantically: an entity belongs to the slice whose
+      // vocabulary overlaps its context terms the most (Michael Phelps ->
+      // the swimming slice, AC Milan -> football). Ties and context-free
+      // entities fall back to a name hash.
+      const entity::Entity& e = kb_->at(id);
+      int best = SubtopicOfWord(e.name);
+      int best_overlap = 0;
+      for (int s = 0; s < kNumSubtopics; ++s) {
+        int overlap = 0;
+        for (const auto& ctx : e.context_terms) {
+          for (const auto& w : subtopic_words_[di][s]) {
+            if (ctx == w) ++overlap;
+          }
+        }
+        if (overlap > best_overlap) {
+          best_overlap = overlap;
+          best = s;
+        }
+      }
+      subtopic_entities_[di][best].push_back(id);
+    }
+  }
+}
+
+void TextGenerator::AppendWord(const std::vector<std::string>& pool,
+                               std::string& out) {
+  if (pool.empty()) return;
+  if (!out.empty()) out.push_back(' ');
+  out += pool[rng_.NextBelow(pool.size())];
+}
+
+void TextGenerator::AppendEntityMention(Domain domain, int subtopic,
+                                        std::string& out) {
+  const std::vector<entity::EntityId>* ids =
+      &domain_entities_[DomainIndex(domain)];
+  if (subtopic >= 0) {
+    const auto& sliced = subtopic_entities_[DomainIndex(domain)][subtopic];
+    if (!sliced.empty()) ids = &sliced;
+  }
+  if (ids->empty()) return;
+  const entity::Entity& e = kb_->at((*ids)[rng_.NextBelow(ids->size())]);
+  if (e.aliases.empty()) return;
+  if (!out.empty()) out.push_back(' ');
+  out += e.aliases[rng_.NextBelow(e.aliases.size())];
+}
+
+std::string TextGenerator::TopicalText(Domain domain, int words,
+                                       double entity_prob) {
+  return TopicalText(domain, /*subtopic=*/-1, words, entity_prob);
+}
+
+std::string TextGenerator::TopicalText(Domain domain, int subtopic, int words,
+                                       double entity_prob) {
+  assert(subtopic < kNumSubtopics);
+  std::string out;
+  const auto& glue = EnglishGlueWords();
+  const auto& whole_domain = DomainWords(domain);
+  const std::vector<std::string>* slice = &whole_domain;
+  if (subtopic >= 0) {
+    const auto& sliced = subtopic_words_[DomainIndex(domain)][subtopic];
+    if (!sliced.empty()) slice = &sliced;
+  }
+  int emitted = 0;
+  while (emitted < words) {
+    double roll = rng_.NextDouble();
+    if (roll < 0.35) {
+      AppendWord(glue, out);
+      ++emitted;
+    } else if (roll < 0.35 + entity_prob) {
+      AppendEntityMention(domain, subtopic, out);
+      emitted += 2;  // Mentions are often multi-token; count them as ~2.
+    } else if (subtopic >= 0 && rng_.NextBool(0.25)) {
+      // Even focused users stray into the broader domain now and then.
+      AppendWord(whole_domain, out);
+      ++emitted;
+    } else {
+      AppendWord(*slice, out);
+      ++emitted;
+    }
+  }
+  return out;
+}
+
+std::string TextGenerator::ChitchatText(int words) {
+  std::string out;
+  const auto& glue = EnglishGlueWords();
+  const auto& chat = ChitchatWords();
+  for (int i = 0; i < words; ++i) {
+    AppendWord(rng_.NextBool(0.4) ? glue : chat, out);
+  }
+  return out;
+}
+
+std::string TextGenerator::ForeignText(text::Language lang, int words) {
+  std::string out;
+  const auto& pool = ForeignWords(lang);
+  for (int i = 0; i < words; ++i) AppendWord(pool, out);
+  return out;
+}
+
+std::string TextGenerator::WebPageText(Domain domain, int words) {
+  return WebPageText(domain, /*subtopic=*/-1, words);
+}
+
+std::string TextGenerator::WebPageText(Domain domain, int subtopic,
+                                       int words) {
+  // Pages are denser in content and entities than posts.
+  return TopicalText(domain, subtopic, words, /*entity_prob=*/0.18);
+}
+
+std::string TextGenerator::GenericProfileText(int words, bool mention_city) {
+  std::string out;
+  const auto& filler = ProfileFillerWords();
+  const auto& glue = EnglishGlueWords();
+  for (int i = 0; i < words; ++i) {
+    AppendWord(rng_.NextBool(0.3) ? glue : filler, out);
+  }
+  if (mention_city) {
+    // Home-town mentions are near-universal on profiles, which is exactly
+    // what makes the Location domain hard (Sec. 3.7): location signal is
+    // present for everybody, experts and non-experts alike.
+    AppendEntityMention(Domain::kLocation, /*subtopic=*/-1, out);
+  }
+  return out;
+}
+
+std::string TextGenerator::EntityMention(Domain domain) {
+  std::string out;
+  AppendEntityMention(domain, /*subtopic=*/-1, out);
+  return out;
+}
+
+std::string TextGenerator::CareerProfileText(int words, Domain slant_domain,
+                                             int slant_subtopic,
+                                             int domain_slant) {
+  std::string out;
+  const auto& career = CareerWords();
+  const auto& glue = EnglishGlueWords();
+  for (int i = 0; i < words; ++i) {
+    AppendWord(rng_.NextBool(0.25) ? glue : career, out);
+  }
+  const std::vector<std::string>* slant = &DomainWords(slant_domain);
+  if (slant_subtopic >= 0) {
+    const auto& sliced =
+        subtopic_words_[DomainIndex(slant_domain)][slant_subtopic];
+    if (!sliced.empty()) slant = &sliced;
+  }
+  for (int i = 0; i < domain_slant; ++i) {
+    if (rng_.NextBool(0.3)) {
+      AppendEntityMention(slant_domain, slant_subtopic, out);
+    } else {
+      AppendWord(*slant, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdex::synth

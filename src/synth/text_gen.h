@@ -1,0 +1,89 @@
+#ifndef CROWDEX_SYNTH_TEXT_GEN_H_
+#define CROWDEX_SYNTH_TEXT_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/domain.h"
+#include "common/rng.h"
+#include "synth/vocabulary.h"
+#include "entity/knowledge_base.h"
+#include "text/language_id.h"
+
+namespace crowdex::synth {
+
+/// Generates synthetic social-media text with controllable topicality.
+///
+/// Sentences are bags of words sampled from three pools — English glue
+/// words (so the language identifier sees real English), domain content
+/// words, and entity aliases from the knowledge base (so the entity
+/// annotator has mentions to find). The proportions mirror what short
+/// social text looks like: mostly glue and chit-chat, with topical islands.
+class TextGenerator {
+ public:
+  /// `kb` must outlive the generator.
+  TextGenerator(const entity::KnowledgeBase* kb, Rng rng);
+
+  /// A topical post about `domain` with roughly `words` tokens.
+  /// `entity_prob` is the per-slot probability of emitting an entity
+  /// mention instead of a plain domain word.
+  std::string TopicalText(Domain domain, int words, double entity_prob);
+
+  /// Like `TopicalText`, but drawn mostly from one *subtopic* slice of the
+  /// domain vocabulary (see `kNumSubtopics`). Real users and groups do not
+  /// cover a whole domain uniformly — a football fan and a swimmer are both
+  /// "Sport" — and this concentration is what keeps a specific expertise
+  /// need from matching every domain-active user. `subtopic` must be in
+  /// [0, kNumSubtopics); a negative value falls back to the whole domain.
+  std::string TopicalText(Domain domain, int subtopic, int words,
+                          double entity_prob);
+
+  /// An off-topic, everyday post (the noise floor).
+  std::string ChitchatText(int words);
+
+  /// A non-English post in `lang` (filtered out by language ID upstream).
+  std::string ForeignText(text::Language lang, int words);
+
+  /// Simulated "extracted main content" of a Web page about `domain` —
+  /// longer and denser than a post, as a news article or blog post would
+  /// be after boilerplate removal. The subtopic overload keeps the page on
+  /// the same slice as the post that links it.
+  std::string WebPageText(Domain domain, int words);
+  std::string WebPageText(Domain domain, int subtopic, int words);
+
+  /// A short generic bio ("love life coffee dreamer...") with an optional
+  /// home-city mention, as found on Facebook/Twitter profiles.
+  std::string GenericProfileText(int words, bool mention_city);
+
+  /// A career-style LinkedIn bio. `domain_slant` > 0 mixes in that many
+  /// words of `slant_domain` vocabulary, concentrated on `slant_subtopic`
+  /// (a PHP developer's profile says PHP and code, not random
+  /// computer-engineering words). Negative subtopic = whole domain.
+  std::string CareerProfileText(int words, Domain slant_domain,
+                                int slant_subtopic, int domain_slant);
+
+  /// A standalone entity mention of `domain` (one random alias), e.g. a
+  /// home-town line on a profile.
+  std::string EntityMention(Domain domain);
+
+  /// Expose the RNG so callers can interleave draws deterministically.
+  Rng& rng() { return rng_; }
+
+ private:
+  /// Appends one random alias of a random entity of `domain` (optionally
+  /// restricted to a subtopic slice).
+  void AppendEntityMention(Domain domain, int subtopic, std::string& out);
+  void AppendWord(const std::vector<std::string>& pool, std::string& out);
+
+  const entity::KnowledgeBase* kb_;
+  Rng rng_;
+  /// Entity ids per domain, cached from the KB.
+  std::vector<std::vector<entity::EntityId>> domain_entities_;
+  /// Per-domain, per-subtopic slices of the word and entity pools.
+  std::vector<std::array<std::vector<std::string>, 8>> subtopic_words_;
+  std::vector<std::array<std::vector<entity::EntityId>, 8>> subtopic_entities_;
+};
+
+}  // namespace crowdex::synth
+
+#endif  // CROWDEX_SYNTH_TEXT_GEN_H_

@@ -1,0 +1,429 @@
+#include "synth/vocabulary.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace crowdex::synth {
+
+namespace {
+
+using V = std::vector<std::string>;
+
+// --- Subtopic slices. Each domain splits into three semantically coherent
+// slices; a user/group concentrates on a slice (a "Sport" person is a
+// football person or a swimmer, rarely uniformly both). Queries use slice
+// vocabulary, so a need about freestyle swimming matches swimming-slice
+// content, not football chatter — the sparsity real social data has.
+
+// Computer engineering: languages & code / databases & data / web & tools.
+const V& ComputerSlice(int s) {
+  static const auto* kCode = new V{
+      "code",      "function",   "string",    "length",    "variable",
+      "loop",      "pointer",    "class",     "object",    "method",
+      "compile",   "compiler",   "syntax",    "debug",     "bug",
+      "exception", "recursion",  "algorithm", "interface", "template",
+      "typed",     "integer",    "boolean",   "array",     "operator",
+      "parameter", "argument",   "expression", "statement", "declaration",
+      "runtime",   "stacktrace", "refactor",  "snippet",   "interpreter",
+  };
+  static const auto* kData = new V{
+      "database",  "query",      "table",     "index",     "schema",
+      "transaction", "join",     "select",    "insert",    "update",
+      "key",       "column",     "row",       "storage",   "replication",
+      "shard",     "partition",  "consistency", "backup",  "migration",
+      "analytics", "warehouse",  "pipeline",  "batch",     "etl",
+      "cluster",   "distributed", "mapreduce", "nosql",    "relational",
+      "cache",     "latency",    "throughput", "benchmark", "dataset",
+  };
+  static const auto* kWeb = new V{
+      "server",    "frontend",   "backend",   "deploy",    "framework",
+      "library",   "script",     "browser",   "endpoint",  "request",
+      "response",  "session",    "cookie",    "markup",    "stylesheet",
+      "repository", "commit",    "branch",    "merge",     "release",
+      "version",   "dependency", "package",   "container", "devops",
+      "microservice", "rest",    "webhook",   "token",     "authentication",
+      "middleware", "router",    "scaffold", "sandbox",   "workflow",
+  };
+  switch (s) {
+    case 0: return *kCode;
+    case 1: return *kData;
+    default: return *kWeb;
+  }
+}
+
+// Location: dining & food / sightseeing & culture / travel logistics.
+const V& LocationSlice(int s) {
+  static const auto* kDining = new V{
+      "restaurant", "food",      "menu",      "dinner",    "lunch",
+      "chef",       "cuisine",   "pizza",     "pasta",     "risotto",
+      "wine",       "espresso",  "dessert",   "appetizer", "tasting",
+      "bistro",     "trattoria", "brunch",    "seafood",   "vegetarian",
+      "reservation", "waiter",   "gourmet",   "recipe",    "flavor",
+      "bakery",     "market",    "streetfood", "cocktail", "aperitivo",
+      "tapas",      "noodle",    "ramen",     "cheese",    "gelato",
+  };
+  static const auto* kSights = new V{
+      "museum",     "gallery",   "church",    "cathedral", "square",
+      "monument",   "landmark",  "ruins",     "castle",    "palace",
+      "bridge",     "river",     "canal",     "fountain",  "statue",
+      "exhibition", "fresco",    "architecture", "gothic", "renaissance",
+      "panorama",   "viewpoint", "oldtown",   "district",  "quarter",
+      "walking",    "guide",     "heritage",  "basilica",  "amphitheatre",
+      "skyline",    "rooftop",   "garden",    "park",      "boulevard",
+  };
+  static const auto* kTravel = new V{
+      "hotel",      "booking",   "flight",    "airport",   "train",
+      "station",    "luggage",   "passport",  "itinerary", "vacation",
+      "trip",       "travel",    "visit",     "tour",      "hostel",
+      "checkin",    "checkout",  "terminal",  "boarding",  "layover",
+      "transfer",   "taxi",      "metro",     "tram",      "ferry",
+      "rental",     "roadtrip",  "backpacking", "suitcase", "departure",
+      "arrival",    "timetable", "gate", "lounge",    "upgrade",
+  };
+  switch (s) {
+    case 0: return *kDining;
+    case 1: return *kSights;
+    default: return *kTravel;
+  }
+}
+
+// Movies & TV: series & episodes / films & directors / streaming & awards.
+const V& MoviesSlice(int s) {
+  static const auto* kSeries = new V{
+      "episode",    "season",    "series",    "sitcom",    "finale",
+      "pilot",      "spinoff",   "showrunner", "cliffhanger", "recap",
+      "character",  "storyline", "subplot",   "cast",      "ensemble",
+      "laughtrack", "network",   "renewal",   "cancellation", "crossover",
+      "binge",      "boxset", "rerun",     "broadcast", "primetime",
+      "anthology",  "miniseries", "procedural", "mockumentary", "dramedy",
+      "catchphrase", "cameo",    "bottle",    "arc",       "writers",
+  };
+  static const auto* kFilms = new V{
+      "movie",      "film",      "director",  "screenplay", "scene",
+      "plot",       "ending",    "twist",     "cinematography", "montage",
+      "trailer",    "premiere",  "cinema",    "blockbuster", "indie",
+      "sequel",     "prequel",   "remake",    "trilogy",   "franchise",
+      "actor",      "actress",   "audition",  "casting",   "stuntman",
+      "villain",    "protagonist", "dialogue", "closeup",  "flashback",
+      "noir",       "heist", "arthouse",  "screening", "boxoffice",
+  };
+  static const auto* kStreaming = new V{
+      "streaming",  "watchlist", "subscription", "provider", "catalog",
+      "rating",     "review",    "critic",    "spoiler",   "fandom",
+      "award",      "ceremony",  "nominee",   "winner",    "redcarpet",
+      "biopic",  "documentary", "animation", "dubbing", "subtitle",
+      "soundtrack", "score",     "credits",  "promo",  "teaser",
+      "recommendation", "algorithmic", "queue", "autoplay", "rollout",
+      "exclusive",  "original",  "adaptation", "reboot",   "rumor",
+  };
+  switch (s) {
+    case 0: return *kSeries;
+    case 1: return *kFilms;
+    default: return *kStreaming;
+  }
+}
+
+// Music: pop & songs / classical & instruments / rock & live.
+const V& MusicSlice(int s) {
+  static const auto* kPop = new V{
+      "song",       "single",    "album",     "pop",       "chart",
+      "hit",        "lyric",     "chorus",    "verse",     "hook",
+      "dance",      "beat",      "remix",     "producer",  "studio",
+      "playlist",   "track",     "record",    "label",     "debut",
+      "vocalist",   "ballad",    "duet",      "collab",    "autotune",
+      "video",      "choreography", "fanbase", "billboard", "radio",
+      "earworm",    "refrain",   "tempo",     "rhythm",    "groove",
+  };
+  static const auto* kClassical = new V{
+      "piano",      "violin",    "cello",     "orchestra", "symphony",
+      "sonata",     "concerto",  "opera",    "aria",      "soprano",
+      "tenor",      "conducting", "baton",    "quartet",   "chamber",
+      "composing",  "movement",  "overture",  "prelude",   "nocturne",
+      "recital",    "conservatory", "sheet", "notation",  "harmony",
+      "counterpoint", "baroque", "romantic",  "philharmonic", "maestro",
+      "strings",    "woodwind",  "brass",     "percussion", "choir",
+  };
+  static const auto* kRock = new V{
+      "band",       "guitar",    "bass",      "drum",      "riff",
+      "solo",       "amplifier", "distortion", "concert",  "tour",
+      "stage",      "live",      "gig",       "venue",     "openair",
+      "encore",     "setlist",   "frontman",  "drummer",   "guitarist",
+      "rock",       "hardrock",    "punk",      "garage",    "grunge",
+      "jazz",       "blues",     "improvisation", "saxophone", "swing",
+      "vinyl",      "acoustic",  "electric",  "unplugged", "roadie",
+  };
+  switch (s) {
+    case 0: return *kPop;
+    case 1: return *kClassical;
+    default: return *kRock;
+  }
+}
+
+// Science: physics & electricity / biology & medicine / space & chemistry.
+const V& ScienceSlice(int s) {
+  static const auto* kPhysics = new V{
+      "physics",    "particle",  "quantum",   "electron",  "photon",
+      "energy",     "force",     "mass",      "gravity",   "relativity",
+      "conductor",  "copper",    "current",   "voltage",   "resistance",
+      "circuit",    "magnetic",  "field",     "wave",      "frequency",
+      "metal",      "electrical", "charge",   "insulator", "semiconductor",
+      "collider",   "accelerator", "boson",   "neutrino",  "entanglement",
+      "thermodynamics", "entropy", "momentum", "velocity", "experiment",
+  };
+  static const auto* kBio = new V{
+      "biology",    "cell",      "gene",      "protein",   "enzyme",
+      "organism",   "species",   "evolution", "mutation",  "genome",
+      "bacteria",   "virus",     "vaccine",   "antibody",  "immune",
+      "medicine",   "disease",   "diagnosis", "treatment", "clinical",
+      "patient",    "trial",     "brain",     "neuron",    "synapse",
+      "helix",       "rna",       "chromosome", "photosynthesis", "chlorophyll",
+      "metabolism", "hormone",   "receptor",  "microscope", "petri",
+  };
+  static const auto* kSpace = new V{
+      "astronomy",  "telescope", "planet",    "orbit",     "galaxy",
+      "star",       "nebula",    "comet",     "asteroid",  "satellite",
+      "rover",      "lander",    "rocket",    "launchpad", "cosmos",
+      "chemistry",  "molecule",  "atom",      "reaction",  "compound",
+      "element",    "catalyst",  "solution",  "acid",      "oxide",
+      "crystal",    "polymer",   "isotope",   "spectroscopy", "titration",
+      "observatory", "eclipse",  "supernova", "exoplanet", "cosmology",
+  };
+  switch (s) {
+    case 0: return *kPhysics;
+    case 1: return *kBio;
+    default: return *kSpace;
+  }
+}
+
+// Sport: football & team sports / swimming & athletics / tennis & fitness.
+const V& SportSlice(int s) {
+  static const auto* kFootball = new V{
+      "football",   "goal",      "match",     "team",      "league",
+      "derby",      "penalty",   "striker",   "midfielder", "defender",
+      "goalkeeper", "transfer",  "stadium",   "champions", "cup",
+      "fixture",    "referee",   "offside",   "corner",    "freekick",
+      "basketball", "dunk",      "playoffs",  "roster",    "coach",
+      "tactics",    "formation", "counterattack", "header", "crossbar",
+      "scoreline",  "hattrick",  "relegation", "qualifier", "supporters",
+  };
+  static const auto* kSwimming = new V{
+      "swimming",   "freestyle", "pool",      "stroke",    "lap",
+      "backstroke", "butterfly", "breaststroke", "medley", "relay",
+      "swimmer",    "goggles",   "lane",      "dive",      "turn",
+      "running",    "sprint",    "marathon",  "athletics", "track",
+      "hurdles",    "javelin",   "longjump",  "medal",     "gold",
+      "silver",     "bronze",    "podium",    "record",    "olympic",
+      "qualifying", "heat",      "finish",    "stopwatch", "pacer",
+  };
+  static const auto* kTennis = new V{
+      "tennis",     "serve",     "court",     "racket",    "volley",
+      "backhand",   "forehand",  "ace",       "breakpoint", "tiebreak",
+      "set",        "grandslam", "wimbledon", "claycourt", "umpire",
+      "fitness",    "workout",   "gym",       "training",  "session",
+      "stretching", "cardio",    "endurance", "strength",  "recovery",
+      "nutrition",  "hydration", "injury",    "physio",    "warmup",
+      "cooldown",   "repetition", "deadlift", "treadmill", "yoga",
+  };
+  switch (s) {
+    case 0: return *kFootball;
+    case 1: return *kSwimming;
+    default: return *kTennis;
+  }
+}
+
+// Technology & games: videogames / pc hardware / phones & gadgets.
+const V& TechSlice(int s) {
+  static const auto* kGames = new V{
+      "game",       "gaming",    "quest",     "level",     "boss",
+      "loot",       "raid",      "guild",     "multiplayer", "shooter",
+      "strategy",   "rpg",       "campaign",  "checkpoint", "respawn",
+      "console",    "controller", "joystick", "speedrun",  "leaderboard",
+      "patch",      "expansion", "dlc",       "mod",       "esports",
+      "ladder", "matchmaking", "lobby",  "skin",      "achievement",
+      "crafting",   "openworld", "platformer", "roguelike", "buff",
+  };
+  static const auto* kHardware = new V{
+      "graphics",   "card",      "gpu",       "cpu",       "processor",
+      "ram",        "motherboard", "cooling", "overclock", "watercooling",
+      "fps",        "resolution", "monitor",  "keyboard",  "mouse",
+      "headset",    "rig",       "build",     "wattage",   "chassis",
+      "ssd",        "nvme",      "thermal",   "fan",       "silicon",
+      "chipset",    "driver",    "firmware",  "bios",      "hardware",
+      "spec",       "bottleneck", "pcie",     "bandwidth", "refresh",
+  };
+  static const auto* kGadgets = new V{
+      "phone",      "handset", "tablet",  "screen",    "battery",
+      "camera",     "app",       "launch",    "unboxing",  "impressions",
+      "gadget",     "device",    "wearable",  "smartwatch", "earbuds",
+      "charger",    "wireless",  "bluetooth", "notification", "upgrade",
+      "launcher",   "ios",       "update",    "widget",    "stylus",
+      "foldable",   "bezel",     "megapixel", "fingerprint", "faceid",
+      "assistant",  "ecosystem", "flagship",  "midrange",  "teardown",
+  };
+  switch (s) {
+    case 0: return *kGames;
+    case 1: return *kHardware;
+    default: return *kGadgets;
+  }
+}
+
+const V& SliceFor(Domain domain, int s) {
+  switch (domain) {
+    case Domain::kComputerEngineering: return ComputerSlice(s);
+    case Domain::kLocation: return LocationSlice(s);
+    case Domain::kMoviesTv: return MoviesSlice(s);
+    case Domain::kMusic: return MusicSlice(s);
+    case Domain::kScience: return ScienceSlice(s);
+    case Domain::kSport: return SportSlice(s);
+    case Domain::kTechnologyGames: return TechSlice(s);
+  }
+  return ScienceSlice(s);
+}
+
+// word -> (domain-independent) subtopic index, built from the slices above.
+const std::unordered_map<std::string, int>& SubtopicTable() {
+  static const auto* kTable = [] {
+    auto* table = new std::unordered_map<std::string, int>();
+    for (Domain d : kAllDomains) {
+      for (int s = 0; s < kNumSubtopics; ++s) {
+        for (const auto& w : SliceFor(d, s)) table->emplace(w, s);
+      }
+    }
+    return table;
+  }();
+  return *kTable;
+}
+
+}  // namespace
+
+int SubtopicOfWord(std::string_view word) {
+  const auto& table = SubtopicTable();
+  auto it = table.find(std::string(word));
+  if (it != table.end()) return it->second;
+  // Unknown words (entity aliases, glue) hash deterministically.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : word) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return static_cast<int>(h % kNumSubtopics);
+}
+
+const std::vector<std::string>& DomainSubtopicWords(Domain domain,
+                                                    int subtopic) {
+  return SliceFor(domain, subtopic);
+}
+
+const std::vector<std::string>& DomainWords(Domain domain) {
+  static const auto* kUnions = [] {
+    auto* unions = new std::vector<V>(kNumDomains);
+    for (Domain d : kAllDomains) {
+      V& u = (*unions)[DomainIndex(d)];
+      for (int s = 0; s < kNumSubtopics; ++s) {
+        const V& slice = SliceFor(d, s);
+        u.insert(u.end(), slice.begin(), slice.end());
+      }
+    }
+    return unions;
+  }();
+  return (*kUnions)[DomainIndex(domain)];
+}
+
+const std::vector<std::string>& ChitchatWords() {
+  static const auto* kWords = new V{
+      "birthday",  "coffee",   "weekend",  "morning",  "tonight",
+      "evening",   "party",    "friends",  "family",   "happy",
+      "tired",     "sleep",    "work",     "office",   "meeting",
+      "monday",    "friday",   "sunday",   "holiday",  "summer",
+      "winter",    "rain",     "sunny",    "weather",  "beautiful",
+      "amazing",   "awesome",  "great",    "love",     "miss",
+      "thanks",    "congrats", "wedding",  "baby",     "dog",
+      "cat",       "photo",    "selfie",   "snack",   "breakfast",
+      "picnic",    "home",     "shopping", "sale",     "traffic",
+      "bus",       "finally",  "waiting",  "excited",  "bored",
+  };
+  return *kWords;
+}
+
+const std::vector<std::string>& EnglishGlueWords() {
+  static const auto* kWords = new V{
+      "the",  "and", "is",   "was",  "are",  "have", "with", "this",
+      "that", "for", "just", "what", "about", "from", "they", "been",
+      "very", "some", "when", "will", "would", "because", "really",
+      "today", "think", "going", "good", "time", "people", "much",
+  };
+  return *kWords;
+}
+
+const std::vector<std::string>& ForeignWords(text::Language lang) {
+  static const auto* kItalian = new V{
+      "oggi",    "sono",    "molto",   "bella",    "giornata", "andiamo",
+      "mangiare", "domani", "sempre",  "grazie",   "amici",    "lavoro",
+      "il",      "la",      "di",      "che",      "per",      "non",
+      "con",     "una",     "della",   "questo",   "come",     "anche",
+      "tempo",   "casa",    "sera",    "buona",    "tutto",    "bene",
+      "festa",   "cena",    "settimana", "vacanza", "bellissimo", "allora",
+  };
+  static const auto* kSpanish = new V{
+      "hoy",     "estoy",   "muy",     "bonita",   "manana",   "vamos",
+      "comer",   "siempre", "gracias", "amigos",   "trabajo",  "el",
+      "la",      "de",      "que",     "por",      "una",      "con",
+      "para",    "los",     "este",    "como",     "tambien",  "tiempo",
+      "casa",    "noche",   "buena",   "todo",     "bien",     "fiesta",
+      "cena",    "semana",  "vacaciones", "hermoso", "entonces", "donde",
+  };
+  static const auto* kFrench = new V{
+      "aujourdhui", "suis",  "tres",    "belle",    "demain",   "allons",
+      "manger",  "toujours", "merci",   "amis",     "travail",  "le",
+      "la",      "de",      "que",      "pour",     "une",      "avec",
+      "dans",    "les",     "cette",    "comme",    "aussi",    "temps",
+      "maison",  "soir",    "bonne",    "tout",     "bien",     "fete",
+      "diner",   "semaine", "vacances", "magnifique", "alors",  "quand",
+  };
+  static const auto* kGerman = new V{
+      "heute",   "bin",     "sehr",    "schone",   "morgen",   "gehen",
+      "essen",   "immer",   "danke",   "freunde",  "arbeit",   "der",
+      "die",     "das",     "und",     "fur",      "eine",     "mit",
+      "nach",    "den",     "diese",   "wie",      "auch",     "zeit",
+      "haus",    "abend",   "gute",    "alles",    "gut",      "party",
+      "woche",   "urlaub",  "wunderbar", "dann",   "wann",     "nicht",
+  };
+  static const auto* kEmpty = new V{};
+  switch (lang) {
+    case text::Language::kItalian:
+      return *kItalian;
+    case text::Language::kSpanish:
+      return *kSpanish;
+    case text::Language::kFrench:
+      return *kFrench;
+    case text::Language::kGerman:
+      return *kGerman;
+    default:
+      return *kEmpty;
+  }
+}
+
+const std::vector<std::string>& ProfileFillerWords() {
+  static const auto* kWords = new V{
+      "love",     "life",     "living",  "dreamer",  "enjoy",
+      "passion",  "world",    "simple",  "things",   "every",
+      "moment",   "smile",    "positive", "vibes",   "explorer",
+      "curious",  "mind",     "heart",   "soul",     "happy",
+      "person",   "student",  "graduate", "proud",   "human",
+  };
+  return *kWords;
+}
+
+const std::vector<std::string>& CareerWords() {
+  static const auto* kWords = new V{
+      "engineer",    "software",    "developer",  "manager",    "senior",
+      "experience",  "skills",      "project",    "leadership",      "lead",
+      "consultant",  "architect",   "analyst",    "professional", "career",
+      "university",  "degree",      "master",     "computer",   "science",
+      "engineering", "specialist",  "technology", "solutions",  "enterprise",
+      "agile",       "certified",   "expertise",  "industry",   "innovation",
+  };
+  return *kWords;
+}
+
+}  // namespace crowdex::synth

@@ -1,0 +1,62 @@
+#ifndef CROWDEX_SYNTH_VOCABULARY_H_
+#define CROWDEX_SYNTH_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/domain.h"
+#include "text/language_id.h"
+
+namespace crowdex::synth {
+
+/// Number of subtopic slices per domain (e.g. Sport splits into football-,
+/// swimming-, and athletics-flavored vocabulary slices). Users, groups, and
+/// followable accounts concentrate on slices, so a specific expertise need
+/// only matches the users active in its slices — the sparsity that real
+/// social data has and a 45-word domain vocabulary would otherwise lack.
+inline constexpr int kNumSubtopics = 3;
+
+/// Subtopic of a word: table lookup over the slice vocabularies, with an
+/// FNV-1a hash fallback for words outside them. Query terms land in the
+/// same slices as post terms.
+int SubtopicOfWord(std::string_view word);
+
+/// The words of one subtopic slice of `domain` (e.g. Sport slice 1 is the
+/// swimming & athletics vocabulary). `subtopic` in [0, kNumSubtopics).
+const std::vector<std::string>& DomainSubtopicWords(Domain domain,
+                                                    int subtopic);
+
+/// Topical content words for `domain` (non-entity vocabulary: what people
+/// write *around* entity mentions — "training", "episode", "query", ...).
+/// These overlap deliberately with the knowledge base's entity context
+/// terms so that disambiguation has realistic evidence to work with.
+const std::vector<std::string>& DomainWords(Domain domain);
+
+/// Everyday chit-chat vocabulary used for off-topic posts ("birthday",
+/// "coffee", "weekend", ...). Most social-network content is off-topic;
+/// this is the noise floor the retrieval model must reject.
+const std::vector<std::string>& ChitchatWords();
+
+/// English function words injected into generated sentences so that the
+/// language identifier sees realistic English (articles, pronouns,
+/// auxiliaries).
+const std::vector<std::string>& EnglishGlueWords();
+
+/// Content+function words for generating non-English resources in `lang`
+/// (Italian/Spanish/French/German). Used to synthesize the ~30 % of
+/// resources the pipeline must filter out, per Sec. 3.1.
+const std::vector<std::string>& ForeignWords(text::Language lang);
+
+/// Generic profile vocabulary (non-topical bio text: "love", "life",
+/// "dreamer", "living", ...).
+const std::vector<std::string>& ProfileFillerWords();
+
+/// Work/career vocabulary for LinkedIn profiles ("engineer", "manager",
+/// "experience", ...). LinkedIn bios are professionally slanted, which is
+/// why the paper finds LI distance-0 strong for computer engineering.
+const std::vector<std::string>& CareerWords();
+
+}  // namespace crowdex::synth
+
+#endif  // CROWDEX_SYNTH_VOCABULARY_H_

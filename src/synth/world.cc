@@ -1,0 +1,743 @@
+#include "synth/world.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "synth/text_gen.h"
+#include "synth/vocabulary.h"
+
+namespace crowdex::synth {
+
+namespace {
+
+using graph::EdgeKind;
+using graph::NodeId;
+using graph::NodeKind;
+using platform::Platform;
+using platform::PlatformNetwork;
+
+constexpr std::array<std::string_view, 40> kCandidateNames = {
+    "alice",  "bob",     "charlie", "chuck",   "dave",   "erin",
+    "frank",  "grace",   "heidi",   "ivan",    "judy",   "karl",
+    "laura",  "mallory", "nina",    "oscar",   "peggy",  "quentin",
+    "rachel", "steve",   "trudy",   "ursula",  "victor", "wendy",
+    "xavier", "yvonne",  "zack",    "amelia",  "bruno",  "carla",
+    "diego",  "elena",   "fabio",   "gianna",  "hugo",   "irene",
+    "jacopo", "katia",   "luca",    "marta"};
+
+// Languages used for the non-English share of the corpus.
+constexpr std::array<text::Language, 4> kForeignLanguages = {
+    text::Language::kItalian, text::Language::kSpanish,
+    text::Language::kFrench, text::Language::kGerman};
+
+int Scaled(double scale, int mean) {
+  return std::max(1, static_cast<int>(std::llround(mean * scale)));
+}
+
+// State shared across the per-platform builders.
+struct Builder {
+  const WorldConfig& cfg;
+  SyntheticWorld& world;
+  TextGenerator gen;
+  Rng rng;
+  uint64_t url_counter = 0;
+
+  Builder(const WorldConfig& c, SyntheticWorld& w, Rng gen_rng, Rng rng_)
+      : cfg(c), world(w), gen(&w.kb, gen_rng), rng(rng_) {}
+
+  // Allocates a fresh URL, stores `page_text` behind it, and returns it.
+  std::string MakeUrl(const std::string& page_text) {
+    std::string url = "http://pages.example/p" + std::to_string(url_counter++);
+    world.web.Put(url, page_text);
+    return url;
+  }
+
+  // The body+URL of one generated resource. `topic_weights` drives the
+  // domain choice for topical posts; `offtopic_prob` is the platform's
+  // chit-chat share.
+  struct Payload {
+    std::string text;
+    std::string url;
+  };
+
+  // Picks a subtopic slice: by the caller's per-domain preferences when
+  // given, uniformly otherwise.
+  int PickSubtopic(
+      Domain d,
+      const std::array<std::array<double, kNumSubtopics>, kNumDomains>*
+          prefs) {
+    if (prefs == nullptr) {
+      return static_cast<int>(rng.NextBelow(kNumSubtopics));
+    }
+    std::vector<double> w((*prefs)[DomainIndex(d)].begin(),
+                          (*prefs)[DomainIndex(d)].end());
+    return static_cast<int>(rng.NextWeighted(w));
+  }
+
+  Payload MakeResource(
+      const std::array<double, kNumDomains>& topic_weights,
+      double offtopic_prob,
+      const std::array<std::array<double, kNumSubtopics>, kNumDomains>*
+          subtopic_prefs = nullptr) {
+    Payload p;
+    if (rng.NextBool(cfg.non_english_prob)) {
+      text::Language lang =
+          kForeignLanguages[rng.NextBelow(kForeignLanguages.size())];
+      p.text = gen.ForeignText(lang, static_cast<int>(rng.NextInRange(8, 22)));
+      if (rng.NextBool(cfg.url_prob)) {
+        p.url = MakeUrl(
+            gen.ForeignText(lang, static_cast<int>(rng.NextInRange(30, 60))));
+      }
+      return p;
+    }
+    if (rng.NextBool(offtopic_prob)) {
+      p.text = gen.ChitchatText(static_cast<int>(rng.NextInRange(6, 18)));
+      if (rng.NextBool(cfg.url_prob)) {
+        p.url =
+            MakeUrl(gen.ChitchatText(static_cast<int>(rng.NextInRange(25, 50))));
+      }
+      return p;
+    }
+    std::vector<double> weights(topic_weights.begin(), topic_weights.end());
+    Domain d = kAllDomains[rng.NextWeighted(weights)];
+    int subtopic = PickSubtopic(d, subtopic_prefs);
+    p.text = gen.TopicalText(d, subtopic,
+                             static_cast<int>(rng.NextInRange(8, 24)),
+                             /*entity_prob=*/0.12);
+    if (rng.NextBool(cfg.url_prob)) {
+      p.url = MakeUrl(gen.WebPageText(
+          d, subtopic, static_cast<int>(rng.NextInRange(35, 70))));
+    }
+    return p;
+  }
+
+  // Resource strictly about one (domain, subtopic) — group posts and
+  // celebrity tweets, whose containers are slice-focused.
+  Payload MakeDomainResource(Domain domain, int subtopic,
+                             double offtopic_prob) {
+    Payload p;
+    if (rng.NextBool(cfg.non_english_prob)) {
+      text::Language lang =
+          kForeignLanguages[rng.NextBelow(kForeignLanguages.size())];
+      p.text = gen.ForeignText(lang, static_cast<int>(rng.NextInRange(8, 22)));
+      if (rng.NextBool(cfg.url_prob)) {
+        p.url = MakeUrl(
+            gen.ForeignText(lang, static_cast<int>(rng.NextInRange(30, 60))));
+      }
+      return p;
+    }
+    if (rng.NextBool(offtopic_prob)) {
+      p.text = gen.ChitchatText(static_cast<int>(rng.NextInRange(6, 18)));
+      if (rng.NextBool(cfg.url_prob)) {
+        p.url = MakeUrl(
+            gen.ChitchatText(static_cast<int>(rng.NextInRange(25, 50))));
+      }
+      return p;
+    }
+    p.text = gen.TopicalText(domain, subtopic,
+                             static_cast<int>(rng.NextInRange(8, 24)),
+                             /*entity_prob=*/0.12);
+    if (rng.NextBool(cfg.url_prob)) {
+      p.url = MakeUrl(gen.WebPageText(
+          domain, subtopic, static_cast<int>(rng.NextInRange(35, 70))));
+    }
+    return p;
+  }
+};
+
+// Draws a Likert score ~ round(N(mean, stddev)) clamped to [1, 7].
+int DrawLikert(Rng& rng, const WorldConfig& cfg) {
+  double raw = cfg.likert_mean + cfg.likert_stddev * rng.NextGaussian();
+  long long rounded = std::llround(raw);
+  return static_cast<int>(std::clamp(rounded, 1LL, 7LL));
+}
+
+// Picks `k` distinct items from [0, n) with per-item weights.
+std::vector<size_t> WeightedSampleWithoutReplacement(
+    Rng& rng, std::vector<double> weights, size_t k) {
+  std::vector<size_t> chosen;
+  size_t n = weights.size();
+  k = std::min(k, n);
+  for (size_t round = 0; round < k; ++round) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) break;
+    size_t pick = rng.NextWeighted(weights);
+    chosen.push_back(pick);
+    weights[pick] = 0.0;
+  }
+  return chosen;
+}
+
+void BuildCandidates(const WorldConfig& cfg, Rng& rng, SyntheticWorld& world) {
+  world.candidates.resize(cfg.num_candidates);
+  for (int u = 0; u < cfg.num_candidates; ++u) {
+    CandidateTruth& c = world.candidates[u];
+    c.name = u < static_cast<int>(kCandidateNames.size())
+                 ? std::string(kCandidateNames[u])
+                 : "user" + std::to_string(u);
+    for (int d = 0; d < kNumDomains; ++d) {
+      c.likert[d] = DrawLikert(rng, cfg);
+      long long noisy = std::llround(
+          c.likert[d] + cfg.self_assessment_noise * rng.NextGaussian());
+      c.behavior[d] = static_cast<int>(std::clamp(noisy, 1LL, 7LL));
+    }
+    // Exposure and activity share a latent component: users who publish
+    // little also limit the *scope* of what they publish (the flagship /
+    // privacy-conscious accounts of Sec. 3.7). This shared draw is what
+    // produces the Fig. 10 correlation between a user's resource count and
+    // how well the system assesses them.
+    double shared = rng.NextGaussian();
+    c.exposure = std::clamp(
+        cfg.exposure_mean + cfg.exposure_stddev * shared, 0.05, 1.0);
+    c.activity = std::exp(cfg.activity_sigma *
+                          (0.6 * shared + 0.8 * rng.NextGaussian()));
+  }
+
+  // Ground truth: expert iff strictly above the domain's average Likert.
+  for (int d = 0; d < kNumDomains; ++d) {
+    double avg = 0;
+    for (const auto& c : world.candidates) avg += c.likert[d];
+    avg /= world.candidates.size();
+    for (auto& c : world.candidates) c.expert[d] = c.likert[d] > avg;
+  }
+
+  // Subtopic preferences: one dominant slice per domain per user.
+  for (auto& c : world.candidates) {
+    for (int d = 0; d < kNumDomains; ++d) {
+      std::array<double, kNumSubtopics> w{};
+      double total = 0;
+      for (int st = 0; st < kNumSubtopics; ++st) {
+        w[st] = 0.12 + rng.NextDouble();
+        total += w[st];
+      }
+      int dominant = static_cast<int>(rng.NextBelow(kNumSubtopics));
+      w[dominant] += 2.0;
+      total += 2.0;
+      for (int st = 0; st < kNumSubtopics; ++st) w[st] /= total;
+      c.subtopic_weights[d] = w;
+    }
+  }
+
+  // Interest mix per platform: exposure-weighted expertise, flattened for
+  // low-exposure users, scaled by platform topicality.
+  for (auto& c : world.candidates) {
+    for (int p = 0; p < platform::kNumPlatforms; ++p) {
+      Platform plat = platform::kAllPlatforms[p];
+      for (int d = 0; d < kNumDomains; ++d) {
+        // Users are silent about domains they barely care about (behavior
+        // <= 2): interest starts at 0 and grows with behavioural
+        // expertise. Without the dead zone every user would produce a few
+        // posts in every domain and every query would retrieve all 40
+        // candidates, which real data does not do.
+        double base = std::pow(
+            std::max(0.0, (c.behavior[d] - 2.0)) / 5.0,
+            cfg.interest_sharpness);
+        double mixed = c.exposure * base + (1.0 - c.exposure) * 0.12;
+        c.interests[p][d] =
+            PlatformTopicality(plat, kAllDomains[d]) * mixed + 1e-6;
+      }
+    }
+  }
+}
+
+// Chooses a domain for a topical container/account, weighted by the
+// platform's topicality profile.
+Domain DrawPlatformDomain(Rng& rng, Platform p) {
+  std::vector<double> w(kNumDomains);
+  for (int d = 0; d < kNumDomains; ++d) {
+    w[d] = PlatformTopicality(p, kAllDomains[d]);
+  }
+  return kAllDomains[rng.NextWeighted(w)];
+}
+
+// Social engagement: quiet users also join fewer groups and follow fewer
+// accounts, which couples a candidate's reachable-resource count to their
+// discoverability (the Fig. 10 correlation).
+size_t EngagementScaled(const CandidateTruth& c, int base) {
+  double k = base * std::pow(c.activity, 0.7);
+  return static_cast<size_t>(std::max(1.0, std::llround(k) * 1.0));
+}
+
+// Interest-or-random selection: with probability `exposure` pick by
+// interest weights, otherwise uniformly. Models users whose memberships /
+// follows do not reflect their actual expertise.
+std::vector<size_t> SelectByInterest(Rng& rng, const CandidateTruth& c,
+                                     int platform_idx,
+                                     const std::vector<Domain>& item_domains,
+                                     const std::vector<int>& item_subtopics,
+                                     size_t k, double flat_share) {
+  std::vector<double> weights(item_domains.size());
+  for (size_t i = 0; i < item_domains.size(); ++i) {
+    double by_interest =
+        c.interests[platform_idx][DomainIndex(item_domains[i])];
+    // A swimming person joins swimming groups, not football ones: scale by
+    // the user's affinity for the container's subtopic slice.
+    double subtopic_affinity =
+        0.3 + 0.7 * kNumSubtopics *
+                  c.subtopic_weights[DomainIndex(item_domains[i])]
+                                    [item_subtopics[i]];
+    weights[i] = c.exposure * by_interest * subtopic_affinity + flat_share;
+  }
+  return WeightedSampleWithoutReplacement(rng, std::move(weights), k);
+}
+
+void BuildFacebook(Builder& b) {
+  const WorldConfig& cfg = b.cfg;
+  SyntheticWorld& world = b.world;
+  PlatformNetwork& net = world.networks[static_cast<int>(Platform::kFacebook)];
+  net.platform = Platform::kFacebook;
+  const int pidx = static_cast<int>(Platform::kFacebook);
+
+  // Candidate profiles: short, generic, with a home town.
+  auto& profiles = world.candidate_profiles[pidx];
+  for (const auto& c : world.candidates) {
+    std::string bio =
+        b.gen.GenericProfileText(static_cast<int>(b.rng.NextInRange(5, 13)),
+                                 /*mention_city=*/b.rng.NextBool(0.75));
+    profiles.push_back(
+        net.AddNode(NodeKind::kUserProfile, c.name + "@fb", std::move(bio)));
+  }
+
+  // Friendships (mutual follows). Never traversed by default — Facebook
+  // bonds are bidirectional, so the expansion of Sec. 2.2 skips them.
+  for (int u = 0; u < cfg.num_candidates; ++u) {
+    std::vector<double> w(cfg.num_candidates, 1.0);
+    w[u] = 0.0;
+    for (int v = 0; v < cfg.num_candidates; ++v) {
+      if (v == u) continue;
+      // Mild homophily on shared interests.
+      double sim = 0;
+      for (int d = 0; d < kNumDomains; ++d) {
+        sim += std::min(world.candidates[u].interests[pidx][d],
+                        world.candidates[v].interests[pidx][d]);
+      }
+      w[v] = 1.0 + cfg.friend_homophily * sim;
+    }
+    for (size_t v :
+         WeightedSampleWithoutReplacement(b.rng, w, cfg.fb_friends_per_user)) {
+      // AddEdge rejects duplicates; ignore AlreadyExists.
+      (void)net.graph.AddEdge(profiles[u], profiles[v], EdgeKind::kFollows);
+      (void)net.graph.AddEdge(profiles[v], profiles[u], EdgeKind::kFollows);
+    }
+  }
+
+  // Groups & pages with their posts.
+  std::vector<NodeId> groups;
+  std::vector<Domain> group_domains;
+  std::vector<int> group_subtopics;
+  std::vector<std::vector<NodeId>> group_posts;
+  for (int g = 0; g < cfg.fb_groups; ++g) {
+    Domain d = DrawPlatformDomain(b.rng, Platform::kFacebook);
+    int st = static_cast<int>(b.rng.NextBelow(kNumSubtopics));
+    group_subtopics.push_back(st);
+    std::string desc = b.gen.TopicalText(
+        d, st, static_cast<int>(b.rng.NextInRange(10, 20)),
+        /*entity_prob=*/0.15);
+    NodeId group = net.AddNode(NodeKind::kResourceContainer,
+                               "fb-group-" + std::to_string(g), std::move(desc));
+    groups.push_back(group);
+    group_domains.push_back(d);
+    group_posts.emplace_back();
+    int posts = Scaled(cfg.scale, cfg.fb_posts_per_group);
+    for (int i = 0; i < posts; ++i) {
+      Builder::Payload payload = b.MakeDomainResource(d, st, /*offtopic=*/0.45);
+      NodeId post = net.AddNode(NodeKind::kResource, {}, std::move(payload.text),
+                                std::move(payload.url));
+      (void)net.graph.AddEdge(group, post, EdgeKind::kContains);
+      group_posts.back().push_back(post);
+    }
+  }
+
+  // Memberships + likes + wall posts.
+  for (int u = 0; u < cfg.num_candidates; ++u) {
+    const CandidateTruth& c = world.candidates[u];
+    for (size_t g : SelectByInterest(b.rng, c, pidx, group_domains,
+                                     group_subtopics,
+                                     EngagementScaled(c, cfg.fb_groups_per_user),
+                                     /*flat_share=*/0.10)) {
+      (void)net.graph.AddEdge(profiles[u], groups[g], EdgeKind::kRelatesTo);
+      for (NodeId post : group_posts[g]) {
+        if (b.rng.NextBool(cfg.fb_like_prob)) {
+          (void)net.graph.AddEdge(profiles[u], post, EdgeKind::kAnnotates);
+        }
+      }
+    }
+    int posts = Scaled(cfg.scale * c.activity, cfg.fb_own_posts_mean);
+    for (int i = 0; i < posts; ++i) {
+      Builder::Payload payload = b.MakeResource(
+          c.interests[pidx], cfg.fb_offtopic, &c.subtopic_weights);
+      NodeId post = net.AddNode(NodeKind::kResource, {}, std::move(payload.text),
+                                std::move(payload.url));
+      // Most wall posts are self-created; some are posts by others that the
+      // candidate merely owns (friends writing on the wall). Both are
+      // distance 1 per Table 1.
+      EdgeKind k = b.rng.NextBool(0.85) ? EdgeKind::kCreates : EdgeKind::kOwns;
+      (void)net.graph.AddEdge(profiles[u], post, k);
+    }
+  }
+}
+
+void BuildTwitter(Builder& b) {
+  const WorldConfig& cfg = b.cfg;
+  SyntheticWorld& world = b.world;
+  PlatformNetwork& net = world.networks[static_cast<int>(Platform::kTwitter)];
+  net.platform = Platform::kTwitter;
+  const int pidx = static_cast<int>(Platform::kTwitter);
+
+  // Candidate profiles: short bios, mildly topical for exposed users.
+  auto& profiles = world.candidate_profiles[pidx];
+  for (const auto& c : world.candidates) {
+    std::string bio =
+        b.gen.GenericProfileText(static_cast<int>(b.rng.NextInRange(4, 9)),
+                                 /*mention_city=*/b.rng.NextBool(0.4));
+    if (b.rng.NextBool(c.exposure * 0.9)) {
+      // Add a hint of the user's strongest domain ("swimmer", "developer").
+      int best = 0;
+      for (int d = 1; d < kNumDomains; ++d) {
+        if (c.likert[d] > c.likert[best]) best = d;
+      }
+      int st = 0;
+      for (int k = 1; k < kNumSubtopics; ++k) {
+        if (c.subtopic_weights[best][k] > c.subtopic_weights[best][st]) {
+          st = k;
+        }
+      }
+      bio += ' ';
+      bio += b.gen.TopicalText(kAllDomains[best], st, 4,
+                               /*entity_prob=*/0.15);
+    }
+    profiles.push_back(
+        net.AddNode(NodeKind::kUserProfile, c.name + "@tw", std::move(bio)));
+  }
+
+  // Celebrity accounts: domain-focused, like Facebook pages (Sec. 2.2
+  // assimilates followed users to topical containers).
+  std::vector<NodeId> celebrities;
+  std::vector<Domain> celebrity_domains;
+  std::vector<int> celebrity_subtopics;
+  for (int i = 0; i < cfg.tw_celebrities; ++i) {
+    Domain d = DrawPlatformDomain(b.rng, Platform::kTwitter);
+    int st = static_cast<int>(b.rng.NextBelow(kNumSubtopics));
+    celebrity_subtopics.push_back(st);
+    std::string bio = b.gen.TopicalText(
+        d, st, static_cast<int>(b.rng.NextInRange(8, 14)),
+        /*entity_prob=*/0.2);
+    NodeId account =
+        net.AddNode(NodeKind::kUserProfile, "celebrity-" + std::to_string(i),
+                    std::move(bio));
+    celebrities.push_back(account);
+    celebrity_domains.push_back(d);
+    int tweets = Scaled(cfg.scale, cfg.tw_tweets_per_celebrity);
+    for (int t = 0; t < tweets; ++t) {
+      Builder::Payload payload = b.MakeDomainResource(d, st, /*offtopic=*/0.15);
+      NodeId tweet = net.AddNode(NodeKind::kResource, {},
+                                 std::move(payload.text), std::move(payload.url));
+      (void)net.graph.AddEdge(account, tweet, EdgeKind::kOwns);
+    }
+  }
+
+  // External friend accounts: ordinary people with their own (random)
+  // interests — a real-world bond, not a topical subscription.
+  std::vector<NodeId> friend_accounts;
+  std::vector<std::array<double, kNumDomains>> friend_interests;
+  for (int i = 0; i < cfg.tw_friends_external; ++i) {
+    std::array<double, kNumDomains> interests{};
+    for (int d = 0; d < kNumDomains; ++d) {
+      interests[d] =
+          PlatformTopicality(Platform::kTwitter, kAllDomains[d]) *
+              std::pow(DrawLikert(b.rng, cfg) / 7.0, cfg.interest_sharpness) +
+          1e-6;
+    }
+    std::string bio =
+        b.gen.GenericProfileText(static_cast<int>(b.rng.NextInRange(4, 9)),
+                                 b.rng.NextBool(0.4));
+    NodeId account = net.AddNode(NodeKind::kUserProfile,
+                                 "friend-" + std::to_string(i), std::move(bio));
+    friend_accounts.push_back(account);
+    friend_interests.push_back(interests);
+    int tweets = Scaled(cfg.scale, cfg.tw_tweets_per_friend);
+    for (int t = 0; t < tweets; ++t) {
+      // Friend streams carry next to no expertise-relevant signal: the
+      // paper's Table 2 finds that analyzing 60k additional friend
+      // resources moves metrics by only a few percent in either direction,
+      // i.e. a friendship is a real-world bond, not a topical channel.
+      Builder::Payload payload =
+          b.MakeResource(interests, /*offtopic=*/0.995);
+      NodeId tweet = net.AddNode(NodeKind::kResource, {},
+                                 std::move(payload.text), std::move(payload.url));
+      (void)net.graph.AddEdge(account, tweet, EdgeKind::kOwns);
+    }
+  }
+
+  // Follows: candidates follow celebrities by interest (one-directional).
+  for (int u = 0; u < cfg.num_candidates; ++u) {
+    const CandidateTruth& c = world.candidates[u];
+    for (size_t i : SelectByInterest(b.rng, c, pidx, celebrity_domains,
+                                     celebrity_subtopics,
+                                     EngagementScaled(c, cfg.tw_followees_per_user),
+                                     /*flat_share=*/0.05)) {
+      (void)net.graph.AddEdge(profiles[u], celebrities[i], EdgeKind::kFollows);
+    }
+  }
+
+  // Friendships: mutual follows with external friend accounts. The paper's
+  // friend experiment (Sec. 3.3.3) adds the resources of the candidates'
+  // real-world friends — accounts outside the candidate pool, whose own
+  // profiles and streams the crawler had not already collected. Weak
+  // homophily on shared interests decides who befriends whom.
+  for (int u = 0; u < cfg.num_candidates; ++u) {
+    std::vector<double> w(friend_accounts.size(), 1.0);
+    for (size_t i = 0; i < friend_accounts.size(); ++i) {
+      double sim = 0;
+      for (int d = 0; d < kNumDomains; ++d) {
+        sim += std::min(world.candidates[u].interests[pidx][d],
+                        friend_interests[i][d]);
+      }
+      w[i] = 1.0 + cfg.friend_homophily * sim;
+    }
+    for (size_t pick : WeightedSampleWithoutReplacement(
+             b.rng, w, cfg.tw_friends_per_user)) {
+      (void)net.graph.AddEdge(profiles[u], friend_accounts[pick],
+                              EdgeKind::kFollows);
+      (void)net.graph.AddEdge(friend_accounts[pick], profiles[u],
+                              EdgeKind::kFollows);
+    }
+  }
+
+  // Own tweets.
+  for (int u = 0; u < cfg.num_candidates; ++u) {
+    const CandidateTruth& c = world.candidates[u];
+    int tweets = Scaled(cfg.scale * c.activity, cfg.tw_own_tweets_mean);
+    for (int t = 0; t < tweets; ++t) {
+      Builder::Payload payload = b.MakeResource(
+          c.interests[pidx], cfg.tw_offtopic, &c.subtopic_weights);
+      NodeId tweet = net.AddNode(NodeKind::kResource, {},
+                                 std::move(payload.text), std::move(payload.url));
+      EdgeKind k = b.rng.NextBool(0.9) ? EdgeKind::kOwns : EdgeKind::kAnnotates;
+      (void)net.graph.AddEdge(profiles[u], tweet, k);
+    }
+  }
+}
+
+void BuildLinkedIn(Builder& b) {
+  const WorldConfig& cfg = b.cfg;
+  SyntheticWorld& world = b.world;
+  PlatformNetwork& net = world.networks[static_cast<int>(Platform::kLinkedIn)];
+  net.platform = Platform::kLinkedIn;
+  const int pidx = static_cast<int>(Platform::kLinkedIn);
+
+  // Profiles: detailed career descriptions. The domain slant scales with
+  // the user's expertise in the work-related domains, so LinkedIn
+  // distance-0 carries genuine signal for computer engineering (Table 4).
+  auto& profiles = world.candidate_profiles[pidx];
+  const std::array<Domain, 3> kWorkDomains = {Domain::kComputerEngineering,
+                                              Domain::kScience,
+                                              Domain::kTechnologyGames};
+  for (const auto& c : world.candidates) {
+    Domain slant = kWorkDomains[0];
+    int best_likert = 0;
+    for (Domain d : kWorkDomains) {
+      if (c.likert[DomainIndex(d)] > best_likert) {
+        best_likert = c.likert[DomainIndex(d)];
+        slant = d;
+      }
+    }
+    int slant_st = 0;
+    for (int k = 1; k < kNumSubtopics; ++k) {
+      if (c.subtopic_weights[DomainIndex(slant)][k] >
+          c.subtopic_weights[DomainIndex(slant)][slant_st]) {
+        slant_st = k;
+      }
+    }
+    int slant_words = static_cast<int>(
+        std::llround(c.exposure * best_likert * 2.2));
+    std::string bio = b.gen.CareerProfileText(
+        static_cast<int>(b.rng.NextInRange(12, 24)), slant, slant_st,
+        slant_words);
+    if (b.rng.NextBool(0.7)) {
+      // LinkedIn profiles state a location, so geographic signal is
+      // present for experts and non-experts alike (Sec. 3.7).
+      bio += ' ';
+      bio += b.gen.EntityMention(Domain::kLocation);
+    }
+    profiles.push_back(
+        net.AddNode(NodeKind::kUserProfile, c.name + "@li", std::move(bio)));
+  }
+
+  // Connections (always bidirectional on LinkedIn).
+  for (int u = 0; u < cfg.num_candidates; ++u) {
+    std::vector<double> w(cfg.num_candidates, 1.0);
+    w[u] = 0.0;
+    for (size_t v : WeightedSampleWithoutReplacement(b.rng, w, 8)) {
+      (void)net.graph.AddEdge(profiles[u], profiles[v], EdgeKind::kFollows);
+      (void)net.graph.AddEdge(profiles[v], profiles[u], EdgeKind::kFollows);
+    }
+  }
+
+  // Professional groups; 95 % of LinkedIn resources live here (Sec. 3.1).
+  std::vector<NodeId> groups;
+  std::vector<Domain> group_domains;
+  std::vector<int> group_subtopics;
+  for (int g = 0; g < cfg.li_groups; ++g) {
+    Domain d = DrawPlatformDomain(b.rng, Platform::kLinkedIn);
+    int st = static_cast<int>(b.rng.NextBelow(kNumSubtopics));
+    group_subtopics.push_back(st);
+    std::string desc = b.gen.TopicalText(
+        d, st, static_cast<int>(b.rng.NextInRange(10, 18)),
+        /*entity_prob=*/0.15);
+    NodeId group = net.AddNode(NodeKind::kResourceContainer,
+                               "li-group-" + std::to_string(g), std::move(desc));
+    groups.push_back(group);
+    group_domains.push_back(d);
+    int posts = Scaled(cfg.scale, cfg.li_posts_per_group);
+    for (int i = 0; i < posts; ++i) {
+      Builder::Payload payload = b.MakeDomainResource(d, st, /*offtopic=*/0.10);
+      NodeId post = net.AddNode(NodeKind::kResource, {}, std::move(payload.text),
+                                std::move(payload.url));
+      (void)net.graph.AddEdge(group, post, EdgeKind::kContains);
+    }
+  }
+
+  for (int u = 0; u < cfg.num_candidates; ++u) {
+    const CandidateTruth& c = world.candidates[u];
+    for (size_t g : SelectByInterest(b.rng, c, pidx, group_domains,
+                                     group_subtopics,
+                                     EngagementScaled(c, cfg.li_groups_per_user),
+                                     /*flat_share=*/0.08)) {
+      (void)net.graph.AddEdge(profiles[u], groups[g], EdgeKind::kRelatesTo);
+    }
+    int posts = Scaled(cfg.scale * c.activity, cfg.li_own_posts_mean);
+    for (int i = 0; i < posts; ++i) {
+      Builder::Payload payload = b.MakeResource(
+          c.interests[pidx], cfg.li_offtopic, &c.subtopic_weights);
+      NodeId post = net.AddNode(NodeKind::kResource, {}, std::move(payload.text),
+                                std::move(payload.url));
+      (void)net.graph.AddEdge(profiles[u], post, EdgeKind::kCreates);
+    }
+  }
+}
+
+}  // namespace
+
+double PlatformTopicality(Platform p, Domain domain) {
+  // Rows: domain order of kAllDomains. Values encode the platform-scope
+  // observations of Sec. 3.7: Facebook is entertainment-leaning (people
+  // write about movies and music, rarely about electrical conductors),
+  // Twitter is broadly topical, LinkedIn is work-only.
+  static constexpr double kFacebook[kNumDomains] = {
+      0.25, 1.30, 1.50, 1.40, 0.15, 1.20, 0.70};
+  static constexpr double kTwitter[kNumDomains] = {
+      1.20, 0.80, 1.00, 1.00, 0.95, 1.25, 1.20};
+  static constexpr double kLinkedIn[kNumDomains] = {
+      1.80, 0.20, 0.10, 0.10, 0.80, 0.15, 0.90};
+  switch (p) {
+    case Platform::kFacebook:
+      return kFacebook[DomainIndex(domain)];
+    case Platform::kTwitter:
+      return kTwitter[DomainIndex(domain)];
+    case Platform::kLinkedIn:
+      return kLinkedIn[DomainIndex(domain)];
+  }
+  return 1.0;
+}
+
+std::vector<int> SyntheticWorld::ExpertsForDomain(Domain domain) const {
+  std::vector<int> out;
+  for (int u = 0; u < static_cast<int>(candidates.size()); ++u) {
+    if (candidates[u].expert[DomainIndex(domain)]) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<int> SyntheticWorld::RelevantExperts(
+    const ExpertiseNeed& query) const {
+  return ExpertsForDomain(query.domain);
+}
+
+double SyntheticWorld::AverageExpertise(Domain domain) const {
+  if (candidates.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& c : candidates) sum += c.likert[DomainIndex(domain)];
+  return sum / candidates.size();
+}
+
+size_t SyntheticWorld::TotalNodes() const {
+  size_t n = 0;
+  for (const auto& net : networks) n += net.graph.node_count();
+  return n;
+}
+
+uint64_t HashWorldConfig(const WorldConfig& config) {
+  // Bump when the generator's sampling logic changes in any way that
+  // affects output for a fixed config.
+  constexpr uint64_t kGeneratorVersion = 4;
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  auto mixd = [&mix](uint64_t h, double v) {
+    return mix(h, static_cast<uint64_t>(std::llround(v * 1e9)));
+  };
+  uint64_t h = kGeneratorVersion;
+  h = mix(h, config.seed);
+  h = mix(h, static_cast<uint64_t>(config.num_candidates));
+  h = mixd(h, config.scale);
+  h = mixd(h, config.non_english_prob);
+  h = mixd(h, config.url_prob);
+  h = mix(h, static_cast<uint64_t>(config.fb_own_posts_mean));
+  h = mix(h, static_cast<uint64_t>(config.fb_groups));
+  h = mix(h, static_cast<uint64_t>(config.fb_groups_per_user));
+  h = mix(h, static_cast<uint64_t>(config.fb_posts_per_group));
+  h = mixd(h, config.fb_like_prob);
+  h = mixd(h, config.fb_offtopic);
+  h = mix(h, static_cast<uint64_t>(config.fb_friends_per_user));
+  h = mix(h, static_cast<uint64_t>(config.tw_own_tweets_mean));
+  h = mix(h, static_cast<uint64_t>(config.tw_celebrities));
+  h = mix(h, static_cast<uint64_t>(config.tw_followees_per_user));
+  h = mix(h, static_cast<uint64_t>(config.tw_tweets_per_celebrity));
+  h = mix(h, static_cast<uint64_t>(config.tw_friends_external));
+  h = mix(h, static_cast<uint64_t>(config.tw_friends_per_user));
+  h = mix(h, static_cast<uint64_t>(config.tw_tweets_per_friend));
+  h = mixd(h, config.tw_offtopic);
+  h = mix(h, static_cast<uint64_t>(config.li_own_posts_mean));
+  h = mix(h, static_cast<uint64_t>(config.li_groups));
+  h = mix(h, static_cast<uint64_t>(config.li_groups_per_user));
+  h = mix(h, static_cast<uint64_t>(config.li_posts_per_group));
+  h = mixd(h, config.li_offtopic);
+  h = mixd(h, config.likert_mean);
+  h = mixd(h, config.likert_stddev);
+  h = mixd(h, config.exposure_mean);
+  h = mixd(h, config.exposure_stddev);
+  h = mixd(h, config.interest_sharpness);
+  h = mixd(h, config.activity_sigma);
+  h = mixd(h, config.self_assessment_noise);
+  h = mixd(h, config.friend_homophily);
+  return h;
+}
+
+SyntheticWorld GenerateWorld(const WorldConfig& config) {
+  SyntheticWorld world;
+  world.config = config;
+  world.kb = entity::BuildDefaultKnowledgeBase();
+  world.queries = DefaultQuerySet();
+
+  Rng master(config.seed);
+  Rng candidate_rng = master.Fork();
+  BuildCandidates(config, candidate_rng, world);
+
+  Builder builder(config, world, master.Fork(), master.Fork());
+  BuildFacebook(builder);
+  BuildTwitter(builder);
+  BuildLinkedIn(builder);
+
+  for (const auto& net : world.networks) {
+    assert(net.Consistent());
+    (void)net;
+  }
+  return world;
+}
+
+}  // namespace crowdex::synth

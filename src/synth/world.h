@@ -1,0 +1,166 @@
+#ifndef CROWDEX_SYNTH_WORLD_H_
+#define CROWDEX_SYNTH_WORLD_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/domain.h"
+#include "entity/knowledge_base.h"
+#include "graph/social_graph.h"
+#include "platform/network.h"
+#include "platform/platform.h"
+#include "platform/web_page_store.h"
+#include "synth/query_set.h"
+#include "synth/vocabulary.h"
+
+namespace crowdex::synth {
+
+/// Knobs of the synthetic world generator. Defaults are calibrated so the
+/// generated dataset matches the shape of the paper's (Sec. 3.1, Fig. 5):
+/// 40 candidates, ~330k resources of which ~70 % English and ~70 % carrying
+/// a URL, Facebook the largest network, Twitter dominating distance 1,
+/// LinkedIn small and concentrated at distance 2 (~95 % group posts).
+struct WorldConfig {
+  /// Master seed; every draw in the generator derives from it.
+  uint64_t seed = 20130318;
+  /// Number of candidate experts (the paper recruited 40 volunteers).
+  int num_candidates = 40;
+  /// Volume multiplier applied to per-author/per-container resource counts.
+  /// Catalog sizes (number of groups, pages, followable accounts) do NOT
+  /// scale: they set the topical resolution of the world, not its volume.
+  /// Tests use small values (e.g. 0.02) for speed; experiments use 1.0.
+  double scale = 1.0;
+
+  /// Fraction of resources generated in a non-English language (filtered
+  /// by language ID, mirroring 330k collected -> 230k English kept).
+  double non_english_prob = 0.30;
+  /// Fraction of resources carrying a URL to an external page.
+  double url_prob = 0.70;
+
+  // --- Facebook: chatty, entertainment-leaning, rich in groups/pages. ---
+  int fb_own_posts_mean = 650;     // Wall posts per candidate (distance 1).
+  int fb_groups = 600;             // Groups + pages.
+  int fb_groups_per_user = 14;
+  int fb_posts_per_group = 260;    // Distance-2 pool.
+  double fb_like_prob = 0.022;     // Candidate likes a post of a joined group.
+  double fb_offtopic = 0.65;
+  int fb_friends_per_user = 10;    // Candidate-candidate friendships.
+
+  // --- Twitter: topical, follower-based; no containers. ---
+  int tw_own_tweets_mean = 1150;
+  int tw_celebrities = 600;       // Followable topical accounts.
+  int tw_followees_per_user = 20;
+  int tw_tweets_per_celebrity = 130;
+  int tw_friends_external = 60;    // Mutual-follow friend accounts.
+  int tw_friends_per_user = 9;
+  int tw_tweets_per_friend = 900;  // The +60k resources of Table 2.
+  double tw_offtopic = 0.45;
+
+  // --- LinkedIn: professional, quiet, group-centric. ---
+  int li_own_posts_mean = 15;
+  int li_groups = 120;
+  int li_groups_per_user = 5;
+  int li_posts_per_group = 150;
+  double li_offtopic = 0.25;
+
+  // --- Expertise model. ---
+  /// Likert self-assessment ~ round(N(mean, stddev)) clamped to [1, 7];
+  /// the paper reports average expertise 3.57 over the 7 domains.
+  double likert_mean = 3.5;
+  double likert_stddev = 1.6;
+  /// Exposure in [0.05, 1]: how much of a user's actual expertise shows in
+  /// their social trace. Low-exposure experts are the undiscoverable users
+  /// of Sec. 3.7.
+  double exposure_mean = 0.55;
+  double exposure_stddev = 0.35;
+  /// Sharpness of the interest distribution (higher = experts post more
+  /// exclusively about their strong domains).
+  double interest_sharpness = 1.2;
+  /// Log-normal sigma of the per-user activity factor (resource-count skew
+  /// across users, visible in Fig. 10).
+  double activity_sigma = 0.75;
+  /// Gap between self-assessed expertise and actual posting behaviour, in
+  /// Likert units: the behavioural expertise driving content generation is
+  /// `likert + N(0, self_assessment_noise)` clamped to [1, 7]. This models
+  /// the Sec. 3.7 observation that self-declared experts do not always
+  /// expose their expertise, bounding achievable retrieval quality.
+  double self_assessment_noise = 2.2;
+  /// Strength of interest homophily when choosing friends (0 = purely
+  /// social, uncorrelated with topics — the paper's finding is that friend
+  /// bonds carry little expertise signal, so keep this small).
+  double friend_homophily = 0.05;
+};
+
+/// Ground truth about one candidate expert.
+struct CandidateTruth {
+  /// Display name ("alice", "bob", ...).
+  std::string name;
+  /// Self-assessed 7-point Likert expertise per domain.
+  std::array<int, kNumDomains> likert{};
+  /// Derived boolean ground truth: expert iff likert > domain average
+  /// (the paper's rule, Sec. 3.1).
+  std::array<bool, kNumDomains> expert{};
+  /// Social exposure in [0.05, 1].
+  double exposure = 1.0;
+  /// Activity factor (multiplies resource counts).
+  double activity = 1.0;
+  /// Behavioural expertise per domain (what the user actually posts
+  /// about): the noisy counterpart of `likert`.
+  std::array<int, kNumDomains> behavior{};
+  /// Interest weights per domain per platform, derived from likert +
+  /// platform topicality; stored for inspection/testing.
+  std::array<std::array<double, kNumDomains>, platform::kNumPlatforms>
+      interests{};
+  /// Per-domain preference over subtopic slices (each row sums to 1; one
+  /// slice dominates). A sport expert is a *swimming* person or a
+  /// *football* person, rarely uniformly both.
+  std::array<std::array<double, kNumSubtopics>, kNumDomains>
+      subtopic_weights{};
+};
+
+/// The generated dataset: three platform networks, their shared Web, the
+/// candidate ground truth, and the query workload.
+struct SyntheticWorld {
+  WorldConfig config;
+  entity::KnowledgeBase kb;
+  std::vector<CandidateTruth> candidates;
+  /// One network per platform, indexed by `static_cast<int>(Platform)`.
+  std::array<platform::PlatformNetwork, platform::kNumPlatforms> networks;
+  /// Profile node of each candidate in each network:
+  /// `candidate_profiles[platform][candidate]`.
+  std::array<std::vector<graph::NodeId>, platform::kNumPlatforms>
+      candidate_profiles;
+  platform::WebPageStore web;
+  std::vector<ExpertiseNeed> queries;
+
+  /// Indices of candidates who are experts in `domain` per ground truth.
+  std::vector<int> ExpertsForDomain(Domain domain) const;
+
+  /// Ground-truth relevance for `query` (experts of its domain).
+  std::vector<int> RelevantExperts(const ExpertiseNeed& query) const;
+
+  /// Average Likert expertise of `domain` over all candidates.
+  double AverageExpertise(Domain domain) const;
+
+  /// Total resource nodes across all networks (dataset-size statistic).
+  size_t TotalNodes() const;
+};
+
+/// Generates the full synthetic world. Deterministic in `config.seed`.
+SyntheticWorld GenerateWorld(const WorldConfig& config);
+
+/// Hash of every generation-relevant field of `config` plus a generator
+/// version constant. Cache layers key on this so that a parameter tweak or
+/// a generator change can never silently reuse stale analysis output.
+uint64_t HashWorldConfig(const WorldConfig& config);
+
+/// Platform-topicality prior: how much content about `domain` circulates
+/// on `p` (Facebook leans entertainment, Twitter is broadly topical,
+/// LinkedIn is work-only). Exposed for tests and documentation.
+double PlatformTopicality(platform::Platform p, Domain domain);
+
+}  // namespace crowdex::synth
+
+#endif  // CROWDEX_SYNTH_WORLD_H_

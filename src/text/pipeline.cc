@@ -1,0 +1,20 @@
+#include "text/pipeline.h"
+
+namespace crowdex::text {
+
+ProcessedText TextPipeline::Process(std::string_view raw) const {
+  ProcessedText out;
+  out.language = lang_id_.Identify(raw);
+  out.terms = ProcessTerms(raw);
+  return out;
+}
+
+std::vector<std::string> TextPipeline::ProcessTerms(
+    std::string_view raw) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(raw);
+  if (options_.remove_stopwords) tokens = stopwords_.Filter(tokens);
+  if (options_.stem) tokens = stemmer_.StemAll(tokens);
+  return tokens;
+}
+
+}  // namespace crowdex::text

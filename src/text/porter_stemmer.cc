@@ -1,0 +1,342 @@
+#include "text/porter_stemmer.h"
+
+namespace crowdex::text {
+
+namespace {
+
+// Working state for stemming one word, following Porter's reference
+// implementation. `end` is the index of the last character and shrinks as
+// suffixes are removed; `j` marks the stem boundary set by EndsWith().
+// Signed indices are used throughout because the stem boundary may be -1
+// (empty stem), exactly as in the reference code.
+class Stemming {
+ public:
+  explicit Stemming(std::string_view word)
+      : b_(word), end_(static_cast<int>(b_.size()) - 1) {}
+
+  std::string Run() {
+    if (b_.size() <= 2) return b_;
+    Step1a();
+    Step1b();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, static_cast<size_t>(end_) + 1);
+  }
+
+ private:
+  // True if b_[i] is a consonant. 'y' is a consonant at position 0 and
+  // after a vowel.
+  bool IsConsonant(int i) const {
+    char c = b_[static_cast<size_t>(i)];
+    switch (c) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b_[0..j]: the number of VC sequences.
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True iff the stem b_[0..j] contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // True iff b_[i-1..i] is a double consonant.
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return IsConsonant(i);
+  }
+
+  // True iff b_[i-2..i] is consonant-vowel-consonant and the final
+  // consonant is not w, x, or y (the *o condition).
+  bool CvcAt(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char c = b_[static_cast<size_t>(i)];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  // True iff the word (up to end_) ends with `s`; on success sets j_ to the
+  // index just before the suffix (may become -1).
+  bool EndsWith(std::string_view s) {
+    int len = static_cast<int>(s.size());
+    if (len > end_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(end_ + 1 - len), s.size(), s) != 0) {
+      return false;
+    }
+    j_ = end_ - len;
+    return true;
+  }
+
+  // Replaces the suffix matched by EndsWith() with `s`.
+  void SetTo(std::string_view s) {
+    b_.replace(static_cast<size_t>(j_ + 1), static_cast<size_t>(end_ - j_), s);
+    end_ = j_ + static_cast<int>(s.size());
+  }
+
+  // SetTo(s) if the stem measure is positive.
+  void ReplaceIfM0(std::string_view s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  // step1a: plurals. sses->ss, ies->i, ss->ss, s->"".
+  void Step1a() {
+    if (b_[static_cast<size_t>(end_)] != 's') return;
+    if (EndsWith("sses")) {
+      end_ -= 2;
+    } else if (EndsWith("ies")) {
+      SetTo("i");
+    } else if (end_ >= 1 && b_[static_cast<size_t>(end_ - 1)] != 's') {
+      --end_;
+    }
+  }
+
+  // step1b: -ed and -ing.
+  void Step1b() {
+    if (EndsWith("eed")) {
+      if (Measure() > 0) --end_;
+      return;
+    }
+    bool removed = false;
+    if (EndsWith("ed")) {
+      if (VowelInStem()) {
+        end_ = j_;
+        removed = true;
+      }
+    } else if (EndsWith("ing")) {
+      if (VowelInStem()) {
+        end_ = j_;
+        removed = true;
+      }
+    }
+    if (!removed) return;
+    if (EndsWith("at")) {
+      SetTo("ate");
+    } else if (EndsWith("bl")) {
+      SetTo("ble");
+    } else if (EndsWith("iz")) {
+      SetTo("ize");
+    } else if (DoubleConsonant(end_)) {
+      char c = b_[static_cast<size_t>(end_)];
+      if (c != 'l' && c != 's' && c != 'z') --end_;
+    } else {
+      j_ = end_;  // Measure() over the whole remaining word.
+      if (Measure() == 1 && CvcAt(end_)) {
+        b_.resize(static_cast<size_t>(end_) + 1);
+        b_.push_back('e');
+        ++end_;
+      }
+    }
+  }
+
+  // step1c: y -> i when another vowel exists in the stem.
+  void Step1c() {
+    if (EndsWith("y") && VowelInStem()) {
+      b_[static_cast<size_t>(end_)] = 'i';
+    }
+  }
+
+  // step2: double/triple suffixes mapped to simpler ones (m > 0).
+  void Step2() {
+    if (end_ < 2) return;
+    switch (b_[static_cast<size_t>(end_ - 1)]) {
+      case 'a':
+        if (EndsWith("ational")) { ReplaceIfM0("ate"); break; }
+        if (EndsWith("tional")) { ReplaceIfM0("tion"); break; }
+        break;
+      case 'c':
+        if (EndsWith("enci")) { ReplaceIfM0("ence"); break; }
+        if (EndsWith("anci")) { ReplaceIfM0("ance"); break; }
+        break;
+      case 'e':
+        if (EndsWith("izer")) { ReplaceIfM0("ize"); break; }
+        break;
+      case 'l':
+        if (EndsWith("bli")) { ReplaceIfM0("ble"); break; }  // Revised rule.
+        if (EndsWith("alli")) { ReplaceIfM0("al"); break; }
+        if (EndsWith("entli")) { ReplaceIfM0("ent"); break; }
+        if (EndsWith("eli")) { ReplaceIfM0("e"); break; }
+        if (EndsWith("ousli")) { ReplaceIfM0("ous"); break; }
+        break;
+      case 'o':
+        if (EndsWith("ization")) { ReplaceIfM0("ize"); break; }
+        if (EndsWith("ation")) { ReplaceIfM0("ate"); break; }
+        if (EndsWith("ator")) { ReplaceIfM0("ate"); break; }
+        break;
+      case 's':
+        if (EndsWith("alism")) { ReplaceIfM0("al"); break; }
+        if (EndsWith("iveness")) { ReplaceIfM0("ive"); break; }
+        if (EndsWith("fulness")) { ReplaceIfM0("ful"); break; }
+        if (EndsWith("ousness")) { ReplaceIfM0("ous"); break; }
+        break;
+      case 't':
+        if (EndsWith("aliti")) { ReplaceIfM0("al"); break; }
+        if (EndsWith("iviti")) { ReplaceIfM0("ive"); break; }
+        if (EndsWith("biliti")) { ReplaceIfM0("ble"); break; }
+        break;
+      case 'g':
+        if (EndsWith("logi")) { ReplaceIfM0("log"); break; }  // Revised rule.
+        break;
+      default:
+        break;
+    }
+  }
+
+  // step3: -ic-, -full, -ness etc. (m > 0).
+  void Step3() {
+    switch (b_[static_cast<size_t>(end_)]) {
+      case 'e':
+        if (EndsWith("icate")) { ReplaceIfM0("ic"); break; }
+        if (EndsWith("ative")) { ReplaceIfM0(""); break; }
+        if (EndsWith("alize")) { ReplaceIfM0("al"); break; }
+        break;
+      case 'i':
+        if (EndsWith("iciti")) { ReplaceIfM0("ic"); break; }
+        break;
+      case 'l':
+        if (EndsWith("ical")) { ReplaceIfM0("ic"); break; }
+        if (EndsWith("ful")) { ReplaceIfM0(""); break; }
+        break;
+      case 's':
+        if (EndsWith("ness")) { ReplaceIfM0(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // step4: strip -ant, -ence etc. when m > 1.
+  void Step4() {
+    if (end_ < 1) return;
+    switch (b_[static_cast<size_t>(end_ - 1)]) {
+      case 'a':
+        if (EndsWith("al")) break;
+        return;
+      case 'c':
+        if (EndsWith("ance")) break;
+        if (EndsWith("ence")) break;
+        return;
+      case 'e':
+        if (EndsWith("er")) break;
+        return;
+      case 'i':
+        if (EndsWith("ic")) break;
+        return;
+      case 'l':
+        if (EndsWith("able")) break;
+        if (EndsWith("ible")) break;
+        return;
+      case 'n':
+        if (EndsWith("ant")) break;
+        if (EndsWith("ement")) break;
+        if (EndsWith("ment")) break;
+        if (EndsWith("ent")) break;
+        return;
+      case 'o':
+        if (EndsWith("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          break;
+        }
+        if (EndsWith("ou")) break;
+        return;
+      case 's':
+        if (EndsWith("ism")) break;
+        return;
+      case 't':
+        if (EndsWith("ate")) break;
+        if (EndsWith("iti")) break;
+        return;
+      case 'u':
+        if (EndsWith("ous")) break;
+        return;
+      case 'v':
+        if (EndsWith("ive")) break;
+        return;
+      case 'z':
+        if (EndsWith("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) end_ = j_;
+  }
+
+  // step5: remove final -e (m > 1, or m = 1 and not *o), then reduce final
+  // double l (m > 1).
+  void Step5() {
+    j_ = end_;
+    if (b_[static_cast<size_t>(end_)] == 'e') {
+      int m = Measure();
+      if (m > 1 || (m == 1 && !CvcAt(end_ - 1))) --end_;
+    }
+    if (b_[static_cast<size_t>(end_)] == 'l' && DoubleConsonant(end_)) {
+      j_ = end_;
+      if (Measure() > 1) --end_;
+    }
+  }
+
+  std::string b_;
+  int end_;    // Index of the last character of the (shrinking) word.
+  int j_ = 0;  // Stem boundary set by EndsWith(); may be -1 (empty stem).
+};
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  if (word.size() <= 2) return std::string(word);
+  return Stemming(word).Run();
+}
+
+std::vector<std::string> PorterStemmer::StemAll(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) out.push_back(Stem(t));
+  return out;
+}
+
+}  // namespace crowdex::text

@@ -1,0 +1,31 @@
+#ifndef CROWDEX_TEXT_PORTER_STEMMER_H_
+#define CROWDEX_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crowdex::text {
+
+/// The classic Porter stemming algorithm (M. F. Porter, 1980).
+///
+/// This is the stemming step of the paper's text-processing pipeline
+/// (Sec. 2.3). The implementation follows the original five-step
+/// definition, including the revised Step-2 rules (`abli -> able`,
+/// `logi -> log`). Input is expected to be a lowercase ASCII word; words
+/// shorter than 3 characters are returned unchanged, per the reference
+/// implementation.
+class PorterStemmer {
+ public:
+  PorterStemmer() = default;
+
+  /// Returns the stem of `word`.
+  std::string Stem(std::string_view word) const;
+
+  /// Stems every token in `tokens` (convenience for pipelines).
+  std::vector<std::string> StemAll(const std::vector<std::string>& tokens) const;
+};
+
+}  // namespace crowdex::text
+
+#endif  // CROWDEX_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,50 @@
+#include "common/domain.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace crowdex {
+namespace {
+
+TEST(DomainTest, SevenDomainsAsInPaper) {
+  EXPECT_EQ(kNumDomains, 7);
+  EXPECT_EQ(kAllDomains.size(), 7u);
+}
+
+TEST(DomainTest, AllDomainsDistinct) {
+  std::set<Domain> seen(kAllDomains.begin(), kAllDomains.end());
+  EXPECT_EQ(seen.size(), kAllDomains.size());
+}
+
+TEST(DomainTest, IndicesMatchArrayOrder) {
+  for (int i = 0; i < kNumDomains; ++i) {
+    EXPECT_EQ(DomainIndex(kAllDomains[i]), i);
+  }
+}
+
+TEST(DomainTest, NamesMatchPaperSection31) {
+  EXPECT_EQ(DomainName(Domain::kComputerEngineering), "Computer engineering");
+  EXPECT_EQ(DomainName(Domain::kLocation), "Location");
+  EXPECT_EQ(DomainName(Domain::kMoviesTv), "Movies & TV");
+  EXPECT_EQ(DomainName(Domain::kMusic), "Music");
+  EXPECT_EQ(DomainName(Domain::kScience), "Science");
+  EXPECT_EQ(DomainName(Domain::kSport), "Sport");
+  EXPECT_EQ(DomainName(Domain::kTechnologyGames), "Technology & games");
+}
+
+TEST(DomainTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (Domain d : kAllDomains) names.insert(std::string(DomainName(d)));
+  EXPECT_EQ(names.size(), kAllDomains.size());
+}
+
+TEST(DomainTest, DomainNameIsConstexprUsable) {
+  constexpr std::string_view name = DomainName(Domain::kSport);
+  static_assert(!name.empty());
+  EXPECT_EQ(name, "Sport");
+}
+
+}  // namespace
+}  // namespace crowdex

@@ -1,0 +1,229 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace crowdex {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, KnownSplitMix64Sequence) {
+  // Reference values for SplitMix64 seeded with 1234567.
+  Rng rng(1234567);
+  uint64_t first = rng.NextUint64();
+  Rng rng2(1234567);
+  EXPECT_EQ(first, rng2.NextUint64());
+  EXPECT_NE(first, rng.NextUint64());  // Stream advances.
+}
+
+TEST(RngTest, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextInRangeSingleton) {
+  Rng rng(4);
+  EXPECT_EQ(rng.NextInRange(5, 5), 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsAboutHalf) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, NextDoubleInRange) {
+  Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.NextDoubleInRange(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+    EXPECT_FALSE(rng.NextBool(-0.5));
+    EXPECT_TRUE(rng.NextBool(1.5));
+  }
+}
+
+TEST(RngTest, NextBoolFrequencyTracksP) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsLookNormal) {
+  Rng rng(31);
+  const int n = 20000;
+  double sum = 0;
+  double sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+    EXPECT_GE(g, -6.0);
+    EXPECT_LE(g, 6.0);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, WeightedPicksRespectWeights) {
+  Rng rng(37);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.03);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.03);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  // The child stream differs from the parent continuation.
+  uint64_t c0 = child.NextUint64();
+  uint64_t p0 = parent.NextUint64();
+  EXPECT_NE(c0, p0);
+  // And forking is deterministic.
+  Rng parent2(41);
+  Rng child2 = parent2.Fork();
+  EXPECT_EQ(child2.NextUint64(), c0);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(43);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(47);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, SampleWithoutReplacementUnique) {
+  Rng rng(53);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<size_t> s = rng.SampleWithoutReplacement(20, 8);
+    ASSERT_EQ(s.size(), 8u);
+    std::set<size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 8u);
+    for (size_t v : s) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementAllWhenKTooLarge) {
+  Rng rng(59);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(ZipfTableTest, SampleInRange) {
+  Rng rng(61);
+  ZipfTable table(10, 1.0);
+  EXPECT_EQ(table.size(), 10u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(table.Sample(rng), 10u);
+  }
+}
+
+TEST(ZipfTableTest, HeadIsHeavierThanTail) {
+  Rng rng(67);
+  ZipfTable table(100, 1.0);
+  int head = 0;
+  int tail = 0;
+  for (int i = 0; i < 10000; ++i) {
+    size_t v = table.Sample(rng);
+    if (v == 0) ++head;
+    if (v == 99) ++tail;
+  }
+  EXPECT_GT(head, 10 * std::max(tail, 1));
+}
+
+TEST(ZipfTableTest, SingleItem) {
+  Rng rng(71);
+  ZipfTable table(1, 2.0);
+  EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace crowdex

@@ -1,0 +1,116 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace crowdex {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad alpha");
+
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::NotFound("no such node");
+  EXPECT_EQ(s.ToString(), "NotFound: no such node");
+}
+
+TEST(StatusTest, ToStringWithoutMessage) {
+  Status s(StatusCode::kInternal, "");
+  EXPECT_EQ(s.ToString(), "Internal");
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::OutOfRange("window");
+  EXPECT_EQ(os.str(), "OutOfRange: window");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<std::string> ok_result(std::string("hit"));
+  EXPECT_EQ(ok_result.value_or("miss"), "hit");
+  Result<std::string> err_result(Status::Internal("boom"));
+  EXPECT_EQ(err_result.value_or("miss"), "miss");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, OkStatusConstructionIsDemotedToInternalError) {
+  Result<int> r{Status::Ok()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  auto fails = [] { return Status::InvalidArgument("nope"); };
+  auto wrapper = [&]() -> Status {
+    CROWDEX_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReturnIfErrorTest, PassesThroughOk) {
+  auto succeeds = [] { return Status::Ok(); };
+  auto wrapper = [&]() -> Status {
+    CROWDEX_RETURN_IF_ERROR(succeeds());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace crowdex

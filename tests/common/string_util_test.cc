@@ -1,0 +1,95 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdex {
+namespace {
+
+TEST(StringUtilTest, AsciiToLowerBasics) {
+  EXPECT_EQ(AsciiToLower("Hello World"), "hello world");
+  EXPECT_EQ(AsciiToLower("ALL CAPS 123"), "all caps 123");
+  EXPECT_EQ(AsciiToLower(""), "");
+  EXPECT_EQ(AsciiToLower("already lower"), "already lower");
+}
+
+TEST(StringUtilTest, IsAsciiAlpha) {
+  EXPECT_TRUE(IsAsciiAlpha('a'));
+  EXPECT_TRUE(IsAsciiAlpha('Z'));
+  EXPECT_FALSE(IsAsciiAlpha('0'));
+  EXPECT_FALSE(IsAsciiAlpha(' '));
+  EXPECT_FALSE(IsAsciiAlpha('@'));
+}
+
+TEST(StringUtilTest, IsAsciiDigit) {
+  EXPECT_TRUE(IsAsciiDigit('0'));
+  EXPECT_TRUE(IsAsciiDigit('9'));
+  EXPECT_FALSE(IsAsciiDigit('a'));
+  EXPECT_FALSE(IsAsciiDigit('/'));
+}
+
+TEST(StringUtilTest, SplitStringBasic) {
+  auto parts = SplitString("a,b,c", ",");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitStringDropsEmptyPieces) {
+  auto parts = SplitString(",,a,,b,", ",");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringUtilTest, SplitStringMultipleDelimiters) {
+  auto parts = SplitString("a b\tc", " \t");
+  ASSERT_EQ(parts.size(), 3u);
+}
+
+TEST(StringUtilTest, SplitStringEmptyInput) {
+  EXPECT_TRUE(SplitString("", ",").empty());
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  std::string s = "alpha beta gamma";
+  EXPECT_EQ(JoinStrings(SplitString(s, " "), " "), s);
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hello  "), "hello");
+  EXPECT_EQ(StripWhitespace("\t\nx\r\n"), "x");
+  EXPECT_EQ(StripWhitespace("nospace"), "nospace");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("htt", "http://"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(StringUtilTest, EndsWith) {
+  EXPECT_TRUE(EndsWith("file.cc", ".cc"));
+  EXPECT_FALSE(EndsWith("file.h", ".cc"));
+  EXPECT_TRUE(EndsWith("x", ""));
+  EXPECT_FALSE(EndsWith("", "x"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.125, 4), "0.1250");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
+  EXPECT_EQ(FormatDouble(0.0, 0), "0");
+}
+
+}  // namespace
+}  // namespace crowdex

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/analyzed_world.h"
+#include "core/expert_finder.h"
+#include "synth/world.h"
+
+namespace crowdex::core {
+namespace {
+
+class AggregationTest : public ::testing::Test {
+ protected:
+  struct Fixture {
+    synth::SyntheticWorld world;
+    AnalyzedWorld analyzed;
+    std::unique_ptr<CorpusIndex> index;
+  };
+
+  static const Fixture& F() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      synth::WorldConfig cfg;
+      cfg.scale = 0.02;
+      fx->world = synth::GenerateWorld(cfg);
+      fx->analyzed = AnalyzeWorld(&fx->world);
+      fx->index = std::make_unique<CorpusIndex>(&fx->analyzed,
+                                                platform::kAllPlatformsMask);
+      return fx;
+    }();
+    return *f;
+  }
+
+  static ExpertFinder Make(AggregationMode mode) {
+    ExpertFinderConfig cfg;
+    cfg.aggregation = mode;
+    return ExpertFinder(&F().analyzed, cfg, F().index.get());
+  }
+};
+
+TEST_F(AggregationTest, AllModesProduceValidRankings) {
+  for (AggregationMode mode :
+       {AggregationMode::kWeightedSum, AggregationMode::kVotes,
+        AggregationMode::kMaxResource}) {
+    ExpertFinder finder = Make(mode);
+    for (const auto& q : F().world.queries) {
+      RankedExperts r = finder.Rank(q);
+      for (size_t i = 1; i < r.ranking.size(); ++i) {
+        EXPECT_GE(r.ranking[i - 1].score, r.ranking[i].score);
+      }
+      for (const auto& e : r.ranking) EXPECT_GT(e.score, 0.0);
+    }
+  }
+}
+
+TEST_F(AggregationTest, SameExpertsDifferentOrder) {
+  // The retrieved expert *set* depends only on reachability, not on the
+  // aggregation mode; only the ordering may change.
+  ExpertFinder weighted = Make(AggregationMode::kWeightedSum);
+  ExpertFinder votes = Make(AggregationMode::kVotes);
+  ExpertFinder max_res = Make(AggregationMode::kMaxResource);
+  for (const auto& q : F().world.queries) {
+    auto set_of = [](const RankedExperts& r) {
+      std::set<int> s;
+      for (const auto& e : r.ranking) s.insert(e.candidate);
+      return s;
+    };
+    std::set<int> a = set_of(weighted.Rank(q));
+    EXPECT_EQ(a, set_of(votes.Rank(q)));
+    EXPECT_EQ(a, set_of(max_res.Rank(q)));
+  }
+}
+
+TEST_F(AggregationTest, VotesScoresAreFractionalResourceCounts) {
+  // With flat distance weights, a votes score is exactly the number of
+  // windowed resources reaching the candidate.
+  ExpertFinderConfig cfg;
+  cfg.aggregation = AggregationMode::kVotes;
+  cfg.distance_weight_min = 1.0;
+  cfg.distance_weight_max = 1.0;
+  ExpertFinder finder(&F().analyzed, cfg, F().index.get());
+  RankedExperts r = finder.Rank(F().world.queries.front());
+  double total = 0;
+  for (const auto& e : r.ranking) {
+    EXPECT_DOUBLE_EQ(e.score, std::round(e.score));
+    total += e.score;
+  }
+  // Each windowed resource casts >= 1 vote (it reaches >= 1 candidate).
+  EXPECT_GE(total, static_cast<double>(r.considered_resources));
+}
+
+TEST_F(AggregationTest, MaxResourceBoundedByWeightedSum) {
+  ExpertFinder weighted = Make(AggregationMode::kWeightedSum);
+  ExpertFinder max_res = Make(AggregationMode::kMaxResource);
+  for (const auto& q : F().world.queries) {
+    RankedExperts sum = weighted.Rank(q);
+    RankedExperts best = max_res.Rank(q);
+    ASSERT_EQ(sum.ranking.size(), best.ranking.size());
+    std::map<int, double> sum_by_candidate;
+    for (const auto& e : sum.ranking) sum_by_candidate[e.candidate] = e.score;
+    for (const auto& e : best.ranking) {
+      EXPECT_LE(e.score, sum_by_candidate[e.candidate] + 1e-9);
+    }
+  }
+}
+
+TEST_F(AggregationTest, WeightedSumIsDefaultMode) {
+  ExpertFinderConfig cfg;
+  EXPECT_EQ(cfg.aggregation, AggregationMode::kWeightedSum);
+}
+
+}  // namespace
+}  // namespace crowdex::core

@@ -1,0 +1,99 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdex::core {
+namespace {
+
+TEST(ConfigTest, DefaultsAreThePaperSettings) {
+  ExpertFinderConfig c;
+  EXPECT_DOUBLE_EQ(c.alpha, 0.6);
+  EXPECT_EQ(c.window_size, 100);
+  EXPECT_EQ(c.max_distance, 2);
+  EXPECT_FALSE(c.include_friends);
+  EXPECT_EQ(c.platforms, platform::kAllPlatformsMask);
+  EXPECT_DOUBLE_EQ(c.distance_weight_max, 1.0);
+  EXPECT_DOUBLE_EQ(c.distance_weight_min, 0.5);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(ConfigTest, ValidateRejectsBadAlpha) {
+  ExpertFinderConfig c;
+  c.alpha = -0.1;
+  EXPECT_FALSE(c.Validate().ok());
+  c.alpha = 1.1;
+  EXPECT_FALSE(c.Validate().ok());
+  c.alpha = 0.0;
+  EXPECT_TRUE(c.Validate().ok());
+  c.alpha = 1.0;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(ConfigTest, ValidateRejectsBadDistance) {
+  ExpertFinderConfig c;
+  c.max_distance = -1;
+  EXPECT_FALSE(c.Validate().ok());
+  c.max_distance = 3;
+  EXPECT_FALSE(c.Validate().ok());
+  for (int d : {0, 1, 2}) {
+    c.max_distance = d;
+    EXPECT_TRUE(c.Validate().ok());
+  }
+}
+
+TEST(ConfigTest, ValidateRejectsEmptyPlatformMask) {
+  ExpertFinderConfig c;
+  c.platforms = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigTest, ValidateRejectsBadWeights) {
+  ExpertFinderConfig c;
+  c.distance_weight_min = 0.9;
+  c.distance_weight_max = 0.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c.distance_weight_min = -0.1;
+  c.distance_weight_max = 1.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c.distance_weight_min = 0.0;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(ConfigTest, ValidateRejectsBadWindowFraction) {
+  ExpertFinderConfig c;
+  c.window_size = 0;
+  c.window_fraction = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c.window_fraction = 0.10;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(DistanceWeightTest, PaperInterval) {
+  ExpertFinderConfig c;  // [0.5, 1.0]
+  EXPECT_DOUBLE_EQ(DistanceWeight(c, 0), 1.0);
+  EXPECT_DOUBLE_EQ(DistanceWeight(c, 1), 0.75);
+  EXPECT_DOUBLE_EQ(DistanceWeight(c, 2), 0.5);
+}
+
+TEST(DistanceWeightTest, ClampsOutOfRangeDistances) {
+  ExpertFinderConfig c;
+  EXPECT_DOUBLE_EQ(DistanceWeight(c, -1), 1.0);
+  EXPECT_DOUBLE_EQ(DistanceWeight(c, 5), 0.5);
+}
+
+TEST(DistanceWeightTest, CustomInterval) {
+  ExpertFinderConfig c;
+  c.distance_weight_max = 2.0;
+  c.distance_weight_min = 1.0;
+  EXPECT_DOUBLE_EQ(DistanceWeight(c, 1), 1.5);
+}
+
+TEST(DistanceWeightTest, FlatIntervalMeansUniformWeights) {
+  ExpertFinderConfig c;
+  c.distance_weight_max = 1.0;
+  c.distance_weight_min = 1.0;
+  for (int d : {0, 1, 2}) EXPECT_DOUBLE_EQ(DistanceWeight(c, d), 1.0);
+}
+
+}  // namespace
+}  // namespace crowdex::core

@@ -1,0 +1,95 @@
+#include "core/corpus_index.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/world.h"
+
+namespace crowdex::core {
+namespace {
+
+class CorpusIndexTest : public ::testing::Test {
+ protected:
+  struct Fixture {
+    synth::SyntheticWorld world;
+    AnalyzedWorld analyzed;
+  };
+
+  static const Fixture& F() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      synth::WorldConfig cfg;
+      cfg.scale = 0.02;
+      fx->world = synth::GenerateWorld(cfg);
+      fx->analyzed = AnalyzeWorld(&fx->world);
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+TEST(PlatformNodeKeyTest, PackUnpackRoundTrip) {
+  for (platform::Platform p : platform::kAllPlatforms) {
+    for (graph::NodeId n : {0u, 1u, 12345u, 0xFFFFFFFEu}) {
+      PlatformNodeKey key{p, n};
+      PlatformNodeKey back = PlatformNodeKey::Unpack(key.Pack());
+      EXPECT_EQ(back, key);
+    }
+  }
+}
+
+TEST(PlatformNodeKeyTest, DistinctPlatformsDistinctKeys) {
+  PlatformNodeKey a{platform::Platform::kFacebook, 7};
+  PlatformNodeKey b{platform::Platform::kTwitter, 7};
+  EXPECT_NE(a.Pack(), b.Pack());
+}
+
+TEST_F(CorpusIndexTest, SingleNetworkSmallerThanAll) {
+  CorpusIndex all(&F().analyzed, platform::kAllPlatformsMask);
+  size_t sum = 0;
+  for (platform::Platform p : platform::kAllPlatforms) {
+    CorpusIndex single(&F().analyzed, platform::MaskOf(p));
+    EXPECT_LT(single.document_count(), all.document_count());
+    sum += single.document_count();
+  }
+  // The three single-platform corpora partition the All corpus.
+  EXPECT_EQ(sum, all.document_count());
+}
+
+TEST_F(CorpusIndexTest, OnlyEnglishNodesIndexed) {
+  CorpusIndex all(&F().analyzed, platform::kAllPlatformsMask);
+  size_t english = 0;
+  for (const auto& corpus : F().analyzed.corpora) {
+    for (const auto& node : corpus.nodes) {
+      if (node.english && !node.terms.empty()) ++english;
+    }
+  }
+  EXPECT_EQ(all.document_count(), english);
+}
+
+TEST_F(CorpusIndexTest, MaskIsRecorded) {
+  CorpusIndex tw(&F().analyzed,
+                 platform::MaskOf(platform::Platform::kTwitter));
+  EXPECT_EQ(tw.mask(), platform::MaskOf(platform::Platform::kTwitter));
+}
+
+TEST_F(CorpusIndexTest, ExternalIdsUnpackToIndexedPlatform) {
+  const platform::PlatformMask fb_mask =
+      platform::MaskOf(platform::Platform::kFacebook);
+  CorpusIndex fb(&F().analyzed, fb_mask);
+  index::AnalyzedQuery q;
+  q.terms = {"footbal", "goal", "match"};
+  for (const auto& doc : fb.Search(q, 1.0)) {
+    PlatformNodeKey key = PlatformNodeKey::Unpack(doc.external_id);
+    EXPECT_EQ(key.platform, platform::Platform::kFacebook);
+    EXPECT_LT(key.node, F().world.networks[0].graph.node_count());
+  }
+}
+
+TEST_F(CorpusIndexTest, SearchMatchesUnderlyingIndexStatistics) {
+  CorpusIndex all(&F().analyzed, platform::kAllPlatformsMask);
+  EXPECT_EQ(all.search_index().size(), all.document_count());
+  EXPECT_GT(all.search_index().vocabulary_size(), 500u);
+}
+
+}  // namespace
+}  // namespace crowdex::core

@@ -1,0 +1,167 @@
+#include "entity/annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace crowdex::entity {
+namespace {
+
+class AnnotatorTest : public ::testing::Test {
+ protected:
+  AnnotatorTest() : kb_(BuildDefaultKnowledgeBase()), annotator_(&kb_) {}
+
+  std::vector<Annotation> Annotate(const std::string& text) {
+    return annotator_.Annotate(tokenizer_.Tokenize(text));
+  }
+
+  // Returns the annotated entity names for readability in expectations.
+  std::vector<std::string> Names(const std::string& text) {
+    std::vector<std::string> out;
+    for (const auto& a : Annotate(text)) out.push_back(kb_.at(a.entity).name);
+    return out;
+  }
+
+  bool Mentions(const std::string& text, const std::string& name) {
+    for (const auto& n : Names(text)) {
+      if (n == name) return true;
+    }
+    return false;
+  }
+
+  KnowledgeBase kb_;
+  EntityAnnotator annotator_;
+  text::Tokenizer tokenizer_;
+};
+
+TEST_F(AnnotatorTest, FindsUnambiguousMention) {
+  EXPECT_TRUE(Mentions("michael phelps wins gold again", "Michael Phelps"));
+}
+
+TEST_F(AnnotatorTest, MultiTokenAliasMatchedAsOneMention) {
+  auto annotations = Annotate("watching how i met your mother tonight");
+  ASSERT_GE(annotations.size(), 1u);
+  bool found = false;
+  for (const auto& a : annotations) {
+    if (kb_.at(a.entity).name == "How I Met Your Mother") {
+      found = true;
+      EXPECT_EQ(a.token_count, 4u);  // "i" is dropped by tokenization.
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AnnotatorTest, AmbiguousAliasResolvedByContextLanguage) {
+  // "python" + programming context -> the language.
+  EXPECT_TRUE(Mentions("writing python code with a new library function",
+                       "Python"));
+  EXPECT_FALSE(Mentions("writing python code with a new library function",
+                        "Python (snake)"));
+}
+
+TEST_F(AnnotatorTest, AmbiguousAliasResolvedByContextAnimal) {
+  EXPECT_TRUE(Mentions("saw a python snake in its natural habitat species",
+                       "Python (snake)"));
+  EXPECT_FALSE(Mentions("saw a python snake in its natural habitat species",
+                        "Python"));
+}
+
+TEST_F(AnnotatorTest, BareAmbiguousMentionIsDropped) {
+  // No context at all: the annotator must not guess.
+  auto annotations = Annotate("python");
+  EXPECT_TRUE(annotations.empty());
+}
+
+TEST_F(AnnotatorTest, MilanCityVsClub) {
+  EXPECT_TRUE(Mentions("visiting milan for the duomo and a restaurant",
+                       "Milan"));
+  EXPECT_TRUE(
+      Mentions("milan scored a late goal in the derby match", "AC Milan"));
+}
+
+TEST_F(AnnotatorTest, AppleCompanyContext) {
+  EXPECT_TRUE(
+      Mentions("apple announced the new iphone at the launch", "Apple Inc."));
+}
+
+TEST_F(AnnotatorTest, OperaMusicVsBrowser) {
+  EXPECT_TRUE(Mentions("the soprano sang a beautiful opera aria", "Opera"));
+  EXPECT_TRUE(Mentions("the opera browser opened the web page in a tab",
+                       "Opera (browser)"));
+}
+
+TEST_F(AnnotatorTest, DscoreWithinBounds) {
+  for (const auto& a :
+       Annotate("michael phelps freestyle swimming gold medal olympic")) {
+    EXPECT_GT(a.dscore, 0.0);
+    EXPECT_LE(a.dscore, 1.0);
+  }
+}
+
+TEST_F(AnnotatorTest, ContextSupportRaisesDscore) {
+  auto weak = Annotate("met adele yesterday");
+  auto strong = Annotate("adele sang a new song from her album with an "
+                         "amazing voice ballad");
+  ASSERT_FALSE(weak.empty());
+  ASSERT_FALSE(strong.empty());
+  EXPECT_GT(strong[0].dscore, weak[0].dscore);
+}
+
+TEST_F(AnnotatorTest, UnambiguousFloorApplied) {
+  auto annotations = Annotate("met adele yesterday");
+  ASSERT_EQ(annotations.size(), 1u);
+  EXPECT_GE(annotations[0].dscore, annotator_.options().unambiguous_floor);
+}
+
+TEST_F(AnnotatorTest, EmptyTokensYieldNothing) {
+  EXPECT_TRUE(annotator_.Annotate({}).empty());
+}
+
+TEST_F(AnnotatorTest, NoFalsePositivesOnPlainText) {
+  EXPECT_TRUE(Annotate("just a normal sentence without anything").empty());
+}
+
+TEST_F(AnnotatorTest, LongestMatchWins) {
+  // "world cup" must match FIFA World Cup, not leave "cup" dangling; and
+  // "world of warcraft" must beat "world cup"-style partials.
+  EXPECT_TRUE(Mentions("the world cup final match was a great game",
+                       "FIFA World Cup"));
+  EXPECT_TRUE(Mentions("raiding in world of warcraft with my guild quest",
+                       "World of Warcraft"));
+}
+
+TEST_F(AnnotatorTest, MentionPositionsAreTracked) {
+  auto annotations = Annotate("yesterday michael phelps swam freestyle");
+  ASSERT_FALSE(annotations.empty());
+  EXPECT_EQ(annotations[0].begin_token, 1u);
+  EXPECT_EQ(annotations[0].token_count, 2u);
+}
+
+TEST_F(AnnotatorTest, RepeatedMentionsProduceMultipleAnnotations) {
+  auto annotations =
+      Annotate("adele adele adele sang her song album voice");
+  int adele_count = 0;
+  for (const auto& a : annotations) {
+    if (kb_.at(a.entity).name == "Adele") ++adele_count;
+  }
+  EXPECT_EQ(adele_count, 3);
+}
+
+TEST_F(AnnotatorTest, MinDscoreOptionFiltersWeakMentions) {
+  AnnotatorOptions strict;
+  strict.min_dscore = 0.99;
+  EntityAnnotator picky(&kb_, strict);
+  EXPECT_TRUE(
+      picky.Annotate(tokenizer_.Tokenize("met adele yesterday")).empty());
+}
+
+TEST_F(AnnotatorTest, QueryStyleShortText) {
+  // The paper's queries are short; entity recognition must still work.
+  EXPECT_TRUE(
+      Mentions("can you list some restaurants in milan", "Milan"));
+  EXPECT_TRUE(Mentions("why is copper a good conductor", "Copper"));
+  EXPECT_TRUE(Mentions("famous songs of michael jackson", "Michael Jackson"));
+}
+
+}  // namespace
+}  // namespace crowdex::entity

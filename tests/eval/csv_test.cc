@@ -1,0 +1,103 @@
+#include "eval/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace crowdex::eval {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+MetricsRow Row(std::string label, double map) {
+  MetricsRow r;
+  r.label = std::move(label);
+  r.metrics.map = map;
+  r.metrics.mrr = 0.5;
+  r.metrics.ndcg = 0.25;
+  r.metrics.ndcg_at_10 = 0.125;
+  for (int i = 0; i < kElevenPoints; ++i) {
+    r.metrics.precision11[i] = 1.0 - 0.1 * i;
+  }
+  for (size_t k = 0; k < kDcgCurvePoints; ++k) {
+    r.metrics.dcg_curve[k] = static_cast<double>(k + 1);
+  }
+  return r;
+}
+
+TEST(CsvEscapeTest, PlainFieldUnchanged) {
+  EXPECT_EQ(CsvEscape("dist 2"), "dist 2");
+}
+
+TEST(CsvEscapeTest, CommaQuoted) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuotesDoubled) {
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlineQuoted) {
+  EXPECT_EQ(CsvEscape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(WriteMetricsCsvTest, HeaderAndRows) {
+  std::string path = TempPath("metrics.csv");
+  ASSERT_TRUE(WriteMetricsCsv({Row("Random", 0.2648), Row("TW, dist 2", 0.47)},
+                              path)
+                  .ok());
+  std::string content = ReadAll(path);
+  EXPECT_NE(content.find("label,map,mrr,ndcg,ndcg_at_10\n"),
+            std::string::npos);
+  EXPECT_NE(content.find("Random,0.264800,0.500000"), std::string::npos);
+  EXPECT_NE(content.find("\"TW, dist 2\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteMetricsCsvTest, EmptyRowsJustHeader) {
+  std::string path = TempPath("empty.csv");
+  ASSERT_TRUE(WriteMetricsCsv({}, path).ok());
+  EXPECT_EQ(ReadAll(path), "label,map,mrr,ndcg,ndcg_at_10\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteMetricsCsvTest, UnwritablePathFails) {
+  EXPECT_FALSE(WriteMetricsCsv({}, "/nonexistent-dir/x.csv").ok());
+}
+
+TEST(WritePrecision11CsvTest, ElevenColumns) {
+  std::string path = TempPath("p11.csv");
+  ASSERT_TRUE(WritePrecision11Csv({Row("d2", 0.4)}, path).ok());
+  std::string content = ReadAll(path);
+  // Header: label + 11 recall columns.
+  std::string header = content.substr(0, content.find('\n'));
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','), kElevenPoints);
+  EXPECT_NE(content.find("r00"), std::string::npos);
+  EXPECT_NE(content.find("r10"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteDcgCurveCsvTest, TwentyColumns) {
+  std::string path = TempPath("dcg.csv");
+  ASSERT_TRUE(WriteDcgCurveCsv({Row("d1", 0.3)}, path).ok());
+  std::string content = ReadAll(path);
+  std::string header = content.substr(0, content.find('\n'));
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            static_cast<long>(kDcgCurvePoints));
+  EXPECT_NE(content.find(",k20"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crowdex::eval

@@ -1,0 +1,155 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdex::eval {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  struct Fixture {
+    synth::SyntheticWorld world;
+    core::AnalyzedWorld analyzed;
+  };
+
+  static const Fixture& F() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      synth::WorldConfig cfg;
+      cfg.scale = 0.02;
+      fx->world = synth::GenerateWorld(cfg);
+      fx->analyzed = core::AnalyzeWorld(&fx->world);
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+TEST_F(ExperimentTest, GainsAreTwoToLikertMinusOne) {
+  ExperimentRunner runner(&F().world);
+  auto gains = runner.GainsForDomain(Domain::kSport);
+  ASSERT_EQ(gains.size(), 40u);
+  for (size_t u = 0; u < gains.size(); ++u) {
+    int likert = F().world.candidates[u].likert[DomainIndex(Domain::kSport)];
+    EXPECT_DOUBLE_EQ(gains[u], std::pow(2.0, likert) - 1.0);
+  }
+}
+
+TEST_F(ExperimentTest, EvaluateRankingPerfectRanking) {
+  ExperimentRunner runner(&F().world);
+  const auto& q = F().world.queries.front();
+  std::vector<int> experts = F().world.RelevantExperts(q);
+  QueryResult r = runner.EvaluateRanking(q, experts);
+  EXPECT_DOUBLE_EQ(r.average_precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.reciprocal_rank, 1.0);
+  EXPECT_EQ(r.expected_experts, experts.size());
+  EXPECT_EQ(r.delta_experts, 0);
+}
+
+TEST_F(ExperimentTest, EvaluateRankingEmptyRanking) {
+  ExperimentRunner runner(&F().world);
+  const auto& q = F().world.queries.front();
+  QueryResult r = runner.EvaluateRanking(q, {});
+  EXPECT_DOUBLE_EQ(r.average_precision, 0.0);
+  EXPECT_DOUBLE_EQ(r.reciprocal_rank, 0.0);
+  EXPECT_DOUBLE_EQ(r.ndcg, 0.0);
+  EXPECT_LT(r.delta_experts, 0);
+}
+
+TEST_F(ExperimentTest, DcgCurveIsNonDecreasing) {
+  ExperimentRunner runner(&F().world);
+  core::ExpertFinder finder(&F().analyzed, core::ExpertFinderConfig{});
+  QueryResult r = runner.EvaluateQuery(finder, F().world.queries.front());
+  for (size_t k = 1; k < kDcgCurvePoints; ++k) {
+    EXPECT_GE(r.dcg_curve[k], r.dcg_curve[k - 1] - 1e-12);
+  }
+}
+
+TEST_F(ExperimentTest, AggregateAveragesCorrectly) {
+  QueryResult a;
+  a.average_precision = 0.2;
+  a.reciprocal_rank = 1.0;
+  a.ndcg = 0.4;
+  a.ndcg_at_10 = 0.3;
+  QueryResult b;
+  b.average_precision = 0.6;
+  b.reciprocal_rank = 0.0;
+  b.ndcg = 0.8;
+  b.ndcg_at_10 = 0.5;
+  AggregateMetrics agg = ExperimentRunner::Aggregate({a, b});
+  EXPECT_NEAR(agg.map, 0.4, 1e-12);
+  EXPECT_NEAR(agg.mrr, 0.5, 1e-12);
+  EXPECT_NEAR(agg.ndcg, 0.6, 1e-12);
+  EXPECT_NEAR(agg.ndcg_at_10, 0.4, 1e-12);
+  EXPECT_EQ(agg.query_count, 2u);
+}
+
+TEST_F(ExperimentTest, AggregateEmptyIsZero) {
+  AggregateMetrics agg = ExperimentRunner::Aggregate({});
+  EXPECT_EQ(agg.query_count, 0u);
+  EXPECT_DOUBLE_EQ(agg.map, 0.0);
+}
+
+TEST_F(ExperimentTest, RandomBaselineIsDeterministicInSeed) {
+  ExperimentRunner runner(&F().world);
+  AggregateMetrics a = runner.RandomBaseline(F().world.queries, 3, 20, 11);
+  AggregateMetrics b = runner.RandomBaseline(F().world.queries, 3, 20, 11);
+  EXPECT_DOUBLE_EQ(a.map, b.map);
+  EXPECT_DOUBLE_EQ(a.mrr, b.mrr);
+  AggregateMetrics c = runner.RandomBaseline(F().world.queries, 3, 20, 12);
+  EXPECT_NE(a.map, c.map);
+}
+
+TEST_F(ExperimentTest, RandomBaselineInPlausibleRange) {
+  ExperimentRunner runner(&F().world);
+  AggregateMetrics m = runner.RandomBaseline(F().world.queries);
+  // ~17-20 relevant of 40, 20 retrieved: MAP lands in a mid range.
+  EXPECT_GT(m.map, 0.1);
+  EXPECT_LT(m.map, 0.5);
+  EXPECT_GT(m.mrr, 0.3);
+  EXPECT_LE(m.mrr, 1.0);
+  EXPECT_GT(m.ndcg, 0.0);
+  EXPECT_LT(m.ndcg, 0.8);
+}
+
+TEST_F(ExperimentTest, EvaluateAggregatesAllQueries) {
+  ExperimentRunner runner(&F().world);
+  core::ExpertFinder finder(&F().analyzed, core::ExpertFinderConfig{});
+  AggregateMetrics m = runner.Evaluate(finder, F().world.queries);
+  EXPECT_EQ(m.query_count, 30u);
+  EXPECT_GE(m.map, 0.0);
+  EXPECT_LE(m.map, 1.0);
+}
+
+TEST_F(ExperimentTest, PerUserReliabilityShape) {
+  ExperimentRunner runner(&F().world);
+  core::ExpertFinder finder(&F().analyzed, core::ExpertFinderConfig{});
+  auto reliability = runner.PerUserReliability(finder, F().world.queries);
+  ASSERT_EQ(reliability.size(), 40u);
+  for (const auto& r : reliability) {
+    EXPECT_GE(r.metrics.f1, 0.0);
+    EXPECT_LE(r.metrics.f1, 1.0);
+    EXPECT_GE(r.metrics.precision, 0.0);
+    EXPECT_LE(r.metrics.precision, 1.0);
+  }
+  // Candidate ids are 0..39 in order.
+  for (int u = 0; u < 40; ++u) {
+    EXPECT_EQ(reliability[u].candidate, u);
+  }
+}
+
+TEST_F(ExperimentTest, PerUserReliabilityTopKMonotonicity) {
+  // With a larger top-k, recall can only grow or stay equal per user.
+  ExperimentRunner runner(&F().world);
+  core::ExpertFinder finder(&F().analyzed, core::ExpertFinderConfig{});
+  auto top5 = runner.PerUserReliability(finder, F().world.queries, 5);
+  auto top20 = runner.PerUserReliability(finder, F().world.queries, 20);
+  for (int u = 0; u < 40; ++u) {
+    EXPECT_GE(top20[u].metrics.recall, top5[u].metrics.recall - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace crowdex::eval

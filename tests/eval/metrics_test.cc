@@ -1,0 +1,229 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdex::eval {
+namespace {
+
+using Ranked = std::vector<int>;
+using Relevant = std::unordered_set<int>;
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRanking) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({4, 5, 6}, {1, 2}), 0.0);
+}
+
+TEST(AveragePrecisionTest, TextbookExample) {
+  // Relevant at positions 1 and 3 of 3 retrieved, |relevant| = 2:
+  // AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecision({1, 9, 2}, {1, 2}), (1.0 + 2.0 / 3.0) / 2.0,
+              1e-12);
+}
+
+TEST(AveragePrecisionTest, UnretrievedRelevantPenalized) {
+  // Only 1 of 4 relevant retrieved.
+  EXPECT_NEAR(AveragePrecision({1}, {1, 2, 3, 4}), 0.25, 1e-12);
+}
+
+TEST(AveragePrecisionTest, EmptyCases) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({1}, {}), 0.0);
+}
+
+TEST(ReciprocalRankTest, FirstPosition) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank({7, 8}, {7}), 1.0);
+}
+
+TEST(ReciprocalRankTest, ThirdPosition) {
+  EXPECT_NEAR(ReciprocalRank({9, 8, 7}, {7}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ReciprocalRankTest, NoHit) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank({9, 8}, {7}), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({}, {7}), 0.0);
+}
+
+TEST(PrecisionRecallAtKTest, Basics) {
+  Ranked ranked = {1, 9, 2, 8};
+  Relevant relevant = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 4), 0.5);
+  EXPECT_NEAR(RecallAtK(ranked, relevant, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(RecallAtK(ranked, relevant, 4), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrecisionRecallAtKTest, KBeyondRankingUsesRankingSize) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1}, {1}, 10), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, {1}, 10), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1}, {1}, 0), 0.0);
+}
+
+TEST(DcgTest, SinglePositionIsGain) {
+  std::vector<double> gains = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Dcg({1}, gains, 5), 10.0);  // log2(2) = 1.
+}
+
+TEST(DcgTest, SecondPositionDiscounted) {
+  std::vector<double> gains = {0.0, 10.0, 10.0};
+  double dcg = Dcg({1, 2}, gains, 5);
+  EXPECT_NEAR(dcg, 10.0 + 10.0 / std::log2(3.0), 1e-12);
+}
+
+TEST(DcgTest, CutoffRespected) {
+  std::vector<double> gains = {1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(Dcg({0, 1, 2}, gains, 1), 1.0);
+}
+
+TEST(DcgTest, OutOfRangeItemsHaveZeroGain) {
+  std::vector<double> gains = {1.0};
+  EXPECT_DOUBLE_EQ(Dcg({5, -3, 0}, gains, 10), 1.0 / std::log2(4.0));
+}
+
+TEST(IdealDcgTest, SortsGainsDescending) {
+  std::vector<double> gains = {1.0, 3.0, 2.0};
+  double ideal = IdealDcg(gains, 3);
+  EXPECT_NEAR(ideal, 3.0 + 2.0 / std::log2(3.0) + 1.0 / std::log2(4.0),
+              1e-12);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  std::vector<double> gains = {1.0, 3.0, 2.0};
+  EXPECT_NEAR(Ndcg({1, 2, 0}, gains, 3), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, WorseRankingBelowOne) {
+  std::vector<double> gains = {1.0, 3.0, 2.0};
+  EXPECT_LT(Ndcg({0, 2, 1}, gains, 3), 1.0);
+  EXPECT_GT(Ndcg({0, 2, 1}, gains, 3), 0.0);
+}
+
+TEST(NdcgTest, ZeroIdealYieldsZero) {
+  std::vector<double> gains = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(Ndcg({0, 1}, gains, 2), 0.0);
+}
+
+TEST(NdcgTest, EmptyRankingIsZero) {
+  std::vector<double> gains = {1.0};
+  EXPECT_DOUBLE_EQ(Ndcg({}, gains, 5), 0.0);
+}
+
+TEST(Interpolated11Test, PerfectRankingIsAllOnes) {
+  auto curve = InterpolatedPrecision11({1, 2}, {1, 2});
+  for (double v : curve) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Interpolated11Test, EmptyRelevantIsAllZeros) {
+  auto curve = InterpolatedPrecision11({1, 2}, {});
+  for (double v : curve) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Interpolated11Test, MonotoneNonIncreasing) {
+  auto curve = InterpolatedPrecision11({1, 9, 2, 8, 3, 7}, {1, 2, 3});
+  for (int i = 1; i < kElevenPoints; ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-12);
+  }
+}
+
+TEST(Interpolated11Test, UnreachedRecallLevelsAreZero) {
+  // Only half the relevant set is retrieved: levels > 0.5 must be 0.
+  auto curve = InterpolatedPrecision11({1}, {1, 2});
+  EXPECT_DOUBLE_EQ(curve[10], 0.0);
+  EXPECT_DOUBLE_EQ(curve[6], 0.0);
+  EXPECT_DOUBLE_EQ(curve[5], 1.0);  // Recall 0.5 reached at precision 1.
+}
+
+TEST(Interpolated11Test, KnownCurve) {
+  // ranked: R N R N, relevant = {a, b}.
+  auto curve = InterpolatedPrecision11({1, 9, 2, 8}, {1, 2});
+  // At recall 0.5: best precision with recall >= 0.5 is max(1.0 @pos1,
+  // 2/3 @pos3, 0.5 @pos4) = 1.0.
+  EXPECT_DOUBLE_EQ(curve[5], 1.0);
+  // At recall 1.0: precision 2/3.
+  EXPECT_NEAR(curve[10], 2.0 / 3.0, 1e-12);
+}
+
+TEST(SetMetricsTest, PerfectRetrieval) {
+  SetMetrics m = PrecisionRecallF1(5, 5, 5);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(SetMetricsTest, ZeroDenominatorsSafe) {
+  SetMetrics m = PrecisionRecallF1(0, 0, 0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(SetMetricsTest, HarmonicMean) {
+  SetMetrics m = PrecisionRecallF1(2, 4, 8);  // P=0.5, R=0.25.
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.25);
+  EXPECT_NEAR(m.f1, 2 * 0.5 * 0.25 / 0.75, 1e-12);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  LinearFit fit = FitLinear({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1.
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.pearson, 1.0, 1e-9);
+}
+
+TEST(LinearFitTest, NegativeCorrelation) {
+  LinearFit fit = FitLinear({1, 2, 3}, {3, 2, 1});
+  EXPECT_NEAR(fit.pearson, -1.0, 1e-9);
+  EXPECT_NEAR(fit.slope, -1.0, 1e-9);
+}
+
+TEST(LinearFitTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(FitLinear({}, {}).pearson, 0.0);
+  EXPECT_DOUBLE_EQ(FitLinear({1}, {2}).pearson, 0.0);
+  // Constant x: undefined slope -> 0.
+  LinearFit fit = FitLinear({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.pearson, 0.0);
+}
+
+// Property: AP is invariant to irrelevant suffixes but not prefixes.
+TEST(MetricPropertiesTest, IrrelevantSuffixDoesNotChangeAp) {
+  Ranked base = {1, 9, 2};
+  Relevant rel = {1, 2};
+  double ap = AveragePrecision(base, rel);
+  Ranked extended = base;
+  extended.push_back(42);
+  extended.push_back(43);
+  EXPECT_DOUBLE_EQ(AveragePrecision(extended, rel), ap);
+}
+
+TEST(MetricPropertiesTest, IrrelevantPrefixLowersAp) {
+  Relevant rel = {1, 2};
+  double good = AveragePrecision({1, 2}, rel);
+  double bad = AveragePrecision({9, 1, 2}, rel);
+  EXPECT_LT(bad, good);
+}
+
+// Parameterized sanity sweep: NDCG is within [0, 1] for random-ish inputs.
+class NdcgRange : public ::testing::TestWithParam<int> {};
+
+TEST_P(NdcgRange, AlwaysInUnitInterval) {
+  int n = GetParam();
+  std::vector<double> gains(10);
+  for (int i = 0; i < 10; ++i) gains[i] = (i * 7 + n) % 5;
+  Ranked ranked;
+  for (int i = 0; i < 10; ++i) ranked.push_back((i * 3 + n) % 10);
+  double v = Ndcg(ranked, gains, 10);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, NdcgRange, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace crowdex::eval

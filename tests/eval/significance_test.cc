@@ -1,0 +1,94 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace crowdex::eval {
+namespace {
+
+TEST(PairedBootstrapTest, ClearDifferenceIsSignificant) {
+  // a beats b on every query by a consistent margin.
+  std::vector<double> a, b;
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    double base = rng.NextDouble() * 0.5;
+    b.push_back(base);
+    a.push_back(base + 0.2 + 0.05 * rng.NextDouble());
+  }
+  BootstrapResult r = PairedBootstrap(a, b);
+  EXPECT_GT(r.mean_difference, 0.19);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_EQ(r.resamples, 10000);
+}
+
+TEST(PairedBootstrapTest, PureNoiseIsNotSignificant) {
+  std::vector<double> a, b;
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.NextDouble());
+    b.push_back(rng.NextDouble());
+  }
+  BootstrapResult r = PairedBootstrap(a, b);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(PairedBootstrapTest, DirectionIsSigned) {
+  std::vector<double> a = {0.1, 0.1, 0.1, 0.1, 0.1};
+  std::vector<double> b = {0.9, 0.9, 0.9, 0.9, 0.9};
+  BootstrapResult r = PairedBootstrap(a, b);
+  EXPECT_LT(r.mean_difference, 0.0);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(PairedBootstrapTest, IdenticalSystemsPValueOne) {
+  std::vector<double> a = {0.2, 0.4, 0.6};
+  BootstrapResult r = PairedBootstrap(a, a);
+  EXPECT_DOUBLE_EQ(r.mean_difference, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(PairedBootstrapTest, DegenerateInputsRejected) {
+  EXPECT_DOUBLE_EQ(PairedBootstrap({}, {}).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(PairedBootstrap({1.0}, {0.5}).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(PairedBootstrap({1.0, 2.0}, {0.5}).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(PairedBootstrap({1.0, 2.0}, {0.5, 0.6}, 0).p_value, 1.0);
+}
+
+TEST(PairedBootstrapTest, DeterministicInSeed) {
+  std::vector<double> a, b;
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(rng.NextDouble());
+    b.push_back(rng.NextDouble() * 0.9);
+  }
+  BootstrapResult r1 = PairedBootstrap(a, b, 5000, 42);
+  BootstrapResult r2 = PairedBootstrap(a, b, 5000, 42);
+  EXPECT_DOUBLE_EQ(r1.p_value, r2.p_value);
+}
+
+TEST(PairedBootstrapTest, MoreQueriesTightenTheTest) {
+  // The same small per-query edge: significant with many queries, not with
+  // a handful.
+  auto make = [](int n, std::vector<double>& a, std::vector<double>& b) {
+    Rng rng(13);
+    a.clear();
+    b.clear();
+    for (int i = 0; i < n; ++i) {
+      double noise_a = rng.NextDouble();
+      double noise_b = rng.NextDouble();
+      a.push_back(0.5 + 0.05 + 0.3 * (noise_a - 0.5));
+      b.push_back(0.5 + 0.3 * (noise_b - 0.5));
+    }
+  };
+  std::vector<double> a, b;
+  make(400, a, b);
+  BootstrapResult large = PairedBootstrap(a, b);
+  make(5, a, b);
+  BootstrapResult small = PairedBootstrap(a, b);
+  EXPECT_LT(large.p_value, small.p_value + 1e-9);
+  EXPECT_LT(large.p_value, 0.05);
+}
+
+}  // namespace
+}  // namespace crowdex::eval

@@ -1,0 +1,182 @@
+// Property tests over randomly generated meta-model graphs: the Table-1
+// enumeration must satisfy its invariants on any valid social graph, not
+// just the hand-built cases in social_graph_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/social_graph.h"
+
+namespace crowdex::graph {
+namespace {
+
+// Builds a random but meta-model-valid social graph with `users` profiles,
+// plus resources, containers, and random valid edges.
+SocialGraph RandomGraph(uint64_t seed, int users, int resources,
+                        int containers) {
+  Rng rng(seed);
+  SocialGraph g;
+  std::vector<NodeId> profiles;
+  std::vector<NodeId> res;
+  std::vector<NodeId> conts;
+  for (int i = 0; i < users; ++i) {
+    profiles.push_back(g.AddNode(NodeKind::kUserProfile));
+  }
+  for (int i = 0; i < resources; ++i) {
+    res.push_back(g.AddNode(NodeKind::kResource));
+  }
+  for (int i = 0; i < containers; ++i) {
+    conts.push_back(g.AddNode(NodeKind::kResourceContainer));
+  }
+  // Random ownership / creation / annotation.
+  for (NodeId r : res) {
+    if (rng.NextBool(0.8)) {
+      NodeId u = profiles[rng.NextBelow(profiles.size())];
+      EdgeKind k = rng.NextBool(0.5) ? EdgeKind::kOwns : EdgeKind::kCreates;
+      (void)g.AddEdge(u, r, k);
+    }
+    if (rng.NextBool(0.3) && !conts.empty()) {
+      (void)g.AddEdge(conts[rng.NextBelow(conts.size())], r,
+                      EdgeKind::kContains);
+    }
+    if (rng.NextBool(0.2)) {
+      (void)g.AddEdge(profiles[rng.NextBelow(profiles.size())], r,
+                      EdgeKind::kAnnotates);
+    }
+  }
+  // Memberships.
+  for (NodeId u : profiles) {
+    for (NodeId c : conts) {
+      if (rng.NextBool(0.2)) (void)g.AddEdge(u, c, EdgeKind::kRelatesTo);
+    }
+  }
+  // Follows (some mutual).
+  for (NodeId a : profiles) {
+    for (NodeId b : profiles) {
+      if (a == b) continue;
+      if (rng.NextBool(0.15)) {
+        (void)g.AddEdge(a, b, EdgeKind::kFollows);
+        if (rng.NextBool(0.5)) (void)g.AddEdge(b, a, EdgeKind::kFollows);
+      }
+    }
+  }
+  return g;
+}
+
+class GraphProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphProperty, NoDuplicateNodesInCollectResults) {
+  SocialGraph g = RandomGraph(GetParam(), 8, 40, 5);
+  CollectOptions opts;
+  opts.max_distance = 2;
+  for (NodeId u : g.NodesOfKind(NodeKind::kUserProfile)) {
+    auto result = g.CollectResources(u, opts);
+    ASSERT_TRUE(result.ok());
+    std::set<NodeId> seen;
+    for (const auto& r : result.value()) {
+      EXPECT_TRUE(seen.insert(r.node).second)
+          << "node " << r.node << " reported twice";
+    }
+  }
+}
+
+TEST_P(GraphProperty, DistanceSubsetMonotonicity) {
+  // Everything reachable at max_distance d is also reachable at d+1, at a
+  // distance no larger than before.
+  SocialGraph g = RandomGraph(GetParam(), 8, 40, 5);
+  for (NodeId u : g.NodesOfKind(NodeKind::kUserProfile)) {
+    for (int d = 0; d < 2; ++d) {
+      CollectOptions narrow;
+      narrow.max_distance = d;
+      CollectOptions wide;
+      wide.max_distance = d + 1;
+      auto small = g.CollectResources(u, narrow);
+      auto large = g.CollectResources(u, wide);
+      ASSERT_TRUE(small.ok());
+      ASSERT_TRUE(large.ok());
+      for (const auto& r : small.value()) {
+        bool found = false;
+        for (const auto& rl : large.value()) {
+          if (rl.node == r.node) {
+            found = true;
+            EXPECT_LE(rl.distance, r.distance);
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+  }
+}
+
+TEST_P(GraphProperty, FriendsSupersetOfNonFriends) {
+  // include_friends=true can only add nodes, never remove or move one
+  // farther away.
+  SocialGraph g = RandomGraph(GetParam(), 8, 40, 5);
+  for (NodeId u : g.NodesOfKind(NodeKind::kUserProfile)) {
+    CollectOptions base;
+    base.max_distance = 2;
+    CollectOptions with;
+    with.max_distance = 2;
+    with.include_friends = true;
+    auto without_friends = g.CollectResources(u, base);
+    auto with_friends = g.CollectResources(u, with);
+    ASSERT_TRUE(without_friends.ok());
+    ASSERT_TRUE(with_friends.ok());
+    EXPECT_GE(with_friends.value().size(), without_friends.value().size());
+    for (const auto& r : without_friends.value()) {
+      bool found = false;
+      for (const auto& rw : with_friends.value()) {
+        if (rw.node == r.node) {
+          found = true;
+          EXPECT_LE(rw.distance, r.distance);
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST_P(GraphProperty, ReportedDistancesAreValid) {
+  SocialGraph g = RandomGraph(GetParam(), 8, 40, 5);
+  CollectOptions opts;
+  opts.max_distance = 2;
+  for (NodeId u : g.NodesOfKind(NodeKind::kUserProfile)) {
+    auto result = g.CollectResources(u, opts);
+    ASSERT_TRUE(result.ok());
+    for (const auto& r : result.value()) {
+      EXPECT_GE(r.distance, 0);
+      EXPECT_LE(r.distance, 2);
+      if (r.node == u) {
+        EXPECT_EQ(r.distance, 0);
+      }
+    }
+  }
+}
+
+TEST_P(GraphProperty, EdgeCountMatchesNeighborSums) {
+  SocialGraph g = RandomGraph(GetParam(), 8, 40, 5);
+  size_t total_out = 0;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    for (EdgeKind k :
+         {EdgeKind::kOwns, EdgeKind::kCreates, EdgeKind::kAnnotates,
+          EdgeKind::kRelatesTo, EdgeKind::kFollows, EdgeKind::kContains,
+          EdgeKind::kLinksTo}) {
+      size_t out = g.OutNeighbors(n, k).size();
+      total_out += out;
+      // Every out-edge is somebody's in-edge.
+      for (NodeId other : g.OutNeighbors(n, k)) {
+        auto in = g.InNeighbors(other, k);
+        EXPECT_NE(std::find(in.begin(), in.end(), n), in.end());
+      }
+    }
+  }
+  EXPECT_EQ(total_out, g.edge_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace crowdex::graph

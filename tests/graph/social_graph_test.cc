@@ -1,0 +1,307 @@
+#include "graph/social_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace crowdex::graph {
+namespace {
+
+class SocialGraphTest : public ::testing::Test {
+ protected:
+  NodeId User(std::string label = {}) {
+    return g_.AddNode(NodeKind::kUserProfile, std::move(label));
+  }
+  NodeId Res() { return g_.AddNode(NodeKind::kResource); }
+  NodeId Container() { return g_.AddNode(NodeKind::kResourceContainer); }
+  NodeId Url() { return g_.AddNode(NodeKind::kUrl); }
+
+  std::vector<ResourceAtDistance> Collect(NodeId user, int max_distance,
+                                          bool include_friends = false) {
+    CollectOptions opts;
+    opts.max_distance = max_distance;
+    opts.include_friends = include_friends;
+    auto r = g_.CollectResources(user, opts);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? r.value() : std::vector<ResourceAtDistance>{};
+  }
+
+  static bool Has(const std::vector<ResourceAtDistance>& v, NodeId node,
+                  int distance) {
+    return std::find(v.begin(), v.end(),
+                     ResourceAtDistance{node, distance}) != v.end();
+  }
+
+  SocialGraph g_;
+};
+
+TEST_F(SocialGraphTest, AddNodeAssignsIdsAndKinds) {
+  NodeId u = User("alice");
+  NodeId r = Res();
+  EXPECT_EQ(u, 0u);
+  EXPECT_EQ(r, 1u);
+  EXPECT_EQ(g_.kind(u), NodeKind::kUserProfile);
+  EXPECT_EQ(g_.kind(r), NodeKind::kResource);
+  EXPECT_EQ(g_.label(u), "alice");
+  EXPECT_EQ(g_.node_count(), 2u);
+}
+
+TEST_F(SocialGraphTest, MetaModelAllowsFig2Edges) {
+  NodeId u = User();
+  NodeId r = Res();
+  NodeId c = Container();
+  NodeId url = Url();
+  NodeId v = User();
+  EXPECT_TRUE(g_.AddEdge(u, r, EdgeKind::kOwns).ok());
+  EXPECT_TRUE(g_.AddEdge(u, r, EdgeKind::kCreates).ok());
+  EXPECT_TRUE(g_.AddEdge(u, r, EdgeKind::kAnnotates).ok());
+  EXPECT_TRUE(g_.AddEdge(u, c, EdgeKind::kRelatesTo).ok());
+  EXPECT_TRUE(g_.AddEdge(u, v, EdgeKind::kFollows).ok());
+  EXPECT_TRUE(g_.AddEdge(c, r, EdgeKind::kContains).ok());
+  EXPECT_TRUE(g_.AddEdge(u, url, EdgeKind::kLinksTo).ok());
+  EXPECT_TRUE(g_.AddEdge(r, url, EdgeKind::kLinksTo).ok());
+  EXPECT_TRUE(g_.AddEdge(c, url, EdgeKind::kLinksTo).ok());
+  EXPECT_EQ(g_.edge_count(), 9u);
+}
+
+TEST_F(SocialGraphTest, MetaModelRejectsIllegalEdges) {
+  NodeId u = User();
+  NodeId r = Res();
+  NodeId c = Container();
+  NodeId url = Url();
+  // Resources do not own/follow/contain.
+  EXPECT_FALSE(g_.AddEdge(r, u, EdgeKind::kOwns).ok());
+  EXPECT_FALSE(g_.AddEdge(r, r, EdgeKind::kContains).ok());
+  EXPECT_FALSE(g_.AddEdge(u, c, EdgeKind::kFollows).ok());
+  EXPECT_FALSE(g_.AddEdge(u, r, EdgeKind::kRelatesTo).ok());
+  EXPECT_FALSE(g_.AddEdge(c, u, EdgeKind::kContains).ok());
+  EXPECT_FALSE(g_.AddEdge(url, u, EdgeKind::kLinksTo).ok());
+  EXPECT_EQ(g_.edge_count(), 0u);
+}
+
+TEST_F(SocialGraphTest, RejectsSelfAndOutOfRangeEdges) {
+  NodeId u = User();
+  EXPECT_EQ(g_.AddEdge(u, u, EdgeKind::kFollows).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(g_.AddEdge(u, 999, EdgeKind::kFollows).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(g_.AddEdge(999, u, EdgeKind::kFollows).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SocialGraphTest, RejectsDuplicateEdges) {
+  NodeId u = User();
+  NodeId r = Res();
+  EXPECT_TRUE(g_.AddEdge(u, r, EdgeKind::kOwns).ok());
+  EXPECT_EQ(g_.AddEdge(u, r, EdgeKind::kOwns).code(),
+            StatusCode::kAlreadyExists);
+  // Same endpoints with a different kind are fine.
+  EXPECT_TRUE(g_.AddEdge(u, r, EdgeKind::kAnnotates).ok());
+}
+
+TEST_F(SocialGraphTest, NeighborsFilterByKind) {
+  NodeId u = User();
+  NodeId r1 = Res();
+  NodeId r2 = Res();
+  ASSERT_TRUE(g_.AddEdge(u, r1, EdgeKind::kOwns).ok());
+  ASSERT_TRUE(g_.AddEdge(u, r2, EdgeKind::kAnnotates).ok());
+  EXPECT_EQ(g_.OutNeighbors(u, EdgeKind::kOwns),
+            (std::vector<NodeId>{r1}));
+  EXPECT_EQ(g_.OutNeighbors(u, EdgeKind::kAnnotates),
+            (std::vector<NodeId>{r2}));
+  EXPECT_EQ(g_.InNeighbors(r1, EdgeKind::kOwns), (std::vector<NodeId>{u}));
+  EXPECT_TRUE(g_.OutNeighbors(u, EdgeKind::kFollows).empty());
+}
+
+TEST_F(SocialGraphTest, FriendsAreMutualFollows) {
+  NodeId a = User();
+  NodeId b = User();
+  NodeId c = User();
+  ASSERT_TRUE(g_.AddEdge(a, b, EdgeKind::kFollows).ok());
+  ASSERT_TRUE(g_.AddEdge(b, a, EdgeKind::kFollows).ok());
+  ASSERT_TRUE(g_.AddEdge(a, c, EdgeKind::kFollows).ok());
+
+  EXPECT_TRUE(g_.AreFriends(a, b));
+  EXPECT_TRUE(g_.AreFriends(b, a));
+  EXPECT_FALSE(g_.AreFriends(a, c));
+
+  EXPECT_EQ(g_.Friends(a), (std::vector<NodeId>{b}));
+  EXPECT_EQ(g_.FollowedNonFriends(a), (std::vector<NodeId>{c}));
+}
+
+TEST_F(SocialGraphTest, NodesOfKind) {
+  User();
+  Res();
+  User();
+  EXPECT_EQ(g_.NodesOfKind(NodeKind::kUserProfile).size(), 2u);
+  EXPECT_EQ(g_.NodesOfKind(NodeKind::kResource).size(), 1u);
+  EXPECT_TRUE(g_.NodesOfKind(NodeKind::kUrl).empty());
+}
+
+// --- Table 1 distance semantics ---
+
+TEST_F(SocialGraphTest, Distance0IsProfileOnly) {
+  NodeId u = User();
+  NodeId r = Res();
+  ASSERT_TRUE(g_.AddEdge(u, r, EdgeKind::kOwns).ok());
+  auto resources = Collect(u, 0);
+  ASSERT_EQ(resources.size(), 1u);
+  EXPECT_TRUE(Has(resources, u, 0));
+}
+
+TEST_F(SocialGraphTest, Distance1OwnedCreatedAnnotated) {
+  NodeId u = User();
+  NodeId owned = Res();
+  NodeId created = Res();
+  NodeId liked = Res();
+  ASSERT_TRUE(g_.AddEdge(u, owned, EdgeKind::kOwns).ok());
+  ASSERT_TRUE(g_.AddEdge(u, created, EdgeKind::kCreates).ok());
+  ASSERT_TRUE(g_.AddEdge(u, liked, EdgeKind::kAnnotates).ok());
+  auto resources = Collect(u, 1);
+  EXPECT_TRUE(Has(resources, owned, 1));
+  EXPECT_TRUE(Has(resources, created, 1));
+  EXPECT_TRUE(Has(resources, liked, 1));
+}
+
+TEST_F(SocialGraphTest, Distance1ContainersAndFollowedProfiles) {
+  NodeId u = User();
+  NodeId group = Container();
+  NodeId followed = User();
+  ASSERT_TRUE(g_.AddEdge(u, group, EdgeKind::kRelatesTo).ok());
+  ASSERT_TRUE(g_.AddEdge(u, followed, EdgeKind::kFollows).ok());
+  auto resources = Collect(u, 1);
+  EXPECT_TRUE(Has(resources, group, 1));
+  EXPECT_TRUE(Has(resources, followed, 1));
+}
+
+TEST_F(SocialGraphTest, Distance2GroupPosts) {
+  NodeId u = User();
+  NodeId group = Container();
+  NodeId post = Res();
+  ASSERT_TRUE(g_.AddEdge(u, group, EdgeKind::kRelatesTo).ok());
+  ASSERT_TRUE(g_.AddEdge(group, post, EdgeKind::kContains).ok());
+  auto d1 = Collect(u, 1);
+  EXPECT_FALSE(Has(d1, post, 2));
+  auto d2 = Collect(u, 2);
+  EXPECT_TRUE(Has(d2, post, 2));
+}
+
+TEST_F(SocialGraphTest, Distance2FollowedUsersResources) {
+  NodeId u = User();
+  NodeId followed = User();
+  NodeId tweet = Res();
+  NodeId their_group = Container();
+  NodeId their_followee = User();
+  ASSERT_TRUE(g_.AddEdge(u, followed, EdgeKind::kFollows).ok());
+  ASSERT_TRUE(g_.AddEdge(followed, tweet, EdgeKind::kOwns).ok());
+  ASSERT_TRUE(g_.AddEdge(followed, their_group, EdgeKind::kRelatesTo).ok());
+  ASSERT_TRUE(g_.AddEdge(followed, their_followee, EdgeKind::kFollows).ok());
+  auto d2 = Collect(u, 2);
+  EXPECT_TRUE(Has(d2, tweet, 2));
+  EXPECT_TRUE(Has(d2, their_group, 2));
+  EXPECT_TRUE(Has(d2, their_followee, 2));
+}
+
+TEST_F(SocialGraphTest, MinimumDistanceWinsOnMultiplePaths) {
+  NodeId u = User();
+  NodeId group = Container();
+  NodeId post = Res();
+  ASSERT_TRUE(g_.AddEdge(u, group, EdgeKind::kRelatesTo).ok());
+  ASSERT_TRUE(g_.AddEdge(group, post, EdgeKind::kContains).ok());
+  // The user also liked the post -> distance 1 beats distance 2.
+  ASSERT_TRUE(g_.AddEdge(u, post, EdgeKind::kAnnotates).ok());
+  auto d2 = Collect(u, 2);
+  EXPECT_TRUE(Has(d2, post, 1));
+  EXPECT_FALSE(Has(d2, post, 2));
+}
+
+TEST_F(SocialGraphTest, FriendsExcludedByDefault) {
+  NodeId u = User();
+  NodeId friend_user = User();
+  NodeId friend_tweet = Res();
+  ASSERT_TRUE(g_.AddEdge(u, friend_user, EdgeKind::kFollows).ok());
+  ASSERT_TRUE(g_.AddEdge(friend_user, u, EdgeKind::kFollows).ok());
+  ASSERT_TRUE(g_.AddEdge(friend_user, friend_tweet, EdgeKind::kOwns).ok());
+
+  auto without = Collect(u, 2, /*include_friends=*/false);
+  EXPECT_FALSE(Has(without, friend_user, 1));
+  EXPECT_FALSE(Has(without, friend_tweet, 2));
+
+  auto with = Collect(u, 2, /*include_friends=*/true);
+  EXPECT_TRUE(Has(with, friend_user, 1));
+  EXPECT_TRUE(Has(with, friend_tweet, 2));
+}
+
+TEST_F(SocialGraphTest, SelfNeverAppearsAtDistance2) {
+  NodeId u = User();
+  NodeId followed = User();
+  ASSERT_TRUE(g_.AddEdge(u, followed, EdgeKind::kFollows).ok());
+  ASSERT_TRUE(g_.AddEdge(followed, u, EdgeKind::kFollows).ok());
+  auto with = Collect(u, 2, /*include_friends=*/true);
+  // u appears once, at distance 0 (not re-discovered via follow-of-follow).
+  int times = 0;
+  for (const auto& r : with) {
+    if (r.node == u) {
+      ++times;
+      EXPECT_EQ(r.distance, 0);
+    }
+  }
+  EXPECT_EQ(times, 1);
+}
+
+TEST_F(SocialGraphTest, CollectRejectsBadInput) {
+  NodeId u = User();
+  NodeId r = Res();
+  CollectOptions opts;
+  EXPECT_FALSE(g_.CollectResources(999, opts).ok());
+  EXPECT_FALSE(g_.CollectResources(r, opts).ok());
+  opts.max_distance = -1;
+  EXPECT_FALSE(g_.CollectResources(u, opts).ok());
+}
+
+TEST_F(SocialGraphTest, ResultsSortedByDistanceThenId) {
+  NodeId u = User();
+  NodeId r2 = Res();
+  NodeId r1 = Res();
+  NodeId group = Container();
+  NodeId post = Res();
+  ASSERT_TRUE(g_.AddEdge(u, r2, EdgeKind::kOwns).ok());
+  ASSERT_TRUE(g_.AddEdge(u, r1, EdgeKind::kOwns).ok());
+  ASSERT_TRUE(g_.AddEdge(u, group, EdgeKind::kRelatesTo).ok());
+  ASSERT_TRUE(g_.AddEdge(group, post, EdgeKind::kContains).ok());
+  auto resources = Collect(u, 2);
+  for (size_t i = 1; i < resources.size(); ++i) {
+    bool ordered =
+        resources[i - 1].distance < resources[i].distance ||
+        (resources[i - 1].distance == resources[i].distance &&
+         resources[i - 1].node < resources[i].node);
+    EXPECT_TRUE(ordered) << "at index " << i;
+  }
+}
+
+TEST(EdgeAllowedTest, ExhaustiveUserProfileRules) {
+  using K = NodeKind;
+  EXPECT_TRUE(EdgeAllowed(EdgeKind::kOwns, K::kUserProfile, K::kResource));
+  EXPECT_FALSE(EdgeAllowed(EdgeKind::kOwns, K::kUserProfile, K::kUrl));
+  EXPECT_FALSE(
+      EdgeAllowed(EdgeKind::kOwns, K::kResourceContainer, K::kResource));
+  EXPECT_TRUE(
+      EdgeAllowed(EdgeKind::kFollows, K::kUserProfile, K::kUserProfile));
+  EXPECT_FALSE(EdgeAllowed(EdgeKind::kFollows, K::kUserProfile, K::kResource));
+  EXPECT_TRUE(
+      EdgeAllowed(EdgeKind::kContains, K::kResourceContainer, K::kResource));
+  EXPECT_FALSE(EdgeAllowed(EdgeKind::kContains, K::kResourceContainer,
+                           K::kResourceContainer));
+}
+
+TEST(NodeKindNameTest, Names) {
+  EXPECT_EQ(NodeKindName(NodeKind::kUserProfile), "UserProfile");
+  EXPECT_EQ(NodeKindName(NodeKind::kResource), "Resource");
+  EXPECT_EQ(NodeKindName(NodeKind::kResourceContainer), "ResourceContainer");
+  EXPECT_EQ(NodeKindName(NodeKind::kUrl), "Url");
+  EXPECT_EQ(EdgeKindName(EdgeKind::kRelatesTo), "relatesTo");
+  EXPECT_EQ(EdgeKindName(EdgeKind::kAnnotates), "annotates");
+}
+
+}  // namespace
+}  // namespace crowdex::graph

@@ -1,0 +1,216 @@
+#include "index/search_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdex::index {
+namespace {
+
+IndexableDocument Doc(uint64_t id, std::vector<std::string> terms,
+                      std::vector<DocEntity> entities = {}) {
+  IndexableDocument d;
+  d.external_id = id;
+  d.terms = std::move(terms);
+  d.entities = std::move(entities);
+  return d;
+}
+
+AnalyzedQuery Query(std::vector<std::string> terms,
+                    std::vector<entity::EntityId> entities = {}) {
+  AnalyzedQuery q;
+  q.terms = std::move(terms);
+  q.entities = std::move(entities);
+  return q;
+}
+
+TEST(SearchIndexTest, EmptyIndexReturnsNothing) {
+  SearchIndex idx;
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_TRUE(idx.Search(Query({"swim"}), 1.0).empty());
+}
+
+TEST(SearchIndexTest, AddAssignsDenseIdsAndTracksExternalIds) {
+  SearchIndex idx;
+  EXPECT_EQ(idx.Add(Doc(100, {"a1"})), 0u);
+  EXPECT_EQ(idx.Add(Doc(200, {"b1"})), 1u);
+  EXPECT_EQ(idx.external_id(0), 100u);
+  EXPECT_EQ(idx.external_id(1), 200u);
+}
+
+TEST(SearchIndexTest, TermFrequencyCounted) {
+  SearchIndex idx;
+  DocId d = idx.Add(Doc(1, {"swim", "pool", "swim", "swim"}));
+  EXPECT_EQ(idx.TermFrequency(d, "swim"), 3u);
+  EXPECT_EQ(idx.TermFrequency(d, "pool"), 1u);
+  EXPECT_EQ(idx.TermFrequency(d, "gym"), 0u);
+}
+
+TEST(SearchIndexTest, ResourceFrequencyCountsDocsNotOccurrences) {
+  SearchIndex idx;
+  idx.Add(Doc(1, {"swim", "swim"}));
+  idx.Add(Doc(2, {"swim"}));
+  idx.Add(Doc(3, {"run"}));
+  EXPECT_EQ(idx.ResourceFrequency("swim"), 2u);
+  EXPECT_EQ(idx.ResourceFrequency("run"), 1u);
+  EXPECT_EQ(idx.ResourceFrequency("bike"), 0u);
+}
+
+TEST(SearchIndexTest, IrfDecreasesWithFrequency) {
+  SearchIndex idx;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::string> terms = {"common"};
+    if (i == 0) terms.push_back("rare");
+    idx.Add(Doc(i, terms));
+  }
+  EXPECT_GT(idx.Irf("rare"), idx.Irf("common"));
+  EXPECT_EQ(idx.Irf("missing"), 0.0);
+}
+
+TEST(SearchIndexTest, IrfFormula) {
+  SearchIndex idx;
+  idx.Add(Doc(1, {"x9"}));
+  idx.Add(Doc(2, {"y9"}));
+  // N = 2, rf(x9) = 1 -> log(1 + 2/1) = log(3).
+  EXPECT_NEAR(idx.Irf("x9"), std::log(3.0), 1e-12);
+}
+
+TEST(SearchIndexTest, PureTermSearchScoresTfIrfSquared) {
+  SearchIndex idx;
+  DocId d0 = idx.Add(Doc(10, {"swim", "swim", "pool"}));
+  idx.Add(Doc(11, {"pool"}));
+  auto results = idx.Search(Query({"swim"}), 1.0);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].doc, d0);
+  double irf = idx.Irf("swim");
+  EXPECT_NEAR(results[0].score, 2.0 * irf * irf, 1e-9);
+}
+
+TEST(SearchIndexTest, AlphaBlendsTermAndEntityContributions) {
+  SearchIndex idx;
+  // One doc matches by term only, one by entity only.
+  idx.Add(Doc(1, {"swim"}, {}));
+  idx.Add(Doc(2, {"other"}, {{7, 1, 0.8}}));
+  auto term_only = idx.Search(Query({"swim"}, {7}), 1.0);
+  ASSERT_EQ(term_only.size(), 1u);
+  EXPECT_EQ(term_only[0].external_id, 1u);
+
+  auto entity_only = idx.Search(Query({"swim"}, {7}), 0.0);
+  ASSERT_EQ(entity_only.size(), 1u);
+  EXPECT_EQ(entity_only[0].external_id, 2u);
+
+  auto both = idx.Search(Query({"swim"}, {7}), 0.5);
+  EXPECT_EQ(both.size(), 2u);
+}
+
+TEST(SearchIndexTest, EntityWeightUsesOnePlusDscore) {
+  SearchIndex idx;
+  idx.Add(Doc(1, {"pad"}, {{5, 1, 0.5}}));
+  idx.Add(Doc(2, {"pad"}, {{5, 1, 1.0}}));
+  auto results = idx.Search(Query({}, {5}), 0.0);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].external_id, 2u);  // Higher dscore wins.
+  // Score ratio must be (1 + 1.0) / (1 + 0.5).
+  EXPECT_NEAR(results[0].score / results[1].score, 2.0 / 1.5, 1e-9);
+}
+
+TEST(SearchIndexTest, ZeroDscoreEntityContributesNothing) {
+  SearchIndex idx;
+  idx.Add(Doc(1, {"pad"}, {{5, 3, 0.0}}));
+  EXPECT_TRUE(idx.Search(Query({}, {5}), 0.0).empty());
+}
+
+TEST(SearchIndexTest, DuplicateEntityEntriesMerged) {
+  SearchIndex idx;
+  idx.Add(Doc(1, {"pad"}, {{5, 1, 0.4}, {5, 2, 0.9}}));
+  EXPECT_EQ(idx.EntityResourceFrequency(5), 1u);
+  auto results = idx.Search(Query({}, {5}), 0.0);
+  ASSERT_EQ(results.size(), 1u);
+  // ef = 3, dscore = max = 0.9.
+  double eirf = idx.Eirf(5);
+  EXPECT_NEAR(results[0].score, 3.0 * eirf * eirf * 1.9, 1e-9);
+}
+
+TEST(SearchIndexTest, InvalidEntityIdIgnoredOnAdd) {
+  SearchIndex idx;
+  idx.Add(Doc(1, {"pad"}, {{entity::kInvalidEntityId, 1, 0.9}}));
+  EXPECT_TRUE(idx.Search(Query({}, {entity::kInvalidEntityId}), 0.0).empty());
+}
+
+TEST(SearchIndexTest, ResultsSortedByScoreThenDocId) {
+  SearchIndex idx;
+  idx.Add(Doc(1, {"swim"}));
+  idx.Add(Doc(2, {"swim", "swim"}));
+  idx.Add(Doc(3, {"swim"}));
+  auto results = idx.Search(Query({"swim"}), 1.0);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].external_id, 2u);
+  // Tie between docs 1 and 3 broken by doc id.
+  EXPECT_EQ(results[1].external_id, 1u);
+  EXPECT_EQ(results[2].external_id, 3u);
+}
+
+TEST(SearchIndexTest, RepeatedQueryTermWeighsDouble) {
+  SearchIndex idx;
+  idx.Add(Doc(1, {"swim"}));
+  auto once = idx.Search(Query({"swim"}), 1.0);
+  auto twice = idx.Search(Query({"swim", "swim"}), 1.0);
+  ASSERT_EQ(once.size(), 1u);
+  ASSERT_EQ(twice.size(), 1u);
+  EXPECT_NEAR(twice[0].score, 2.0 * once[0].score, 1e-9);
+}
+
+TEST(SearchIndexTest, MultiTermQueryAccumulates) {
+  SearchIndex idx;
+  idx.Add(Doc(1, {"swim", "pool"}));
+  idx.Add(Doc(2, {"swim"}));
+  auto results = idx.Search(Query({"swim", "pool"}), 1.0);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].external_id, 1u);
+  EXPECT_GT(results[0].score, results[1].score);
+}
+
+TEST(SearchIndexTest, VocabularySize) {
+  SearchIndex idx;
+  idx.Add(Doc(1, {"a1", "b1", "a1"}));
+  idx.Add(Doc(2, {"b1", "c1"}));
+  EXPECT_EQ(idx.vocabulary_size(), 3u);
+}
+
+TEST(SearchIndexTest, SearchIsDeterministic) {
+  SearchIndex idx;
+  for (int i = 0; i < 50; ++i) {
+    idx.Add(Doc(i, {"swim", i % 2 ? "pool" : "race"}));
+  }
+  auto a = idx.Search(Query({"swim", "pool"}), 0.7);
+  auto b = idx.Search(Query({"swim", "pool"}), 0.7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc);
+    EXPECT_EQ(a[i].score, b[i].score);
+  }
+}
+
+// Alpha sweep property: every returned score must be non-negative and the
+// result set at alpha in (0,1) is the union of the term-only and
+// entity-only result sets.
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, UnionProperty) {
+  SearchIndex idx;
+  idx.Add(Doc(1, {"swim"}, {}));
+  idx.Add(Doc(2, {"x"}, {{3, 1, 0.5}}));
+  idx.Add(Doc(3, {"swim"}, {{3, 1, 0.5}}));
+  idx.Add(Doc(4, {"y"}, {}));
+  double alpha = GetParam();
+  auto results = idx.Search(Query({"swim"}, {3}), alpha);
+  size_t expected = alpha == 0.0 ? 2u : (alpha == 1.0 ? 2u : 3u);
+  EXPECT_EQ(results.size(), expected);
+  for (const auto& r : results) EXPECT_GT(r.score, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace crowdex::index

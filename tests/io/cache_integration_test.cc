@@ -1,0 +1,79 @@
+// End-to-end check of the analysis cache: rankings computed from reloaded
+// corpora must be bit-identical to rankings from a fresh analysis.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/analyzed_world.h"
+#include "core/expert_finder.h"
+#include "io/corpus_cache.h"
+#include "synth/world.h"
+
+namespace crowdex::io {
+namespace {
+
+TEST(CacheIntegrationTest, ReloadedCorporaProduceIdenticalRankings) {
+  synth::WorldConfig cfg;
+  cfg.scale = 0.02;
+  synth::SyntheticWorld world = synth::GenerateWorld(cfg);
+  core::AnalyzedWorld fresh = core::AnalyzeWorld(&world);
+
+  CacheFingerprint fingerprint;
+  fingerprint.world_seed = cfg.seed;
+  fingerprint.world_scale = cfg.scale;
+  fingerprint.num_candidates = static_cast<uint32_t>(cfg.num_candidates);
+  fingerprint.options_hash =
+      HashExtractorOptions(platform::ExtractorOptions{}) ^
+      synth::HashWorldConfig(cfg);
+  fingerprint.kb_entities = world.kb.size();
+
+  std::string path =
+      std::string(::testing::TempDir()) + "/cache_integration.cdx";
+  ASSERT_TRUE(SaveAnalyzedCorpora(fresh.corpora, fingerprint, path).ok());
+
+  core::AnalyzedWorld reloaded;
+  reloaded.world = &world;
+  reloaded.extractor =
+      std::make_unique<platform::ResourceExtractor>(&world.kb);
+  auto loaded = LoadAnalyzedCorpora(fingerprint, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  reloaded.corpora = std::move(loaded).value();
+
+  core::ExpertFinderConfig finder_cfg;
+  core::ExpertFinder f_fresh(&fresh, finder_cfg);
+  core::ExpertFinder f_reloaded(&reloaded, finder_cfg);
+
+  for (const auto& q : world.queries) {
+    core::RankedExperts a = f_fresh.Rank(q);
+    core::RankedExperts b = f_reloaded.Rank(q);
+    ASSERT_EQ(a.ranking.size(), b.ranking.size()) << "query " << q.id;
+    EXPECT_EQ(a.matched_resources, b.matched_resources);
+    EXPECT_EQ(a.considered_resources, b.considered_resources);
+    for (size_t i = 0; i < a.ranking.size(); ++i) {
+      EXPECT_EQ(a.ranking[i].candidate, b.ranking[i].candidate);
+      EXPECT_DOUBLE_EQ(a.ranking[i].score, b.ranking[i].score);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CacheIntegrationTest, WorldConfigHashDiscriminates) {
+  synth::WorldConfig a;
+  synth::WorldConfig b;
+  EXPECT_EQ(synth::HashWorldConfig(a), synth::HashWorldConfig(b));
+  b.tw_offtopic += 0.01;
+  EXPECT_NE(synth::HashWorldConfig(a), synth::HashWorldConfig(b));
+  b = synth::WorldConfig{};
+  b.fb_groups += 1;
+  EXPECT_NE(synth::HashWorldConfig(a), synth::HashWorldConfig(b));
+  b = synth::WorldConfig{};
+  b.seed += 1;
+  EXPECT_NE(synth::HashWorldConfig(a), synth::HashWorldConfig(b));
+  b = synth::WorldConfig{};
+  b.self_assessment_noise += 0.1;
+  EXPECT_NE(synth::HashWorldConfig(a), synth::HashWorldConfig(b));
+}
+
+}  // namespace
+}  // namespace crowdex::io

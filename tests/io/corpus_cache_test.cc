@@ -1,0 +1,217 @@
+#include "io/corpus_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/binary_format.h"
+#include "synth/world.h"
+
+namespace crowdex::io {
+namespace {
+
+// --- BinaryWriter / BinaryReader round trips ---
+
+TEST(BinaryFormatTest, PrimitiveRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteU8(0xAB);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFULL);
+  w.WriteDouble(3.14159);
+  w.WriteString("hello world");
+  ASSERT_TRUE(w.ok());
+
+  BinaryReader r(&ss);
+  EXPECT_EQ(r.ReadU8().value(), 0xAB);
+  EXPECT_EQ(r.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), 3.14159);
+  EXPECT_EQ(r.ReadString().value(), "hello world");
+}
+
+TEST(BinaryFormatTest, EmptyStringRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteString("");
+  BinaryReader r(&ss);
+  EXPECT_EQ(r.ReadString().value(), "");
+}
+
+TEST(BinaryFormatTest, SpecialDoubles) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteDouble(0.0);
+  w.WriteDouble(-0.0);
+  w.WriteDouble(1e-300);
+  w.WriteDouble(-1e300);
+  BinaryReader r(&ss);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), -0.0);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), 1e-300);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), -1e300);
+}
+
+TEST(BinaryFormatTest, TruncatedInputFailsCleanly) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteU8(7);
+  BinaryReader r(&ss);
+  ASSERT_TRUE(r.ReadU8().ok());
+  EXPECT_FALSE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ReadU64().ok());
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(BinaryFormatTest, OversizedStringRejected) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteU32(0xFFFFFFFF);  // Claimed length: 4 GiB.
+  BinaryReader r(&ss);
+  Result<std::string> s = r.ReadString();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kOutOfRange);
+}
+
+// --- Corpus cache ---
+
+class CorpusCacheTest : public ::testing::Test {
+ protected:
+  static std::string TempPath(const char* name) {
+    return std::string(::testing::TempDir()) + "/" + name;
+  }
+
+  struct Fixture {
+    synth::SyntheticWorld world;
+    std::array<platform::AnalyzedCorpus, platform::kNumPlatforms> corpora;
+    CacheFingerprint fingerprint;
+  };
+
+  static const Fixture& F() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      synth::WorldConfig cfg;
+      cfg.scale = 0.01;
+      fx->world = synth::GenerateWorld(cfg);
+      platform::ResourceExtractor extractor(&fx->world.kb);
+      for (int p = 0; p < platform::kNumPlatforms; ++p) {
+        fx->corpora[p] =
+            extractor.AnalyzeNetwork(fx->world.networks[p], fx->world.web);
+      }
+      fx->fingerprint.world_seed = cfg.seed;
+      fx->fingerprint.world_scale = cfg.scale;
+      fx->fingerprint.num_candidates = 40;
+      fx->fingerprint.options_hash =
+          HashExtractorOptions(platform::ExtractorOptions{});
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+TEST_F(CorpusCacheTest, SaveLoadRoundTrip) {
+  std::string path = TempPath("roundtrip.cdx");
+  ASSERT_TRUE(SaveAnalyzedCorpora(F().corpora, F().fingerprint, path).ok());
+
+  auto loaded = LoadAnalyzedCorpora(F().fingerprint, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  for (int p = 0; p < platform::kNumPlatforms; ++p) {
+    const auto& original = F().corpora[p];
+    const auto& restored = loaded.value()[p];
+    ASSERT_EQ(restored.nodes.size(), original.nodes.size());
+    EXPECT_EQ(restored.platform, original.platform);
+    EXPECT_EQ(restored.nodes_with_text, original.nodes_with_text);
+    EXPECT_EQ(restored.english_nodes, original.english_nodes);
+    EXPECT_EQ(restored.nodes_with_url, original.nodes_with_url);
+    for (size_t i = 0; i < original.nodes.size(); ++i) {
+      const auto& a = original.nodes[i];
+      const auto& b = restored.nodes[i];
+      ASSERT_EQ(a.node, b.node);
+      EXPECT_EQ(a.language, b.language);
+      EXPECT_EQ(a.has_text, b.has_text);
+      EXPECT_EQ(a.english, b.english);
+      ASSERT_EQ(a.terms, b.terms);
+      ASSERT_EQ(a.entities.size(), b.entities.size());
+      for (size_t e = 0; e < a.entities.size(); ++e) {
+        EXPECT_EQ(a.entities[e].entity, b.entities[e].entity);
+        EXPECT_EQ(a.entities[e].frequency, b.entities[e].frequency);
+        EXPECT_DOUBLE_EQ(a.entities[e].dscore, b.entities[e].dscore);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CorpusCacheTest, MissingFileIsNotFound) {
+  auto loaded =
+      LoadAnalyzedCorpora(F().fingerprint, TempPath("does_not_exist.cdx"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CorpusCacheTest, FingerprintMismatchRejected) {
+  std::string path = TempPath("fingerprint.cdx");
+  ASSERT_TRUE(SaveAnalyzedCorpora(F().corpora, F().fingerprint, path).ok());
+
+  CacheFingerprint other = F().fingerprint;
+  other.world_seed += 1;
+  auto loaded = LoadAnalyzedCorpora(other, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+
+  other = F().fingerprint;
+  other.options_hash ^= 42;
+  EXPECT_FALSE(LoadAnalyzedCorpora(other, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CorpusCacheTest, CorruptMagicRejected) {
+  std::string path = TempPath("corrupt.cdx");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a cache file at all";
+  }
+  auto loaded = LoadAnalyzedCorpora(F().fingerprint, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(CorpusCacheTest, TruncatedFileRejected) {
+  std::string full = TempPath("full.cdx");
+  ASSERT_TRUE(SaveAnalyzedCorpora(F().corpora, F().fingerprint, full).ok());
+
+  // Copy only the first half of the file.
+  std::string truncated = TempPath("truncated.cdx");
+  {
+    std::ifstream in(full, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(truncated, std::ios::binary);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  auto loaded = LoadAnalyzedCorpora(F().fingerprint, truncated);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(full.c_str());
+  std::remove(truncated.c_str());
+}
+
+TEST(HashExtractorOptionsTest, DistinguishesOptions) {
+  platform::ExtractorOptions a;
+  platform::ExtractorOptions b;
+  EXPECT_EQ(HashExtractorOptions(a), HashExtractorOptions(b));
+  b.enrich_urls = false;
+  EXPECT_NE(HashExtractorOptions(a), HashExtractorOptions(b));
+  b = platform::ExtractorOptions{};
+  b.pipeline.stem = false;
+  EXPECT_NE(HashExtractorOptions(a), HashExtractorOptions(b));
+  b = platform::ExtractorOptions{};
+  b.annotator.min_dscore = 0.5;
+  EXPECT_NE(HashExtractorOptions(a), HashExtractorOptions(b));
+}
+
+}  // namespace
+}  // namespace crowdex::io

@@ -1,0 +1,242 @@
+#include "platform/crawler.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdex::platform {
+namespace {
+
+using graph::EdgeKind;
+using graph::NodeId;
+using graph::NodeKind;
+
+// Builds a small ground-truth Twitter-like network:
+//   anna (candidate) -> owns 2 tweets, relatesTo 1 group (3 posts),
+//   follows celebrity (2 tweets) and friend bob (mutual, 1 tweet).
+struct Truth {
+  PlatformNetwork net;
+  NodeId anna, bob, celebrity;
+  NodeId anna_t1, anna_t2, bob_t1, cel_t1, cel_t2;
+  NodeId group;
+  std::vector<NodeId> group_posts;
+
+  Truth() {
+    net.platform = Platform::kTwitter;
+    anna = net.AddNode(NodeKind::kUserProfile, "anna", "bio of anna");
+    bob = net.AddNode(NodeKind::kUserProfile, "bob", "bio of bob");
+    celebrity = net.AddNode(NodeKind::kUserProfile, "celeb", "swimming news");
+    anna_t1 = net.AddNode(NodeKind::kResource, "", "anna tweet one");
+    anna_t2 = net.AddNode(NodeKind::kResource, "", "anna tweet two");
+    bob_t1 = net.AddNode(NodeKind::kResource, "", "bob tweet");
+    cel_t1 = net.AddNode(NodeKind::kResource, "", "celeb tweet one");
+    cel_t2 = net.AddNode(NodeKind::kResource, "", "celeb tweet two");
+    group = net.AddNode(NodeKind::kResourceContainer, "swim-group",
+                        "a group about swimming");
+    for (int i = 0; i < 3; ++i) {
+      group_posts.push_back(
+          net.AddNode(NodeKind::kResource, "", "group post"));
+      EXPECT_TRUE(
+          net.graph.AddEdge(group, group_posts.back(), EdgeKind::kContains)
+              .ok());
+    }
+    EXPECT_TRUE(net.graph.AddEdge(anna, anna_t1, EdgeKind::kOwns).ok());
+    EXPECT_TRUE(net.graph.AddEdge(anna, anna_t2, EdgeKind::kCreates).ok());
+    EXPECT_TRUE(net.graph.AddEdge(bob, bob_t1, EdgeKind::kOwns).ok());
+    EXPECT_TRUE(net.graph.AddEdge(celebrity, cel_t1, EdgeKind::kOwns).ok());
+    EXPECT_TRUE(net.graph.AddEdge(celebrity, cel_t2, EdgeKind::kOwns).ok());
+    EXPECT_TRUE(net.graph.AddEdge(anna, group, EdgeKind::kRelatesTo).ok());
+    EXPECT_TRUE(net.graph.AddEdge(anna, celebrity, EdgeKind::kFollows).ok());
+    EXPECT_TRUE(net.graph.AddEdge(anna, bob, EdgeKind::kFollows).ok());
+    EXPECT_TRUE(net.graph.AddEdge(bob, anna, EdgeKind::kFollows).ok());
+  }
+
+  std::vector<Privacy> AllPublic() const {
+    return std::vector<Privacy>(net.graph.node_count(), Privacy::kPublic);
+  }
+};
+
+TEST(CrawlerTest, FullCrawlWhenEverythingPublic) {
+  Truth t;
+  auto result = CrawlNetwork(t.net, {t.anna}, t.AllPublic(), CrawlPolicy{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  const CrawlResult& crawl = result.value();
+  // Every node is reachable and public: all copied.
+  EXPECT_EQ(crawl.network.graph.node_count(), t.net.graph.node_count());
+  EXPECT_TRUE(crawl.network.Consistent());
+  EXPECT_EQ(crawl.stats.profiles_denied, 0u);
+  EXPECT_FALSE(crawl.stats.budget_exhausted);
+}
+
+TEST(CrawlerTest, CrawledNetworkPreservesPayloadsAndKinds) {
+  Truth t;
+  auto result = CrawlNetwork(t.net, {t.anna}, t.AllPublic(), CrawlPolicy{});
+  ASSERT_TRUE(result.ok());
+  const CrawlResult& crawl = result.value();
+  for (const auto& [old_id, new_id] : crawl.node_map) {
+    EXPECT_EQ(crawl.network.graph.kind(new_id), t.net.graph.kind(old_id));
+    EXPECT_EQ(crawl.network.node_text[new_id], t.net.node_text[old_id]);
+    EXPECT_EQ(crawl.network.graph.label(new_id), t.net.graph.label(old_id));
+  }
+}
+
+TEST(CrawlerTest, PrivateProfileContentIsInvisible) {
+  Truth t;
+  std::vector<Privacy> privacy = t.AllPublic();
+  privacy[t.celebrity] = Privacy::kPrivate;
+  auto result = CrawlNetwork(t.net, {t.anna}, privacy, CrawlPolicy{});
+  ASSERT_TRUE(result.ok());
+  const CrawlResult& crawl = result.value();
+  EXPECT_FALSE(crawl.node_map.contains(t.celebrity));
+  EXPECT_FALSE(crawl.node_map.contains(t.cel_t1));
+  EXPECT_FALSE(crawl.node_map.contains(t.cel_t2));
+  EXPECT_GE(crawl.stats.profiles_denied, 1u);
+}
+
+TEST(CrawlerTest, FriendsOnlyIsInvisibleToThirdPartyCrawler) {
+  // The paper's footnote-5 situation: bob is anna's friend, but his
+  // friends-only content is not visible to the crawling *application*.
+  Truth t;
+  std::vector<Privacy> privacy = t.AllPublic();
+  privacy[t.bob] = Privacy::kFriendsOnly;
+  auto result = CrawlNetwork(t.net, {t.anna}, privacy, CrawlPolicy{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().node_map.contains(t.bob_t1));
+}
+
+TEST(CrawlerTest, AuthorizedProfilesBypassTheirOwnPrivacy) {
+  Truth t;
+  std::vector<Privacy> privacy = t.AllPublic();
+  privacy[t.anna] = Privacy::kPrivate;  // Anna is private but gave a token.
+  auto result = CrawlNetwork(t.net, {t.anna}, privacy, CrawlPolicy{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().node_map.contains(t.anna));
+  EXPECT_TRUE(result.value().node_map.contains(t.anna_t1));
+}
+
+TEST(CrawlerTest, PlatformOwnerIgnoresPrivacy) {
+  // Sec. 3.7: the platform owner sees everything.
+  Truth t;
+  std::vector<Privacy> privacy(t.net.graph.node_count(), Privacy::kPrivate);
+  CrawlPolicy policy;
+  policy.respect_privacy = false;
+  auto result = CrawlNetwork(t.net, {t.anna}, privacy, policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().network.graph.node_count(),
+            t.net.graph.node_count());
+}
+
+TEST(CrawlerTest, ContainerResourceCapTruncates) {
+  Truth t;
+  CrawlPolicy policy;
+  policy.max_container_resources = 2;
+  auto result = CrawlNetwork(t.net, {t.anna}, t.AllPublic(), policy);
+  ASSERT_TRUE(result.ok());
+  const CrawlResult& crawl = result.value();
+  EXPECT_EQ(crawl.stats.containers_truncated, 1u);
+  EXPECT_EQ(crawl.stats.resources_denied, 1u);
+  int copied_posts = 0;
+  for (NodeId p : t.group_posts) {
+    if (crawl.node_map.contains(p)) ++copied_posts;
+  }
+  EXPECT_EQ(copied_posts, 2);
+}
+
+TEST(CrawlerTest, RequestBudgetStopsTheCrawl) {
+  Truth t;
+  CrawlPolicy policy;
+  policy.max_requests = 1;  // Only the seed profile fetch fits.
+  auto result = CrawlNetwork(t.net, {t.anna}, t.AllPublic(), policy);
+  ASSERT_TRUE(result.ok());
+  const CrawlResult& crawl = result.value();
+  EXPECT_TRUE(crawl.stats.budget_exhausted);
+  EXPECT_LE(crawl.stats.requests_used, 1);
+  // Anna's own resources are part of her fetch; the group was not fetched.
+  EXPECT_TRUE(crawl.node_map.contains(t.anna_t1));
+  EXPECT_FALSE(crawl.node_map.contains(t.group_posts[0]));
+}
+
+TEST(CrawlerTest, CrawledEdgesAreValidMetaModelEdges) {
+  Truth t;
+  auto result = CrawlNetwork(t.net, {t.anna}, t.AllPublic(), CrawlPolicy{});
+  ASSERT_TRUE(result.ok());
+  // The crawled graph was built through AddEdge, so this mainly asserts
+  // the crawl produced a non-empty, well-formed edge set.
+  EXPECT_GT(result.value().network.graph.edge_count(), 5u);
+}
+
+TEST(CrawlerTest, TableOneReachFromSeed) {
+  // Distance semantics survive the crawl: anna reaches her own tweets at
+  // distance 1 and the celebrity's tweets at distance 2.
+  Truth t;
+  auto result = CrawlNetwork(t.net, {t.anna}, t.AllPublic(), CrawlPolicy{});
+  ASSERT_TRUE(result.ok());
+  const CrawlResult& crawl = result.value();
+  graph::CollectOptions opts;
+  opts.max_distance = 2;
+  auto resources = crawl.network.graph.CollectResources(
+      crawl.node_map.at(t.anna), opts);
+  ASSERT_TRUE(resources.ok());
+  bool tweet_d1 = false;
+  bool celeb_d2 = false;
+  for (const auto& r : resources.value()) {
+    if (r.node == crawl.node_map.at(t.anna_t1) && r.distance == 1) {
+      tweet_d1 = true;
+    }
+    if (crawl.node_map.contains(t.cel_t1) &&
+        r.node == crawl.node_map.at(t.cel_t1) && r.distance == 2) {
+      celeb_d2 = true;
+    }
+  }
+  EXPECT_TRUE(tweet_d1);
+  EXPECT_TRUE(celeb_d2);
+}
+
+TEST(CrawlerTest, InvalidInputsRejected) {
+  Truth t;
+  EXPECT_FALSE(CrawlNetwork(t.net, {}, t.AllPublic(), CrawlPolicy{}).ok());
+  EXPECT_FALSE(
+      CrawlNetwork(t.net, {t.anna_t1}, t.AllPublic(), CrawlPolicy{}).ok());
+  std::vector<Privacy> short_privacy(2, Privacy::kPublic);
+  EXPECT_FALSE(
+      CrawlNetwork(t.net, {t.anna}, short_privacy, CrawlPolicy{}).ok());
+}
+
+TEST(AssignProfilePrivacyTest, SharesRoughlyMatchProbabilities) {
+  PlatformNetwork net;
+  net.platform = Platform::kFacebook;
+  std::vector<NodeId> profiles;
+  for (int i = 0; i < 2000; ++i) {
+    profiles.push_back(
+        net.AddNode(NodeKind::kUserProfile, std::to_string(i), "bio"));
+  }
+  std::vector<Privacy> privacy =
+      AssignProfilePrivacy(net, 0.2, 0.5, {}, Rng(3));
+  int pub = 0, friends = 0, priv = 0;
+  for (Privacy p : privacy) {
+    if (p == Privacy::kPublic) ++pub;
+    if (p == Privacy::kFriendsOnly) ++friends;
+    if (p == Privacy::kPrivate) ++priv;
+  }
+  EXPECT_NEAR(pub / 2000.0, 0.2, 0.04);
+  EXPECT_NEAR(friends / 2000.0, 0.5, 0.04);
+  EXPECT_NEAR(priv / 2000.0, 0.3, 0.04);
+}
+
+TEST(AssignProfilePrivacyTest, AlwaysPublicForced) {
+  PlatformNetwork net;
+  net.platform = Platform::kTwitter;
+  NodeId celeb = net.AddNode(NodeKind::kUserProfile, "celeb", "bio");
+  std::vector<Privacy> privacy =
+      AssignProfilePrivacy(net, 0.0, 0.0, {celeb}, Rng(5));
+  EXPECT_EQ(privacy[celeb], Privacy::kPublic);
+}
+
+TEST(AssignProfilePrivacyTest, NonProfilesDefaultPublic) {
+  PlatformNetwork net;
+  net.platform = Platform::kTwitter;
+  NodeId r = net.AddNode(NodeKind::kResource, "", "a post");
+  std::vector<Privacy> privacy = AssignProfilePrivacy(net, 0.0, 0.0, {}, Rng(7));
+  EXPECT_EQ(privacy[r], Privacy::kPublic);
+}
+
+}  // namespace
+}  // namespace crowdex::platform

@@ -1,0 +1,51 @@
+#include "platform/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdex::platform {
+namespace {
+
+TEST(PlatformTest, Names) {
+  EXPECT_EQ(PlatformName(Platform::kFacebook), "Facebook");
+  EXPECT_EQ(PlatformName(Platform::kTwitter), "Twitter");
+  EXPECT_EQ(PlatformName(Platform::kLinkedIn), "LinkedIn");
+  EXPECT_EQ(PlatformShortName(Platform::kFacebook), "FB");
+  EXPECT_EQ(PlatformShortName(Platform::kTwitter), "TW");
+  EXPECT_EQ(PlatformShortName(Platform::kLinkedIn), "LI");
+}
+
+TEST(PlatformTest, MaskOfIsDistinctBits) {
+  EXPECT_NE(MaskOf(Platform::kFacebook), MaskOf(Platform::kTwitter));
+  EXPECT_NE(MaskOf(Platform::kTwitter), MaskOf(Platform::kLinkedIn));
+  EXPECT_EQ(MaskOf(Platform::kFacebook) | MaskOf(Platform::kTwitter) |
+                MaskOf(Platform::kLinkedIn),
+            kAllPlatformsMask);
+}
+
+TEST(PlatformTest, MaskContains) {
+  PlatformMask m = MaskOf(Platform::kTwitter);
+  EXPECT_TRUE(MaskContains(m, Platform::kTwitter));
+  EXPECT_FALSE(MaskContains(m, Platform::kFacebook));
+  EXPECT_TRUE(MaskContains(kAllPlatformsMask, Platform::kLinkedIn));
+  EXPECT_FALSE(MaskContains(0, Platform::kFacebook));
+}
+
+TEST(PlatformTest, MaskNames) {
+  EXPECT_EQ(PlatformMaskName(kAllPlatformsMask), "All");
+  EXPECT_EQ(PlatformMaskName(MaskOf(Platform::kFacebook)), "FB");
+  EXPECT_EQ(PlatformMaskName(MaskOf(Platform::kTwitter)), "TW");
+  EXPECT_EQ(PlatformMaskName(MaskOf(Platform::kLinkedIn)), "LI");
+  EXPECT_EQ(PlatformMaskName(0), "none");
+  EXPECT_EQ(PlatformMaskName(MaskOf(Platform::kFacebook) |
+                             MaskOf(Platform::kTwitter)),
+            "FB+TW");
+}
+
+TEST(PlatformTest, AllPlatformsArrayMatchesEnumOrder) {
+  for (int i = 0; i < kNumPlatforms; ++i) {
+    EXPECT_EQ(static_cast<int>(kAllPlatforms[i]), i);
+  }
+}
+
+}  // namespace
+}  // namespace crowdex::platform

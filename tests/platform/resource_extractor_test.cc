@@ -1,0 +1,173 @@
+#include "platform/resource_extractor.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdex::platform {
+namespace {
+
+class ResourceExtractorTest : public ::testing::Test {
+ protected:
+  ResourceExtractorTest()
+      : kb_(entity::BuildDefaultKnowledgeBase()), extractor_(&kb_) {}
+
+  entity::KnowledgeBase kb_;
+  ResourceExtractor extractor_;
+};
+
+TEST_F(ResourceExtractorTest, EnglishTextProducesTerms) {
+  AnalyzedNode node = extractor_.AnalyzeText(
+      "just finished a great freestyle training at the swimming pool");
+  EXPECT_TRUE(node.has_text);
+  EXPECT_TRUE(node.english);
+  EXPECT_EQ(node.language, text::Language::kEnglish);
+  EXPECT_FALSE(node.terms.empty());
+  // "swimming" must be stemmed.
+  bool has_swim = false;
+  for (const auto& t : node.terms) has_swim |= (t == "swim");
+  EXPECT_TRUE(has_swim);
+}
+
+TEST_F(ResourceExtractorTest, NonEnglishTextIsFilteredNotAnalyzed) {
+  AnalyzedNode node = extractor_.AnalyzeText(
+      "oggi sono andato a mangiare una bella pizza con gli amici della "
+      "squadra e poi siamo tornati a casa per la festa");
+  EXPECT_TRUE(node.has_text);
+  EXPECT_FALSE(node.english);
+  EXPECT_TRUE(node.terms.empty());
+  EXPECT_TRUE(node.entities.empty());
+}
+
+TEST_F(ResourceExtractorTest, EmptyTextHandled) {
+  AnalyzedNode node = extractor_.AnalyzeText("");
+  EXPECT_FALSE(node.has_text);
+  EXPECT_FALSE(node.english);
+}
+
+TEST_F(ResourceExtractorTest, EntitiesRecognizedWithFrequencies) {
+  AnalyzedNode node = extractor_.AnalyzeText(
+      "michael phelps is the best great freestyle gold medal for michael "
+      "phelps at the olympic swimming race");
+  ASSERT_FALSE(node.entities.empty());
+  bool found = false;
+  for (const auto& e : node.entities) {
+    if (kb_.at(e.entity).name == "Michael Phelps") {
+      found = true;
+      EXPECT_EQ(e.frequency, 2u);
+      EXPECT_GT(e.dscore, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ResourceExtractorTest, QueryAnalysisSymmetric) {
+  index::AnalyzedQuery q = extractor_.AnalyzeQuery(
+      "Can you list some restaurants in Milan?");
+  EXPECT_FALSE(q.terms.empty());
+  ASSERT_FALSE(q.entities.empty());
+  bool milan = false;
+  for (auto id : q.entities) milan |= (kb_.at(id).name == "Milan");
+  EXPECT_TRUE(milan);
+}
+
+TEST_F(ResourceExtractorTest, NetworkAnalysisWithUrlEnrichment) {
+  PlatformNetwork net;
+  net.platform = Platform::kTwitter;
+  WebPageStore web;
+  web.Put("http://p/1",
+          "a long article about the swimming race where the champion won "
+          "another gold medal in the freestyle final at the olympic pool");
+
+  net.AddNode(graph::NodeKind::kUserProfile, "alice", "love life and coffee");
+  net.AddNode(graph::NodeKind::kResource, "",
+              "short post about the race", "http://p/1");
+  net.AddNode(graph::NodeKind::kResource, "", "", "http://p/1");
+  net.AddNode(graph::NodeKind::kResource, "", "dead link here for you today",
+              "http://missing");
+
+  AnalyzedCorpus corpus = extractor_.AnalyzeNetwork(net, web);
+  ASSERT_EQ(corpus.nodes.size(), 4u);
+  EXPECT_EQ(corpus.platform, Platform::kTwitter);
+
+  // Node 1: own text + page text merged -> must contain stems from both.
+  const AnalyzedNode& enriched = corpus.nodes[1];
+  EXPECT_TRUE(enriched.english);
+  bool has_post_term = false;
+  bool has_page_term = false;
+  for (const auto& t : enriched.terms) {
+    if (t == "post") has_post_term = true;
+    if (t == "freestyl") has_page_term = true;
+  }
+  EXPECT_TRUE(has_post_term);
+  EXPECT_TRUE(has_page_term);
+
+  // Node 2: URL-only resource gets the page text.
+  EXPECT_TRUE(corpus.nodes[2].english);
+  EXPECT_FALSE(corpus.nodes[2].terms.empty());
+
+  // Node 3: dead link degrades to own text.
+  EXPECT_TRUE(corpus.nodes[3].has_text);
+
+  EXPECT_EQ(corpus.nodes_with_url, 3u);
+  EXPECT_EQ(corpus.nodes_with_text, 4u);
+  EXPECT_GE(corpus.english_nodes, 3u);
+}
+
+TEST_F(ResourceExtractorTest, NodeIdsAlignWithGraph) {
+  PlatformNetwork net;
+  net.platform = Platform::kFacebook;
+  WebPageStore web;
+  net.AddNode(graph::NodeKind::kUserProfile, "bob", "hello world everyone");
+  net.AddNode(graph::NodeKind::kResource, "", "the game was great tonight");
+  AnalyzedCorpus corpus = extractor_.AnalyzeNetwork(net, web);
+  ASSERT_EQ(corpus.nodes.size(), 2u);
+  EXPECT_EQ(corpus.nodes[0].node, 0u);
+  EXPECT_EQ(corpus.nodes[1].node, 1u);
+}
+
+TEST_F(ResourceExtractorTest, CustomAnnotatorOptionsHonored) {
+  entity::AnnotatorOptions opts;
+  opts.min_dscore = 0.999;
+  ResourceExtractor strict(&kb_, opts);
+  AnalyzedNode node = strict.AnalyzeText("met adele at the game yesterday");
+  EXPECT_TRUE(node.entities.empty());
+}
+
+TEST_F(ResourceExtractorTest, UrlEnrichmentCanBeDisabled) {
+  PlatformNetwork net;
+  net.platform = Platform::kTwitter;
+  WebPageStore web;
+  web.Put("http://p/1",
+          "a long article about the swimming race where the champion won "
+          "another gold medal in the freestyle final at the olympic pool");
+  net.AddNode(graph::NodeKind::kResource, "", "short post about the race",
+              "http://p/1");
+
+  ExtractorOptions opts;
+  opts.enrich_urls = false;
+  ResourceExtractor bare(&kb_, opts);
+  AnalyzedCorpus corpus = bare.AnalyzeNetwork(net, web);
+  ASSERT_EQ(corpus.nodes.size(), 1u);
+  // Page terms must NOT leak into the resource.
+  for (const auto& t : corpus.nodes[0].terms) {
+    EXPECT_NE(t, "freestyl");
+    EXPECT_NE(t, "olymp");
+  }
+  // URL statistics still counted.
+  EXPECT_EQ(corpus.nodes_with_url, 1u);
+}
+
+TEST_F(ResourceExtractorTest, PipelineOptionsPropagate) {
+  ExtractorOptions opts;
+  opts.pipeline.stem = false;
+  ResourceExtractor unstemmed(&kb_, opts);
+  AnalyzedNode node = unstemmed.AnalyzeText(
+      "the swimmers finished their training at the pool this morning");
+  bool has_inflected = false;
+  for (const auto& t : node.terms) {
+    if (t == "swimmers") has_inflected = true;
+  }
+  EXPECT_TRUE(has_inflected);
+}
+
+}  // namespace
+}  // namespace crowdex::platform

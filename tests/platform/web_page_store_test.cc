@@ -1,0 +1,48 @@
+#include "platform/web_page_store.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdex::platform {
+namespace {
+
+TEST(WebPageStoreTest, PutAndFetch) {
+  WebPageStore store;
+  store.Put("http://a.example", "page about swimming");
+  auto page = store.Fetch("http://a.example");
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value(), "page about swimming");
+}
+
+TEST(WebPageStoreTest, FetchMissingIsNotFound) {
+  WebPageStore store;
+  auto page = store.Fetch("http://dead.link");
+  EXPECT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kNotFound);
+}
+
+TEST(WebPageStoreTest, ContainsAndSize) {
+  WebPageStore store;
+  EXPECT_FALSE(store.Contains("http://x"));
+  EXPECT_EQ(store.size(), 0u);
+  store.Put("http://x", "content");
+  EXPECT_TRUE(store.Contains("http://x"));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(WebPageStoreTest, OverwriteReplacesContent) {
+  WebPageStore store;
+  store.Put("http://x", "old");
+  store.Put("http://x", "new");
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Fetch("http://x").value(), "new");
+}
+
+TEST(WebPageStoreTest, EmptyContentIsValid) {
+  WebPageStore store;
+  store.Put("http://empty", "");
+  ASSERT_TRUE(store.Fetch("http://empty").ok());
+  EXPECT_EQ(store.Fetch("http://empty").value(), "");
+}
+
+}  // namespace
+}  // namespace crowdex::platform

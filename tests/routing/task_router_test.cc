@@ -1,0 +1,174 @@
+#include "routing/task_router.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/analyzed_world.h"
+#include "synth/world.h"
+
+namespace crowdex::routing {
+namespace {
+
+class TaskRouterTest : public ::testing::Test {
+ protected:
+  struct Fixture {
+    synth::SyntheticWorld world;
+    core::AnalyzedWorld analyzed;
+    std::unique_ptr<core::ExpertFinder> finder;
+  };
+
+  static const Fixture& F() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      synth::WorldConfig cfg;
+      cfg.scale = 0.02;
+      fx->world = synth::GenerateWorld(cfg);
+      fx->analyzed = core::AnalyzeWorld(&fx->world);
+      fx->finder = std::make_unique<core::ExpertFinder>(
+          &fx->analyzed, core::ExpertFinderConfig{});
+      return fx;
+    }();
+    return *f;
+  }
+
+  static std::vector<Task> SportTasks(int n, int k) {
+    std::vector<Task> tasks;
+    for (int i = 0; i < n; ++i) {
+      Task t;
+      t.id = i + 1;
+      t.text = "Who wins the football match? Best team in the league and "
+               "the championship?";
+      t.experts_needed = k;
+      tasks.push_back(t);
+    }
+    return tasks;
+  }
+};
+
+TEST_F(TaskRouterTest, AssignsRequestedNumberOfExperts) {
+  TaskRouter router(F().finder.get());
+  Task t;
+  t.id = 7;
+  t.text = "famous songs of michael jackson and his best album";
+  t.experts_needed = 3;
+  RoutingPlan plan = router.Route({t});
+  EXPECT_EQ(plan.assignments.size(), 3u);
+  for (const auto& a : plan.assignments) {
+    EXPECT_EQ(a.task_id, 7);
+    EXPECT_GT(a.expertise_score, 0.0);
+  }
+  EXPECT_TRUE(plan.shortfalls.empty());
+}
+
+TEST_F(TaskRouterTest, AssignmentsOrderedBestFirst) {
+  TaskRouter router(F().finder.get());
+  Task t;
+  t.id = 1;
+  t.text = "why is copper a good conductor of electrical current";
+  t.experts_needed = 5;
+  RoutingPlan plan = router.Route({t});
+  for (size_t i = 1; i < plan.assignments.size(); ++i) {
+    EXPECT_GE(plan.assignments[i - 1].expertise_score,
+              plan.assignments[i].expertise_score);
+  }
+}
+
+TEST_F(TaskRouterTest, LoadCapSpreadsExperts) {
+  RouterOptions opts;
+  opts.max_load_per_expert = 1;
+  TaskRouter router(F().finder.get(), opts);
+  // Many identical tasks: with cap 1, every assignment must be a distinct
+  // candidate.
+  RoutingPlan plan = router.Route(SportTasks(6, 2));
+  std::map<int, int> seen;
+  for (const auto& a : plan.assignments) ++seen[a.candidate];
+  for (const auto& [candidate, count] : seen) {
+    EXPECT_EQ(count, 1) << "candidate " << candidate << " overloaded";
+  }
+  for (int load : plan.load) EXPECT_LE(load, 1);
+}
+
+TEST_F(TaskRouterTest, LoadVectorMatchesAssignments) {
+  RouterOptions opts;
+  opts.max_load_per_expert = 2;
+  TaskRouter router(F().finder.get(), opts);
+  RoutingPlan plan = router.Route(SportTasks(5, 3));
+  std::map<int, int> expected;
+  for (const auto& a : plan.assignments) ++expected[a.candidate];
+  for (const auto& [candidate, count] : expected) {
+    ASSERT_LT(static_cast<size_t>(candidate), plan.load.size());
+    EXPECT_EQ(plan.load[candidate], count);
+    EXPECT_LE(count, 2);
+  }
+}
+
+TEST_F(TaskRouterTest, UnmatchableTaskReportedAsShortfall) {
+  TaskRouter router(F().finder.get());
+  Task t;
+  t.id = 99;
+  t.text = "zzzqqq xyzzy unmatchable gibberish";
+  t.experts_needed = 3;
+  RoutingPlan plan = router.Route({t});
+  EXPECT_TRUE(plan.assignments.empty());
+  ASSERT_EQ(plan.shortfalls.size(), 1u);
+  EXPECT_EQ(plan.shortfalls[0].first, 99);
+  EXPECT_EQ(plan.shortfalls[0].second, 0);
+}
+
+TEST_F(TaskRouterTest, ExhaustedPoolReportedAsShortfall) {
+  RouterOptions opts;
+  opts.max_load_per_expert = 1;
+  TaskRouter router(F().finder.get(), opts);
+  // Requesting more experts per task than the pool can sustain across many
+  // identical tasks must eventually fall short.
+  RoutingPlan plan = router.Route(SportTasks(50, 5));
+  EXPECT_FALSE(plan.shortfalls.empty());
+  // Every reported shortfall assigned fewer than requested.
+  for (const auto& [task_id, assigned] : plan.shortfalls) {
+    EXPECT_LT(assigned, 5);
+    (void)task_id;
+  }
+}
+
+TEST_F(TaskRouterTest, MinScoreFiltersWeakExperts) {
+  RouterOptions opts;
+  opts.min_score = 1e18;  // Impossibly high.
+  TaskRouter router(F().finder.get(), opts);
+  RoutingPlan plan = router.Route(SportTasks(1, 3));
+  EXPECT_TRUE(plan.assignments.empty());
+  ASSERT_EQ(plan.shortfalls.size(), 1u);
+}
+
+TEST_F(TaskRouterTest, DeterministicPlans) {
+  TaskRouter router(F().finder.get());
+  RoutingPlan a = router.Route(SportTasks(4, 2));
+  RoutingPlan b = router.Route(SportTasks(4, 2));
+  ASSERT_EQ(a.assignments.size(), b.assignments.size());
+  for (size_t i = 0; i < a.assignments.size(); ++i) {
+    EXPECT_EQ(a.assignments[i].candidate, b.assignments[i].candidate);
+    EXPECT_EQ(a.assignments[i].task_id, b.assignments[i].task_id);
+    EXPECT_EQ(a.assignments[i].contact_platform,
+              b.assignments[i].contact_platform);
+  }
+}
+
+TEST_F(TaskRouterTest, ContactPlatformIsConfiguredPlatform) {
+  TaskRouter router(F().finder.get());
+  RoutingPlan plan = router.Route(SportTasks(2, 3));
+  for (const auto& a : plan.assignments) {
+    EXPECT_TRUE(platform::MaskContains(F().finder->config().platforms,
+                                       a.contact_platform));
+  }
+}
+
+TEST_F(TaskRouterTest, EmptyBatchYieldsEmptyPlan) {
+  TaskRouter router(F().finder.get());
+  RoutingPlan plan = router.Route({});
+  EXPECT_TRUE(plan.assignments.empty());
+  EXPECT_TRUE(plan.shortfalls.empty());
+  EXPECT_TRUE(plan.load.empty());
+}
+
+}  // namespace
+}  // namespace crowdex::routing

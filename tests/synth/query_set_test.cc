@@ -1,0 +1,60 @@
+#include "synth/query_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace crowdex::synth {
+namespace {
+
+TEST(QuerySetTest, ThirtyQueriesAsInPaper) {
+  EXPECT_EQ(DefaultQuerySet().size(), 30u);
+}
+
+TEST(QuerySetTest, IdsAreUniqueAndSequential) {
+  std::set<int> ids;
+  for (const auto& q : DefaultQuerySet()) ids.insert(q.id);
+  EXPECT_EQ(ids.size(), 30u);
+  EXPECT_EQ(*ids.begin(), 1);
+  EXPECT_EQ(*ids.rbegin(), 30);
+}
+
+TEST(QuerySetTest, EveryDomainCovered) {
+  for (Domain d : kAllDomains) {
+    EXPECT_GE(QueriesForDomain(d).size(), 4u) << DomainName(d);
+  }
+}
+
+TEST(QuerySetTest, DomainQueriesSumToTotal) {
+  size_t total = 0;
+  for (Domain d : kAllDomains) total += QueriesForDomain(d).size();
+  EXPECT_EQ(total, 30u);
+}
+
+TEST(QuerySetTest, PaperExampleQueriesPresent) {
+  bool php = false;
+  bool milan = false;
+  bool copper = false;
+  bool diablo = false;
+  for (const auto& q : DefaultQuerySet()) {
+    if (q.text.find("PHP") != std::string::npos) php = true;
+    if (q.text.find("restaurants in Milan") != std::string::npos) milan = true;
+    if (q.text.find("copper a good conductor") != std::string::npos) {
+      copper = true;
+    }
+    if (q.text.find("Diablo 3") != std::string::npos) diablo = true;
+  }
+  EXPECT_TRUE(php);
+  EXPECT_TRUE(milan);
+  EXPECT_TRUE(copper);
+  EXPECT_TRUE(diablo);
+}
+
+TEST(QuerySetTest, TextsAreNonTrivial) {
+  for (const auto& q : DefaultQuerySet()) {
+    EXPECT_GT(q.text.size(), 20u) << "query " << q.id;
+  }
+}
+
+}  // namespace
+}  // namespace crowdex::synth

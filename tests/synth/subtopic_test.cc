@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/query_set.h"
+#include "synth/vocabulary.h"
+#include "text/pipeline.h"
+
+namespace crowdex::synth {
+namespace {
+
+TEST(SubtopicTest, EverySliceIsSubstantial) {
+  for (Domain d : kAllDomains) {
+    for (int s = 0; s < kNumSubtopics; ++s) {
+      EXPECT_GE(DomainSubtopicWords(d, s).size(), 25u)
+          << DomainName(d) << " slice " << s;
+    }
+  }
+}
+
+TEST(SubtopicTest, SlicesPartitionTheDomain) {
+  for (Domain d : kAllDomains) {
+    std::set<std::string> whole(DomainWords(d).begin(), DomainWords(d).end());
+    std::set<std::string> from_slices;
+    for (int s = 0; s < kNumSubtopics; ++s) {
+      for (const auto& w : DomainSubtopicWords(d, s)) from_slices.insert(w);
+    }
+    EXPECT_EQ(whole, from_slices) << DomainName(d);
+  }
+}
+
+TEST(SubtopicTest, SlicesWithinDomainAreDisjoint) {
+  for (Domain d : kAllDomains) {
+    std::set<std::string> seen;
+    for (int s = 0; s < kNumSubtopics; ++s) {
+      for (const auto& w : DomainSubtopicWords(d, s)) {
+        EXPECT_TRUE(seen.insert(w).second)
+            << "'" << w << "' appears in two slices of " << DomainName(d);
+      }
+    }
+  }
+}
+
+TEST(SubtopicTest, SubtopicOfWordConsistentWithSlices) {
+  // Known vocabulary must map via the table, not the hash fallback.
+  for (Domain d : kAllDomains) {
+    for (int s = 0; s < kNumSubtopics; ++s) {
+      for (const auto& w : DomainSubtopicWords(d, s)) {
+        int mapped = SubtopicOfWord(w);
+        EXPECT_GE(mapped, 0);
+        EXPECT_LT(mapped, kNumSubtopics);
+      }
+    }
+  }
+}
+
+TEST(SubtopicTest, UnknownWordsHashDeterministically) {
+  int a = SubtopicOfWord("zzyzzx");
+  int b = SubtopicOfWord("zzyzzx");
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0);
+  EXPECT_LT(a, kNumSubtopics);
+}
+
+TEST(SubtopicTest, PaperQueriesHitTheRightSlice) {
+  // "freestyle swimmers olympic" is swimming-slice vocabulary (Sport
+  // slice 1 by construction); "football teams league" is football-slice.
+  const auto& swimming = DomainSubtopicWords(Domain::kSport, 1);
+  const auto& football = DomainSubtopicWords(Domain::kSport, 0);
+  auto contains = [](const std::vector<std::string>& v, const char* w) {
+    return std::find(v.begin(), v.end(), w) != v.end();
+  };
+  EXPECT_TRUE(contains(swimming, "freestyle"));
+  EXPECT_TRUE(contains(swimming, "olympic"));
+  EXPECT_TRUE(contains(swimming, "medal"));
+  EXPECT_TRUE(contains(football, "football"));
+  EXPECT_TRUE(contains(football, "league"));
+  EXPECT_FALSE(contains(swimming, "football"));
+  EXPECT_FALSE(contains(football, "freestyle"));
+}
+
+TEST(SubtopicTest, QueryVocabularyCoveredByDomainWords) {
+  // Every query must share at least two stemmed terms with its domain's
+  // vocabulary, otherwise retrieval cannot work by construction.
+  text::TextPipeline pipeline;
+  for (const auto& q : DefaultQuerySet()) {
+    std::set<std::string> domain_stems;
+    for (const auto& w : DomainWords(q.domain)) {
+      domain_stems.insert(pipeline.stemmer().Stem(w));
+    }
+    int hits = 0;
+    for (const auto& term : pipeline.ProcessTerms(q.text)) {
+      if (domain_stems.contains(term)) ++hits;
+    }
+    EXPECT_GE(hits, 1) << "query " << q.id << ": " << q.text;
+  }
+}
+
+}  // namespace
+}  // namespace crowdex::synth

@@ -1,0 +1,118 @@
+#include "synth/text_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "synth/vocabulary.h"
+#include "text/language_id.h"
+#include "text/tokenizer.h"
+
+namespace crowdex::synth {
+namespace {
+
+class TextGenTest : public ::testing::Test {
+ protected:
+  TextGenTest()
+      : kb_(entity::BuildDefaultKnowledgeBase()), gen_(&kb_, Rng(42)) {}
+
+  entity::KnowledgeBase kb_;
+  TextGenerator gen_;
+};
+
+TEST_F(TextGenTest, TopicalTextHasRequestedLength) {
+  std::string text = gen_.TopicalText(Domain::kSport, 20, 0.1);
+  auto words = SplitString(text, " ");
+  EXPECT_GE(words.size(), 15u);
+  EXPECT_LE(words.size(), 30u);
+}
+
+TEST_F(TextGenTest, TopicalTextIdentifiesAsEnglish) {
+  text::LanguageIdentifier id;
+  for (Domain d : kAllDomains) {
+    std::string text = gen_.TopicalText(d, 25, 0.1);
+    EXPECT_EQ(id.Identify(text), text::Language::kEnglish)
+        << DomainName(d) << ": " << text;
+  }
+}
+
+TEST_F(TextGenTest, TopicalTextUsesDomainVocabulary) {
+  // A sport post should contain at least one sport word or entity.
+  std::string text = gen_.TopicalText(Domain::kSport, 30, 0.15);
+  const auto& words = DomainWords(Domain::kSport);
+  bool found = false;
+  for (const auto& w : words) {
+    if (text.find(w) != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << text;
+}
+
+TEST_F(TextGenTest, EntityProbZeroEmitsNoMentions) {
+  // With entity_prob 0, no multi-word KB aliases should be required; the
+  // text is glue + domain words only. Just check determinism of shape.
+  std::string text = gen_.TopicalText(Domain::kMusic, 15, 0.0);
+  EXPECT_FALSE(text.empty());
+}
+
+TEST_F(TextGenTest, ChitchatAvoidsDomainSignal) {
+  std::string text = gen_.ChitchatText(25);
+  // Chit-chat must never mention high-signal domain words like "freestyle".
+  EXPECT_EQ(text.find("freestyle"), std::string::npos);
+  EXPECT_EQ(text.find("sql"), std::string::npos);
+  EXPECT_FALSE(text.empty());
+}
+
+TEST_F(TextGenTest, ForeignTextNotEnglish) {
+  text::LanguageIdentifier id;
+  std::string it = gen_.ForeignText(text::Language::kItalian, 20);
+  EXPECT_NE(id.Identify(it), text::Language::kEnglish) << it;
+  std::string de = gen_.ForeignText(text::Language::kGerman, 20);
+  EXPECT_NE(id.Identify(de), text::Language::kEnglish) << de;
+}
+
+TEST_F(TextGenTest, WebPageTextLongerAndTopical) {
+  std::string page = gen_.WebPageText(Domain::kScience, 60);
+  auto words = SplitString(page, " ");
+  EXPECT_GE(words.size(), 45u);
+}
+
+TEST_F(TextGenTest, GenericProfileMentionsCityWhenAsked) {
+  // With mention_city the profile must end with a location-entity alias.
+  std::string bio = gen_.GenericProfileText(8, /*mention_city=*/true);
+  auto ids = kb_.EntitiesInDomain(Domain::kLocation);
+  bool found = false;
+  for (auto id : ids) {
+    for (const auto& alias : kb_.at(id).aliases) {
+      if (bio.find(alias) != std::string::npos) found = true;
+    }
+  }
+  EXPECT_TRUE(found) << bio;
+}
+
+TEST_F(TextGenTest, CareerProfileSlantInjectsDomainWords) {
+  std::string bio =
+      gen_.CareerProfileText(10, Domain::kComputerEngineering, -1, 8);
+  const auto& cs_words = DomainWords(Domain::kComputerEngineering);
+  int hits = 0;
+  for (const auto& w : cs_words) {
+    std::string needle = w;
+    if (bio.find(needle) != std::string::npos) ++hits;
+  }
+  EXPECT_GE(hits, 1) << bio;
+}
+
+TEST_F(TextGenTest, EntityMentionReturnsKnownAlias) {
+  std::string mention = gen_.EntityMention(Domain::kSport);
+  EXPECT_FALSE(kb_.CandidatesForAlias(mention).empty()) << mention;
+}
+
+TEST_F(TextGenTest, DeterministicForSameSeed) {
+  TextGenerator a(&kb_, Rng(7));
+  TextGenerator b(&kb_, Rng(7));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.TopicalText(Domain::kMusic, 12, 0.1),
+              b.TopicalText(Domain::kMusic, 12, 0.1));
+  }
+}
+
+}  // namespace
+}  // namespace crowdex::synth

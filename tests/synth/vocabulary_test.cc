@@ -1,0 +1,69 @@
+#include "synth/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace crowdex::synth {
+namespace {
+
+TEST(VocabularyTest, EveryDomainHasSubstantialVocabulary) {
+  for (Domain d : kAllDomains) {
+    EXPECT_GE(DomainWords(d).size(), 30u) << DomainName(d);
+  }
+}
+
+TEST(VocabularyTest, DomainWordsAreLowercaseTokens) {
+  for (Domain d : kAllDomains) {
+    for (const auto& w : DomainWords(d)) {
+      EXPECT_FALSE(w.empty());
+      for (char c : w) {
+        EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+            << "bad word '" << w << "' in " << DomainName(d);
+      }
+    }
+  }
+}
+
+TEST(VocabularyTest, DomainsAreMostlyDisjoint) {
+  // Some overlap is realistic ("game" in sport and tech), but each pair of
+  // domains must be mostly distinct or retrieval cannot discriminate.
+  for (Domain a : kAllDomains) {
+    std::set<std::string> wa(DomainWords(a).begin(), DomainWords(a).end());
+    for (Domain b : kAllDomains) {
+      if (a == b) continue;
+      size_t shared = 0;
+      for (const auto& w : DomainWords(b)) {
+        if (wa.contains(w)) ++shared;
+      }
+      EXPECT_LT(shared, DomainWords(b).size() / 4)
+          << DomainName(a) << " vs " << DomainName(b);
+    }
+  }
+}
+
+TEST(VocabularyTest, ChitchatAndGlueNonEmpty) {
+  EXPECT_GE(ChitchatWords().size(), 30u);
+  EXPECT_GE(EnglishGlueWords().size(), 20u);
+  EXPECT_GE(ProfileFillerWords().size(), 15u);
+  EXPECT_GE(CareerWords().size(), 20u);
+}
+
+TEST(VocabularyTest, ForeignWordListsCoverGeneratedLanguages) {
+  for (text::Language lang :
+       {text::Language::kItalian, text::Language::kSpanish,
+        text::Language::kFrench, text::Language::kGerman}) {
+    EXPECT_GE(ForeignWords(lang).size(), 25u);
+  }
+  EXPECT_TRUE(ForeignWords(text::Language::kEnglish).empty());
+  EXPECT_TRUE(ForeignWords(text::Language::kUnknown).empty());
+}
+
+TEST(VocabularyTest, SameReferenceReturnedEachCall) {
+  // Static storage: repeated calls must not reallocate.
+  EXPECT_EQ(&DomainWords(Domain::kSport), &DomainWords(Domain::kSport));
+  EXPECT_EQ(&ChitchatWords(), &ChitchatWords());
+}
+
+}  // namespace
+}  // namespace crowdex::synth

@@ -1,0 +1,267 @@
+#include "synth/world.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdex::synth {
+namespace {
+
+WorldConfig TinyConfig(uint64_t seed = 20130318) {
+  WorldConfig cfg;
+  cfg.seed = seed;
+  cfg.scale = 0.01;
+  return cfg;
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static const SyntheticWorld& World() {
+    static const SyntheticWorld* world =
+        new SyntheticWorld(GenerateWorld(TinyConfig()));
+    return *world;
+  }
+};
+
+TEST_F(WorldTest, FortyCandidates) {
+  EXPECT_EQ(World().candidates.size(), 40u);
+}
+
+TEST_F(WorldTest, ThirtyQueries) {
+  EXPECT_EQ(World().queries.size(), 30u);
+}
+
+TEST_F(WorldTest, LikertScoresInRange) {
+  for (const auto& c : World().candidates) {
+    for (int d = 0; d < kNumDomains; ++d) {
+      EXPECT_GE(c.likert[d], 1);
+      EXPECT_LE(c.likert[d], 7);
+      EXPECT_GE(c.behavior[d], 1);
+      EXPECT_LE(c.behavior[d], 7);
+    }
+  }
+}
+
+TEST_F(WorldTest, AverageExpertiseNearPaperValue) {
+  // Paper: average expertise 3.57 across domains.
+  double avg = 0;
+  for (Domain d : kAllDomains) avg += World().AverageExpertise(d);
+  avg /= kNumDomains;
+  EXPECT_NEAR(avg, 3.57, 0.5);
+}
+
+TEST_F(WorldTest, ExpertRuleIsAboveDomainAverage) {
+  const auto& w = World();
+  for (Domain d : kAllDomains) {
+    double avg = w.AverageExpertise(d);
+    for (const auto& c : w.candidates) {
+      EXPECT_EQ(c.expert[DomainIndex(d)], c.likert[DomainIndex(d)] > avg);
+    }
+  }
+}
+
+TEST_F(WorldTest, ExpertCountsNearPaperValue) {
+  // Paper: on average ~17 experts per domain (of 40).
+  double avg = 0;
+  for (Domain d : kAllDomains) avg += World().ExpertsForDomain(d).size();
+  avg /= kNumDomains;
+  EXPECT_GT(avg, 10.0);
+  EXPECT_LT(avg, 25.0);
+}
+
+TEST_F(WorldTest, RelevantExpertsMatchesDomain) {
+  const auto& w = World();
+  for (const auto& q : w.queries) {
+    EXPECT_EQ(w.RelevantExperts(q), w.ExpertsForDomain(q.domain));
+  }
+}
+
+TEST_F(WorldTest, ExposureAndActivityInRange) {
+  for (const auto& c : World().candidates) {
+    EXPECT_GE(c.exposure, 0.05);
+    EXPECT_LE(c.exposure, 1.0);
+    EXPECT_GT(c.activity, 0.0);
+  }
+}
+
+TEST_F(WorldTest, NetworksAreConsistent) {
+  for (const auto& net : World().networks) {
+    EXPECT_TRUE(net.Consistent());
+    EXPECT_GT(net.graph.node_count(), 0u);
+  }
+}
+
+TEST_F(WorldTest, PlatformsAssignedCorrectly) {
+  const auto& w = World();
+  EXPECT_EQ(w.networks[0].platform, platform::Platform::kFacebook);
+  EXPECT_EQ(w.networks[1].platform, platform::Platform::kTwitter);
+  EXPECT_EQ(w.networks[2].platform, platform::Platform::kLinkedIn);
+}
+
+TEST_F(WorldTest, EveryCandidateHasProfileOnEveryPlatform) {
+  const auto& w = World();
+  for (int p = 0; p < platform::kNumPlatforms; ++p) {
+    ASSERT_EQ(w.candidate_profiles[p].size(), 40u);
+    for (graph::NodeId n : w.candidate_profiles[p]) {
+      EXPECT_EQ(w.networks[p].graph.kind(n),
+                graph::NodeKind::kUserProfile);
+      EXPECT_FALSE(w.networks[p].node_text[n].empty());
+    }
+  }
+}
+
+TEST_F(WorldTest, DeterministicForSameSeed) {
+  SyntheticWorld a = GenerateWorld(TinyConfig(99));
+  SyntheticWorld b = GenerateWorld(TinyConfig(99));
+  ASSERT_EQ(a.TotalNodes(), b.TotalNodes());
+  for (int p = 0; p < platform::kNumPlatforms; ++p) {
+    ASSERT_EQ(a.networks[p].graph.node_count(),
+              b.networks[p].graph.node_count());
+    ASSERT_EQ(a.networks[p].graph.edge_count(),
+              b.networks[p].graph.edge_count());
+    for (graph::NodeId n = 0; n < a.networks[p].graph.node_count(); ++n) {
+      ASSERT_EQ(a.networks[p].node_text[n], b.networks[p].node_text[n]);
+    }
+  }
+  for (size_t u = 0; u < a.candidates.size(); ++u) {
+    EXPECT_EQ(a.candidates[u].likert, b.candidates[u].likert);
+  }
+}
+
+TEST_F(WorldTest, DifferentSeedsProduceDifferentWorlds) {
+  SyntheticWorld a = GenerateWorld(TinyConfig(1));
+  SyntheticWorld b = GenerateWorld(TinyConfig(2));
+  bool differs = a.TotalNodes() != b.TotalNodes();
+  if (!differs) {
+    for (size_t u = 0; u < a.candidates.size() && !differs; ++u) {
+      differs = a.candidates[u].likert != b.candidates[u].likert;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(WorldTest, UrlsResolveInWebStore) {
+  const auto& w = World();
+  size_t urls = 0;
+  for (const auto& net : w.networks) {
+    for (const auto& url : net.node_url) {
+      if (url.empty()) continue;
+      ++urls;
+      EXPECT_TRUE(w.web.Contains(url)) << url;
+    }
+  }
+  EXPECT_GT(urls, 0u);
+}
+
+TEST_F(WorldTest, UrlShareNearConfiguredProbability) {
+  const auto& w = World();
+  size_t resources = 0;
+  size_t with_url = 0;
+  for (const auto& net : w.networks) {
+    for (graph::NodeId n = 0; n < net.graph.node_count(); ++n) {
+      if (net.graph.kind(n) != graph::NodeKind::kResource) continue;
+      ++resources;
+      if (!net.node_url[n].empty()) ++with_url;
+    }
+  }
+  ASSERT_GT(resources, 500u);
+  double share = static_cast<double>(with_url) / resources;
+  EXPECT_NEAR(share, w.config.url_prob, 0.08);
+}
+
+TEST_F(WorldTest, FacebookLargestLinkedInSmallest) {
+  const auto& w = World();
+  size_t fb = w.networks[0].graph.node_count();
+  size_t tw = w.networks[1].graph.node_count();
+  size_t li = w.networks[2].graph.node_count();
+  EXPECT_GT(fb, li);
+  EXPECT_GT(tw, li);
+}
+
+TEST_F(WorldTest, FacebookFriendshipsAreMutual) {
+  const auto& w = World();
+  const auto& g = w.networks[0].graph;
+  for (graph::NodeId u : w.candidate_profiles[0]) {
+    for (graph::NodeId v :
+         g.OutNeighbors(u, graph::EdgeKind::kFollows)) {
+      EXPECT_TRUE(g.HasEdge(v, u, graph::EdgeKind::kFollows))
+          << "FB friendship must be bidirectional";
+    }
+  }
+}
+
+TEST_F(WorldTest, TwitterHasNonFriendFollowees) {
+  const auto& w = World();
+  const auto& g = w.networks[1].graph;
+  size_t followees = 0;
+  for (graph::NodeId u : w.candidate_profiles[1]) {
+    followees += g.FollowedNonFriends(u).size();
+  }
+  EXPECT_GT(followees, 0u);
+}
+
+TEST_F(WorldTest, LinkedInResourcesConcentratedInGroups) {
+  // Sec. 3.1: ~95 % of LinkedIn resources are group posts (distance 2).
+  const auto& w = World();
+  const auto& g = w.networks[2].graph;
+  size_t in_groups = 0;
+  size_t total = 0;
+  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
+    if (g.kind(n) != graph::NodeKind::kResource) continue;
+    ++total;
+    if (!g.InNeighbors(n, graph::EdgeKind::kContains).empty()) ++in_groups;
+  }
+  ASSERT_GT(total, 0u);
+  // At tiny scale the min-1-post floor inflates own posts; the share is
+  // ~0.95 at full scale.
+  EXPECT_GT(static_cast<double>(in_groups) / total, 0.70);
+}
+
+TEST_F(WorldTest, TopicalityMatrixShape) {
+  using platform::Platform;
+  // Facebook favors entertainment over science/CS.
+  EXPECT_GT(PlatformTopicality(Platform::kFacebook, Domain::kMoviesTv),
+            PlatformTopicality(Platform::kFacebook, Domain::kScience));
+  EXPECT_GT(PlatformTopicality(Platform::kFacebook, Domain::kMusic),
+            PlatformTopicality(Platform::kFacebook,
+                               Domain::kComputerEngineering));
+  // LinkedIn is work-only.
+  EXPECT_GT(
+      PlatformTopicality(Platform::kLinkedIn, Domain::kComputerEngineering),
+      PlatformTopicality(Platform::kLinkedIn, Domain::kMusic));
+  // Twitter is broadly topical: no domain collapses to ~0.
+  for (Domain d : kAllDomains) {
+    EXPECT_GT(PlatformTopicality(Platform::kTwitter, d), 0.5);
+  }
+}
+
+TEST(WorldConfigTest, ScaleControlsVolume) {
+  WorldConfig small = TinyConfig();
+  small.scale = 0.01;
+  WorldConfig larger = TinyConfig();
+  larger.scale = 0.03;
+  SyntheticWorld a = GenerateWorld(small);
+  SyntheticWorld b = GenerateWorld(larger);
+  EXPECT_GT(b.TotalNodes(), a.TotalNodes());
+}
+
+TEST(WorldConfigTest, CandidateCountConfigurable) {
+  WorldConfig cfg = TinyConfig();
+  cfg.num_candidates = 10;
+  SyntheticWorld w = GenerateWorld(cfg);
+  EXPECT_EQ(w.candidates.size(), 10u);
+  for (int p = 0; p < platform::kNumPlatforms; ++p) {
+    EXPECT_EQ(w.candidate_profiles[p].size(), 10u);
+  }
+}
+
+TEST(WorldConfigTest, MoreThan40CandidatesGetGeneratedNames) {
+  WorldConfig cfg = TinyConfig();
+  cfg.num_candidates = 45;
+  SyntheticWorld w = GenerateWorld(cfg);
+  EXPECT_EQ(w.candidates.size(), 45u);
+  EXPECT_EQ(w.candidates[44].name, "user44");
+}
+
+}  // namespace
+}  // namespace crowdex::synth

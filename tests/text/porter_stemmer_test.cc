@@ -1,0 +1,185 @@
+#include "text/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdex::text {
+namespace {
+
+class PorterStemmerTest : public ::testing::Test {
+ protected:
+  std::string Stem(std::string_view w) { return stemmer_.Stem(w); }
+  PorterStemmer stemmer_;
+};
+
+TEST_F(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(Stem("a"), "a");
+  EXPECT_EQ(Stem("is"), "is");
+  EXPECT_EQ(Stem("by"), "by");
+}
+
+TEST_F(PorterStemmerTest, Step1aPlurals) {
+  EXPECT_EQ(Stem("caresses"), "caress");
+  EXPECT_EQ(Stem("ponies"), "poni");
+  EXPECT_EQ(Stem("ties"), "ti");
+  EXPECT_EQ(Stem("caress"), "caress");
+  EXPECT_EQ(Stem("cats"), "cat");
+}
+
+TEST_F(PorterStemmerTest, Step1bEdIng) {
+  EXPECT_EQ(Stem("feed"), "feed");
+  EXPECT_EQ(Stem("agreed"), "agre");
+  EXPECT_EQ(Stem("plastered"), "plaster");
+  EXPECT_EQ(Stem("bled"), "bled");
+  EXPECT_EQ(Stem("motoring"), "motor");
+  EXPECT_EQ(Stem("sing"), "sing");
+}
+
+TEST_F(PorterStemmerTest, Step1bRepair) {
+  EXPECT_EQ(Stem("conflated"), "conflat");
+  EXPECT_EQ(Stem("troubled"), "troubl");
+  EXPECT_EQ(Stem("sized"), "size");
+  EXPECT_EQ(Stem("hopping"), "hop");
+  EXPECT_EQ(Stem("tanned"), "tan");
+  EXPECT_EQ(Stem("falling"), "fall");
+  EXPECT_EQ(Stem("hissing"), "hiss");
+  EXPECT_EQ(Stem("fizzed"), "fizz");
+  EXPECT_EQ(Stem("failing"), "fail");
+  EXPECT_EQ(Stem("filing"), "file");
+}
+
+TEST_F(PorterStemmerTest, Step1cYToI) {
+  EXPECT_EQ(Stem("happy"), "happi");
+  EXPECT_EQ(Stem("sky"), "sky");
+}
+
+TEST_F(PorterStemmerTest, Step2Suffixes) {
+  EXPECT_EQ(Stem("relational"), "relat");
+  EXPECT_EQ(Stem("conditional"), "condit");
+  EXPECT_EQ(Stem("rational"), "ration");
+  EXPECT_EQ(Stem("valenci"), "valenc");
+  EXPECT_EQ(Stem("hesitanci"), "hesit");
+  EXPECT_EQ(Stem("digitizer"), "digit");
+  EXPECT_EQ(Stem("conformabli"), "conform");
+  EXPECT_EQ(Stem("radicalli"), "radic");
+  EXPECT_EQ(Stem("differentli"), "differ");
+  EXPECT_EQ(Stem("vileli"), "vile");
+  EXPECT_EQ(Stem("analogousli"), "analog");
+  EXPECT_EQ(Stem("vietnamization"), "vietnam");
+  EXPECT_EQ(Stem("predication"), "predic");
+  EXPECT_EQ(Stem("operator"), "oper");
+  EXPECT_EQ(Stem("feudalism"), "feudal");
+  EXPECT_EQ(Stem("decisiveness"), "decis");
+  EXPECT_EQ(Stem("hopefulness"), "hope");
+  EXPECT_EQ(Stem("callousness"), "callous");
+  EXPECT_EQ(Stem("formaliti"), "formal");
+  EXPECT_EQ(Stem("sensitiviti"), "sensit");
+  EXPECT_EQ(Stem("sensibiliti"), "sensibl");
+}
+
+TEST_F(PorterStemmerTest, Step3Suffixes) {
+  EXPECT_EQ(Stem("triplicate"), "triplic");
+  EXPECT_EQ(Stem("formative"), "form");
+  EXPECT_EQ(Stem("formalize"), "formal");
+  EXPECT_EQ(Stem("electriciti"), "electr");
+  EXPECT_EQ(Stem("electrical"), "electr");
+  EXPECT_EQ(Stem("hopeful"), "hope");
+  EXPECT_EQ(Stem("goodness"), "good");
+}
+
+TEST_F(PorterStemmerTest, Step4Suffixes) {
+  EXPECT_EQ(Stem("revival"), "reviv");
+  EXPECT_EQ(Stem("allowance"), "allow");
+  EXPECT_EQ(Stem("inference"), "infer");
+  EXPECT_EQ(Stem("airliner"), "airlin");
+  EXPECT_EQ(Stem("gyroscopic"), "gyroscop");
+  EXPECT_EQ(Stem("adjustable"), "adjust");
+  EXPECT_EQ(Stem("defensible"), "defens");
+  EXPECT_EQ(Stem("irritant"), "irrit");
+  EXPECT_EQ(Stem("replacement"), "replac");
+  EXPECT_EQ(Stem("adjustment"), "adjust");
+  EXPECT_EQ(Stem("dependent"), "depend");
+  EXPECT_EQ(Stem("adoption"), "adopt");
+  EXPECT_EQ(Stem("homologou"), "homolog");
+  EXPECT_EQ(Stem("communism"), "commun");
+  EXPECT_EQ(Stem("activate"), "activ");
+  EXPECT_EQ(Stem("angulariti"), "angular");
+  EXPECT_EQ(Stem("homologous"), "homolog");
+  EXPECT_EQ(Stem("effective"), "effect");
+  EXPECT_EQ(Stem("bowdlerize"), "bowdler");
+}
+
+TEST_F(PorterStemmerTest, Step5FinalE) {
+  EXPECT_EQ(Stem("probate"), "probat");
+  EXPECT_EQ(Stem("rate"), "rate");
+  EXPECT_EQ(Stem("cease"), "ceas");
+}
+
+TEST_F(PorterStemmerTest, Step5DoubleL) {
+  EXPECT_EQ(Stem("controll"), "control");
+  EXPECT_EQ(Stem("roll"), "roll");
+}
+
+TEST_F(PorterStemmerTest, IrVocabulary) {
+  // Words from the paper's domain that must conflate for retrieval to work.
+  EXPECT_EQ(Stem("swimming"), Stem("swimmers").substr(0, 4));
+  EXPECT_EQ(Stem("swimming"), "swim");
+  EXPECT_EQ(Stem("swimmer"), "swimmer");
+  EXPECT_EQ(Stem("restaurants"), Stem("restaurant"));
+  EXPECT_EQ(Stem("songs"), Stem("song"));
+  EXPECT_EQ(Stem("actors"), Stem("actor"));
+  EXPECT_EQ(Stem("teams"), Stem("team"));
+  EXPECT_EQ(Stem("conductors"), Stem("conductor"));
+  EXPECT_EQ(Stem("queries"), Stem("query").substr(0, 5));
+}
+
+TEST_F(PorterStemmerTest, IdempotentOnCommonWords) {
+  // Note: Porter is not idempotent in general ("databases" -> "databas"
+  // -> "databa"); these words are ones whose stems are fixed points.
+  const char* words[] = {"running", "connection",  "experiments",
+                         "played",  "programming", "indexes"};
+  for (const char* w : words) {
+    std::string once = Stem(w);
+    EXPECT_EQ(Stem(once), once) << "not idempotent for " << w;
+  }
+}
+
+TEST_F(PorterStemmerTest, StemAllMapsEachToken) {
+  std::vector<std::string> stems =
+      stemmer_.StemAll({"swimming", "medals", "races"});
+  EXPECT_EQ(stems, (std::vector<std::string>{"swim", "medal", "race"}));
+}
+
+TEST_F(PorterStemmerTest, NoCrashOnEdgeShapes) {
+  EXPECT_EQ(Stem(""), "");
+  EXPECT_EQ(Stem("yyy"), Stem("yyy"));
+  EXPECT_NO_THROW(Stem("eee"));
+  EXPECT_NO_THROW(Stem("ing"));
+  EXPECT_NO_THROW(Stem("ies"));
+  EXPECT_NO_THROW(Stem("sses"));
+  EXPECT_NO_THROW(Stem("ation"));
+  EXPECT_NO_THROW(Stem("tion"));
+  EXPECT_NO_THROW(Stem("ional"));
+}
+
+// Property sweep: the stemmer never lengthens a word by more than one
+// character (the +e repair step) and always returns a prefix-compatible
+// stem for plural forms.
+class PorterPluralProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PorterPluralProperty, PluralAndSingularConflate) {
+  PorterStemmer stemmer;
+  std::string singular = GetParam();
+  std::string plural = singular + "s";
+  EXPECT_EQ(stemmer.Stem(singular), stemmer.Stem(plural));
+}
+
+INSTANTIATE_TEST_SUITE_P(CommonNouns, PorterPluralProperty,
+                         ::testing::Values("team", "goal", "match", "album",
+                                           "song", "actor", "movie", "gene",
+                                           "cell", "server", "table", "card",
+                                           "game", "medal", "metal", "planet",
+                                           "museum", "hotel", "guitar",
+                                           "concert"));
+
+}  // namespace
+}  // namespace crowdex::text

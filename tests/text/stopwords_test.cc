@@ -1,0 +1,77 @@
+#include "text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdex::text {
+namespace {
+
+TEST(StopwordsTest, BuiltInListIsSubstantial) {
+  EXPECT_GT(EnglishStopwords().size(), 100u);
+}
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  StopwordFilter f;
+  for (const char* w : {"the", "and", "is", "was", "of", "to", "in", "you"}) {
+    EXPECT_TRUE(f.IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ContentWordsAreNot) {
+  StopwordFilter f;
+  for (const char* w :
+       {"swimming", "database", "guitar", "milan", "conductor"}) {
+    EXPECT_FALSE(f.IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ContractionsWithoutApostrophes) {
+  // The tokenizer removes apostrophes, so the list must carry "dont" etc.
+  StopwordFilter f;
+  EXPECT_TRUE(f.IsStopword("dont"));
+  EXPECT_TRUE(f.IsStopword("cant"));
+  EXPECT_TRUE(f.IsStopword("im"));
+  EXPECT_TRUE(f.IsStopword("youre"));
+}
+
+TEST(StopwordsTest, FilterPreservesOrderAndContent) {
+  StopwordFilter f;
+  std::vector<std::string> in = {"the",  "best",     "freestyle", "swimmer",
+                                 "in",   "the",      "world",     "is",
+                                 "here"};
+  std::vector<std::string> expected = {"best", "freestyle", "swimmer",
+                                       "world"};
+  EXPECT_EQ(f.Filter(in), expected);
+}
+
+TEST(StopwordsTest, FilterEmptyInput) {
+  StopwordFilter f;
+  EXPECT_TRUE(f.Filter({}).empty());
+}
+
+TEST(StopwordsTest, FilterAllStopwords) {
+  StopwordFilter f;
+  EXPECT_TRUE(f.Filter({"the", "and", "of"}).empty());
+}
+
+TEST(StopwordsTest, CustomListOnly) {
+  StopwordFilter f(std::vector<std::string>{"foo", "bar"});
+  EXPECT_TRUE(f.IsStopword("foo"));
+  EXPECT_FALSE(f.IsStopword("the"));
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(StopwordsTest, AddExtendsFilter) {
+  StopwordFilter f;
+  EXPECT_FALSE(f.IsStopword("crowdex"));
+  f.Add("crowdex");
+  EXPECT_TRUE(f.IsStopword("crowdex"));
+}
+
+TEST(StopwordsTest, CaseSensitiveByContract) {
+  // The filter expects lowercase input (tokenizer output).
+  StopwordFilter f;
+  EXPECT_FALSE(f.IsStopword("The"));
+}
+
+}  // namespace
+}  // namespace crowdex::text

@@ -1,0 +1,141 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdex::text {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("Hello, World!"), (Tokens{"hello", "world"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("   \t\n").empty());
+}
+
+TEST(TokenizerTest, DropsSingleCharacterTokens) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("a bb c dd"), (Tokens{"bb", "dd"}));
+}
+
+TEST(TokenizerTest, DropsOverlongTokens) {
+  Tokenizer t;
+  std::string monster(40, 'x');
+  EXPECT_TRUE(t.Tokenize(monster).empty());
+}
+
+TEST(TokenizerTest, StripsHttpUrls) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("check http://example.com/a?b=1 this"),
+            (Tokens{"check", "this"}));
+}
+
+TEST(TokenizerTest, StripsHttpsAndWwwUrls) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("see https://x.io now"), (Tokens{"see", "now"}));
+  EXPECT_EQ(t.Tokenize("see www.example.org now"), (Tokens{"see", "now"}));
+}
+
+TEST(TokenizerTest, UrlAtEndOfText) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("link http://tail.example"), (Tokens{"link"}));
+}
+
+TEST(TokenizerTest, StripsMentions) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("thanks @alice_99 for this"),
+            (Tokens{"thanks", "for", "this"}));
+}
+
+TEST(TokenizerTest, BareAtSignIsNotAMention) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("meet @ noon"), (Tokens{"meet", "noon"}));
+}
+
+TEST(TokenizerTest, KeepsHashtagWords) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("gold! #swimming #phelps"),
+            (Tokens{"gold", "swimming", "phelps"}));
+}
+
+TEST(TokenizerTest, SkipsHtmlEntities) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("fish &amp; chips"), (Tokens{"fish", "chips"}));
+  EXPECT_EQ(t.Tokenize("a &lt;tag&gt; here"), (Tokens{"tag", "here"}));
+}
+
+TEST(TokenizerTest, AmpersandWithoutEntityIsSeparator) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("rock & roll"), (Tokens{"rock", "roll"}));
+}
+
+TEST(TokenizerTest, ApostrophesCollapse) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("don't stop"), (Tokens{"dont", "stop"}));
+  EXPECT_EQ(t.Tokenize("Anna's query"), (Tokens{"annas", "query"}));
+}
+
+TEST(TokenizerTest, DropsPureNumbersKeepsAlphanumerics) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("diablo 3 and ps4 2012"), (Tokens{"diablo", "and", "ps4"}));
+}
+
+TEST(TokenizerTest, KeepPureNumbersWhenConfigured) {
+  TokenizerOptions opts;
+  opts.drop_pure_numbers = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("room 101"), (Tokens{"room", "101"}));
+}
+
+TEST(TokenizerTest, MinLengthConfigurable) {
+  TokenizerOptions opts;
+  opts.min_token_length = 1;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("a b"), (Tokens{"a", "b"}));
+}
+
+TEST(TokenizerTest, NonAsciiBytesActAsSeparators) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("caf\xc3\xa9 time"), (Tokens{"caf", "time"}));
+}
+
+TEST(TokenizerTest, SanitizeExposedSeparately) {
+  Tokenizer t;
+  std::string cleaned = t.Sanitize("go http://u.rl @bob #tag");
+  EXPECT_EQ(cleaned.find("http"), std::string::npos);
+  EXPECT_EQ(cleaned.find("bob"), std::string::npos);
+  EXPECT_NE(cleaned.find("tag"), std::string::npos);
+}
+
+TEST(TokenizerTest, MentionStrippingDisabled) {
+  TokenizerOptions opts;
+  opts.strip_mentions = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("hi @bob"), (Tokens{"hi", "bob"}));
+}
+
+TEST(TokenizerTest, UrlStrippingDisabled) {
+  TokenizerOptions opts;
+  opts.strip_urls = false;
+  Tokenizer t(opts);
+  Tokens tokens = t.Tokenize("see http://ab.cd");
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "http"), tokens.end());
+}
+
+TEST(TokenizerTest, TweetLikeKitchenSink) {
+  Tokenizer t;
+  Tokens tokens = t.Tokenize(
+      "@anna MichaelPhelps is the best! Great #freestyle gold medal "
+      "https://pic.twitter.com/xyz &amp; more");
+  EXPECT_EQ(tokens,
+            (Tokens{"michaelphelps", "is", "the", "best", "great", "freestyle",
+                    "gold", "medal", "more"}));
+}
+
+}  // namespace
+}  // namespace crowdex::text
