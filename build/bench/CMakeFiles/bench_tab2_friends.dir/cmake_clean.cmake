@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_friends.dir/bench_tab2_friends.cpp.o"
+  "CMakeFiles/bench_tab2_friends.dir/bench_tab2_friends.cpp.o.d"
+  "bench_tab2_friends"
+  "bench_tab2_friends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_friends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

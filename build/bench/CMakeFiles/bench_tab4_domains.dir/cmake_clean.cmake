@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_domains.dir/bench_tab4_domains.cpp.o"
+  "CMakeFiles/bench_tab4_domains.dir/bench_tab4_domains.cpp.o.d"
+  "bench_tab4_domains"
+  "bench_tab4_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_routing.dir/crowd_routing.cpp.o"
+  "CMakeFiles/crowd_routing.dir/crowd_routing.cpp.o.d"
+  "crowd_routing"
+  "crowd_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_crawl.dir/privacy_crawl.cpp.o"
+  "CMakeFiles/privacy_crawl.dir/privacy_crawl.cpp.o.d"
+  "privacy_crawl"
+  "privacy_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/crowdex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/crowdex_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/crowdex_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/crowdex_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/crowdex_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/entity/CMakeFiles/crowdex_entity.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/crowdex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crowdex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdex_common.dir/rng.cc.o"
+  "CMakeFiles/crowdex_common.dir/rng.cc.o.d"
+  "CMakeFiles/crowdex_common.dir/status.cc.o"
+  "CMakeFiles/crowdex_common.dir/status.cc.o.d"
+  "CMakeFiles/crowdex_common.dir/string_util.cc.o"
+  "CMakeFiles/crowdex_common.dir/string_util.cc.o.d"
+  "libcrowdex_common.a"
+  "libcrowdex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

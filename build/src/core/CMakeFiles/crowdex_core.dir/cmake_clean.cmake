@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdex_core.dir/analyzed_world.cc.o"
+  "CMakeFiles/crowdex_core.dir/analyzed_world.cc.o.d"
+  "CMakeFiles/crowdex_core.dir/config.cc.o"
+  "CMakeFiles/crowdex_core.dir/config.cc.o.d"
+  "CMakeFiles/crowdex_core.dir/corpus_index.cc.o"
+  "CMakeFiles/crowdex_core.dir/corpus_index.cc.o.d"
+  "CMakeFiles/crowdex_core.dir/expert_finder.cc.o"
+  "CMakeFiles/crowdex_core.dir/expert_finder.cc.o.d"
+  "libcrowdex_core.a"
+  "libcrowdex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

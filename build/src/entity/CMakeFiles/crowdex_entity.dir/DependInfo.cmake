@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/entity/annotator.cc" "src/entity/CMakeFiles/crowdex_entity.dir/annotator.cc.o" "gcc" "src/entity/CMakeFiles/crowdex_entity.dir/annotator.cc.o.d"
+  "/root/repo/src/entity/default_kb.cc" "src/entity/CMakeFiles/crowdex_entity.dir/default_kb.cc.o" "gcc" "src/entity/CMakeFiles/crowdex_entity.dir/default_kb.cc.o.d"
+  "/root/repo/src/entity/knowledge_base.cc" "src/entity/CMakeFiles/crowdex_entity.dir/knowledge_base.cc.o" "gcc" "src/entity/CMakeFiles/crowdex_entity.dir/knowledge_base.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crowdex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/crowdex_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdex_entity.dir/annotator.cc.o"
+  "CMakeFiles/crowdex_entity.dir/annotator.cc.o.d"
+  "CMakeFiles/crowdex_entity.dir/default_kb.cc.o"
+  "CMakeFiles/crowdex_entity.dir/default_kb.cc.o.d"
+  "CMakeFiles/crowdex_entity.dir/knowledge_base.cc.o"
+  "CMakeFiles/crowdex_entity.dir/knowledge_base.cc.o.d"
+  "libcrowdex_entity.a"
+  "libcrowdex_entity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdex_entity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

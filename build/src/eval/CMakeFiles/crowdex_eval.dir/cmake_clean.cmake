@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdex_eval.dir/csv.cc.o"
+  "CMakeFiles/crowdex_eval.dir/csv.cc.o.d"
+  "CMakeFiles/crowdex_eval.dir/experiment.cc.o"
+  "CMakeFiles/crowdex_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/crowdex_eval.dir/metrics.cc.o"
+  "CMakeFiles/crowdex_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/crowdex_eval.dir/significance.cc.o"
+  "CMakeFiles/crowdex_eval.dir/significance.cc.o.d"
+  "libcrowdex_eval.a"
+  "libcrowdex_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdex_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

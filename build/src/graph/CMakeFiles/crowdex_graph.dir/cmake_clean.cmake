@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdex_graph.dir/social_graph.cc.o"
+  "CMakeFiles/crowdex_graph.dir/social_graph.cc.o.d"
+  "libcrowdex_graph.a"
+  "libcrowdex_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdex_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/search_index.cc" "src/index/CMakeFiles/crowdex_index.dir/search_index.cc.o" "gcc" "src/index/CMakeFiles/crowdex_index.dir/search_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crowdex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/entity/CMakeFiles/crowdex_entity.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/crowdex_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdex_index.dir/search_index.cc.o"
+  "CMakeFiles/crowdex_index.dir/search_index.cc.o.d"
+  "libcrowdex_index.a"
+  "libcrowdex_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdex_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

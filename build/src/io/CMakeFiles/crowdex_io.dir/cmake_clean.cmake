@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdex_io.dir/binary_format.cc.o"
+  "CMakeFiles/crowdex_io.dir/binary_format.cc.o.d"
+  "CMakeFiles/crowdex_io.dir/corpus_cache.cc.o"
+  "CMakeFiles/crowdex_io.dir/corpus_cache.cc.o.d"
+  "libcrowdex_io.a"
+  "libcrowdex_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdex_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

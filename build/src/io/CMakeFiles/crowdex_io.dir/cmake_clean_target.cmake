@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrowdex_io.a"
+)

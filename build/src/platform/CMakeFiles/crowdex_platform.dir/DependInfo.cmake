@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/crawler.cc" "src/platform/CMakeFiles/crowdex_platform.dir/crawler.cc.o" "gcc" "src/platform/CMakeFiles/crowdex_platform.dir/crawler.cc.o.d"
+  "/root/repo/src/platform/platform.cc" "src/platform/CMakeFiles/crowdex_platform.dir/platform.cc.o" "gcc" "src/platform/CMakeFiles/crowdex_platform.dir/platform.cc.o.d"
+  "/root/repo/src/platform/resource_extractor.cc" "src/platform/CMakeFiles/crowdex_platform.dir/resource_extractor.cc.o" "gcc" "src/platform/CMakeFiles/crowdex_platform.dir/resource_extractor.cc.o.d"
+  "/root/repo/src/platform/web_page_store.cc" "src/platform/CMakeFiles/crowdex_platform.dir/web_page_store.cc.o" "gcc" "src/platform/CMakeFiles/crowdex_platform.dir/web_page_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crowdex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/crowdex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/entity/CMakeFiles/crowdex_entity.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/crowdex_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

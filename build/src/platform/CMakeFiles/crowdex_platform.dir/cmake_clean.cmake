@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdex_platform.dir/crawler.cc.o"
+  "CMakeFiles/crowdex_platform.dir/crawler.cc.o.d"
+  "CMakeFiles/crowdex_platform.dir/platform.cc.o"
+  "CMakeFiles/crowdex_platform.dir/platform.cc.o.d"
+  "CMakeFiles/crowdex_platform.dir/resource_extractor.cc.o"
+  "CMakeFiles/crowdex_platform.dir/resource_extractor.cc.o.d"
+  "CMakeFiles/crowdex_platform.dir/web_page_store.cc.o"
+  "CMakeFiles/crowdex_platform.dir/web_page_store.cc.o.d"
+  "libcrowdex_platform.a"
+  "libcrowdex_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdex_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdex_routing.dir/task_router.cc.o"
+  "CMakeFiles/crowdex_routing.dir/task_router.cc.o.d"
+  "libcrowdex_routing.a"
+  "libcrowdex_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdex_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

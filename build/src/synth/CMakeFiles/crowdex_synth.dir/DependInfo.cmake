@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/query_set.cc" "src/synth/CMakeFiles/crowdex_synth.dir/query_set.cc.o" "gcc" "src/synth/CMakeFiles/crowdex_synth.dir/query_set.cc.o.d"
+  "/root/repo/src/synth/text_gen.cc" "src/synth/CMakeFiles/crowdex_synth.dir/text_gen.cc.o" "gcc" "src/synth/CMakeFiles/crowdex_synth.dir/text_gen.cc.o.d"
+  "/root/repo/src/synth/vocabulary.cc" "src/synth/CMakeFiles/crowdex_synth.dir/vocabulary.cc.o" "gcc" "src/synth/CMakeFiles/crowdex_synth.dir/vocabulary.cc.o.d"
+  "/root/repo/src/synth/world.cc" "src/synth/CMakeFiles/crowdex_synth.dir/world.cc.o" "gcc" "src/synth/CMakeFiles/crowdex_synth.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crowdex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/crowdex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/entity/CMakeFiles/crowdex_entity.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/crowdex_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/crowdex_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

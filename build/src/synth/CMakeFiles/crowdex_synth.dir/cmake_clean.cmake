@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdex_synth.dir/query_set.cc.o"
+  "CMakeFiles/crowdex_synth.dir/query_set.cc.o.d"
+  "CMakeFiles/crowdex_synth.dir/text_gen.cc.o"
+  "CMakeFiles/crowdex_synth.dir/text_gen.cc.o.d"
+  "CMakeFiles/crowdex_synth.dir/vocabulary.cc.o"
+  "CMakeFiles/crowdex_synth.dir/vocabulary.cc.o.d"
+  "CMakeFiles/crowdex_synth.dir/world.cc.o"
+  "CMakeFiles/crowdex_synth.dir/world.cc.o.d"
+  "libcrowdex_synth.a"
+  "libcrowdex_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdex_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

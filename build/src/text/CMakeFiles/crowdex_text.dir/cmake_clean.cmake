@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdex_text.dir/language_id.cc.o"
+  "CMakeFiles/crowdex_text.dir/language_id.cc.o.d"
+  "CMakeFiles/crowdex_text.dir/pipeline.cc.o"
+  "CMakeFiles/crowdex_text.dir/pipeline.cc.o.d"
+  "CMakeFiles/crowdex_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/crowdex_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/crowdex_text.dir/stopwords.cc.o"
+  "CMakeFiles/crowdex_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/crowdex_text.dir/tokenizer.cc.o"
+  "CMakeFiles/crowdex_text.dir/tokenizer.cc.o.d"
+  "libcrowdex_text.a"
+  "libcrowdex_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdex_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_integration_test.dir/io/cache_integration_test.cc.o"
+  "CMakeFiles/cache_integration_test.dir/io/cache_integration_test.cc.o.d"
+  "cache_integration_test"
+  "cache_integration_test.pdb"
+  "cache_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

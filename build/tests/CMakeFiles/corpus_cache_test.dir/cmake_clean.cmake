@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_cache_test.dir/io/corpus_cache_test.cc.o"
+  "CMakeFiles/corpus_cache_test.dir/io/corpus_cache_test.cc.o.d"
+  "corpus_cache_test"
+  "corpus_cache_test.pdb"
+  "corpus_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_index_test.dir/core/corpus_index_test.cc.o"
+  "CMakeFiles/corpus_index_test.dir/core/corpus_index_test.cc.o.d"
+  "corpus_index_test"
+  "corpus_index_test.pdb"
+  "corpus_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawler_test.dir/platform/crawler_test.cc.o"
+  "CMakeFiles/crawler_test.dir/platform/crawler_test.cc.o.d"
+  "crawler_test"
+  "crawler_test.pdb"
+  "crawler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_finder_test.dir/core/expert_finder_test.cc.o"
+  "CMakeFiles/expert_finder_test.dir/core/expert_finder_test.cc.o.d"
+  "expert_finder_test"
+  "expert_finder_test.pdb"
+  "expert_finder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_finder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_id_test.dir/text/language_id_test.cc.o"
+  "CMakeFiles/language_id_test.dir/text/language_id_test.cc.o.d"
+  "language_id_test"
+  "language_id_test.pdb"
+  "language_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

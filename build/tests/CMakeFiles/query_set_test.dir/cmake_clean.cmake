@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_set_test.dir/synth/query_set_test.cc.o"
+  "CMakeFiles/query_set_test.dir/synth/query_set_test.cc.o.d"
+  "query_set_test"
+  "query_set_test.pdb"
+  "query_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_extractor_test.dir/platform/resource_extractor_test.cc.o"
+  "CMakeFiles/resource_extractor_test.dir/platform/resource_extractor_test.cc.o.d"
+  "resource_extractor_test"
+  "resource_extractor_test.pdb"
+  "resource_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

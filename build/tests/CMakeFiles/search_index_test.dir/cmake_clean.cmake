@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_index_test.dir/index/search_index_test.cc.o"
+  "CMakeFiles/search_index_test.dir/index/search_index_test.cc.o.d"
+  "search_index_test"
+  "search_index_test.pdb"
+  "search_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

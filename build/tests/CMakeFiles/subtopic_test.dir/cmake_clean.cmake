@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subtopic_test.dir/synth/subtopic_test.cc.o"
+  "CMakeFiles/subtopic_test.dir/synth/subtopic_test.cc.o.d"
+  "subtopic_test"
+  "subtopic_test.pdb"
+  "subtopic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subtopic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_router_test.dir/routing/task_router_test.cc.o"
+  "CMakeFiles/task_router_test.dir/routing/task_router_test.cc.o.d"
+  "task_router_test"
+  "task_router_test.pdb"
+  "task_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

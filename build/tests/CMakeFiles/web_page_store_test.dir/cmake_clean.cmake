@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_page_store_test.dir/platform/web_page_store_test.cc.o"
+  "CMakeFiles/web_page_store_test.dir/platform/web_page_store_test.cc.o.d"
+  "web_page_store_test"
+  "web_page_store_test.pdb"
+  "web_page_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_page_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
