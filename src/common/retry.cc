@@ -1,0 +1,69 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+namespace crowdex {
+
+uint64_t NextBackoffMs(const BackoffPolicy& policy, uint64_t prev_ms,
+                       Rng& rng) {
+  uint64_t base = std::max<uint64_t>(policy.base_ms, 1);
+  if (prev_ms == 0) return std::min(base, policy.max_ms);
+  uint64_t upper = static_cast<uint64_t>(
+      static_cast<double>(prev_ms) * std::max(policy.multiplier, 1.0));
+  upper = std::clamp(upper, base, policy.max_ms);
+  uint64_t lower = std::min(base, upper);
+  return static_cast<uint64_t>(
+      rng.NextInRange(static_cast<int64_t>(lower),
+                      static_cast<int64_t>(upper)));
+}
+
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "Closed";
+    case BreakerState::kOpen:
+      return "Open";
+    case BreakerState::kHalfOpen:
+      return "HalfOpen";
+  }
+  return "Unknown";
+}
+
+bool CircuitBreaker::Allow(uint64_t now_ms) {
+  if (state_ == BreakerState::kOpen) {
+    if (now_ms < open_until_ms_) return false;
+    state_ = BreakerState::kHalfOpen;
+    half_open_successes_ = 0;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(uint64_t /*now_ms*/) {
+  if (state_ == BreakerState::kHalfOpen) {
+    if (++half_open_successes_ >= config_.half_open_successes) {
+      state_ = BreakerState::kClosed;
+      consecutive_failures_ = 0;
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure(uint64_t now_ms) {
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: the backend is still down, back to cooldown.
+    state_ = BreakerState::kOpen;
+    open_until_ms_ = now_ms + config_.open_duration_ms;
+    ++trips_;
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    open_until_ms_ = now_ms + config_.open_duration_ms;
+    ++trips_;
+    consecutive_failures_ = 0;
+  }
+}
+
+}  // namespace crowdex

@@ -1,0 +1,192 @@
+#ifndef CROWDEX_COMMON_RETRY_H_
+#define CROWDEX_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace crowdex {
+
+/// Exponential backoff with decorrelated jitter (the "decorrelated" scheme
+/// of the AWS architecture blog): each wait is drawn uniformly from
+/// `[base_ms, prev_wait * multiplier]`, capped at `max_ms`. Jittered waits
+/// de-synchronize retry storms across concurrent clients while still
+/// growing exponentially in expectation.
+struct BackoffPolicy {
+  /// First wait and lower bound of every jittered draw.
+  uint64_t base_ms = 100;
+  /// Hard cap on a single wait.
+  uint64_t max_ms = 10'000;
+  /// Upper-bound growth factor relative to the previous wait.
+  double multiplier = 3.0;
+};
+
+/// Bounds for one logical request (initial attempt + retries).
+struct RetryPolicy {
+  /// Total attempts including the first; <= 1 disables retries.
+  int max_attempts = 4;
+  /// Per-request deadline in simulated milliseconds, measured from the
+  /// first attempt; 0 = no deadline. When the next backoff wait would
+  /// cross the deadline, the request fails with `kDeadlineExceeded`.
+  uint64_t deadline_ms = 60'000;
+  BackoffPolicy backoff;
+};
+
+/// Draws the next decorrelated-jitter wait. `prev_ms` is the previous wait
+/// (pass 0 before the first retry). Deterministic in `rng`.
+uint64_t NextBackoffMs(const BackoffPolicy& policy, uint64_t prev_ms,
+                       Rng& rng);
+
+/// Circuit-breaker states (the classic closed/open/half-open machine).
+enum class BreakerState : uint8_t {
+  /// Healthy: requests flow, consecutive failures are counted.
+  kClosed = 0,
+  /// Tripped: no request hits the backend until the cooldown elapses.
+  kOpen,
+  /// Probing: a limited number of trial requests decide whether to close
+  /// again or re-open.
+  kHalfOpen,
+};
+
+/// Returns "Closed" / "Open" / "HalfOpen".
+const char* BreakerStateToString(BreakerState state);
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures (in closed state) that trip the breaker.
+  int failure_threshold = 5;
+  /// Cooldown after tripping before half-open probing starts.
+  uint64_t open_duration_ms = 30'000;
+  /// Consecutive half-open successes required to close again.
+  int half_open_successes = 2;
+};
+
+/// Per-backend circuit breaker: after `failure_threshold` consecutive
+/// failures it opens for `open_duration_ms` of simulated time — during
+/// which callers pause or shed their requests — then lets probe requests
+/// through (half-open) until either `half_open_successes` successes close
+/// it or one failure re-opens it. Backing off during a sustained outage is
+/// what keeps a crawl from burning its request budget on a dead backend.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const CircuitBreakerConfig& config = {})
+      : config_(config) {}
+
+  /// True iff a request may proceed at simulated time `now_ms`. An open
+  /// breaker whose cooldown has elapsed transitions to half-open and
+  /// admits the request as a probe. Pure admission check: rejected
+  /// requests are only counted when the caller gives up (`RecordShed`).
+  bool Allow(uint64_t now_ms);
+
+  /// Reports the outcome of an admitted request.
+  void RecordSuccess(uint64_t now_ms);
+  void RecordFailure(uint64_t now_ms);
+
+  /// Reports that a request was abandoned because the breaker was open
+  /// (callers that can afford to wait out the cooldown instead do not
+  /// record a shed).
+  void RecordShed() { ++shed_count_; }
+
+  BreakerState state() const { return state_; }
+  /// End of the current cooldown (meaningful while `state()` is open).
+  uint64_t open_until_ms() const { return open_until_ms_; }
+  /// Times the breaker transitioned closed/half-open -> open.
+  int trips() const { return trips_; }
+  /// Requests abandoned because the breaker was open (`RecordShed`).
+  size_t shed_count() const { return shed_count_; }
+
+ private:
+  CircuitBreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  uint64_t open_until_ms_ = 0;
+  int trips_ = 0;
+  size_t shed_count_ = 0;
+};
+
+/// Outcome of `RetryWithBackoff`: the final status plus accounting for the
+/// caller's fault statistics.
+struct RetryOutcome {
+  Status status;
+  /// Attempts actually made (0 when the breaker shed the request).
+  int attempts = 0;
+  /// Simulated milliseconds spent waiting between attempts.
+  uint64_t backoff_ms = 0;
+  /// True when the breaker rejected the request without any attempt.
+  bool shed_by_breaker = false;
+};
+
+/// Runs `attempt` (a callable returning `Status`) under `policy`:
+/// non-retryable failures and successes return immediately; retryable
+/// failures wait a decorrelated-jitter backoff on `clock` and try again,
+/// up to `policy.max_attempts` attempts or the per-request deadline,
+/// whichever bites first.
+///
+/// When `breaker` is non-null it is consulted before every attempt and
+/// informed of every outcome. An open breaker is a coordinated pause, not
+/// an instant failure: the callers here are sequential crawl loops with no
+/// concurrent work to shed to, so the request waits out the cooldown on
+/// the simulated clock and proceeds as a half-open probe. Only when the
+/// cooldown would cross the per-request deadline is the request shed
+/// (fails `kUnavailable` without calling `attempt`).
+///
+/// All waiting is simulated (`clock->AdvanceMs`), so callers never sleep.
+template <typename Fn>
+RetryOutcome RetryWithBackoff(const RetryPolicy& policy, SimClock* clock,
+                              Rng& rng, CircuitBreaker* breaker,
+                              Fn&& attempt) {
+  RetryOutcome out;
+  const uint64_t start_ms = clock->NowMs();
+  const int max_attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  uint64_t prev_wait = 0;
+  for (int i = 0; i < max_attempts; ++i) {
+    if (breaker != nullptr && !breaker->Allow(clock->NowMs())) {
+      const uint64_t reopen = breaker->open_until_ms();
+      if (policy.deadline_ms > 0 &&
+          reopen > start_ms + policy.deadline_ms) {
+        breaker->RecordShed();
+        out.shed_by_breaker = true;
+        out.status = Status::Unavailable("circuit breaker open");
+        return out;
+      }
+      const uint64_t cooldown = reopen - clock->NowMs();
+      clock->AdvanceMs(cooldown);
+      out.backoff_ms += cooldown;
+      breaker->Allow(clock->NowMs());  // Cooldown over: half-open probe.
+    }
+    ++out.attempts;
+    Status s = attempt();
+    if (breaker != nullptr) {
+      if (s.ok()) {
+        breaker->RecordSuccess(clock->NowMs());
+      } else if (IsRetryable(s.code())) {
+        // Semantic failures (NotFound, ...) are answers, not backend
+        // health signals; only transport-level failures count.
+        breaker->RecordFailure(clock->NowMs());
+      }
+    }
+    if (s.ok() || !IsRetryable(s.code())) {
+      out.status = std::move(s);
+      return out;
+    }
+    out.status = std::move(s);
+    if (i + 1 >= max_attempts) break;
+    uint64_t wait = NextBackoffMs(policy.backoff, prev_wait, rng);
+    if (policy.deadline_ms > 0 &&
+        clock->NowMs() + wait > start_ms + policy.deadline_ms) {
+      out.status = Status::DeadlineExceeded("retry deadline exceeded");
+      return out;
+    }
+    clock->AdvanceMs(wait);
+    out.backoff_ms += wait;
+    prev_wait = wait;
+  }
+  return out;
+}
+
+}  // namespace crowdex
+
+#endif  // CROWDEX_COMMON_RETRY_H_

@@ -1,0 +1,34 @@
+#ifndef CROWDEX_COMMON_SIM_CLOCK_H_
+#define CROWDEX_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace crowdex {
+
+/// Deterministic simulated clock, in milliseconds from an arbitrary zero.
+///
+/// Every time-dependent component of the resilience layer (backoff waits,
+/// rate-limit windows, burst outages, circuit-breaker cooldowns) reads and
+/// advances a `SimClock` instead of the wall clock, so that fault scenarios
+/// are exactly reproducible and tests never sleep: "waiting" 30 seconds is
+/// a single `AdvanceMs(30'000)` call.
+class SimClock {
+ public:
+  SimClock() = default;
+  /// Starts the clock at `now_ms` (useful for fixtures that want round
+  /// numbers mid-scenario).
+  explicit SimClock(uint64_t now_ms) : now_ms_(now_ms) {}
+
+  /// Current simulated time in milliseconds.
+  uint64_t NowMs() const { return now_ms_; }
+
+  /// Moves time forward by `delta_ms`. Time never goes backwards.
+  void AdvanceMs(uint64_t delta_ms) { now_ms_ += delta_ms; }
+
+ private:
+  uint64_t now_ms_ = 0;
+};
+
+}  // namespace crowdex
+
+#endif  // CROWDEX_COMMON_SIM_CLOCK_H_

@@ -22,10 +22,25 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  /// The service is transiently unable to answer (flaky transport, burst
+  /// outage). Retrying with backoff is expected to succeed eventually.
+  kUnavailable,
+  /// The per-request deadline elapsed before a usable answer arrived.
+  kDeadlineExceeded,
+  /// A quota was exhausted (API rate limit). Retryable once the limiting
+  /// window has passed.
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
 std::string_view StatusCodeToString(StatusCode code);
+
+/// True iff a request failing with `code` may succeed when retried later:
+/// transient transport failures (`kUnavailable`) and quota exhaustion
+/// (`kResourceExhausted`). Deadline expiry is NOT retryable — the caller's
+/// time budget is spent — and neither are semantic errors (`kNotFound`,
+/// `kInvalidArgument`, ...), which would fail identically every time.
+bool IsRetryable(StatusCode code);
 
 /// A lightweight success-or-error value.
 ///
@@ -74,6 +89,15 @@ class Status {
   static Status Unimplemented(std::string message) {
     return Status(StatusCode::kUnimplemented, std::move(message));
   }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -94,6 +118,14 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+namespace internal {
+/// Shared immutable OK status returned by reference from `Result::status()`.
+inline const Status& OkStatusSingleton() {
+  static const Status kOkStatus;
+  return kOkStatus;
+}
+}  // namespace internal
 
 /// A value-or-error holder, analogous to `absl::StatusOr<T>`.
 ///
@@ -122,9 +154,23 @@ class Result {
   /// True iff a value is held.
   bool ok() const { return std::holds_alternative<T>(state_); }
 
-  /// Returns the error status; OK when a value is held.
-  Status status() const {
-    return ok() ? Status::Ok() : std::get<Status>(state_);
+  /// Returns the error status by reference (no copy on the hot `!ok()`
+  /// check path); a shared OK status when a value is held.
+  ///
+  /// Kept out of line on GCC: inlining the reference-returning accessor
+  /// across test bodies trips a -Wmaybe-uninitialized false positive in
+  /// the variant access (and callers only reach it on cold error paths).
+#if defined(__GNUC__) && !defined(__clang__)
+  __attribute__((noinline))
+#endif
+  const Status&
+  status() const& {
+    const Status* error = std::get_if<Status>(&state_);
+    return error != nullptr ? *error : internal::OkStatusSingleton();
+  }
+  /// Moves the error status out of an rvalue result.
+  Status status() && {
+    return ok() ? Status::Ok() : std::get<Status>(std::move(state_));
   }
 
   /// Returns the held value; must only be called when `ok()`.
@@ -133,8 +179,13 @@ class Result {
   T&& value() && { return std::get<T>(std::move(state_)); }
 
   /// Returns the held value or `fallback` when in the error state.
-  T value_or(T fallback) const {
+  T value_or(T fallback) const& {
     return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+  /// Move-aware overload: rvalue callers get the held value moved out
+  /// instead of copied (`std::move(result).value_or(...)`).
+  T value_or(T fallback) && {
+    return ok() ? std::get<T>(std::move(state_)) : std::move(fallback);
   }
 
  private:

@@ -1,6 +1,8 @@
 #ifndef CROWDEX_COMMON_STRING_UTIL_H_
 #define CROWDEX_COMMON_STRING_UTIL_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +38,18 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 
 /// Formats `value` with `digits` digits after the decimal point (fixed).
 std::string FormatDouble(double value, int digits);
+
+/// Transparent (heterogeneous-lookup) hash for string-keyed containers:
+/// `std::unordered_map<std::string, V, TransparentStringHash,
+/// std::equal_to<>>` accepts `std::string_view` lookups without
+/// materializing a temporary `std::string` — the allocation-free path for
+/// hot lookups like URL resolution.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 }  // namespace crowdex
 

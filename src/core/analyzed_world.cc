@@ -29,4 +29,35 @@ AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
   return out;
 }
 
+AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
+                           const platform::ExtractorOptions& options,
+                           const platform::FaultConfig& faults) {
+  AnalyzedWorld out;
+  out.world = world;
+  out.extractor =
+      std::make_unique<platform::ResourceExtractor>(&world->kb, options);
+  // One fault stream + clock per platform keeps the per-platform fault
+  // sequences independent of each other and of the analysis order, so the
+  // concurrent analysis stays deterministic.
+  std::array<std::future<platform::AnalyzedCorpus>, platform::kNumPlatforms>
+      futures;
+  std::array<std::unique_ptr<platform::FlakyApi>, platform::kNumPlatforms>
+      apis;
+  for (int p = 0; p < platform::kNumPlatforms; ++p) {
+    platform::FaultConfig per_platform = faults;
+    per_platform.seed =
+        faults.seed ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(p + 1));
+    apis[p] = std::make_unique<platform::FlakyApi>(per_platform);
+    futures[p] = std::async(std::launch::async, [&, p] {
+      return out.extractor->AnalyzeNetwork(world->networks[p], world->web,
+                                           apis[p].get());
+    });
+  }
+  for (int p = 0; p < platform::kNumPlatforms; ++p) {
+    out.corpora[p] = futures[p].get();
+    out.fault_stats[p] = apis[p]->stats();
+  }
+  return out;
+}
+
 }  // namespace crowdex::core

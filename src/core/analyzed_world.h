@@ -24,6 +24,9 @@ struct AnalyzedWorld {
   std::unique_ptr<platform::ResourceExtractor> extractor;
   /// Analysis output per platform, aligned with `world->networks`.
   std::array<platform::AnalyzedCorpus, platform::kNumPlatforms> corpora;
+  /// Transport accounting of the URL-enrichment step, per platform. All
+  /// zeros unless the fault-injecting `AnalyzeWorld` overload ran.
+  std::array<platform::FaultStats, platform::kNumPlatforms> fault_stats{};
 
   /// Convenience: the analyzed node for (platform, node).
   const platform::AnalyzedNode& node(platform::Platform p,
@@ -39,6 +42,16 @@ AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world);
 /// Same, with explicit pipeline toggles (ablation studies).
 AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
                            const platform::ExtractorOptions& options);
+
+/// Same, with the URL-enrichment step running against a fault-injecting
+/// extraction API configured by `faults` (one independent `FlakyApi` per
+/// platform, seeded from `faults.seed`, each on its own `SimClock`).
+/// Failed page fetches degrade to the resource's own text; the per-
+/// platform transport accounting lands in `AnalyzedWorld::fault_stats`.
+/// Deterministic: identical `faults` (including seed) => identical output.
+AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
+                           const platform::ExtractorOptions& options,
+                           const platform::FaultConfig& faults);
 
 }  // namespace crowdex::core
 

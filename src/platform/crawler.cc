@@ -38,7 +38,7 @@ std::vector<Privacy> AssignProfilePrivacy(
 Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
                                  const std::vector<graph::NodeId>& authorized,
                                  const std::vector<Privacy>& privacy,
-                                 const CrawlPolicy& policy) {
+                                 const CrawlPolicy& policy, FlakyApi* api) {
   if (authorized.empty()) {
     return Status::InvalidArgument("no authorized profiles");
   }
@@ -66,11 +66,15 @@ Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
   };
 
   // Copies a node into the crawled network once; returns its new id.
+  // Payload text passes through the fault layer's corruption model: a
+  // mangled API response is stored as-is, exactly like a real crawl would.
   auto copy_node = [&](NodeId n) -> NodeId {
     auto it = result.node_map.find(n);
     if (it != result.node_map.end()) return it->second;
+    std::string text = truth.node_text[n];
+    if (api != nullptr) text = api->MaybeCorrupt(std::move(text));
     NodeId fresh = result.network.AddNode(
-        truth.graph.kind(n), truth.graph.label(n), truth.node_text[n],
+        truth.graph.kind(n), truth.graph.label(n), std::move(text),
         truth.node_url[n]);
     result.node_map.emplace(n, fresh);
     return fresh;
@@ -91,6 +95,13 @@ Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
     return true;
   };
 
+  // Issues one transport-level request through the fault layer (when one
+  // is installed); false = the request permanently failed after retries.
+  auto transport_ok = [&](std::string_view what) {
+    if (api == nullptr) return true;
+    return api->Call(what).ok();
+  };
+
   // Fetches the resources a profile owns/creates/annotates.
   auto fetch_profile_resources = [&](NodeId p) {
     for (EdgeKind k :
@@ -106,6 +117,10 @@ Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
   // Fetches a container's description and its (capped) recent resources.
   auto fetch_container = [&](NodeId member, NodeId c) {
     if (!spend_request()) return;
+    if (!transport_ok("container")) {
+      ++stats.degraded_containers;
+      return;
+    }
     copy_node(c);
     copy_edge(member, c, EdgeKind::kRelatesTo);
     std::vector<NodeId> posts = truth.graph.OutNeighbors(c, EdgeKind::kContains);
@@ -114,6 +129,14 @@ Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
         limit > static_cast<size_t>(policy.max_container_resources)) {
       limit = static_cast<size_t>(policy.max_container_resources);
       ++stats.containers_truncated;
+    }
+    // Injected response truncation: the API returned a partial page.
+    if (api != nullptr) {
+      size_t injected = api->MaybeTruncateCount(limit);
+      if (injected < limit) {
+        limit = injected;
+        ++stats.containers_truncated;
+      }
     }
     for (size_t i = 0; i < limit; ++i) {
       copy_node(posts[i]);
@@ -127,12 +150,13 @@ Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
   // follow are expanded once more, giving the Table-1 distance-2 reach).
   std::deque<std::pair<NodeId, int>> queue;
   std::unordered_set<NodeId> expanded;
+  std::unordered_set<NodeId> failed;
   for (NodeId seed : authorized) queue.emplace_back(seed, 0);
 
   while (!queue.empty()) {
     auto [p, hops] = queue.front();
     queue.pop_front();
-    if (expanded.contains(p)) continue;
+    if (expanded.contains(p) || failed.contains(p)) continue;
 
     ++stats.profiles_visited;
     if (!profile_visible(p)) {
@@ -140,6 +164,14 @@ Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
       continue;
     }
     if (!spend_request()) break;
+    if (!transport_ok("profile")) {
+      // Permanently failed expansion: record it and move on — losing one
+      // neighborhood must not lose the crawl.
+      failed.insert(p);
+      ++stats.degraded_profiles;
+      result.failed_profiles.push_back(p);
+      continue;
+    }
     expanded.insert(p);
     copy_node(p);
 
@@ -160,6 +192,7 @@ Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
       if (hops < 1) queue.emplace_back(followed, hops + 1);
     }
   }
+  if (api != nullptr) stats.faults = api->stats();
   return result;
 }
 

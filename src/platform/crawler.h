@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "platform/flaky_api.h"
 #include "platform/network.h"
 
 namespace crowdex::platform {
@@ -49,6 +50,15 @@ struct CrawlStats {
   size_t resources_denied = 0;
   size_t containers_truncated = 0;
   bool budget_exhausted = false;
+  /// Profile expansions abandoned after the retry policy gave up; the
+  /// crawl continues without their neighborhoods instead of aborting.
+  size_t degraded_profiles = 0;
+  /// Container fetches abandoned after the retry policy gave up.
+  size_t degraded_containers = 0;
+  /// Transport-layer accounting (attempts, retries, injected faults,
+  /// breaker trips, backoff time). All zero when no fault-injecting API
+  /// layer is installed.
+  FaultStats faults;
 };
 
 /// The visible network extracted by a crawl, with the mapping back to the
@@ -58,6 +68,9 @@ struct CrawlResult {
   /// truth node id -> crawled node id (absent = not visible/collected).
   std::unordered_map<graph::NodeId, graph::NodeId> node_map;
   CrawlStats stats;
+  /// Truth ids of profiles whose expansion permanently failed (recorded
+  /// for a later re-crawl rather than aborting the whole extraction).
+  std::vector<graph::NodeId> failed_profiles;
 };
 
 /// Assigns a privacy level to every profile of `truth` (resources inherit
@@ -84,10 +97,20 @@ std::vector<Privacy> AssignProfilePrivacy(
 ///
 /// Each profile or container expansion costs one request against
 /// `policy.max_requests`.
+///
+/// When `api` is non-null, every profile/container request additionally
+/// goes through the fault-injecting transport: transient failures are
+/// retried per its policy, and expansions that still fail are recorded in
+/// `CrawlResult::failed_profiles` / the degradation counters while the
+/// crawl carries on (graceful degradation — a flaky backend yields a
+/// smaller crawl, never an inconsistent or aborted one). With `api ==
+/// nullptr` — or a config whose fault probabilities are all zero — the
+/// result is identical to the fault-free crawl.
 Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
                                  const std::vector<graph::NodeId>& authorized,
                                  const std::vector<Privacy>& privacy,
-                                 const CrawlPolicy& policy);
+                                 const CrawlPolicy& policy,
+                                 FlakyApi* api = nullptr);
 
 }  // namespace crowdex::platform
 

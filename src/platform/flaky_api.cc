@@ -1,0 +1,113 @@
+#include "platform/flaky_api.h"
+
+#include <algorithm>
+
+namespace crowdex::platform {
+
+FlakyApi::FlakyApi(const FaultConfig& config, SimClock* clock)
+    : config_(config),
+      clock_(clock != nullptr ? clock : &own_clock_),
+      rng_(config.seed),
+      breaker_(config.breaker) {}
+
+Status FlakyApi::AttemptOnce(std::string_view what) {
+  ++stats_.attempts;
+  clock_->AdvanceMs(config_.attempt_latency_ms);
+  const uint64_t now = clock_->NowMs();
+
+  // Rate limiter: a fixed window of `rate_limit_requests` attempts.
+  if (config_.rate_limit_requests > 0) {
+    if (now - window_start_ms_ >= config_.rate_limit_window_ms) {
+      window_start_ms_ = now;
+      window_requests_ = 0;
+    }
+    if (++window_requests_ > config_.rate_limit_requests) {
+      ++stats_.rate_limited;
+      return Status::ResourceExhausted("rate limit: " + std::string(what));
+    }
+  }
+
+  // Burst outage: everything fails until the outage window passes.
+  if (outage_until_ms_ != 0 && now < outage_until_ms_) {
+    ++stats_.transient_faults;
+    ++stats_.outage_faults;
+    return Status::Unavailable("burst outage: " + std::string(what));
+  }
+  outage_until_ms_ = 0;
+  if (rng_.NextBool(config_.burst_start_prob)) {
+    outage_until_ms_ = now + config_.burst_duration_ms;
+    ++stats_.transient_faults;
+    ++stats_.outage_faults;
+    return Status::Unavailable("burst outage: " + std::string(what));
+  }
+
+  // Plain transient fault (connection reset, 5xx, read timeout).
+  if (rng_.NextBool(config_.transient_error_prob)) {
+    ++stats_.transient_faults;
+    return Status::Unavailable("transient fault: " + std::string(what));
+  }
+  return Status::Ok();
+}
+
+Status FlakyApi::Call(std::string_view what) {
+  ++stats_.requests;
+  RetryPolicy policy = config_.retry;
+  if (!config_.retries_enabled) policy.max_attempts = 1;
+  RetryOutcome outcome = RetryWithBackoff(
+      policy, clock_, rng_, &breaker_, [&] { return AttemptOnce(what); });
+  if (outcome.attempts > 1) stats_.retries += outcome.attempts - 1;
+  stats_.backoff_ms += outcome.backoff_ms;
+  if (outcome.shed_by_breaker) ++stats_.breaker_shed;
+  if (!outcome.status.ok()) {
+    ++stats_.failures;
+    if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+    }
+  }
+  return outcome.status;
+}
+
+Result<std::string> FlakyApi::FetchUrl(const WebPageStore& web,
+                                       std::string_view url) {
+  Status transport = Call(url);
+  if (!transport.ok()) return transport;
+  Result<std::string> page = web.Fetch(url);
+  if (!page.ok()) return page;  // Dead link: permanent, not injected.
+  std::string text = std::move(page).value();
+  if (rng_.NextBool(config_.truncate_prob)) {
+    ++stats_.truncated_responses;
+    text.resize(text.size() / 2);
+  }
+  return MaybeCorrupt(std::move(text));
+}
+
+size_t FlakyApi::MaybeTruncateCount(size_t full_count) {
+  if (full_count == 0 || !rng_.NextBool(config_.truncate_prob)) {
+    return full_count;
+  }
+  ++stats_.truncated_responses;
+  return full_count / 2;
+}
+
+std::string FlakyApi::MaybeCorrupt(std::string text) {
+  if (text.empty() || !rng_.NextBool(config_.corrupt_prob)) return text;
+  ++stats_.corrupted_payloads;
+  // Garble a quarter of the characters with junk bytes a real mangled
+  // response would contain; the text pipeline must tolerate them.
+  static constexpr char kJunk[] = {'#', '@', '%', '\xFF'};
+  Rng garbler = rng_.Fork();
+  for (char& c : text) {
+    if (garbler.NextBool(0.25)) {
+      c = kJunk[garbler.NextBelow(sizeof(kJunk))];
+    }
+  }
+  return text;
+}
+
+FaultStats FlakyApi::stats() const {
+  FaultStats out = stats_;
+  out.breaker_trips = static_cast<size_t>(breaker_.trips());
+  return out;
+}
+
+}  // namespace crowdex::platform

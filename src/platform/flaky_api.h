@@ -1,0 +1,156 @@
+#ifndef CROWDEX_PLATFORM_FLAKY_API_H_
+#define CROWDEX_PLATFORM_FLAKY_API_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "platform/web_page_store.h"
+
+namespace crowdex::platform {
+
+/// Seeded, deterministic fault model for one platform's API transport.
+///
+/// The paper's Resource Extraction step ran against live Facebook /
+/// Twitter / LinkedIn APIs and the Alchemy URL extractor — services that
+/// rate-limit, time out, and return partial data routinely (only ~230k of
+/// ~330k collected resources survived to analysis, Sec. 3.1). The crawl
+/// simulation is exercised under the same conditions by routing every
+/// simulated request through this layer.
+///
+/// All stochastic decisions draw from a private SplitMix64 stream seeded
+/// by `seed`, and all timing runs on a `SimClock`, so a fault scenario is
+/// exactly reproducible: identical `FaultConfig` + seed => identical fault
+/// sequence, identical crawl, identical statistics. Probability-zero knobs
+/// consume no randomness, which keeps the disabled configuration
+/// byte-identical to not having the layer at all.
+struct FaultConfig {
+  /// Probability that one attempt fails with `kUnavailable` (flaky
+  /// transport: connection resets, 5xx, read timeouts).
+  double transient_error_prob = 0.0;
+  /// Probability (per attempt) that a burst outage starts; while it lasts
+  /// every attempt fails with `kUnavailable`.
+  double burst_start_prob = 0.0;
+  /// Length of a burst outage in simulated milliseconds.
+  uint64_t burst_duration_ms = 5'000;
+  /// Requests admitted per rate-limit window; <= 0 disables rate limiting.
+  /// Attempts beyond the quota fail with `kResourceExhausted`.
+  int rate_limit_requests = 0;
+  /// Length of the rate-limit window in simulated milliseconds.
+  uint64_t rate_limit_window_ms = 60'000;
+  /// Probability that a successful response is truncated (partial page of
+  /// a container listing, cut-off page body).
+  double truncate_prob = 0.0;
+  /// Probability that a successful payload arrives corrupted (mangled
+  /// encoding, mid-document garbage) — not detectable by the transport,
+  /// so retries do not help; the analysis pipeline must survive it.
+  double corrupt_prob = 0.0;
+  /// Simulated latency of one attempt.
+  uint64_t attempt_latency_ms = 20;
+  /// Seed of the fault stream.
+  uint64_t seed = 1;
+  /// Retry/backoff/deadline policy applied to every logical request.
+  RetryPolicy retry;
+  /// Circuit-breaker configuration (per platform backend).
+  CircuitBreakerConfig breaker;
+  /// Master switch for retrying: false degrades every logical request to
+  /// a single attempt (the ablation arm of the degradation benchmark).
+  bool retries_enabled = true;
+};
+
+/// Counters accumulated by a `FlakyApi` over its lifetime.
+struct FaultStats {
+  /// Logical requests issued through the layer.
+  size_t requests = 0;
+  /// Raw attempts, including retries.
+  size_t attempts = 0;
+  /// Attempts beyond the first, across all requests.
+  size_t retries = 0;
+  /// Attempts that failed with an injected transient fault.
+  size_t transient_faults = 0;
+  /// Subset of `transient_faults` injected during a burst outage.
+  size_t outage_faults = 0;
+  /// Attempts rejected by the rate limiter.
+  size_t rate_limited = 0;
+  /// Logical requests that still failed after retrying.
+  size_t failures = 0;
+  /// Logical requests abandoned because the deadline elapsed.
+  size_t deadline_exceeded = 0;
+  /// Circuit-breaker trips (closed/half-open -> open transitions).
+  size_t breaker_trips = 0;
+  /// Logical requests shed by an open breaker without an attempt.
+  size_t breaker_shed = 0;
+  /// Successful responses that were truncated.
+  size_t truncated_responses = 0;
+  /// Successful payloads that were corrupted.
+  size_t corrupted_payloads = 0;
+  /// Simulated milliseconds spent in backoff waits.
+  uint64_t backoff_ms = 0;
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+/// Fault-injecting wrapper around one platform backend (the profile /
+/// container / timeline endpoints used by `CrawlNetwork`) and the URL
+/// extractor used by `ResourceExtractor`. Single-threaded by design: use
+/// one instance per platform, as `AnalyzeWorld` does.
+class FlakyApi {
+ public:
+  /// `clock` may be null, in which case the API runs its own clock.
+  /// A non-null clock must outlive the instance.
+  explicit FlakyApi(const FaultConfig& config, SimClock* clock = nullptr);
+
+  /// One logical API request (retried per policy, breaker-gated).
+  /// Returns OK, or the final failure: `kUnavailable` (transient fault /
+  /// outage / breaker shed), `kResourceExhausted` (rate limit), or
+  /// `kDeadlineExceeded`. `what` labels the endpoint in error messages.
+  Status Call(std::string_view what);
+
+  /// Fetches `url` through the fault layer: transport faults are retried
+  /// per policy, a missing page is a permanent `kNotFound` (dead link —
+  /// retrying cannot help), and successful payloads may arrive truncated
+  /// or corrupted.
+  Result<std::string> FetchUrl(const WebPageStore& web, std::string_view url);
+
+  /// Applies response truncation to a list response of `full_count`
+  /// items: returns `full_count`, or roughly half of it when the
+  /// truncation fault fires.
+  size_t MaybeTruncateCount(size_t full_count);
+
+  /// Applies payload corruption to `text`: returns it unchanged, or with
+  /// a deterministic fraction of characters garbled when the corruption
+  /// fault fires.
+  std::string MaybeCorrupt(std::string text);
+
+  /// Accumulated counters (breaker trips/sheds folded in).
+  FaultStats stats() const;
+
+  const CircuitBreaker& breaker() const { return breaker_; }
+  const FaultConfig& config() const { return config_; }
+  SimClock* clock() { return clock_; }
+
+ private:
+  /// One raw attempt: advances the clock by the attempt latency, applies
+  /// the rate limiter, the outage model, and the transient-fault roll.
+  Status AttemptOnce(std::string_view what);
+
+  FaultConfig config_;
+  SimClock own_clock_;
+  SimClock* clock_;
+  Rng rng_;
+  CircuitBreaker breaker_;
+  FaultStats stats_;
+  /// Burst-outage end time (0 = no outage in progress).
+  uint64_t outage_until_ms_ = 0;
+  /// Rate-limit window bookkeeping.
+  uint64_t window_start_ms_ = 0;
+  int window_requests_ = 0;
+};
+
+}  // namespace crowdex::platform
+
+#endif  // CROWDEX_PLATFORM_FLAKY_API_H_

@@ -47,6 +47,12 @@ AnalyzedNode ResourceExtractor::AnalyzeText(const std::string& text) const {
 
 AnalyzedCorpus ResourceExtractor::AnalyzeNetwork(
     const PlatformNetwork& network, const WebPageStore& web) const {
+  return AnalyzeNetwork(network, web, /*api=*/nullptr);
+}
+
+AnalyzedCorpus ResourceExtractor::AnalyzeNetwork(const PlatformNetwork& network,
+                                                 const WebPageStore& web,
+                                                 FlakyApi* api) const {
   AnalyzedCorpus corpus;
   corpus.platform = network.platform;
   corpus.nodes.reserve(network.graph.node_count());
@@ -58,10 +64,16 @@ AnalyzedCorpus ResourceExtractor::AnalyzeNetwork(
       ++corpus.nodes_with_url;
       if (enrich_urls_) {
         // URL content extraction: append the linked page's main content.
-        Result<std::string> page = web.Fetch(url);
+        // Dead links (NotFound) degrade silently to the node's own text,
+        // exactly as before; transport-level failures of the extraction
+        // API do the same but are counted as degraded.
+        Result<std::string> page = api != nullptr ? api->FetchUrl(web, url)
+                                                  : web.Fetch(url);
         if (page.ok()) {
           if (!text.empty()) text += ' ';
           text += page.value();
+        } else if (page.status().code() != StatusCode::kNotFound) {
+          ++corpus.degraded_nodes;
         }
       }
     }

@@ -7,6 +7,7 @@
 #include "entity/annotator.h"
 #include "entity/knowledge_base.h"
 #include "index/search_index.h"
+#include "platform/flaky_api.h"
 #include "platform/network.h"
 #include "platform/web_page_store.h"
 #include "text/pipeline.h"
@@ -38,6 +39,11 @@ struct AnalyzedCorpus {
   size_t nodes_with_text = 0;
   size_t english_nodes = 0;
   size_t nodes_with_url = 0;
+  /// Nodes whose URL enrichment permanently failed at the transport layer
+  /// and fell back to the resource's own text (graceful degradation).
+  /// Zero without a fault-injecting extraction API; not persisted by the
+  /// corpus cache (the cache only ever stores fault-free analyses).
+  size_t degraded_nodes = 0;
 };
 
 /// Feature toggles for the analysis pipeline (ablation studies; defaults
@@ -73,6 +79,14 @@ class ResourceExtractor {
   /// to the resource's own text).
   AnalyzedCorpus AnalyzeNetwork(const PlatformNetwork& network,
                                 const WebPageStore& web) const;
+
+  /// Same, but every URL fetch goes through the fault-injecting extraction
+  /// API (the Alchemy role): transient failures are retried per its
+  /// policy, permanent failures fall back to the resource's own text and
+  /// are counted in `AnalyzedCorpus::degraded_nodes`. `api == nullptr`
+  /// behaves exactly like the fault-free overload.
+  AnalyzedCorpus AnalyzeNetwork(const PlatformNetwork& network,
+                                const WebPageStore& web, FlakyApi* api) const;
 
   /// Analyzes an expertise need: same text processing and entity
   /// recognition, no language filter (queries are English by construction).

@@ -7,7 +7,7 @@ void WebPageStore::Put(std::string url, std::string extracted_text) {
 }
 
 Result<std::string> WebPageStore::Fetch(std::string_view url) const {
-  auto it = pages_.find(std::string(url));
+  auto it = pages_.find(url);
   if (it == pages_.end()) {
     return Status::NotFound("no page for url: " + std::string(url));
   }
@@ -15,7 +15,7 @@ Result<std::string> WebPageStore::Fetch(std::string_view url) const {
 }
 
 bool WebPageStore::Contains(std::string_view url) const {
-  return pages_.contains(std::string(url));
+  return pages_.contains(url);
 }
 
 }  // namespace crowdex::platform

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/string_util.h"
 
 namespace crowdex::platform {
 
@@ -38,7 +39,12 @@ class WebPageStore {
   size_t size() const { return pages_.size(); }
 
  private:
-  std::unordered_map<std::string, std::string> pages_;
+  /// Transparent hash/eq so `Fetch`/`Contains` resolve `string_view` URLs
+  /// without allocating a temporary key — these are the hottest lookups of
+  /// the enrichment pass (one per URL-carrying node).
+  std::unordered_map<std::string, std::string, TransparentStringHash,
+                     std::equal_to<>>
+      pages_;
 };
 
 }  // namespace crowdex::platform

@@ -1,0 +1,316 @@
+#include "common/retry.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace crowdex {
+namespace {
+
+TEST(BackoffTest, FirstWaitIsBase) {
+  BackoffPolicy policy;
+  policy.base_ms = 100;
+  Rng rng(1);
+  EXPECT_EQ(NextBackoffMs(policy, 0, rng), 100u);
+}
+
+TEST(BackoffTest, FirstWaitCappedAtMax) {
+  BackoffPolicy policy;
+  policy.base_ms = 100;
+  policy.max_ms = 40;
+  Rng rng(1);
+  EXPECT_EQ(NextBackoffMs(policy, 0, rng), 40u);
+}
+
+TEST(BackoffTest, JitteredWaitsStayWithinBounds) {
+  BackoffPolicy policy;
+  policy.base_ms = 100;
+  policy.max_ms = 10'000;
+  policy.multiplier = 3.0;
+  Rng rng(42);
+  uint64_t prev = NextBackoffMs(policy, 0, rng);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t wait = NextBackoffMs(policy, prev, rng);
+    EXPECT_GE(wait, policy.base_ms);
+    EXPECT_LE(wait, policy.max_ms);
+    // Decorrelated jitter: bounded by the previous wait times the
+    // multiplier (or the base when that is larger).
+    EXPECT_LE(wait, std::max<uint64_t>(
+                        policy.base_ms,
+                        static_cast<uint64_t>(static_cast<double>(prev) *
+                                              policy.multiplier)));
+    prev = wait;
+  }
+}
+
+TEST(BackoffTest, DeterministicPerSeed) {
+  BackoffPolicy policy;
+  std::vector<uint64_t> a, b;
+  Rng rng_a(7), rng_b(7), rng_c(8);
+  uint64_t prev_a = 0, prev_b = 0, prev_c = 0;
+  bool any_difference = false;
+  for (int i = 0; i < 50; ++i) {
+    prev_a = NextBackoffMs(policy, prev_a, rng_a);
+    prev_b = NextBackoffMs(policy, prev_b, rng_b);
+    prev_c = NextBackoffMs(policy, prev_c, rng_c);
+    EXPECT_EQ(prev_a, prev_b);
+    any_difference = any_difference || prev_a != prev_c;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  CircuitBreaker breaker(config);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure(10);
+  breaker.RecordFailure(20);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure(30);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_EQ(breaker.open_until_ms(), 30 + config.open_duration_ms);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureCount) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure(1);
+  breaker.RecordFailure(2);
+  breaker.RecordSuccess(3);
+  breaker.RecordFailure(4);
+  breaker.RecordFailure(5);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, OpenBlocksUntilCooldownThenHalfOpens) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_duration_ms = 1'000;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure(0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow(500));
+  EXPECT_FALSE(breaker.Allow(999));
+  EXPECT_TRUE(breaker.Allow(1'000));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenClosesAfterEnoughSuccesses) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_duration_ms = 100;
+  config.half_open_successes = 2;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure(0);
+  ASSERT_TRUE(breaker.Allow(100));
+  breaker.RecordSuccess(110);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordSuccess(120);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_duration_ms = 100;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure(0);
+  ASSERT_TRUE(breaker.Allow(100));
+  breaker.RecordFailure(150);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+  EXPECT_EQ(breaker.open_until_ms(), 150 + config.open_duration_ms);
+}
+
+TEST(CircuitBreakerTest, ShedsAreExplicitlyRecorded) {
+  CircuitBreaker breaker;
+  EXPECT_EQ(breaker.shed_count(), 0u);
+  breaker.RecordShed();
+  breaker.RecordShed();
+  EXPECT_EQ(breaker.shed_count(), 2u);
+}
+
+TEST(BreakerStateToStringTest, NamesAllStates) {
+  EXPECT_STREQ(BreakerStateToString(BreakerState::kClosed), "Closed");
+  EXPECT_STREQ(BreakerStateToString(BreakerState::kOpen), "Open");
+  EXPECT_STREQ(BreakerStateToString(BreakerState::kHalfOpen), "HalfOpen");
+}
+
+TEST(RetryWithBackoffTest, SuccessOnFirstAttempt) {
+  SimClock clock;
+  Rng rng(1);
+  RetryPolicy policy;
+  int calls = 0;
+  RetryOutcome out = RetryWithBackoff(policy, &clock, rng, nullptr, [&] {
+    ++calls;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(out.backoff_ms, 0u);
+  EXPECT_EQ(clock.NowMs(), 0u);
+}
+
+TEST(RetryWithBackoffTest, RetriesTransientFailureUntilSuccess) {
+  SimClock clock;
+  Rng rng(1);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  RetryOutcome out = RetryWithBackoff(policy, &clock, rng, nullptr, [&] {
+    return ++calls < 3 ? Status::Unavailable("flaky") : Status::Ok();
+  });
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_GE(out.backoff_ms, 2 * policy.backoff.base_ms);
+  EXPECT_EQ(clock.NowMs(), out.backoff_ms);
+}
+
+TEST(RetryWithBackoffTest, NonRetryableFailureReturnsImmediately) {
+  SimClock clock;
+  Rng rng(1);
+  RetryPolicy policy;
+  int calls = 0;
+  RetryOutcome out = RetryWithBackoff(policy, &clock, rng, nullptr, [&] {
+    ++calls;
+    return Status::NotFound("gone");
+  });
+  EXPECT_EQ(out.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(out.backoff_ms, 0u);
+}
+
+TEST(RetryWithBackoffTest, GivesUpAfterMaxAttempts) {
+  SimClock clock;
+  Rng rng(1);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  RetryOutcome out = RetryWithBackoff(policy, &clock, rng, nullptr, [&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_EQ(out.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(out.attempts, 3);
+}
+
+TEST(RetryWithBackoffTest, DeadlineCutsRetriesShort) {
+  SimClock clock;
+  Rng rng(1);
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.deadline_ms = 250;
+  policy.backoff.base_ms = 100;
+  policy.backoff.max_ms = 100;  // Deterministic waits.
+  int calls = 0;
+  RetryOutcome out = RetryWithBackoff(policy, &clock, rng, nullptr, [&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_EQ(out.status.code(), StatusCode::kDeadlineExceeded);
+  // 3 attempts fit (waits after the first two land at 100 and 200 ms);
+  // the third wait would cross 250 ms.
+  EXPECT_EQ(calls, 3);
+  EXPECT_LE(clock.NowMs(), policy.deadline_ms);
+}
+
+TEST(RetryWithBackoffTest, OpenBreakerPausesUntilCooldownThenProbes) {
+  SimClock clock;
+  Rng rng(1);
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_duration_ms = 2'000;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure(clock.NowMs());  // Trip at t=0: open until 2000.
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  RetryPolicy policy;
+  RetryOutcome out = RetryWithBackoff(policy, &clock, rng, &breaker,
+                                      [&] { return Status::Ok(); });
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_FALSE(out.shed_by_breaker);
+  // The request waited out the cooldown as simulated time, then went
+  // through as a half-open probe.
+  EXPECT_EQ(out.backoff_ms, 2'000u);
+  EXPECT_EQ(clock.NowMs(), 2'000u);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.shed_count(), 0u);
+}
+
+TEST(RetryWithBackoffTest, ShedsWhenCooldownCrossesDeadline) {
+  SimClock clock;
+  Rng rng(1);
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_duration_ms = 5'000;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure(clock.NowMs());
+
+  RetryPolicy policy;
+  policy.deadline_ms = 1'000;  // Cannot afford the 5 s cooldown.
+  int calls = 0;
+  RetryOutcome out = RetryWithBackoff(policy, &clock, rng, &breaker, [&] {
+    ++calls;
+    return Status::Ok();
+  });
+  EXPECT_EQ(out.status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(out.shed_by_breaker);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(out.attempts, 0);
+  EXPECT_EQ(breaker.shed_count(), 1u);
+  EXPECT_EQ(clock.NowMs(), 0u);  // Shedding consumes no simulated time.
+}
+
+TEST(RetryWithBackoffTest, SemanticFailuresAreNotBreakerHealthSignals) {
+  SimClock clock;
+  Rng rng(1);
+  CircuitBreakerConfig config;
+  config.failure_threshold = 2;
+  CircuitBreaker breaker(config);
+  RetryPolicy policy;
+  for (int i = 0; i < 10; ++i) {
+    RetryWithBackoff(policy, &clock, rng, &breaker,
+                     [&] { return Status::NotFound("dead link"); });
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.trips(), 0);
+}
+
+TEST(RetryWithBackoffTest, RepeatedTransportFailuresTripBreaker) {
+  SimClock clock;
+  Rng rng(1);
+  CircuitBreakerConfig config;
+  config.failure_threshold = 4;
+  CircuitBreaker breaker(config);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  RetryWithBackoff(policy, &clock, rng, &breaker,
+                   [&] { return Status::Unavailable("down"); });
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);  // 2 of 4 failures.
+  RetryWithBackoff(policy, &clock, rng, &breaker,
+                   [&] { return Status::Unavailable("down"); });
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowMs(), 0u);
+  clock.AdvanceMs(5);
+  clock.AdvanceMs(10);
+  EXPECT_EQ(clock.NowMs(), 15u);
+  SimClock seeded(1'000);
+  EXPECT_EQ(seeded.NowMs(), 1'000u);
+}
+
+}  // namespace
+}  // namespace crowdex

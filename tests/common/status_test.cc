@@ -60,6 +60,31 @@ TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
             "InvalidArgument");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+}
+
+TEST(StatusTest, TransportCodesHaveFactories) {
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, RetryabilityClassification) {
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(StatusCode::kResourceExhausted));
+  // The caller's time budget is spent: retrying cannot help.
+  EXPECT_FALSE(IsRetryable(StatusCode::kDeadlineExceeded));
+  // Semantic errors fail identically every time.
+  EXPECT_FALSE(IsRetryable(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryable(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInternal));
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -86,6 +111,44 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
   std::vector<int> v = std::move(r).value();
   EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, StatusAccessorReturnsReferenceWithoutCopying) {
+  // The error path hands back a reference into the Result itself — the
+  // hot `if (!r.ok()) return r.status();` pattern must not copy the
+  // message string.
+  Result<int> err(Status::NotFound("gone"));
+  const Status& first = err.status();
+  const Status& second = err.status();
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first.message(), "gone");
+
+  // The OK path shares one immutable singleton across all results.
+  Result<int> ok_a(1);
+  Result<int> ok_b(2);
+  EXPECT_EQ(&ok_a.status(), &ok_b.status());
+  EXPECT_TRUE(ok_a.status().ok());
+}
+
+TEST(ResultTest, RvalueStatusMovesTheError) {
+  Result<int> err(Status::Internal("boom"));
+  Status moved = std::move(err).status();
+  EXPECT_EQ(moved.code(), StatusCode::kInternal);
+  EXPECT_EQ(moved.message(), "boom");
+  EXPECT_TRUE(Result<int>(7).status().ok());
+}
+
+TEST(ResultTest, RvalueValueOrMovesTheHeldValue) {
+  std::vector<int> big(1000, 7);
+  const int* data = big.data();
+  Result<std::vector<int>> r(std::move(big));
+  std::vector<int> out = std::move(r).value_or({});
+  // The held buffer was moved out, not copied.
+  EXPECT_EQ(out.data(), data);
+  EXPECT_EQ(out.size(), 1000u);
+
+  Result<std::vector<int>> err(Status::NotFound("x"));
+  EXPECT_TRUE(std::move(err).value_or({}).empty());
 }
 
 TEST(ResultTest, OkStatusConstructionIsDemotedToInternalError) {

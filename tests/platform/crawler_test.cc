@@ -200,6 +200,95 @@ TEST(CrawlerTest, InvalidInputsRejected) {
       CrawlNetwork(t.net, {t.anna}, short_privacy, CrawlPolicy{}).ok());
 }
 
+TEST(CrawlerTest, ZeroFaultApiIsIdenticalToNoApi) {
+  Truth t;
+  auto plain = CrawlNetwork(t.net, {t.anna}, t.AllPublic(), CrawlPolicy{});
+  FlakyApi api(FaultConfig{});
+  auto faulted =
+      CrawlNetwork(t.net, {t.anna}, t.AllPublic(), CrawlPolicy{}, &api);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(faulted.ok());
+  EXPECT_EQ(plain.value().node_map, faulted.value().node_map);
+  EXPECT_EQ(plain.value().network.node_text, faulted.value().network.node_text);
+  EXPECT_EQ(faulted.value().stats.degraded_profiles, 0u);
+  EXPECT_EQ(faulted.value().stats.faults.failures, 0u);
+  EXPECT_TRUE(faulted.value().failed_profiles.empty());
+}
+
+TEST(CrawlerTest, FaultyCrawlDegradesGracefullyAndStaysConsistent) {
+  // A 30% per-attempt fault rate without retries loses expansions on this
+  // small network for some seeds; the crawl must never abort or produce a
+  // network whose payload vectors / node ids are out of sync.
+  Truth t;
+  size_t total_degraded = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultConfig config;
+    config.transient_error_prob = 0.3;
+    config.retries_enabled = false;
+    config.seed = seed;
+    FlakyApi api(config);
+    auto result =
+        CrawlNetwork(t.net, {t.anna}, t.AllPublic(), CrawlPolicy{}, &api);
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ": " << result.status();
+    const CrawlResult& crawl = result.value();
+    EXPECT_TRUE(crawl.network.Consistent()) << "seed " << seed;
+    for (const auto& [old_id, new_id] : crawl.node_map) {
+      ASSERT_LT(old_id, t.net.graph.node_count());
+      ASSERT_LT(new_id, crawl.network.graph.node_count());
+    }
+    // Permanently failed expansions are recorded, not silently dropped,
+    // and a failed profile was never copied into the crawl.
+    EXPECT_EQ(crawl.failed_profiles.size(), crawl.stats.degraded_profiles);
+    total_degraded +=
+        crawl.stats.degraded_profiles + crawl.stats.degraded_containers;
+    EXPECT_EQ(crawl.stats.faults, api.stats());
+  }
+  EXPECT_GT(total_degraded, 0u);
+}
+
+TEST(CrawlerTest, RetriesRecoverTheFullCrawlUnderModerateFaults) {
+  Truth t;
+  size_t total_retries = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FaultConfig config;
+    config.transient_error_prob = 0.3;  // One attempt fails 30%; six ~0.1%.
+    config.retry.max_attempts = 6;
+    config.seed = seed;
+    FlakyApi api(config);
+    auto result =
+        CrawlNetwork(t.net, {t.anna}, t.AllPublic(), CrawlPolicy{}, &api);
+    ASSERT_TRUE(result.ok()) << "seed " << seed;
+    const CrawlResult& crawl = result.value();
+    EXPECT_EQ(crawl.network.graph.node_count(), t.net.graph.node_count())
+        << "seed " << seed;
+    EXPECT_EQ(crawl.stats.degraded_profiles, 0u) << "seed " << seed;
+    total_retries += crawl.stats.faults.retries;
+  }
+  EXPECT_GT(total_retries, 0u);
+}
+
+TEST(CrawlerTest, CorruptedPayloadsStillYieldConsistentNetwork) {
+  Truth t;
+  FaultConfig config;
+  config.corrupt_prob = 1.0;
+  FlakyApi api(config);
+  auto result =
+      CrawlNetwork(t.net, {t.anna}, t.AllPublic(), CrawlPolicy{}, &api);
+  ASSERT_TRUE(result.ok());
+  const CrawlResult& crawl = result.value();
+  EXPECT_TRUE(crawl.network.Consistent());
+  EXPECT_EQ(crawl.network.graph.node_count(), t.net.graph.node_count());
+  bool any_mangled = false;
+  for (const auto& [old_id, new_id] : crawl.node_map) {
+    EXPECT_EQ(crawl.network.node_text[new_id].size(),
+              t.net.node_text[old_id].size());
+    any_mangled =
+        any_mangled || crawl.network.node_text[new_id] != t.net.node_text[old_id];
+  }
+  EXPECT_TRUE(any_mangled);
+  EXPECT_GT(crawl.stats.faults.corrupted_payloads, 0u);
+}
+
 TEST(AssignProfilePrivacyTest, SharesRoughlyMatchProbabilities) {
   PlatformNetwork net;
   net.platform = Platform::kFacebook;

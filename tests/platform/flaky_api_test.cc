@@ -1,0 +1,209 @@
+#include "platform/flaky_api.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "platform/web_page_store.h"
+
+namespace crowdex::platform {
+namespace {
+
+TEST(FlakyApiTest, ZeroConfigNeverFails) {
+  FlakyApi api(FaultConfig{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(api.Call("profile").ok());
+  }
+  FaultStats stats = api.stats();
+  EXPECT_EQ(stats.requests, 100u);
+  EXPECT_EQ(stats.attempts, 100u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.transient_faults, 0u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.breaker_trips, 0u);
+  EXPECT_EQ(stats.backoff_ms, 0u);
+}
+
+TEST(FlakyApiTest, FaultSequenceIsDeterministicPerSeed) {
+  FaultConfig config;
+  config.transient_error_prob = 0.4;
+  config.truncate_prob = 0.2;
+  config.retries_enabled = false;
+
+  FlakyApi a(config), b(config);
+  FaultConfig other = config;
+  other.seed = config.seed + 1;
+  FlakyApi c(other);
+
+  bool c_differs = false;
+  for (int i = 0; i < 300; ++i) {
+    Status sa = a.Call("x");
+    Status sb = b.Call("x");
+    Status sc = c.Call("x");
+    EXPECT_EQ(sa.code(), sb.code()) << "call " << i;
+    c_differs = c_differs || sa.code() != sc.code();
+  }
+  FaultStats stats_a = a.stats(), stats_b = b.stats();
+  EXPECT_EQ(stats_a.failures, stats_b.failures);
+  EXPECT_EQ(stats_a.transient_faults, stats_b.transient_faults);
+  EXPECT_TRUE(c_differs);
+}
+
+TEST(FlakyApiTest, RetriesRecoverMostTransientFaults) {
+  FaultConfig config;
+  config.transient_error_prob = 0.3;
+  FlakyApi api(config);
+  for (int i = 0; i < 500; ++i) api.Call("profile");
+  FaultStats stats = api.stats();
+  EXPECT_GT(stats.transient_faults, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.backoff_ms, 0u);
+  // One attempt fails 30% of the time; four attempts fail together <1%.
+  EXPECT_LT(stats.failures, 500u / 20);
+}
+
+TEST(FlakyApiTest, DisablingRetriesDegradesToSingleAttempt) {
+  FaultConfig config;
+  config.transient_error_prob = 0.3;
+  config.retries_enabled = false;
+  FlakyApi api(config);
+  for (int i = 0; i < 500; ++i) api.Call("profile");
+  FaultStats stats = api.stats();
+  EXPECT_EQ(stats.attempts, 500u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.failures, stats.transient_faults);
+}
+
+TEST(FlakyApiTest, RateLimiterEnforcesFixedWindow) {
+  FaultConfig config;
+  config.rate_limit_requests = 2;
+  config.rate_limit_window_ms = 10'000;
+  config.retries_enabled = false;
+  FlakyApi api(config);
+  EXPECT_TRUE(api.Call("a").ok());
+  EXPECT_TRUE(api.Call("b").ok());
+  Status third = api.Call("c");
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(api.stats().rate_limited, 1u);
+
+  // A fresh window admits requests again.
+  api.clock()->AdvanceMs(config.rate_limit_window_ms);
+  EXPECT_TRUE(api.Call("d").ok());
+}
+
+TEST(FlakyApiTest, RetriesWaitOutTheRateLimitWindow) {
+  FaultConfig config;
+  config.rate_limit_requests = 1;
+  config.rate_limit_window_ms = 500;
+  // Backoff reaches the window length well within the attempt budget.
+  config.retry.backoff.base_ms = 400;
+  config.retry.backoff.max_ms = 600;
+  FlakyApi api(config);
+  EXPECT_TRUE(api.Call("a").ok());
+  // The first attempt is rate-limited, but a backoff wait crosses into
+  // the next window and the retry succeeds.
+  EXPECT_TRUE(api.Call("b").ok());
+  FaultStats stats = api.stats();
+  EXPECT_GT(stats.rate_limited, 0u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(FlakyApiTest, BurstOutageFailsEverythingWhileActive) {
+  FaultConfig config;
+  config.burst_start_prob = 1.0;
+  config.burst_duration_ms = 100'000;
+  config.retries_enabled = false;
+  FlakyApi api(config);
+  EXPECT_EQ(api.Call("a").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(api.Call("b").code(), StatusCode::kUnavailable);
+  FaultStats stats = api.stats();
+  EXPECT_EQ(stats.outage_faults, 2u);
+  EXPECT_EQ(stats.failures, 2u);
+}
+
+TEST(FlakyApiTest, SustainedFailureTripsTheBreaker) {
+  FaultConfig config;
+  config.transient_error_prob = 1.0;
+  FlakyApi api(config);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(api.Call("profile").ok());
+  }
+  FaultStats stats = api.stats();
+  EXPECT_EQ(stats.failures, 10u);
+  EXPECT_GT(stats.breaker_trips, 0u);
+  EXPECT_EQ(api.breaker().state(), BreakerState::kOpen);
+}
+
+TEST(FlakyApiTest, FetchUrlReturnsStoredPage) {
+  WebPageStore web;
+  web.Put("http://a", "page text");
+  FlakyApi api(FaultConfig{});
+  Result<std::string> page = api.FetchUrl(web, "http://a");
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value(), "page text");
+}
+
+TEST(FlakyApiTest, FetchUrlDeadLinkIsPermanentNotRetried) {
+  WebPageStore web;
+  FlakyApi api(FaultConfig{});
+  Result<std::string> page = api.FetchUrl(web, "http://gone");
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kNotFound);
+  // The dead link is an answer, not a transport fault: one attempt, no
+  // retries, nothing counted as an injected failure.
+  FaultStats stats = api.stats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(FlakyApiTest, FetchUrlTruncationHalvesThePayload) {
+  WebPageStore web;
+  web.Put("http://a", "abcdefgh");
+  FaultConfig config;
+  config.truncate_prob = 1.0;
+  FlakyApi api(config);
+  Result<std::string> page = api.FetchUrl(web, "http://a");
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value(), "abcd");
+  EXPECT_EQ(api.stats().truncated_responses, 1u);
+}
+
+TEST(FlakyApiTest, FetchUrlCorruptionIsDeterministic) {
+  WebPageStore web;
+  const std::string original(200, 'a');
+  web.Put("http://a", original);
+  FaultConfig config;
+  config.corrupt_prob = 1.0;
+  FlakyApi api_a(config), api_b(config);
+  Result<std::string> pa = api_a.FetchUrl(web, "http://a");
+  Result<std::string> pb = api_b.FetchUrl(web, "http://a");
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_EQ(pa.value(), pb.value());
+  EXPECT_EQ(pa.value().size(), original.size());
+  EXPECT_NE(pa.value(), original);
+  EXPECT_EQ(api_a.stats().corrupted_payloads, 1u);
+}
+
+TEST(FlakyApiTest, MaybeTruncateCountHalvesListResponses) {
+  FaultConfig config;
+  config.truncate_prob = 1.0;
+  FlakyApi api(config);
+  EXPECT_EQ(api.MaybeTruncateCount(10), 5u);
+  EXPECT_EQ(api.MaybeTruncateCount(0), 0u);
+  FlakyApi clean(FaultConfig{});
+  EXPECT_EQ(clean.MaybeTruncateCount(10), 10u);
+}
+
+TEST(FlakyApiTest, ExternalClockIsUsed) {
+  SimClock clock(5'000);
+  FlakyApi api(FaultConfig{}, &clock);
+  api.Call("a");
+  EXPECT_EQ(clock.NowMs(), 5'000 + FaultConfig{}.attempt_latency_ms);
+}
+
+}  // namespace
+}  // namespace crowdex::platform

@@ -156,6 +156,42 @@ TEST_F(ResourceExtractorTest, UrlEnrichmentCanBeDisabled) {
   EXPECT_EQ(corpus.nodes_with_url, 1u);
 }
 
+TEST_F(ResourceExtractorTest, FaultyUrlFetchFallsBackToOwnText) {
+  PlatformNetwork net;
+  net.platform = Platform::kTwitter;
+  WebPageStore web;
+  web.Put("http://p/1",
+          "a long article about the swimming race where the champion won "
+          "another gold medal in the freestyle final at the olympic pool");
+  net.AddNode(graph::NodeKind::kResource, "", "short post about the race",
+              "http://p/1");
+  net.AddNode(graph::NodeKind::kResource, "", "dead link here for you today",
+              "http://missing");
+
+  FaultConfig config;
+  config.transient_error_prob = 1.0;  // Every fetch permanently fails.
+  FlakyApi api(config);
+  AnalyzedCorpus corpus = extractor_.AnalyzeNetwork(net, web, &api);
+  ASSERT_EQ(corpus.nodes.size(), 2u);
+  // The node keeps its own text; the unreachable page never leaks in.
+  EXPECT_TRUE(corpus.nodes[0].has_text);
+  for (const auto& t : corpus.nodes[0].terms) EXPECT_NE(t, "freestyl");
+  // Both URL-carrying nodes hit the dead transport.
+  EXPECT_EQ(corpus.degraded_nodes, 2u);
+
+  // With a healthy transport the same analysis is fully enriched, and the
+  // dead link stays the pre-existing NotFound path — silent degradation to
+  // own text, not an injected-fault statistic.
+  FlakyApi clean(FaultConfig{});
+  AnalyzedCorpus enriched = extractor_.AnalyzeNetwork(net, web, &clean);
+  bool has_page_term = false;
+  for (const auto& t : enriched.nodes[0].terms) {
+    has_page_term = has_page_term || t == "freestyl";
+  }
+  EXPECT_TRUE(has_page_term);
+  EXPECT_EQ(enriched.degraded_nodes, 0u);
+}
+
 TEST_F(ResourceExtractorTest, PipelineOptionsPropagate) {
   ExtractorOptions opts;
   opts.pipeline.stem = false;

@@ -44,5 +44,25 @@ TEST(WebPageStoreTest, EmptyContentIsValid) {
   EXPECT_EQ(store.Fetch("http://empty").value(), "");
 }
 
+TEST(WebPageStoreTest, LookupsResolveStringViewsWithoutMaterializing) {
+  // Fetch/Contains take string_views straight into larger buffers — the
+  // transparent-hash path must match on content, not on object identity.
+  WebPageStore store;
+  store.Put("http://a.example/page", "content");
+  const std::string haystack = "see http://a.example/page for details";
+  std::string_view url = std::string_view(haystack).substr(4, 21);
+  EXPECT_EQ(url, "http://a.example/page");
+  EXPECT_TRUE(store.Contains(url));
+  ASSERT_TRUE(store.Fetch(url).ok());
+  EXPECT_EQ(store.Fetch(url).value(), "content");
+}
+
+TEST(TransparentStringHashTest, StringAndViewHashEqually) {
+  TransparentStringHash hash;
+  std::string s = "http://x.example";
+  EXPECT_EQ(hash(s), hash(std::string_view(s)));
+  EXPECT_EQ(hash(s), hash("http://x.example"));
+}
+
 }  // namespace
 }  // namespace crowdex::platform
