@@ -43,7 +43,8 @@ int main() {
   // --- Reference: the paper's full configuration.
   core::AnalyzedWorld reference = core::AnalyzeWorld(&world);
   {
-    core::ExpertFinder finder(&reference, core::ExpertFinderConfig{});
+    core::ExpertFinder finder = core::ExpertFinder::Create(
+        &reference, core::ExpertFinderConfig{}).value();
     bench::PrintMetricsRow("full system (paper)",
                            runner.Evaluate(finder, world.queries));
   }
@@ -52,8 +53,10 @@ int main() {
   {
     platform::ExtractorOptions opts;
     opts.enrich_urls = false;
-    core::AnalyzedWorld analyzed = core::AnalyzeWorld(&world, opts);
-    core::ExpertFinder finder(&analyzed, core::ExpertFinderConfig{});
+    core::AnalyzedWorld analyzed =
+        core::AnalyzeWorld(&world, {.extractor = opts});
+    core::ExpertFinder finder = core::ExpertFinder::Create(
+        &analyzed, core::ExpertFinderConfig{}).value();
     bench::PrintMetricsRow("no URL enrichment",
                            runner.Evaluate(finder, world.queries));
   }
@@ -62,8 +65,10 @@ int main() {
   {
     platform::ExtractorOptions opts;
     opts.pipeline.stem = false;
-    core::AnalyzedWorld analyzed = core::AnalyzeWorld(&world, opts);
-    core::ExpertFinder finder(&analyzed, core::ExpertFinderConfig{});
+    core::AnalyzedWorld analyzed =
+        core::AnalyzeWorld(&world, {.extractor = opts});
+    core::ExpertFinder finder = core::ExpertFinder::Create(
+        &analyzed, core::ExpertFinderConfig{}).value();
     bench::PrintMetricsRow("no stemming",
                            runner.Evaluate(finder, world.queries));
   }
@@ -72,8 +77,10 @@ int main() {
   {
     platform::ExtractorOptions opts;
     opts.pipeline.remove_stopwords = false;
-    core::AnalyzedWorld analyzed = core::AnalyzeWorld(&world, opts);
-    core::ExpertFinder finder(&analyzed, core::ExpertFinderConfig{});
+    core::AnalyzedWorld analyzed =
+        core::AnalyzeWorld(&world, {.extractor = opts});
+    core::ExpertFinder finder = core::ExpertFinder::Create(
+        &analyzed, core::ExpertFinderConfig{}).value();
     bench::PrintMetricsRow("no stop-word removal",
                            runner.Evaluate(finder, world.queries));
   }
@@ -84,13 +91,15 @@ int main() {
     core::ExpertFinderConfig flat;
     flat.distance_weight_min = 1.0;
     flat.distance_weight_max = 1.0;
-    core::ExpertFinder f_flat(&reference, flat, &shared);
+    core::ExpertFinder f_flat =
+        core::ExpertFinder::Create(&reference, flat, &shared).value();
     bench::PrintMetricsRow("wr flat (1.0, 1.0)",
                            runner.Evaluate(f_flat, world.queries));
 
     core::ExpertFinderConfig steep;
     steep.distance_weight_min = 0.1;
-    core::ExpertFinder f_steep(&reference, steep, &shared);
+    core::ExpertFinder f_steep =
+        core::ExpertFinder::Create(&reference, steep, &shared).value();
     bench::PrintMetricsRow("wr steep (0.1, 1.0)",
                            runner.Evaluate(f_steep, world.queries));
   }
@@ -100,12 +109,14 @@ int main() {
     core::CorpusIndex shared(&reference, platform::kAllPlatformsMask);
     core::ExpertFinderConfig votes;
     votes.aggregation = core::AggregationMode::kVotes;
-    core::ExpertFinder f_votes(&reference, votes, &shared);
+    core::ExpertFinder f_votes =
+        core::ExpertFinder::Create(&reference, votes, &shared).value();
     bench::PrintMetricsRow("aggregation: votes",
                            runner.Evaluate(f_votes, world.queries));
     core::ExpertFinderConfig best;
     best.aggregation = core::AggregationMode::kMaxResource;
-    core::ExpertFinder f_best(&reference, best, &shared);
+    core::ExpertFinder f_best =
+        core::ExpertFinder::Create(&reference, best, &shared).value();
     bench::PrintMetricsRow("aggregation: max",
                            runner.Evaluate(f_best, world.queries));
   }
@@ -115,15 +126,18 @@ int main() {
   {
     core::ExpertFinderConfig entity_only;
     entity_only.alpha = 0.0;
-    core::ExpertFinder strict(&reference, entity_only);
+    core::ExpertFinder strict =
+        core::ExpertFinder::Create(&reference, entity_only).value();
     bench::PrintMetricsRow("alpha=0, paper annotator",
                            runner.Evaluate(strict, world.queries));
 
     platform::ExtractorOptions opts;
     opts.annotator.min_dscore = 0.0;
     opts.annotator.unambiguous_floor = 1.0;
-    core::AnalyzedWorld credulous = core::AnalyzeWorld(&world, opts);
-    core::ExpertFinder loose(&credulous, entity_only);
+    core::AnalyzedWorld credulous =
+        core::AnalyzeWorld(&world, {.extractor = opts});
+    core::ExpertFinder loose =
+        core::ExpertFinder::Create(&credulous, entity_only).value();
     bench::PrintMetricsRow("alpha=0, credulous",
                            runner.Evaluate(loose, world.queries));
   }
@@ -135,9 +149,12 @@ int main() {
   {
     platform::ExtractorOptions no_stem;
     no_stem.pipeline.stem = false;
-    core::AnalyzedWorld unstemmed = core::AnalyzeWorld(&world, no_stem);
-    core::ExpertFinder f_stem(&reference, core::ExpertFinderConfig{});
-    core::ExpertFinder f_plain(&unstemmed, core::ExpertFinderConfig{});
+    core::AnalyzedWorld unstemmed =
+        core::AnalyzeWorld(&world, {.extractor = no_stem});
+    core::ExpertFinder f_stem = core::ExpertFinder::Create(
+        &reference, core::ExpertFinderConfig{}).value();
+    core::ExpertFinder f_plain = core::ExpertFinder::Create(
+        &unstemmed, core::ExpertFinderConfig{}).value();
     size_t matched_stem = 0;
     size_t matched_plain = 0;
     for (const auto& q : world.queries) {

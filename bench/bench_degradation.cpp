@@ -135,14 +135,15 @@ SweepPoint CrawlAndEvaluate(const synth::SyntheticWorld& world, double rate,
   // the platform APIs).
   platform::FaultConfig analysis_faults =
       MakeFaults(rate, retries, seed_base ^ 0xA11CEULL);
-  core::AnalyzedWorld analyzed = core::AnalyzeWorld(
-      &degraded, platform::ExtractorOptions{}, analysis_faults);
+  core::AnalyzedWorld analyzed =
+      core::AnalyzeWorld(&degraded, {.faults = analysis_faults});
   for (int p = 0; p < platform::kNumPlatforms; ++p) {
     point.degraded_nodes += analyzed.corpora[p].degraded_nodes;
     Accumulate(&point.faults, analyzed.fault_stats[p]);
   }
 
-  core::ExpertFinder finder(&analyzed, core::ExpertFinderConfig{});
+  core::ExpertFinder finder =
+      core::ExpertFinder::Create(&analyzed, core::ExpertFinderConfig{}).value();
   eval::ExperimentRunner runner(&degraded);
 
   double p10_sum = 0.0;

@@ -19,7 +19,8 @@ int main() {
   eval::ExperimentRunner runner(&bw.world);
 
   core::ExpertFinderConfig cfg;  // Paper's final setting, all networks.
-  core::ExpertFinder finder(&bw.analyzed, cfg);
+  core::ExpertFinder finder =
+      core::ExpertFinder::Create(&bw.analyzed, cfg).value();
   std::vector<eval::UserReliability> users =
       runner.PerUserReliability(finder, bw.world.queries, /*top_k=*/20);
 

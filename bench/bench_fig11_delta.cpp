@@ -32,7 +32,8 @@ int main() {
     core::ExpertFinderConfig cfg;
     cfg.max_distance = dist;
     finders[dist] =
-        std::make_unique<core::ExpertFinder>(&bw.analyzed, cfg, &shared);
+        std::make_unique<core::ExpertFinder>(
+            core::ExpertFinder::Create(&bw.analyzed, cfg, &shared).value());
   }
 
   for (const auto& q : bw.world.queries) {

@@ -34,7 +34,8 @@ int main() {
       cfg.max_distance = dist;
       cfg.window_size = 0;
       cfg.window_fraction = frac;
-      core::ExpertFinder finder(&bw.analyzed, cfg, &shared);
+      core::ExpertFinder finder =
+          core::ExpertFinder::Create(&bw.analyzed, cfg, &shared).value();
       eval::AggregateMetrics m = runner.Evaluate(finder, queries);
       char label[64];
       std::snprintf(label, sizeof(label), "dist %d, window %4.1f%%", dist,
@@ -46,7 +47,8 @@ int main() {
     cfg.alpha = 0.5;
     cfg.max_distance = dist;
     cfg.window_size = 100;
-    core::ExpertFinder finder(&bw.analyzed, cfg, &shared);
+    core::ExpertFinder finder =
+        core::ExpertFinder::Create(&bw.analyzed, cfg, &shared).value();
     eval::AggregateMetrics m = runner.Evaluate(finder, queries);
     char label[64];
     std::snprintf(label, sizeof(label), "dist %d, 100 res", dist);

@@ -30,7 +30,8 @@ int main() {
       core::ExpertFinderConfig cfg;
       cfg.alpha = alpha;
       cfg.max_distance = dist;
-      core::ExpertFinder finder(&bw.analyzed, cfg, &shared);
+      core::ExpertFinder finder =
+          core::ExpertFinder::Create(&bw.analyzed, cfg, &shared).value();
       eval::AggregateMetrics m = runner.Evaluate(finder, queries);
       char label[64];
       std::snprintf(label, sizeof(label), "dist %d, alpha %.1f", dist, alpha);

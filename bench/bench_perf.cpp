@@ -1,15 +1,36 @@
-// Performance microbenchmarks (google-benchmark) for the pipeline stages:
-// tokenization, stemming, language identification, entity annotation,
-// index construction, retrieval, and the Table-1 graph enumeration.
-// These are ours (not a paper artifact); they quantify the cost of each
-// stage of Fig. 4 and of the Eq. 1/Eq. 3 evaluation path.
+// Performance benchmarks for the pipeline. Two layers:
+//
+//  1. An end-to-end timing harness (always run): analyzes the synthetic
+//     world with 1 thread and with N worker threads, builds the index
+//     sequentially and sharded, fans the evaluation out per query, checks
+//     that every parallel arm is bit-identical to its sequential twin
+//     (via the corpus content digest and aggregate metrics), and writes
+//     the measurements to BENCH_perf.json.
+//  2. google-benchmark microbenchmarks for the individual stages
+//     (tokenization, stemming, annotation, retrieval, ...), run only when
+//     CROWDEX_PERF_MICRO=1 since they take minutes at default settings.
+//
+// Environment knobs: CROWDEX_BENCH_SCALE (world scale for the end-to-end
+// harness, default 0.05), CROWDEX_THREADS (worker count for the parallel
+// arms, default max(4, hardware_concurrency)), CROWDEX_BENCH_JSON (output
+// path, default BENCH_perf.json), CROWDEX_PERF_MICRO=1 (microbenchmarks).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
 #include "core/analyzed_world.h"
 #include "core/expert_finder.h"
 #include "entity/annotator.h"
+#include "eval/experiment.h"
 #include "index/search_index.h"
+#include "io/corpus_cache.h"
 #include "synth/text_gen.h"
 #include "synth/world.h"
 #include "text/language_id.h"
@@ -147,7 +168,8 @@ void BM_RankQuery(benchmark::State& state) {
   const auto& sw = SmallWorld::Get();
   static const core::ExpertFinder* finder = [] {
     core::ExpertFinderConfig cfg;
-    return new core::ExpertFinder(&SmallWorld::Get().analyzed, cfg);
+    return new core::ExpertFinder(
+        core::ExpertFinder::Create(&SmallWorld::Get().analyzed, cfg).value());
   }();
   const auto& query = sw.world.queries[4];
   for (auto _ : state) {
@@ -162,7 +184,8 @@ void BM_FinderConstruction(benchmark::State& state) {
       new core::CorpusIndex(&sw.analyzed, platform::kAllPlatformsMask);
   for (auto _ : state) {
     core::ExpertFinderConfig cfg;
-    core::ExpertFinder finder(&sw.analyzed, cfg, index);
+    core::ExpertFinder finder =
+        core::ExpertFinder::Create(&sw.analyzed, cfg, index).value();
     benchmark::DoNotOptimize(finder.ReachableResources(0));
   }
 }
@@ -177,6 +200,204 @@ void BM_WorldGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_WorldGeneration)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// End-to-end harness.
+// ---------------------------------------------------------------------------
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+double Seconds(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// Runs the whole parallel pipeline against its sequential twin, verifies
+/// bit-identical results, and writes the timings to `json_path`. Returns
+/// false (and reports on stderr) if any parallel arm diverges.
+bool RunEndToEnd(const std::string& json_path) {
+  const double scale = EnvDouble("CROWDEX_BENCH_SCALE", 0.05);
+  const int threads = EnvInt(
+      "CROWDEX_THREADS",
+      std::max(4, common::ThreadPool::HardwareThreads()));
+
+  std::printf("crowdex perf: scale=%.3f threads=%d hardware_concurrency=%d\n",
+              scale, threads, common::ThreadPool::HardwareThreads());
+
+  synth::WorldConfig cfg;
+  cfg.scale = scale;
+  synth::SyntheticWorld world = synth::GenerateWorld(cfg);
+
+  // Analysis: 1 thread vs N threads.
+  auto t0 = std::chrono::steady_clock::now();
+  core::AnalyzedWorld seq = core::AnalyzeWorld(&world, {.thread_count = 1});
+  const double analyze_1t = Seconds(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  core::AnalyzedWorld par =
+      core::AnalyzeWorld(&world, {.thread_count = threads});
+  const double analyze_nt = Seconds(t0);
+
+  if (io::DigestAnalyzedCorpora(seq.corpora) !=
+      io::DigestAnalyzedCorpora(par.corpora)) {
+    std::fprintf(stderr,
+                 "FAIL: parallel analysis diverged from sequential "
+                 "(corpus digests differ)\n");
+    return false;
+  }
+
+  size_t docs = 0;
+  for (const auto& corpus : seq.corpora) docs += corpus.nodes.size();
+
+  // Index build: sequential vs sharded.
+  common::ThreadPool pool(threads);
+  t0 = std::chrono::steady_clock::now();
+  core::CorpusIndex seq_index(&seq, platform::kAllPlatformsMask);
+  const double index_1t = Seconds(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  core::CorpusIndex par_index(&seq, platform::kAllPlatformsMask, &pool);
+  const double index_nt = Seconds(t0);
+
+  if (seq_index.document_count() != par_index.document_count() ||
+      seq_index.search_index().vocabulary_size() !=
+          par_index.search_index().vocabulary_size()) {
+    std::fprintf(stderr,
+                 "FAIL: sharded index diverged from sequential build\n");
+    return false;
+  }
+
+  // Query latency over every query in the set (sequential finder).
+  core::ExpertFinder finder =
+      core::ExpertFinder::Create(&seq, core::ExpertFinderConfig{}, &seq_index)
+          .value();
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(world.queries.size());
+  double latency_sum = 0.0;
+  for (const auto& q : world.queries) {
+    t0 = std::chrono::steady_clock::now();
+    core::RankedExperts ranked = finder.Rank(q);
+    const double ms = Seconds(t0) * 1e3;
+    benchmark::DoNotOptimize(ranked.ranking.data());
+    latencies_ms.push_back(ms);
+    latency_sum += ms;
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double latency_mean =
+      latencies_ms.empty() ? 0.0
+                           : latency_sum / static_cast<double>(
+                                               latencies_ms.size());
+
+  // Evaluation fan-out: sequential vs per-query parallel.
+  eval::ExperimentRunner runner(&world);
+  t0 = std::chrono::steady_clock::now();
+  eval::AggregateMetrics eval_seq = runner.Evaluate(finder, world.queries);
+  const double evaluate_1t = Seconds(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  eval::AggregateMetrics eval_par =
+      runner.Evaluate(finder, world.queries, &pool);
+  const double evaluate_nt = Seconds(t0);
+
+  if (eval_seq.map != eval_par.map || eval_seq.mrr != eval_par.mrr ||
+      eval_seq.ndcg != eval_par.ndcg) {
+    std::fprintf(stderr,
+                 "FAIL: parallel evaluation diverged from sequential\n");
+    return false;
+  }
+
+  const double analyze_speedup = analyze_nt > 0 ? analyze_1t / analyze_nt : 0;
+  const double index_speedup = index_nt > 0 ? index_1t / index_nt : 0;
+  const double evaluate_speedup =
+      evaluate_nt > 0 ? evaluate_1t / evaluate_nt : 0;
+  const double throughput =
+      analyze_nt > 0 ? static_cast<double>(docs) / analyze_nt : 0;
+
+  std::printf("analysis:   1t %.3fs  %dt %.3fs  speedup %.2fx  "
+              "(%zu docs, %.0f docs/s)\n",
+              analyze_1t, threads, analyze_nt, analyze_speedup, docs,
+              throughput);
+  std::printf("index:      1t %.3fs  %dt %.3fs  speedup %.2fx  (%zu docs)\n",
+              index_1t, threads, index_nt, index_speedup,
+              seq_index.document_count());
+  std::printf("evaluate:   1t %.3fs  %dt %.3fs  speedup %.2fx  "
+              "(%zu queries)\n",
+              evaluate_1t, threads, evaluate_nt, evaluate_speedup,
+              world.queries.size());
+  std::printf("rank query: mean %.3fms  p50 %.3fms  p95 %.3fms\n",
+              latency_mean, Percentile(latencies_ms, 0.5),
+              Percentile(latencies_ms, 0.95));
+  std::printf("determinism: parallel arms bit-identical to sequential\n");
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", json_path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"crowdex-bench-perf-v1\",\n");
+  std::fprintf(out, "  \"scale\": %.6f,\n", scale);
+  std::fprintf(out, "  \"docs\": %zu,\n", docs);
+  std::fprintf(out, "  \"indexed_docs\": %zu,\n",
+               seq_index.document_count());
+  std::fprintf(out, "  \"queries\": %zu,\n", world.queries.size());
+  std::fprintf(out, "  \"hardware_concurrency\": %d,\n",
+               common::ThreadPool::HardwareThreads());
+  std::fprintf(out, "  \"threads\": %d,\n", threads);
+  std::fprintf(out, "  \"analyze_seconds_1t\": %.6f,\n", analyze_1t);
+  std::fprintf(out, "  \"analyze_seconds_nt\": %.6f,\n", analyze_nt);
+  std::fprintf(out, "  \"analyze_speedup\": %.4f,\n", analyze_speedup);
+  std::fprintf(out, "  \"analysis_throughput_docs_per_sec\": %.2f,\n",
+               throughput);
+  std::fprintf(out, "  \"index_build_seconds_1t\": %.6f,\n", index_1t);
+  std::fprintf(out, "  \"index_build_seconds_nt\": %.6f,\n", index_nt);
+  std::fprintf(out, "  \"index_build_speedup\": %.4f,\n", index_speedup);
+  std::fprintf(out, "  \"evaluate_seconds_1t\": %.6f,\n", evaluate_1t);
+  std::fprintf(out, "  \"evaluate_seconds_nt\": %.6f,\n", evaluate_nt);
+  std::fprintf(out, "  \"evaluate_speedup\": %.4f,\n", evaluate_speedup);
+  std::fprintf(out, "  \"rank_latency_ms\": {\n");
+  std::fprintf(out, "    \"mean\": %.4f,\n", latency_mean);
+  std::fprintf(out, "    \"p50\": %.4f,\n", Percentile(latencies_ms, 0.5));
+  std::fprintf(out, "    \"p95\": %.4f\n", Percentile(latencies_ms, 0.95));
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"deterministic\": true\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_env = std::getenv("CROWDEX_BENCH_JSON");
+  const std::string json_path =
+      (json_env != nullptr && *json_env != '\0') ? json_env
+                                                 : "BENCH_perf.json";
+  if (!RunEndToEnd(json_path)) return 1;
+
+  const char* micro = std::getenv("CROWDEX_PERF_MICRO");
+  if (micro != nullptr && std::string(micro) == "1") {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -39,7 +39,8 @@ int main() {
       cfg.platforms = kTwitter;
       cfg.max_distance = dist;
       cfg.include_friends = friends;
-      core::ExpertFinder finder(&bw.analyzed, cfg, &shared);
+      core::ExpertFinder finder =
+          core::ExpertFinder::Create(&bw.analyzed, cfg, &shared).value();
       eval::AggregateMetrics m = runner.Evaluate(finder, queries);
       by_config[dist - 1][friends ? 1 : 0] = m;
       size_t total_reach = 0;

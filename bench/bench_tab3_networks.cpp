@@ -48,7 +48,8 @@ int main() {
     for (int dist = 0; dist <= 2; ++dist) {
       core::ExpertFinderConfig config = base;
       config.max_distance = dist;
-      core::ExpertFinder finder(&bw.analyzed, config, &shared);
+      core::ExpertFinder finder =
+          core::ExpertFinder::Create(&bw.analyzed, config, &shared).value();
       eval::AggregateMetrics m = runner.Evaluate(finder, queries);
       std::string label =
           std::string(net.name) + " dist " + std::to_string(dist);
@@ -65,7 +66,8 @@ int main() {
   {
     auto per_query_ap = [&](const core::ExpertFinderConfig& cfg,
                             const core::CorpusIndex* shared) {
-      core::ExpertFinder finder(&bw.analyzed, cfg, shared);
+      core::ExpertFinder finder =
+          core::ExpertFinder::Create(&bw.analyzed, cfg, shared).value();
       std::vector<double> aps;
       for (const auto& q : queries) {
         aps.push_back(runner.EvaluateQuery(finder, q).average_precision);

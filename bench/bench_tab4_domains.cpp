@@ -39,7 +39,8 @@ int main() {
       core::ExpertFinderConfig cfg;
       cfg.platforms = kNetworks[n].mask;
       cfg.max_distance = dist;
-      core::ExpertFinder finder(&bw.analyzed, cfg, &shared);
+      core::ExpertFinder finder =
+          core::ExpertFinder::Create(&bw.analyzed, cfg, &shared).value();
       for (Domain d : kAllDomains) {
         auto queries = synth::QueriesForDomain(d);
         eval::AggregateMetrics m = runner.Evaluate(finder, queries);

@@ -24,7 +24,8 @@ int main() {
   core::AnalyzedWorld analyzed = core::AnalyzeWorld(&world);
 
   core::ExpertFinderConfig finder_config;  // Paper defaults: alpha=0.6, w=100.
-  core::ExpertFinder finder(&analyzed, finder_config);
+  core::ExpertFinder finder =
+      core::ExpertFinder::Create(&analyzed, finder_config).value();
 
   // The task board: mixed factual questions, recommendations, and tasks,
   // each to be routed to a small crowd of experts (Sec. 1).

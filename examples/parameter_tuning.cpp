@@ -30,7 +30,8 @@ int main() {
   for (int a = 0; a <= 10; a += 2) {
     core::ExpertFinderConfig cfg;
     cfg.alpha = a / 10.0;
-    core::ExpertFinder finder(&analyzed, cfg, &shared);
+    core::ExpertFinder finder =
+        core::ExpertFinder::Create(&analyzed, cfg, &shared).value();
     eval::AggregateMetrics m = runner.Evaluate(finder, world.queries);
     std::printf("%6.1f %8.4f %8.4f\n", cfg.alpha, m.map, m.ndcg_at_10);
     if (m.map > best_map) {
@@ -46,7 +47,8 @@ int main() {
     core::ExpertFinderConfig cfg;
     cfg.alpha = best_alpha;
     cfg.window_size = w;
-    core::ExpertFinder finder(&analyzed, cfg, &shared);
+    core::ExpertFinder finder =
+        core::ExpertFinder::Create(&analyzed, cfg, &shared).value();
     eval::AggregateMetrics m = runner.Evaluate(finder, world.queries);
     std::printf("%8d %8.4f %8.4f\n", w, m.map, m.ndcg_at_10);
   }

@@ -43,7 +43,8 @@ int main() {
   for (PlatformRun& run : runs) {
     core::ExpertFinderConfig cfg;
     cfg.platforms = run.mask;
-    core::ExpertFinder finder(&analyzed, cfg);
+    core::ExpertFinder finder =
+        core::ExpertFinder::Create(&analyzed, cfg).value();
     run.result = finder.RankText(need);
     std::printf("%-9s: %3zu resources used, top experts:", run.name,
                 run.result.considered_resources);

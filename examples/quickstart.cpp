@@ -29,7 +29,8 @@ int main() {
   // 3. Configure the finder: all platforms, resources up to distance 2,
   //    alpha = 0.6, window = 100 — the paper's final setting.
   core::ExpertFinderConfig finder_config;
-  core::ExpertFinder finder(&analyzed, finder_config);
+  core::ExpertFinder finder =
+      core::ExpertFinder::Create(&analyzed, finder_config).value();
 
   // 4. Ask an expertise need and inspect the ranked experts.
   const char* need = "Who are the best freestyle swimmers of the Olympic "

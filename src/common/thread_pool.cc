@@ -1,0 +1,118 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace crowdex::common {
+
+int ThreadPool::HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int thread_count) {
+  thread_count_ = thread_count <= 0 ? HardwareThreads() : thread_count;
+  // One thread means "run inline on the caller": no workers, no locking.
+  if (thread_count_ == 1) return;
+  workers_.reserve(static_cast<size_t>(thread_count_));
+  for (int i = 0; i < thread_count_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down, queue drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+namespace {
+
+/// Runs one chunk with the no-exceptions-across-the-boundary guarantee.
+Status RunChunk(const std::function<Status(size_t, size_t)>& body,
+                size_t begin, size_t end) {
+  try {
+    return body(begin, end);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in ParallelFor "
+                                        "body: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-std exception in ParallelFor body");
+  }
+}
+
+}  // namespace
+
+Status ThreadPool::ParallelFor(
+    size_t n, size_t min_chunk,
+    const std::function<Status(size_t, size_t)>& body) const {
+  if (n == 0) return Status::Ok();
+  if (min_chunk == 0) min_chunk = 1;
+
+  // Chunk size is a pure function of (n, min_chunk, thread_count): about
+  // four chunks per worker for load balance, never below min_chunk. With
+  // one thread — or when one chunk would cover everything — run inline.
+  const size_t workers = static_cast<size_t>(thread_count_);
+  size_t chunk = std::max(min_chunk, (n + workers * 4 - 1) / (workers * 4));
+  if (workers == 1 || chunk >= n) return RunChunk(body, 0, n);
+
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+
+  // Per-chunk statuses are committed by chunk index, so the "first error
+  // wins" rule below is independent of completion order.
+  std::vector<Status> statuses(num_chunks);
+  std::mutex done_mu;
+  std::condition_variable all_done;
+  size_t remaining = num_chunks;
+
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    Submit([&, c, begin, end] {
+      Status s = RunChunk(body, begin, end);
+      std::lock_guard<std::mutex> lock(done_mu);
+      statuses[c] = std::move(s);
+      if (--remaining == 0) all_done.notify_one();
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    all_done.wait(lock, [&] { return remaining == 0; });
+  }
+
+  for (Status& s : statuses) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::Ok();
+}
+
+}  // namespace crowdex::common

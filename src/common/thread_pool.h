@@ -1,0 +1,96 @@
+#ifndef CROWDEX_COMMON_THREAD_POOL_H_
+#define CROWDEX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crowdex::common {
+
+/// A fixed-size worker pool for the embarrassingly parallel stages of the
+/// system: per-resource analysis (Fig. 4 runs independently per resource),
+/// sharded index construction, and per-query evaluation fan-out.
+///
+/// Design constraints, in order:
+///
+/// 1. **Determinism.** The pool itself never introduces nondeterminism:
+///    `ParallelFor` partitions `[0, n)` into contiguous chunks computed
+///    from `n` and the worker count alone (never from runtime timing), and
+///    callers commit results into pre-sized slots indexed by position, so
+///    the output is a pure function of the input regardless of which
+///    worker ran which chunk or in what order chunks finished.
+/// 2. **No exceptions across the boundary.** Chunk bodies return `Status`;
+///    anything thrown inside a body is caught at the boundary and
+///    converted to `kInternal`. When several chunks fail, the error of the
+///    lowest-indexed chunk is reported — again independent of timing.
+/// 3. **Degenerate cases cost nothing.** A pool with one thread (or a
+///    `ParallelFor` over fewer items than one chunk) runs inline on the
+///    calling thread with zero synchronization, so `threads = 1` is
+///    genuinely the sequential code path, not a pool with one worker.
+///
+/// The pool is reusable: workers start once in the constructor and block
+/// on a condition variable between calls. `ParallelFor` itself is not
+/// reentrant (do not call it from inside a chunk body) and the pool must
+/// not be destroyed while a call is in flight on another thread.
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers. `thread_count <= 0` means "one per
+  /// hardware thread" (`HardwareThreads()`). A count of 1 spawns no
+  /// workers at all: every ParallelFor runs inline.
+  explicit ThreadPool(int thread_count = 0);
+
+  /// Joins all workers. Pending work is drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that execute work (>= 1; counts the calling thread
+  /// when the pool runs inline).
+  int thread_count() const { return thread_count_; }
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static int HardwareThreads();
+
+  /// Runs `body(begin, end)` over contiguous chunks partitioning `[0, n)`
+  /// and blocks until every chunk has finished. Chunk boundaries depend
+  /// only on `n`, `min_chunk`, and the worker count. Returns OK when every
+  /// chunk returned OK; otherwise the status of the lowest-indexed failing
+  /// chunk. A body that throws contributes `kInternal` for its chunk.
+  Status ParallelFor(size_t n,
+                     const std::function<Status(size_t begin, size_t end)>&
+                         body) const {
+    return ParallelFor(n, /*min_chunk=*/1, body);
+  }
+
+  /// Same, but no chunk is smaller than `min_chunk` items (amortizes
+  /// per-chunk overhead when items are tiny). When `n <= min_chunk` the
+  /// whole range runs inline on the calling thread.
+  Status ParallelFor(size_t n, size_t min_chunk,
+                     const std::function<Status(size_t begin, size_t end)>&
+                         body) const;
+
+ private:
+  void WorkerLoop();
+
+  /// Enqueues `task` for a worker. Only called when workers exist.
+  void Submit(std::function<void()> task) const;
+
+  int thread_count_ = 1;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable work_available_;
+  mutable std::queue<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace crowdex::common
+
+#endif  // CROWDEX_COMMON_THREAD_POOL_H_

@@ -1,60 +1,75 @@
 #include "core/analyzed_world.h"
 
-#include <future>
+#include <cassert>
+
+#include "common/thread_pool.h"
 
 namespace crowdex::core {
 
-AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world) {
-  return AnalyzeWorld(world, platform::ExtractorOptions{});
-}
+namespace {
 
-AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
-                           const platform::ExtractorOptions& options) {
-  AnalyzedWorld out;
-  out.world = world;
-  out.extractor =
-      std::make_unique<platform::ResourceExtractor>(&world->kb, options);
-  // The three platform corpora are independent and the extractor is
-  // stateless after construction, so analyze them concurrently.
-  std::array<std::future<platform::AnalyzedCorpus>, platform::kNumPlatforms>
-      futures;
-  for (int p = 0; p < platform::kNumPlatforms; ++p) {
-    futures[p] = std::async(std::launch::async, [&, p] {
-      return out.extractor->AnalyzeNetwork(world->networks[p], world->web);
-    });
-  }
-  for (int p = 0; p < platform::kNumPlatforms; ++p) {
-    out.corpora[p] = futures[p].get();
-  }
-  return out;
-}
-
-AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
-                           const platform::ExtractorOptions& options,
-                           const platform::FaultConfig& faults) {
-  AnalyzedWorld out;
-  out.world = world;
-  out.extractor =
-      std::make_unique<platform::ResourceExtractor>(&world->kb, options);
-  // One fault stream + clock per platform keeps the per-platform fault
-  // sequences independent of each other and of the analysis order, so the
-  // concurrent analysis stays deterministic.
-  std::array<std::future<platform::AnalyzedCorpus>, platform::kNumPlatforms>
-      futures;
+/// Builds one fault-injecting API per platform. Seeds are derived from the
+/// shared `faults.seed` so the three fault streams are independent of each
+/// other yet fully determined by the config.
+std::array<std::unique_ptr<platform::FlakyApi>, platform::kNumPlatforms>
+MakePlatformApis(const platform::FaultConfig& faults, SimClock* clock) {
   std::array<std::unique_ptr<platform::FlakyApi>, platform::kNumPlatforms>
       apis;
   for (int p = 0; p < platform::kNumPlatforms; ++p) {
     platform::FaultConfig per_platform = faults;
     per_platform.seed =
         faults.seed ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(p + 1));
-    apis[p] = std::make_unique<platform::FlakyApi>(per_platform);
-    futures[p] = std::async(std::launch::async, [&, p] {
-      return out.extractor->AnalyzeNetwork(world->networks[p], world->web,
-                                           apis[p].get());
-    });
+    apis[p] = std::make_unique<platform::FlakyApi>(per_platform, clock);
+  }
+  return apis;
+}
+
+}  // namespace
+
+AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
+                           const AnalyzeOptions& options) {
+  AnalyzedWorld out;
+  out.world = world;
+  out.extractor = std::make_unique<platform::ResourceExtractor>(
+      &world->kb, options.extractor);
+  common::ThreadPool pool(options.thread_count);
+
+  if (!options.faults.has_value()) {
+    // Fault-free path: platforms run one after another, the nodes of each
+    // fanning out across the pool. Per-resource analysis is pure, so any
+    // thread count yields bit-identical corpora.
+    for (int p = 0; p < platform::kNumPlatforms; ++p) {
+      out.corpora[p] = out.extractor->AnalyzeNetwork(
+          world->networks[p], world->web, {.pool = &pool});
+    }
+    return out;
+  }
+
+  // Fault path: `FlakyApi` is single-threaded, so each platform is analyzed
+  // sequentially against its own API instance. With private clocks the
+  // three platforms are mutually independent and may run concurrently;
+  // a shared clock couples them through retry backoffs and forces strict
+  // platform order.
+  auto apis = MakePlatformApis(*options.faults, options.clock);
+  if (options.clock != nullptr || pool.thread_count() == 1) {
+    for (int p = 0; p < platform::kNumPlatforms; ++p) {
+      out.corpora[p] = out.extractor->AnalyzeNetwork(
+          world->networks[p], world->web, {.api = apis[p].get()});
+    }
+  } else {
+    Status analyzed = pool.ParallelFor(
+        platform::kNumPlatforms, /*min_chunk=*/1,
+        [&](size_t begin, size_t end) {
+          for (size_t p = begin; p < end; ++p) {
+            out.corpora[p] = out.extractor->AnalyzeNetwork(
+                world->networks[p], world->web, {.api = apis[p].get()});
+          }
+          return Status::Ok();
+        });
+    assert(analyzed.ok());
+    (void)analyzed;
   }
   for (int p = 0; p < platform::kNumPlatforms; ++p) {
-    out.corpora[p] = futures[p].get();
     out.fault_stats[p] = apis[p]->stats();
   }
   return out;

@@ -3,7 +3,9 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 
+#include "common/sim_clock.h"
 #include "platform/resource_extractor.h"
 #include "synth/world.h"
 
@@ -25,7 +27,7 @@ struct AnalyzedWorld {
   /// Analysis output per platform, aligned with `world->networks`.
   std::array<platform::AnalyzedCorpus, platform::kNumPlatforms> corpora;
   /// Transport accounting of the URL-enrichment step, per platform. All
-  /// zeros unless the fault-injecting `AnalyzeWorld` overload ran.
+  /// zeros unless `AnalyzeOptions::faults` was set.
   std::array<platform::FaultStats, platform::kNumPlatforms> fault_stats{};
 
   /// Convenience: the analyzed node for (platform, node).
@@ -35,23 +37,37 @@ struct AnalyzedWorld {
   }
 };
 
-/// Runs the analysis pipeline over every network of `world` with the
-/// paper's default configuration.
-AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world);
+/// Everything that varies between `AnalyzeWorld` runs. Defaults reproduce
+/// the paper's configuration on a fault-free transport.
+struct AnalyzeOptions {
+  /// Pipeline toggles (ablation studies).
+  platform::ExtractorOptions extractor{};
+  /// When set, the URL-enrichment step runs against a fault-injecting
+  /// extraction API (one independent `FlakyApi` per platform, seeded from
+  /// `faults->seed`). Failed page fetches degrade to the resource's own
+  /// text; per-platform transport accounting lands in
+  /// `AnalyzedWorld::fault_stats`. Deterministic: identical `faults`
+  /// (including seed) => identical output.
+  std::optional<platform::FaultConfig> faults{};
+  /// Only meaningful with `faults`: a shared simulated clock for all three
+  /// platform APIs (must outlive the call). Sharing one clock serializes
+  /// the platforms — retry backoffs advance the common timeline — so this
+  /// forces sequential per-platform analysis. Null = one private clock per
+  /// platform, letting platforms run concurrently.
+  SimClock* clock = nullptr;
+  /// Worker threads for per-resource parallelism: 0 = one per hardware
+  /// thread, 1 = fully sequential. Any value yields bit-identical output
+  /// (results are committed in node order); the fault path is always
+  /// sequential within a platform because `FlakyApi` draws from one
+  /// ordered fault stream.
+  int thread_count = 0;
+};
 
-/// Same, with explicit pipeline toggles (ablation studies).
+/// Runs the analysis pipeline over every network of `world` as configured
+/// by `options`; the default analyzes fault-free with one worker thread
+/// per hardware thread.
 AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
-                           const platform::ExtractorOptions& options);
-
-/// Same, with the URL-enrichment step running against a fault-injecting
-/// extraction API configured by `faults` (one independent `FlakyApi` per
-/// platform, seeded from `faults.seed`, each on its own `SimClock`).
-/// Failed page fetches degrade to the resource's own text; the per-
-/// platform transport accounting lands in `AnalyzedWorld::fault_stats`.
-/// Deterministic: identical `faults` (including seed) => identical output.
-AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
-                           const platform::ExtractorOptions& options,
-                           const platform::FaultConfig& faults);
+                           const AnalyzeOptions& options = {});
 
 }  // namespace crowdex::core
 

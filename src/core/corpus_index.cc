@@ -3,21 +3,24 @@
 namespace crowdex::core {
 
 CorpusIndex::CorpusIndex(const AnalyzedWorld* analyzed,
-                         platform::PlatformMask mask)
+                         platform::PlatformMask mask,
+                         const common::ThreadPool* pool)
     : analyzed_(analyzed), mask_(mask) {
+  // Collect borrowed views in (platform, node) order — this fixes the
+  // doc-id assignment — then hand the whole collection to the index, which
+  // may shard the posting construction across `pool`.
+  std::vector<index::DocView> docs;
   for (platform::Platform p : platform::kAllPlatforms) {
     if (!platform::MaskContains(mask, p)) continue;
     const platform::AnalyzedCorpus& corpus =
         analyzed_->corpora[static_cast<int>(p)];
     for (const platform::AnalyzedNode& node : corpus.nodes) {
       if (!node.english || node.terms.empty()) continue;
-      index::IndexableDocument doc;
-      doc.external_id = PlatformNodeKey{p, node.node}.Pack();
-      doc.terms = node.terms;
-      doc.entities = node.entities;
-      index_.Add(doc);
+      docs.push_back({PlatformNodeKey{p, node.node}.Pack(), &node.terms,
+                      &node.entities});
     }
   }
+  index_.BulkAdd(docs, pool);
 }
 
 }  // namespace crowdex::core

@@ -39,8 +39,11 @@ struct PlatformNodeKey {
 class CorpusIndex {
  public:
   /// Indexes every analyzed English node of the platforms in `mask`.
-  /// `analyzed` must outlive this object.
-  CorpusIndex(const AnalyzedWorld* analyzed, platform::PlatformMask mask);
+  /// `analyzed` must outlive this object. A pool of more than one thread
+  /// builds the postings in shards (see `SearchIndex::BulkAdd`); document
+  /// ids, statistics, and scores are identical for any thread count.
+  CorpusIndex(const AnalyzedWorld* analyzed, platform::PlatformMask mask,
+              const common::ThreadPool* pool = nullptr);
 
   const index::SearchIndex& search_index() const { return index_; }
   platform::PlatformMask mask() const { return mask_; }

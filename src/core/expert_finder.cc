@@ -6,23 +6,40 @@
 
 namespace crowdex::core {
 
-ExpertFinder::ExpertFinder(const AnalyzedWorld* analyzed,
-                           const ExpertFinderConfig& config)
-    : analyzed_(analyzed),
-      config_(config),
-      owned_index_(std::make_unique<CorpusIndex>(analyzed, config.platforms)),
-      index_(owned_index_.get()) {
-  assert(config_.Validate().ok());
-  BuildAssociations();
+Result<ExpertFinder> ExpertFinder::Create(const AnalyzedWorld* analyzed,
+                                          const ExpertFinderConfig& config,
+                                          const CorpusIndex* shared_index,
+                                          const common::ThreadPool* pool) {
+  if (analyzed == nullptr) {
+    return Status::InvalidArgument("ExpertFinder: analyzed world is null");
+  }
+  if (analyzed->world == nullptr || analyzed->extractor == nullptr) {
+    return Status::InvalidArgument(
+        "ExpertFinder: analyzed world is incomplete (did AnalyzeWorld run?)");
+  }
+  CROWDEX_RETURN_IF_ERROR(config.Validate());
+  if (shared_index != nullptr &&
+      (config.platforms & ~shared_index->mask()) != 0) {
+    return Status::InvalidArgument(
+        "ExpertFinder: shared index does not cover the configured platforms");
+  }
+  std::unique_ptr<CorpusIndex> owned;
+  const CorpusIndex* index = shared_index;
+  if (index == nullptr) {
+    owned = std::make_unique<CorpusIndex>(analyzed, config.platforms, pool);
+    index = owned.get();
+  }
+  return ExpertFinder(analyzed, config, std::move(owned), index);
 }
 
 ExpertFinder::ExpertFinder(const AnalyzedWorld* analyzed,
                            const ExpertFinderConfig& config,
-                           const CorpusIndex* shared_index)
-    : analyzed_(analyzed), config_(config), index_(shared_index) {
-  assert(config_.Validate().ok());
-  assert((config_.platforms & ~shared_index->mask()) == 0 &&
-         "shared index must cover the configured platforms");
+                           std::unique_ptr<CorpusIndex> owned_index,
+                           const CorpusIndex* index)
+    : analyzed_(analyzed),
+      config_(config),
+      owned_index_(std::move(owned_index)),
+      index_(index) {
   BuildAssociations();
 }
 

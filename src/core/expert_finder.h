@@ -57,17 +57,25 @@ struct ResourceEvidence {
 /// neighborhood (Eq. 3, Table 1 distances).
 class ExpertFinder {
  public:
-  /// Builds a finder over `analyzed` with `config`, constructing a private
-  /// corpus index for `config.platforms`. `analyzed` must outlive the
-  /// finder. Aborts on invalid config (use `config.Validate()` first when
-  /// handling untrusted input).
-  ExpertFinder(const AnalyzedWorld* analyzed, const ExpertFinderConfig& config);
+  /// Validates the inputs and builds a finder over `analyzed` with
+  /// `config`. Without `shared_index` a private corpus index is
+  /// constructed for `config.platforms` (sharded across `pool` when one is
+  /// given); passing a `shared_index` that covers `config.platforms`
+  /// instead is the cheap path for parameter sweeps. Returns
+  /// `kInvalidArgument` — never aborts — when `analyzed` is null or
+  /// incomplete, `config` fails `Validate()`, or `shared_index` does not
+  /// cover the configured platforms. `analyzed`, `shared_index`, and the
+  /// finder's own index must outlive the finder; `pool` is only used
+  /// during this call.
+  static Result<ExpertFinder> Create(const AnalyzedWorld* analyzed,
+                                     const ExpertFinderConfig& config,
+                                     const CorpusIndex* shared_index = nullptr,
+                                     const common::ThreadPool* pool = nullptr);
 
-  /// Same, but reuses `shared_index` (must cover `config.platforms` and
-  /// outlive the finder) instead of building one — the cheap path for
-  /// parameter sweeps.
-  ExpertFinder(const AnalyzedWorld* analyzed, const ExpertFinderConfig& config,
-               const CorpusIndex* shared_index);
+  ExpertFinder(const ExpertFinder&) = delete;
+  ExpertFinder& operator=(const ExpertFinder&) = delete;
+  ExpertFinder(ExpertFinder&&) = default;
+  ExpertFinder& operator=(ExpertFinder&&) = default;
 
   /// Ranks the candidate experts for `query`.
   RankedExperts Rank(const synth::ExpertiseNeed& query) const;
@@ -94,6 +102,11 @@ class ExpertFinder {
     int candidate;
     int distance;
   };
+
+  /// Invariant-holding constructor: inputs already validated by `Create`.
+  ExpertFinder(const AnalyzedWorld* analyzed, const ExpertFinderConfig& config,
+               std::unique_ptr<CorpusIndex> owned_index,
+               const CorpusIndex* index);
 
   void BuildAssociations();
   RankedExperts RankAnalyzed(const index::AnalyzedQuery& query) const;

@@ -1,9 +1,11 @@
 #include "eval/experiment.h"
 
+#include <cassert>
 #include <cmath>
 #include <unordered_set>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace crowdex::eval {
 
@@ -80,10 +82,27 @@ AggregateMetrics ExperimentRunner::Aggregate(
 
 AggregateMetrics ExperimentRunner::Evaluate(
     const core::ExpertFinder& finder,
-    const std::vector<synth::ExpertiseNeed>& queries) const {
-  std::vector<QueryResult> results;
-  results.reserve(queries.size());
-  for (const auto& q : queries) results.push_back(EvaluateQuery(finder, q));
+    const std::vector<synth::ExpertiseNeed>& queries,
+    const common::ThreadPool* pool) const {
+  std::vector<QueryResult> results(queries.size());
+  if (pool != nullptr && pool->thread_count() > 1 && queries.size() > 1) {
+    // Each query evaluates independently against the immutable finder;
+    // committing results by index keeps the aggregate bit-identical to the
+    // sequential loop.
+    Status evaluated =
+        pool->ParallelFor(queries.size(), [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            results[i] = EvaluateQuery(finder, queries[i]);
+          }
+          return Status::Ok();
+        });
+    assert(evaluated.ok());
+    (void)evaluated;
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = EvaluateQuery(finder, queries[i]);
+    }
+  }
   return Aggregate(results);
 }
 
@@ -108,12 +127,31 @@ AggregateMetrics ExperimentRunner::RandomBaseline(
 
 std::vector<UserReliability> ExperimentRunner::PerUserReliability(
     const core::ExpertFinder& finder,
-    const std::vector<synth::ExpertiseNeed>& queries, size_t top_k) const {
+    const std::vector<synth::ExpertiseNeed>& queries, size_t top_k,
+    const common::ThreadPool* pool) const {
   const size_t n = world_->candidates.size();
   std::vector<size_t> tp(n, 0), retrieved(n, 0), relevant(n, 0);
 
-  for (const auto& q : queries) {
-    core::RankedExperts result = finder.Rank(q);
+  // The expensive part — ranking every query — fans out across the pool;
+  // the counter accumulation below stays sequential in query order.
+  std::vector<core::RankedExperts> rankings(queries.size());
+  auto rank_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      rankings[i] = finder.Rank(queries[i]);
+    }
+    return Status::Ok();
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && queries.size() > 1) {
+    Status ranked = pool->ParallelFor(queries.size(), rank_range);
+    assert(ranked.ok());
+    (void)ranked;
+  } else {
+    (void)rank_range(0, queries.size());
+  }
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const synth::ExpertiseNeed& q = queries[qi];
+    const core::RankedExperts& result = rankings[qi];
     std::unordered_set<int> in_top;
     for (size_t i = 0; i < result.ranking.size() && i < top_k; ++i) {
       in_top.insert(result.ranking[i].candidate);

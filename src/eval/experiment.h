@@ -71,10 +71,13 @@ class ExperimentRunner {
   QueryResult EvaluateQuery(const core::ExpertFinder& finder,
                             const synth::ExpertiseNeed& query) const;
 
-  /// Mean metrics of `finder` over `queries`.
+  /// Mean metrics of `finder` over `queries`. A pool of more than one
+  /// thread fans the queries out across it (`Rank` is const and
+  /// thread-safe); per-query results are committed in query order, so the
+  /// aggregate is identical for any thread count.
   AggregateMetrics Evaluate(const core::ExpertFinder& finder,
-                            const std::vector<synth::ExpertiseNeed>& queries)
-      const;
+                            const std::vector<synth::ExpertiseNeed>& queries,
+                            const common::ThreadPool* pool = nullptr) const;
 
   /// The paper's random baseline: for each query, 10 runs each ranking 20
   /// uniformly chosen candidates in random order, averaged (Sec. 3.1).
@@ -84,11 +87,12 @@ class ExperimentRunner {
 
   /// Per-candidate precision/recall/F1 across `queries`, counting a
   /// candidate as "retrieved" when it appears in the top `top_k` of a
-  /// query's ranking (Fig. 10).
+  /// query's ranking (Fig. 10). The rankings fan out across `pool` (when
+  /// given); accumulation stays sequential in query order.
   std::vector<UserReliability> PerUserReliability(
       const core::ExpertFinder& finder,
-      const std::vector<synth::ExpertiseNeed>& queries,
-      size_t top_k = 20) const;
+      const std::vector<synth::ExpertiseNeed>& queries, size_t top_k = 20,
+      const common::ThreadPool* pool = nullptr) const;
 
   /// Graded gains (2^likert − 1) of every candidate for `domain`.
   std::vector<double> GainsForDomain(Domain domain) const;

@@ -3,24 +3,27 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <mutex>
+
+#include "common/thread_pool.h"
 
 namespace crowdex::index {
 
-DocId SearchIndex::Add(const IndexableDocument& doc) {
-  DocId id = static_cast<DocId>(external_ids_.size());
-  external_ids_.push_back(doc.external_id);
-
+void SearchIndex::AppendDoc(DocId id, const std::vector<std::string>& terms,
+                            const std::vector<DocEntity>& entities,
+                            TermPostingMap* terms_out,
+                            EntityPostingMap* entities_out) {
   // Term frequencies.
   std::unordered_map<std::string, uint32_t> tf;
-  for (const auto& term : doc.terms) ++tf[term];
+  for (const auto& term : terms) ++tf[term];
   for (const auto& [term, count] : tf) {
-    term_postings_[term].push_back({id, count});
+    (*terms_out)[term].push_back({id, count});
   }
 
   // Entity postings: merge duplicate entity entries, keeping the max
   // disambiguation confidence and summing frequencies.
   std::unordered_map<entity::EntityId, DocEntity> merged;
-  for (const DocEntity& e : doc.entities) {
+  for (const DocEntity& e : entities) {
     if (e.entity == entity::kInvalidEntityId) continue;
     DocEntity& slot = merged[e.entity];
     slot.entity = e.entity;
@@ -28,9 +31,74 @@ DocId SearchIndex::Add(const IndexableDocument& doc) {
     slot.dscore = std::max(slot.dscore, e.dscore);
   }
   for (const auto& [eid, e] : merged) {
-    entity_postings_[eid].push_back({id, e.frequency, e.dscore});
+    (*entities_out)[eid].push_back({id, e.frequency, e.dscore});
   }
+}
+
+DocId SearchIndex::Add(const IndexableDocument& doc) {
+  DocId id = static_cast<DocId>(external_ids_.size());
+  external_ids_.push_back(doc.external_id);
+  AppendDoc(id, doc.terms, doc.entities, &term_postings_, &entity_postings_);
   return id;
+}
+
+void SearchIndex::BulkAdd(const std::vector<DocView>& docs,
+                          const common::ThreadPool* pool) {
+  const DocId base = static_cast<DocId>(external_ids_.size());
+  external_ids_.reserve(external_ids_.size() + docs.size());
+  for (const DocView& d : docs) external_ids_.push_back(d.external_id);
+
+  const bool parallel =
+      pool != nullptr && pool->thread_count() > 1 && docs.size() > 1;
+  if (!parallel) {
+    for (size_t i = 0; i < docs.size(); ++i) {
+      AppendDoc(base + static_cast<DocId>(i), *docs[i].terms,
+                *docs[i].entities, &term_postings_, &entity_postings_);
+    }
+    return;
+  }
+
+  // Each shard owns a contiguous doc range and builds private posting maps;
+  // doc ids are preassigned from the range, so no shard ever touches
+  // another's documents.
+  struct Shard {
+    size_t begin = 0;
+    TermPostingMap terms;
+    EntityPostingMap entities;
+  };
+  std::vector<Shard> shards;
+  std::mutex mu;
+  Status built = pool->ParallelFor(
+      docs.size(), /*min_chunk=*/64, [&](size_t begin, size_t end) {
+        Shard shard;
+        shard.begin = begin;
+        for (size_t i = begin; i < end; ++i) {
+          AppendDoc(base + static_cast<DocId>(i), *docs[i].terms,
+                    *docs[i].entities, &shard.terms, &shard.entities);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        shards.push_back(std::move(shard));
+        return Status::Ok();
+      });
+  assert(built.ok());
+  (void)built;
+
+  // Merging in ascending shard order leaves every posting list sorted by
+  // ascending doc id — identical to the sequential build (whose lists grow
+  // one doc at a time). Lookups never iterate the maps themselves, so the
+  // index is bit-for-bit equivalent for every query.
+  std::sort(shards.begin(), shards.end(),
+            [](const Shard& a, const Shard& b) { return a.begin < b.begin; });
+  for (Shard& shard : shards) {
+    for (auto& [term, postings] : shard.terms) {
+      auto& dst = term_postings_[term];
+      dst.insert(dst.end(), postings.begin(), postings.end());
+    }
+    for (auto& [eid, postings] : shard.entities) {
+      auto& dst = entity_postings_[eid];
+      dst.insert(dst.end(), postings.begin(), postings.end());
+    }
+  }
 }
 
 uint32_t SearchIndex::ResourceFrequency(const std::string& term) const {

@@ -8,6 +8,10 @@
 
 #include "entity/knowledge_base.h"
 
+namespace crowdex::common {
+class ThreadPool;
+}  // namespace crowdex::common
+
 namespace crowdex::index {
 
 /// Position of a document inside one `SearchIndex` (dense, 0-based).
@@ -31,6 +35,15 @@ struct IndexableDocument {
   uint64_t external_id = 0;
   std::vector<std::string> terms;
   std::vector<DocEntity> entities;
+};
+
+/// Borrowed view of a document for bulk construction: points at analyzed
+/// data owned elsewhere (e.g. an `AnalyzedNode`), so indexing copies no
+/// term vectors. The pointees must stay alive for the `BulkAdd` call.
+struct DocView {
+  uint64_t external_id = 0;
+  const std::vector<std::string>* terms = nullptr;
+  const std::vector<DocEntity>* entities = nullptr;
 };
 
 /// One retrieval result.
@@ -66,6 +79,16 @@ class SearchIndex {
   /// (`tf`, `ef`) are computed here; `irf`/`eirf` reflect the collection at
   /// query time, so documents may be added at any point before searching.
   DocId Add(const IndexableDocument& doc);
+
+  /// Adds `docs` in order: doc i receives id `size() + i` no matter how
+  /// many threads build the postings. With a pool of more than one thread
+  /// the collection is split into contiguous shards whose postings are
+  /// built independently and merged in shard order, so every per-term and
+  /// per-entity posting list comes out sorted by ascending doc id —
+  /// exactly what the sequential loop produces. A null pool (or one
+  /// thread) indexes sequentially.
+  void BulkAdd(const std::vector<DocView>& docs,
+               const common::ThreadPool* pool = nullptr);
 
   /// Number of indexed documents.
   size_t size() const { return external_ids_.size(); }
@@ -109,10 +132,21 @@ class SearchIndex {
     double dscore;
   };
 
+  using TermPostingMap =
+      std::unordered_map<std::string, std::vector<TermPosting>>;
+  using EntityPostingMap =
+      std::unordered_map<entity::EntityId, std::vector<EntityPosting>>;
+
+  /// Builds the postings of one document into `terms_out`/`entities_out`
+  /// (which may be the index's own maps or a shard's).
+  static void AppendDoc(DocId id, const std::vector<std::string>& terms,
+                        const std::vector<DocEntity>& entities,
+                        TermPostingMap* terms_out,
+                        EntityPostingMap* entities_out);
+
   std::vector<uint64_t> external_ids_;
-  std::unordered_map<std::string, std::vector<TermPosting>> term_postings_;
-  std::unordered_map<entity::EntityId, std::vector<EntityPosting>>
-      entity_postings_;
+  TermPostingMap term_postings_;
+  EntityPostingMap entity_postings_;
 };
 
 }  // namespace crowdex::index

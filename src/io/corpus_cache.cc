@@ -1,6 +1,7 @@
 #include "io/corpus_cache.h"
 
 #include <cmath>
+#include <cstring>
 #include <fstream>
 
 #include "io/binary_format.h"
@@ -124,6 +125,40 @@ uint64_t HashExtractorOptions(const platform::ExtractorOptions& options) {
                  std::llround(options.annotator.min_dscore * 1e6)));
   h = Mix(h, static_cast<uint64_t>(
                  std::llround(options.annotator.unambiguous_floor * 1e6)));
+  return h;
+}
+
+uint64_t DigestAnalyzedCorpora(
+    const std::array<platform::AnalyzedCorpus, platform::kNumPlatforms>&
+        corpora) {
+  uint64_t h = 0xC0FFEE5EED5EEDULL;
+  for (const platform::AnalyzedCorpus& corpus : corpora) {
+    h = Mix(h, static_cast<uint64_t>(corpus.platform));
+    h = Mix(h, corpus.nodes_with_text);
+    h = Mix(h, corpus.english_nodes);
+    h = Mix(h, corpus.nodes_with_url);
+    h = Mix(h, corpus.degraded_nodes);
+    h = Mix(h, corpus.nodes.size());
+    for (const platform::AnalyzedNode& node : corpus.nodes) {
+      h = Mix(h, node.node);
+      h = Mix(h, static_cast<uint64_t>(node.language));
+      h = Mix(h, (node.has_text ? 1u : 0u) | (node.english ? 2u : 0u));
+      h = Mix(h, node.terms.size());
+      for (const std::string& term : node.terms) {
+        for (char c : term) h = Mix(h, static_cast<unsigned char>(c));
+        h = Mix(h, 0xFE);  // term separator
+      }
+      h = Mix(h, node.entities.size());
+      for (const index::DocEntity& e : node.entities) {
+        h = Mix(h, e.entity);
+        h = Mix(h, e.frequency);
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(e.dscore));
+        std::memcpy(&bits, &e.dscore, sizeof(bits));
+        h = Mix(h, bits);
+      }
+    }
+  }
   return h;
 }
 

@@ -27,8 +27,20 @@ struct CacheFingerprint {
                          const CacheFingerprint&) = default;
 };
 
-/// Computes the options component of the fingerprint.
+/// Computes the options component of the fingerprint. Only pipeline
+/// semantics are hashed — execution knobs such as the analysis thread
+/// count must NOT enter the fingerprint, because any thread count produces
+/// the identical corpus.
 uint64_t HashExtractorOptions(const platform::ExtractorOptions& options);
+
+/// Order-sensitive content digest of the full analysis output: every node's
+/// id, language, flags, terms, and entities (with the exact bit patterns of
+/// the dscore doubles), in (platform, node) order. Two analyses digest
+/// equal iff a sequential consumer would see identical corpora — the
+/// equality check behind the "parallel analysis is bit-identical" contract.
+uint64_t DigestAnalyzedCorpora(
+    const std::array<platform::AnalyzedCorpus, platform::kNumPlatforms>&
+        corpora);
 
 /// Saves the per-platform analysis output (`corpora`) to `path` under
 /// `fingerprint`. The Fig. 4 analysis is by far the most expensive step of

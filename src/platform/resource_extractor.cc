@@ -1,5 +1,6 @@
 #include "platform/resource_extractor.h"
 
+#include <cassert>
 #include <unordered_map>
 
 namespace crowdex::platform {
@@ -45,43 +46,81 @@ AnalyzedNode ResourceExtractor::AnalyzeText(const std::string& text) const {
   return out;
 }
 
-AnalyzedCorpus ResourceExtractor::AnalyzeNetwork(
-    const PlatformNetwork& network, const WebPageStore& web) const {
-  return AnalyzeNetwork(network, web, /*api=*/nullptr);
+AnalyzedNode ResourceExtractor::AnalyzeOneNode(const PlatformNetwork& network,
+                                               const WebPageStore& web,
+                                               FlakyApi* api, graph::NodeId n,
+                                               bool* degraded) const {
+  *degraded = false;
+  std::string text = network.node_text[n];
+  const std::string& url = network.node_url[n];
+  if (!url.empty() && enrich_urls_) {
+    // URL content extraction: append the linked page's main content. Dead
+    // links (NotFound) degrade silently to the node's own text; transport-
+    // level failures of the extraction API do the same but are counted as
+    // degraded.
+    Result<std::string> page =
+        api != nullptr ? api->FetchUrl(web, url) : web.Fetch(url);
+    if (page.ok()) {
+      if (!text.empty()) text += ' ';
+      text += page.value();
+    } else if (page.status().code() != StatusCode::kNotFound) {
+      *degraded = true;
+    }
+  }
+  AnalyzedNode analyzed = AnalyzeText(text);
+  analyzed.node = n;
+  return analyzed;
 }
 
-AnalyzedCorpus ResourceExtractor::AnalyzeNetwork(const PlatformNetwork& network,
-                                                 const WebPageStore& web,
-                                                 FlakyApi* api) const {
+AnalyzedCorpus ResourceExtractor::AnalyzeNetwork(
+    const PlatformNetwork& network, const WebPageStore& web,
+    const NetworkAnalyzeOptions& options) const {
   AnalyzedCorpus corpus;
   corpus.platform = network.platform;
-  corpus.nodes.reserve(network.graph.node_count());
+  const size_t node_count = network.graph.node_count();
 
-  for (graph::NodeId n = 0; n < network.graph.node_count(); ++n) {
-    std::string text = network.node_text[n];
-    const std::string& url = network.node_url[n];
-    if (!url.empty()) {
-      ++corpus.nodes_with_url;
-      if (enrich_urls_) {
-        // URL content extraction: append the linked page's main content.
-        // Dead links (NotFound) degrade silently to the node's own text,
-        // exactly as before; transport-level failures of the extraction
-        // API do the same but are counted as degraded.
-        Result<std::string> page = api != nullptr ? api->FetchUrl(web, url)
-                                                  : web.Fetch(url);
-        if (page.ok()) {
-          if (!text.empty()) text += ' ';
-          text += page.value();
-        } else if (page.status().code() != StatusCode::kNotFound) {
-          ++corpus.degraded_nodes;
-        }
-      }
+  // The fault-injecting API draws from one ordered fault stream, so its
+  // path must consume nodes strictly in id order (single-threaded).
+  const bool parallel = options.api == nullptr && options.pool != nullptr &&
+                        options.pool->thread_count() > 1 && node_count > 1;
+
+  corpus.nodes.resize(node_count);
+  std::vector<uint8_t> degraded_flags(node_count, 0);
+  if (parallel) {
+    // Each node's analysis is a pure function of that node (the extractor
+    // and page store are immutable), so chunks write disjoint pre-sized
+    // slots and the result is identical to the sequential loop below.
+    // Chunks of >= 32 nodes amortize the dispatch cost of short texts.
+    // The body is infallible, so the returned status can only be OK.
+    Status analyzed = options.pool->ParallelFor(
+        node_count, /*min_chunk=*/32, [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            bool degraded = false;
+            corpus.nodes[i] =
+                AnalyzeOneNode(network, web, /*api=*/nullptr,
+                               static_cast<graph::NodeId>(i), &degraded);
+            degraded_flags[i] = degraded ? 1 : 0;
+          }
+          return Status::Ok();
+        });
+    assert(analyzed.ok());
+    (void)analyzed;
+  } else {
+    for (graph::NodeId n = 0; n < node_count; ++n) {
+      bool degraded = false;
+      corpus.nodes[n] =
+          AnalyzeOneNode(network, web, options.api, n, &degraded);
+      degraded_flags[n] = degraded ? 1 : 0;
     }
-    AnalyzedNode analyzed = AnalyzeText(text);
-    analyzed.node = n;
-    if (analyzed.has_text) ++corpus.nodes_with_text;
-    if (analyzed.english) ++corpus.english_nodes;
-    corpus.nodes.push_back(std::move(analyzed));
+  }
+
+  // Statistics are committed in node order after the (possibly parallel)
+  // analysis, keeping them independent of execution interleaving.
+  for (graph::NodeId n = 0; n < node_count; ++n) {
+    if (!network.node_url[n].empty()) ++corpus.nodes_with_url;
+    if (corpus.nodes[n].has_text) ++corpus.nodes_with_text;
+    if (corpus.nodes[n].english) ++corpus.english_nodes;
+    if (degraded_flags[n] != 0) ++corpus.degraded_nodes;
   }
   return corpus;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "entity/annotator.h"
 #include "entity/knowledge_base.h"
 #include "index/search_index.h"
@@ -56,10 +57,32 @@ struct ExtractorOptions {
   bool enrich_urls = true;
 };
 
+/// Per-call knobs of `AnalyzeNetwork` (the analysis pipeline itself is
+/// configured once, at extractor construction).
+struct NetworkAnalyzeOptions {
+  /// Fault-injecting extraction API (the Alchemy role) for URL fetches:
+  /// transient failures are retried per its policy, permanent failures
+  /// fall back to the resource's own text and are counted in
+  /// `AnalyzedCorpus::degraded_nodes`. Null = the fault-free direct path.
+  /// A non-null API forces sequential analysis regardless of `pool`:
+  /// `FlakyApi` draws faults from one ordered stream and is
+  /// single-threaded by design.
+  FlakyApi* api = nullptr;
+  /// Worker pool for per-resource parallelism. Null (or a 1-thread pool)
+  /// analyzes sequentially. The parallel path is bit-identical to the
+  /// sequential one: every resource's analysis depends only on its own
+  /// node, and results are committed in node-id order.
+  common::ThreadPool* pool = nullptr;
+};
+
 /// The analysis pipeline of Fig. 4: URL content extraction -> language
 /// identification -> text processing -> entity recognition and
 /// disambiguation. The same pipeline analyzes expertise needs (queries);
 /// see `AnalyzeQuery`.
+///
+/// The extractor is immutable after construction, so one instance may
+/// analyze any number of networks concurrently (that is exactly what the
+/// parallel `AnalyzeNetwork` path does).
 class ResourceExtractor {
  public:
   /// `kb` must outlive the extractor. Annotation options are the
@@ -76,17 +99,13 @@ class ResourceExtractor {
 
   /// Analyzes every node of `network`, enriching nodes that carry a URL
   /// with the page text found in `web` (missing pages degrade gracefully
-  /// to the resource's own text).
+  /// to the resource's own text). `options` selects the transport (direct
+  /// vs fault-injecting) and the degree of parallelism; the default is the
+  /// sequential fault-free path.
   AnalyzedCorpus AnalyzeNetwork(const PlatformNetwork& network,
-                                const WebPageStore& web) const;
-
-  /// Same, but every URL fetch goes through the fault-injecting extraction
-  /// API (the Alchemy role): transient failures are retried per its
-  /// policy, permanent failures fall back to the resource's own text and
-  /// are counted in `AnalyzedCorpus::degraded_nodes`. `api == nullptr`
-  /// behaves exactly like the fault-free overload.
-  AnalyzedCorpus AnalyzeNetwork(const PlatformNetwork& network,
-                                const WebPageStore& web, FlakyApi* api) const;
+                                const WebPageStore& web,
+                                const NetworkAnalyzeOptions& options = {})
+      const;
 
   /// Analyzes an expertise need: same text processing and entity
   /// recognition, no language filter (queries are English by construction).
@@ -97,6 +116,13 @@ class ResourceExtractor {
   bool enrich_urls() const { return enrich_urls_; }
 
  private:
+  /// Analyzes node `n` of `network`: URL enrichment through `api` (or the
+  /// direct store when null), then the text pipeline. Sets `*degraded`
+  /// when a transport-level failure forced the fallback to own text.
+  AnalyzedNode AnalyzeOneNode(const PlatformNetwork& network,
+                              const WebPageStore& web, FlakyApi* api,
+                              graph::NodeId n, bool* degraded) const;
+
   text::TextPipeline pipeline_;
   entity::EntityAnnotator annotator_;
   bool enrich_urls_ = true;

@@ -1,0 +1,203 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace crowdex::common {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdownWithoutWork) {
+  // Pools of every shape must construct and destruct cleanly even when no
+  // work is ever submitted.
+  for (int threads : {0, 1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_GE(pool.thread_count(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, NonPositiveCountMeansHardware) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::HardwareThreads());
+  ThreadPool neg(-3);
+  EXPECT_EQ(neg.thread_count(), ThreadPool::HardwareThreads());
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10'000;
+  std::vector<int> hits(kN, 0);
+  Status s = pool.ParallelFor(kN, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+    return Status::Ok();
+  });
+  ASSERT_TRUE(s.ok()) << s;
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForComputesCorrectResults) {
+  ThreadPool pool(8);
+  constexpr size_t kN = 5'000;
+  std::vector<uint64_t> out(kN, 0);
+  Status s = pool.ParallelFor(kN, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = i * i;
+    return Status::Ok();
+  });
+  ASSERT_TRUE(s.ok());
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, ChunksPartitionTheRange) {
+  // The chunks reported to the body must tile [0, n) without gaps or
+  // overlaps, in units of at least min_chunk (except possibly the tail).
+  ThreadPool pool(3);
+  constexpr size_t kN = 1'001;
+  constexpr size_t kMinChunk = 16;
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  Status s = pool.ParallelFor(kN, kMinChunk, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back({begin, end});
+    return Status::Ok();
+  });
+  ASSERT_TRUE(s.ok());
+  std::sort(chunks.begin(), chunks.end());
+  size_t expected_begin = 0;
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].first, expected_begin);
+    EXPECT_GT(chunks[c].second, chunks[c].first);
+    if (c + 1 < chunks.size()) {
+      EXPECT_GE(chunks[c].second - chunks[c].first, kMinChunk);
+    }
+    expected_begin = chunks[c].second;
+  }
+  EXPECT_EQ(expected_begin, kN);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsOkWithoutInvokingBody) {
+  ThreadPool pool(2);
+  bool invoked = false;
+  Status s = pool.ParallelFor(0, [&](size_t, size_t) {
+    invoked = true;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_FALSE(invoked);
+}
+
+TEST(ThreadPoolTest, SmallRangeRunsInlineAsOneChunk) {
+  // n below min_chunk must be one inline chunk — no partitioning overhead.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  Status s = pool.ParallelFor(3, /*min_chunk=*/64, [&](size_t b, size_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back({b, e});
+    return Status::Ok();
+  });
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<size_t, size_t>{0, 3}));
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsSequentially) {
+  // thread_count 1 must execute chunks in order on the calling thread.
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  size_t last_end = 0;
+  Status s = pool.ParallelFor(100, [&](size_t begin, size_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, last_end);
+    last_end = end;
+    return Status::Ok();
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(last_end, 100u);
+}
+
+TEST(ThreadPoolTest, ErrorStatusPropagates) {
+  ThreadPool pool(4);
+  Status s = pool.ParallelFor(1'000, [&](size_t begin, size_t) {
+    if (begin >= 500) {
+      return Status::InvalidArgument("chunk failed");
+    }
+    return Status::Ok();
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "chunk failed");
+}
+
+TEST(ThreadPoolTest, LowestIndexedFailureWinsDeterministically) {
+  // Multiple failing chunks: the reported status must always be the
+  // lowest-indexed one, regardless of which worker finished first.
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    Status s = pool.ParallelFor(1'024, /*min_chunk=*/1,
+                                [&](size_t begin, size_t) {
+                                  return Status::Internal(
+                                      "failed at " + std::to_string(begin));
+                                });
+    ASSERT_EQ(s.code(), StatusCode::kInternal);
+    EXPECT_EQ(s.message(), "failed at 0");
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionsBecomeInternalStatus) {
+  ThreadPool pool(2);
+  Status s = pool.ParallelFor(100, [&](size_t begin, size_t) -> Status {
+    if (begin == 0) throw std::runtime_error("boom");
+    return Status::Ok();
+  });
+  ASSERT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("boom"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, NonStdExceptionsAlsoCaught) {
+  ThreadPool pool(2);
+  Status s = pool.ParallelFor(10, [&](size_t, size_t) -> Status {
+    throw 42;  // NOLINT
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<uint64_t> sum{0};
+    Status s = pool.ParallelFor(1'000, [&](size_t begin, size_t end) {
+      uint64_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local, std::memory_order_relaxed);
+      return Status::Ok();
+    });
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(sum.load(), 1'000ull * 999ull / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ManyMoreChunksThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<size_t> count{0};
+  Status s = pool.ParallelFor(100'000, /*min_chunk=*/7,
+                              [&](size_t begin, size_t end) {
+                                count.fetch_add(end - begin,
+                                                std::memory_order_relaxed);
+                                return Status::Ok();
+                              });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(count.load(), 100'000u);
+}
+
+}  // namespace
+}  // namespace crowdex::common

@@ -36,7 +36,7 @@ class AggregationTest : public ::testing::Test {
   static ExpertFinder Make(AggregationMode mode) {
     ExpertFinderConfig cfg;
     cfg.aggregation = mode;
-    return ExpertFinder(&F().analyzed, cfg, F().index.get());
+    return ExpertFinder::Create(&F().analyzed, cfg, F().index.get()).value();
   }
 };
 
@@ -80,7 +80,8 @@ TEST_F(AggregationTest, VotesScoresAreFractionalResourceCounts) {
   cfg.aggregation = AggregationMode::kVotes;
   cfg.distance_weight_min = 1.0;
   cfg.distance_weight_max = 1.0;
-  ExpertFinder finder(&F().analyzed, cfg, F().index.get());
+  ExpertFinder finder =
+      ExpertFinder::Create(&F().analyzed, cfg, F().index.get()).value();
   RankedExperts r = finder.Rank(F().world.queries.front());
   double total = 0;
   for (const auto& e : r.ranking) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 
 #include "core/analyzed_world.h"
 #include "synth/world.h"
@@ -41,7 +42,7 @@ class ExpertFinderTest : public ::testing::Test {
 
 TEST_F(ExpertFinderTest, RankingIsSortedAndPositive) {
   ExpertFinderConfig cfg;
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   RankedExperts r = finder.Rank(QueryForDomain(Domain::kSport));
   ASSERT_FALSE(r.ranking.empty());
   for (size_t i = 0; i < r.ranking.size(); ++i) {
@@ -54,7 +55,7 @@ TEST_F(ExpertFinderTest, RankingIsSortedAndPositive) {
 
 TEST_F(ExpertFinderTest, RankingCandidatesAreUniqueAndValid) {
   ExpertFinderConfig cfg;
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   RankedExperts r = finder.Rank(QueryForDomain(Domain::kMusic));
   std::set<int> seen;
   for (const auto& e : r.ranking) {
@@ -66,7 +67,7 @@ TEST_F(ExpertFinderTest, RankingCandidatesAreUniqueAndValid) {
 
 TEST_F(ExpertFinderTest, DeterministicAcrossCalls) {
   ExpertFinderConfig cfg;
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   auto q = QueryForDomain(Domain::kScience);
   RankedExperts a = finder.Rank(q);
   RankedExperts b = finder.Rank(q);
@@ -80,7 +81,7 @@ TEST_F(ExpertFinderTest, DeterministicAcrossCalls) {
 TEST_F(ExpertFinderTest, WindowLimitsConsideredResources) {
   ExpertFinderConfig small;
   small.window_size = 5;
-  ExpertFinder finder(&F().analyzed, small);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, small).value();
   RankedExperts r = finder.Rank(QueryForDomain(Domain::kSport));
   EXPECT_LE(r.considered_resources, 5u);
   EXPECT_GE(r.reachable_resources, r.considered_resources);
@@ -91,7 +92,7 @@ TEST_F(ExpertFinderTest, UnlimitedWindowUsesAllReachable) {
   ExpertFinderConfig cfg;
   cfg.window_size = 0;
   cfg.window_fraction = 0.0;  // all
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   RankedExperts r = finder.Rank(QueryForDomain(Domain::kSport));
   EXPECT_EQ(r.considered_resources, r.reachable_resources);
 }
@@ -100,7 +101,7 @@ TEST_F(ExpertFinderTest, WindowFractionApplies) {
   ExpertFinderConfig cfg;
   cfg.window_size = 0;
   cfg.window_fraction = 0.5;
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   RankedExperts r = finder.Rank(QueryForDomain(Domain::kSport));
   EXPECT_NEAR(static_cast<double>(r.considered_resources),
               0.5 * r.reachable_resources, 1.0);
@@ -112,8 +113,10 @@ TEST_F(ExpertFinderTest, LargerWindowNeverReducesRetrievedExperts) {
   ExpertFinderConfig large;
   large.window_size = 1000;
   CorpusIndex shared(&F().analyzed, platform::kAllPlatformsMask);
-  ExpertFinder f_small(&F().analyzed, small, &shared);
-  ExpertFinder f_large(&F().analyzed, large, &shared);
+  ExpertFinder f_small =
+      ExpertFinder::Create(&F().analyzed, small, &shared).value();
+  ExpertFinder f_large =
+      ExpertFinder::Create(&F().analyzed, large, &shared).value();
   for (const auto& q : F().world.queries) {
     EXPECT_LE(f_small.Rank(q).ranking.size(), f_large.Rank(q).ranking.size());
   }
@@ -122,7 +125,7 @@ TEST_F(ExpertFinderTest, LargerWindowNeverReducesRetrievedExperts) {
 TEST_F(ExpertFinderTest, Distance0UsesOnlyProfiles) {
   ExpertFinderConfig cfg;
   cfg.max_distance = 0;
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   // Reachable resources per candidate = (English) profiles only, <= 3.
   for (int u = 0; u < 40; ++u) {
     EXPECT_LE(finder.ReachableResources(u), 3u);
@@ -137,9 +140,9 @@ TEST_F(ExpertFinderTest, ReachableResourcesGrowWithDistance) {
   d1.max_distance = 1;
   ExpertFinderConfig d2;
   d2.max_distance = 2;
-  ExpertFinder f0(&F().analyzed, d0, &shared);
-  ExpertFinder f1(&F().analyzed, d1, &shared);
-  ExpertFinder f2(&F().analyzed, d2, &shared);
+  ExpertFinder f0 = ExpertFinder::Create(&F().analyzed, d0, &shared).value();
+  ExpertFinder f1 = ExpertFinder::Create(&F().analyzed, d1, &shared).value();
+  ExpertFinder f2 = ExpertFinder::Create(&F().analyzed, d2, &shared).value();
   for (int u = 0; u < 40; ++u) {
     EXPECT_LE(f0.ReachableResources(u), f1.ReachableResources(u));
     EXPECT_LE(f1.ReachableResources(u), f2.ReachableResources(u));
@@ -161,8 +164,10 @@ TEST_F(ExpertFinderTest, IncludeFriendsAddsTwitterResources) {
   ExpertFinderConfig with = without;
   with.include_friends = true;
   CorpusIndex shared(&F().analyzed, without.platforms);
-  ExpertFinder f_without(&F().analyzed, without, &shared);
-  ExpertFinder f_with(&F().analyzed, with, &shared);
+  ExpertFinder f_without =
+      ExpertFinder::Create(&F().analyzed, without, &shared).value();
+  ExpertFinder f_with =
+      ExpertFinder::Create(&F().analyzed, with, &shared).value();
   size_t total_without = 0, total_with = 0;
   for (int u = 0; u < 40; ++u) {
     total_without += f_without.ReachableResources(u);
@@ -174,7 +179,7 @@ TEST_F(ExpertFinderTest, IncludeFriendsAddsTwitterResources) {
 TEST_F(ExpertFinderTest, PlatformMaskRestrictsCorpus) {
   ExpertFinderConfig fb_only;
   fb_only.platforms = platform::MaskOf(platform::Platform::kFacebook);
-  ExpertFinder finder(&F().analyzed, fb_only);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, fb_only).value();
   EXPECT_LT(finder.corpus().document_count(),
             CorpusIndex(&F().analyzed, platform::kAllPlatformsMask)
                 .document_count());
@@ -183,8 +188,9 @@ TEST_F(ExpertFinderTest, PlatformMaskRestrictsCorpus) {
 TEST_F(ExpertFinderTest, SharedIndexMatchesOwnedIndex) {
   ExpertFinderConfig cfg;
   CorpusIndex shared(&F().analyzed, platform::kAllPlatformsMask);
-  ExpertFinder f_shared(&F().analyzed, cfg, &shared);
-  ExpertFinder f_owned(&F().analyzed, cfg);
+  ExpertFinder f_shared =
+      ExpertFinder::Create(&F().analyzed, cfg, &shared).value();
+  ExpertFinder f_owned = ExpertFinder::Create(&F().analyzed, cfg).value();
   auto q = QueryForDomain(Domain::kMoviesTv);
   RankedExperts a = f_shared.Rank(q);
   RankedExperts b = f_owned.Rank(q);
@@ -197,7 +203,7 @@ TEST_F(ExpertFinderTest, SharedIndexMatchesOwnedIndex) {
 
 TEST_F(ExpertFinderTest, RankTextMatchesRankOnSameText) {
   ExpertFinderConfig cfg;
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   auto q = QueryForDomain(Domain::kTechnologyGames);
   RankedExperts a = finder.Rank(q);
   RankedExperts b = finder.RankText(q.text);
@@ -209,7 +215,7 @@ TEST_F(ExpertFinderTest, RankTextMatchesRankOnSameText) {
 
 TEST_F(ExpertFinderTest, NonsenseQueryMatchesNothing) {
   ExpertFinderConfig cfg;
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   RankedExperts r = finder.RankText("qqq zzz xxxyyy unmatched");
   EXPECT_EQ(r.matched_resources, 0u);
   EXPECT_TRUE(r.ranking.empty());
@@ -217,14 +223,14 @@ TEST_F(ExpertFinderTest, NonsenseQueryMatchesNothing) {
 
 TEST_F(ExpertFinderTest, ReachableResourcesOutOfRangeIsZero) {
   ExpertFinderConfig cfg;
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   EXPECT_EQ(finder.ReachableResources(-1), 0u);
   EXPECT_EQ(finder.ReachableResources(1000), 0u);
 }
 
 TEST_F(ExpertFinderTest, ExplainEvidenceSumsToScore) {
   ExpertFinderConfig cfg;
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   auto q = QueryForDomain(Domain::kSport);
   RankedExperts r = finder.Rank(q);
   ASSERT_FALSE(r.ranking.empty());
@@ -237,7 +243,7 @@ TEST_F(ExpertFinderTest, ExplainEvidenceSumsToScore) {
 
 TEST_F(ExpertFinderTest, ExplainSortedByContribution) {
   ExpertFinderConfig cfg;
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   auto q = QueryForDomain(Domain::kMusic);
   RankedExperts r = finder.Rank(q);
   ASSERT_FALSE(r.ranking.empty());
@@ -257,7 +263,7 @@ TEST_F(ExpertFinderTest, ExplainSortedByContribution) {
 TEST_F(ExpertFinderTest, ExplainRespectsDistanceConfig) {
   ExpertFinderConfig d0;
   d0.max_distance = 0;
-  ExpertFinder finder(&F().analyzed, d0);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, d0).value();
   auto q = QueryForDomain(Domain::kComputerEngineering);
   RankedExperts r = finder.Rank(q);
   for (const auto& e : r.ranking) {
@@ -269,14 +275,14 @@ TEST_F(ExpertFinderTest, ExplainRespectsDistanceConfig) {
 
 TEST_F(ExpertFinderTest, ExplainInvalidCandidateIsEmpty) {
   ExpertFinderConfig cfg;
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   EXPECT_TRUE(finder.Explain("football match", -1, 5).empty());
   EXPECT_TRUE(finder.Explain("football match", 9999, 5).empty());
 }
 
 TEST_F(ExpertFinderTest, ExplainUnrankedCandidateIsEmpty) {
   ExpertFinderConfig cfg;
-  ExpertFinder finder(&F().analyzed, cfg);
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
   auto q = QueryForDomain(Domain::kScience);
   RankedExperts r = finder.Rank(q);
   std::set<int> ranked;
@@ -295,13 +301,59 @@ TEST_F(ExpertFinderTest, AlphaChangesScoresButKeepsDeterminism) {
   a0.alpha = 0.0;
   ExpertFinderConfig a1;
   a1.alpha = 1.0;
-  ExpertFinder f0(&F().analyzed, a0, &shared);
-  ExpertFinder f1(&F().analyzed, a1, &shared);
+  ExpertFinder f0 = ExpertFinder::Create(&F().analyzed, a0, &shared).value();
+  ExpertFinder f1 = ExpertFinder::Create(&F().analyzed, a1, &shared).value();
   auto q = QueryForDomain(Domain::kSport);
   RankedExperts r0 = f0.Rank(q);
   RankedExperts r1 = f1.Rank(q);
   // Entity-only retrieval matches fewer resources than keyword retrieval.
   EXPECT_LT(r0.matched_resources, r1.matched_resources);
+}
+
+TEST_F(ExpertFinderTest, CreateRejectsNullAnalyzedWorld) {
+  Result<ExpertFinder> r = ExpertFinder::Create(nullptr, ExpertFinderConfig{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExpertFinderTest, CreateRejectsUnanalyzedWorld) {
+  AnalyzedWorld empty;  // never ran through AnalyzeWorld
+  Result<ExpertFinder> r = ExpertFinder::Create(&empty, ExpertFinderConfig{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExpertFinderTest, CreateRejectsInvalidConfig) {
+  ExpertFinderConfig bad_alpha;
+  bad_alpha.alpha = 1.5;
+  Result<ExpertFinder> r = ExpertFinder::Create(&F().analyzed, bad_alpha);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  ExpertFinderConfig no_platforms;
+  no_platforms.platforms = 0;
+  Result<ExpertFinder> r2 = ExpertFinder::Create(&F().analyzed, no_platforms);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExpertFinderTest, CreateRejectsSharedIndexWithInsufficientCoverage) {
+  CorpusIndex fb_only(&F().analyzed,
+                      platform::MaskOf(platform::Platform::kFacebook));
+  ExpertFinderConfig all;  // defaults to every platform
+  Result<ExpertFinder> r = ExpertFinder::Create(&F().analyzed, all, &fb_only);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExpertFinderTest, CreateAcceptsCoveringSharedIndexAndMovedFinderWorks) {
+  CorpusIndex shared(&F().analyzed, platform::kAllPlatformsMask);
+  Result<ExpertFinder> r =
+      ExpertFinder::Create(&F().analyzed, ExpertFinderConfig{}, &shared);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // The factory hands the finder out by move; ranking must survive it.
+  ExpertFinder moved = std::move(r).value();
+  EXPECT_FALSE(moved.Rank(QueryForDomain(Domain::kSport)).ranking.empty());
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+// End-to-end determinism contract of the parallel pipeline: for any thread
+// count, AnalyzeWorld produces byte-identical corpora (same content digest,
+// same serialized cache bytes), the sharded index build reproduces the
+// sequential index, and the parallel experiment fan-out reproduces the
+// sequential aggregate — down to the last bit of every score.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/analyzed_world.h"
+#include "core/corpus_index.h"
+#include "core/expert_finder.h"
+#include "eval/experiment.h"
+#include "io/corpus_cache.h"
+#include "synth/world.h"
+
+namespace crowdex::core {
+namespace {
+
+/// Worker count for the "parallel" arm: at least 4 so the chunking logic
+/// is exercised even on single-core CI machines.
+int ParallelThreads() {
+  return std::max(4, common::ThreadPool::HardwareThreads());
+}
+
+class ParallelAnalysisTest : public ::testing::Test {
+ protected:
+  struct Fixture {
+    synth::SyntheticWorld world;
+    AnalyzedWorld sequential;
+    AnalyzedWorld parallel;
+  };
+
+  static const Fixture& F() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      synth::WorldConfig cfg;
+      cfg.scale = 0.02;
+      fx->world = synth::GenerateWorld(cfg);
+      fx->sequential = AnalyzeWorld(&fx->world, {.thread_count = 1});
+      fx->parallel =
+          AnalyzeWorld(&fx->world, {.thread_count = ParallelThreads()});
+      return fx;
+    }();
+    return *f;
+  }
+
+  static std::string TempPath(const char* name) {
+    return std::string(::testing::TempDir()) + "/" + name;
+  }
+
+  static std::string FileBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+};
+
+TEST_F(ParallelAnalysisTest, CorpusDigestsMatchAcrossThreadCounts) {
+  uint64_t d1 = io::DigestAnalyzedCorpora(F().sequential.corpora);
+  uint64_t dn = io::DigestAnalyzedCorpora(F().parallel.corpora);
+  EXPECT_EQ(d1, dn);
+}
+
+TEST_F(ParallelAnalysisTest, CacheFilesAreByteIdenticalAcrossThreadCounts) {
+  // The corpus-cache fingerprint hashes pipeline options only — never the
+  // thread count — so both arms save under the same fingerprint, and the
+  // files must come out byte-for-byte equal.
+  io::CacheFingerprint fp;
+  fp.world_seed = 1;
+  fp.world_scale = 0.02;
+  fp.num_candidates =
+      static_cast<uint32_t>(F().world.candidates.size());
+  fp.options_hash = io::HashExtractorOptions(platform::ExtractorOptions{});
+  fp.kb_entities = F().world.kb.size();
+
+  std::string path1 = TempPath("analysis_1_thread.cdx");
+  std::string pathn = TempPath("analysis_n_threads.cdx");
+  ASSERT_TRUE(io::SaveAnalyzedCorpora(F().sequential.corpora, fp, path1).ok());
+  ASSERT_TRUE(io::SaveAnalyzedCorpora(F().parallel.corpora, fp, pathn).ok());
+
+  std::string bytes1 = FileBytes(path1);
+  std::string bytesn = FileBytes(pathn);
+  ASSERT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, bytesn);
+  std::remove(path1.c_str());
+  std::remove(pathn.c_str());
+}
+
+TEST_F(ParallelAnalysisTest, ShardedIndexMatchesSequentialIndex) {
+  common::ThreadPool pool(ParallelThreads());
+  CorpusIndex seq_index(&F().sequential, platform::kAllPlatformsMask);
+  CorpusIndex par_index(&F().sequential, platform::kAllPlatformsMask, &pool);
+  ASSERT_EQ(seq_index.document_count(), par_index.document_count());
+  EXPECT_EQ(seq_index.search_index().vocabulary_size(),
+            par_index.search_index().vocabulary_size());
+
+  // Identical doc ids, external ids, and bit-identical scores per query.
+  for (const auto& q : F().world.queries) {
+    index::AnalyzedQuery analyzed =
+        F().sequential.extractor->AnalyzeQuery(q.text);
+    std::vector<index::ScoredDoc> a = seq_index.Search(analyzed, 0.5);
+    std::vector<index::ScoredDoc> b = par_index.Search(analyzed, 0.5);
+    ASSERT_EQ(a.size(), b.size()) << "query " << q.id;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc) << "query " << q.id << " rank " << i;
+      EXPECT_EQ(a[i].external_id, b[i].external_id);
+      EXPECT_EQ(a[i].score, b[i].score) << "query " << q.id << " rank " << i;
+    }
+  }
+}
+
+TEST_F(ParallelAnalysisTest, RankingsMatchAcrossThreadCountsForAllQueries) {
+  // The full pipeline: analysis (1 vs N threads) + index (sequential vs
+  // sharded) must produce the identical ranking for every query.
+  common::ThreadPool pool(ParallelThreads());
+  ExpertFinder f_seq =
+      ExpertFinder::Create(&F().sequential, ExpertFinderConfig{}).value();
+  ExpertFinder f_par = ExpertFinder::Create(&F().parallel, ExpertFinderConfig{},
+                                            nullptr, &pool)
+                           .value();
+  for (const auto& q : F().world.queries) {
+    RankedExperts a = f_seq.Rank(q);
+    RankedExperts b = f_par.Rank(q);
+    EXPECT_EQ(a.matched_resources, b.matched_resources) << "query " << q.id;
+    EXPECT_EQ(a.reachable_resources, b.reachable_resources);
+    EXPECT_EQ(a.considered_resources, b.considered_resources);
+    ASSERT_EQ(a.ranking.size(), b.ranking.size()) << "query " << q.id;
+    for (size_t i = 0; i < a.ranking.size(); ++i) {
+      EXPECT_EQ(a.ranking[i].candidate, b.ranking[i].candidate)
+          << "query " << q.id << " rank " << i;
+      // Bit-identical scores, not approximately equal.
+      EXPECT_EQ(a.ranking[i].score, b.ranking[i].score)
+          << "query " << q.id << " rank " << i;
+    }
+  }
+}
+
+TEST_F(ParallelAnalysisTest, ParallelEvaluateMatchesSequential) {
+  eval::ExperimentRunner runner(&F().world);
+  ExpertFinder finder =
+      ExpertFinder::Create(&F().sequential, ExpertFinderConfig{}).value();
+  eval::AggregateMetrics seq = runner.Evaluate(finder, F().world.queries);
+  common::ThreadPool pool(ParallelThreads());
+  eval::AggregateMetrics par =
+      runner.Evaluate(finder, F().world.queries, &pool);
+  EXPECT_EQ(seq.query_count, par.query_count);
+  EXPECT_EQ(seq.map, par.map);
+  EXPECT_EQ(seq.mrr, par.mrr);
+  EXPECT_EQ(seq.ndcg, par.ndcg);
+  EXPECT_EQ(seq.ndcg_at_10, par.ndcg_at_10);
+  for (int i = 0; i < eval::kElevenPoints; ++i) {
+    EXPECT_EQ(seq.precision11[i], par.precision11[i]);
+  }
+  for (size_t k = 0; k < eval::kDcgCurvePoints; ++k) {
+    EXPECT_EQ(seq.dcg_curve[k], par.dcg_curve[k]);
+  }
+}
+
+TEST_F(ParallelAnalysisTest, ParallelReliabilityMatchesSequential) {
+  eval::ExperimentRunner runner(&F().world);
+  ExpertFinder finder =
+      ExpertFinder::Create(&F().sequential, ExpertFinderConfig{}).value();
+  auto seq = runner.PerUserReliability(finder, F().world.queries);
+  common::ThreadPool pool(ParallelThreads());
+  auto par = runner.PerUserReliability(finder, F().world.queries, 20, &pool);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t u = 0; u < seq.size(); ++u) {
+    EXPECT_EQ(seq[u].candidate, par[u].candidate);
+    EXPECT_EQ(seq[u].resources, par[u].resources);
+    EXPECT_EQ(seq[u].metrics.precision, par[u].metrics.precision);
+    EXPECT_EQ(seq[u].metrics.recall, par[u].metrics.recall);
+    EXPECT_EQ(seq[u].metrics.f1, par[u].metrics.f1);
+  }
+}
+
+TEST_F(ParallelAnalysisTest, FaultInjectedAnalysisIsDeterministic) {
+  // The fault path must stay deterministic whether or not worker threads
+  // are available (platforms may run concurrently on private clocks).
+  synth::WorldConfig cfg;
+  cfg.scale = 0.01;
+  synth::SyntheticWorld world = synth::GenerateWorld(cfg);
+
+  platform::FaultConfig faults;
+  faults.transient_error_prob = 0.2;
+  faults.seed = 1234;
+
+  AnalyzedWorld a =
+      AnalyzeWorld(&world, {.faults = faults, .thread_count = 1});
+  AnalyzedWorld b = AnalyzeWorld(
+      &world, {.faults = faults, .thread_count = ParallelThreads()});
+  EXPECT_EQ(io::DigestAnalyzedCorpora(a.corpora),
+            io::DigestAnalyzedCorpora(b.corpora));
+  for (int p = 0; p < platform::kNumPlatforms; ++p) {
+    EXPECT_EQ(a.fault_stats[p].requests, b.fault_stats[p].requests);
+    EXPECT_EQ(a.fault_stats[p].failures, b.fault_stats[p].failures);
+    EXPECT_EQ(a.fault_stats[p].retries, b.fault_stats[p].retries);
+  }
+}
+
+}  // namespace
+}  // namespace crowdex::core

@@ -60,7 +60,8 @@ TEST_F(ExperimentTest, EvaluateRankingEmptyRanking) {
 
 TEST_F(ExperimentTest, DcgCurveIsNonDecreasing) {
   ExperimentRunner runner(&F().world);
-  core::ExpertFinder finder(&F().analyzed, core::ExpertFinderConfig{});
+  core::ExpertFinder finder = core::ExpertFinder::Create(
+      &F().analyzed, core::ExpertFinderConfig{}).value();
   QueryResult r = runner.EvaluateQuery(finder, F().world.queries.front());
   for (size_t k = 1; k < kDcgCurvePoints; ++k) {
     EXPECT_GE(r.dcg_curve[k], r.dcg_curve[k - 1] - 1e-12);
@@ -116,7 +117,8 @@ TEST_F(ExperimentTest, RandomBaselineInPlausibleRange) {
 
 TEST_F(ExperimentTest, EvaluateAggregatesAllQueries) {
   ExperimentRunner runner(&F().world);
-  core::ExpertFinder finder(&F().analyzed, core::ExpertFinderConfig{});
+  core::ExpertFinder finder = core::ExpertFinder::Create(
+      &F().analyzed, core::ExpertFinderConfig{}).value();
   AggregateMetrics m = runner.Evaluate(finder, F().world.queries);
   EXPECT_EQ(m.query_count, 30u);
   EXPECT_GE(m.map, 0.0);
@@ -125,7 +127,8 @@ TEST_F(ExperimentTest, EvaluateAggregatesAllQueries) {
 
 TEST_F(ExperimentTest, PerUserReliabilityShape) {
   ExperimentRunner runner(&F().world);
-  core::ExpertFinder finder(&F().analyzed, core::ExpertFinderConfig{});
+  core::ExpertFinder finder = core::ExpertFinder::Create(
+      &F().analyzed, core::ExpertFinderConfig{}).value();
   auto reliability = runner.PerUserReliability(finder, F().world.queries);
   ASSERT_EQ(reliability.size(), 40u);
   for (const auto& r : reliability) {
@@ -143,7 +146,8 @@ TEST_F(ExperimentTest, PerUserReliabilityShape) {
 TEST_F(ExperimentTest, PerUserReliabilityTopKMonotonicity) {
   // With a larger top-k, recall can only grow or stay equal per user.
   ExperimentRunner runner(&F().world);
-  core::ExpertFinder finder(&F().analyzed, core::ExpertFinderConfig{});
+  core::ExpertFinder finder = core::ExpertFinder::Create(
+      &F().analyzed, core::ExpertFinderConfig{}).value();
   auto top5 = runner.PerUserReliability(finder, F().world.queries, 5);
   auto top20 = runner.PerUserReliability(finder, F().world.queries, 20);
   for (int u = 0; u < 40; ++u) {

@@ -38,10 +38,12 @@ class IntegrationTest : public ::testing::Test {
       const core::ExpertFinderConfig& cfg) {
     eval::ExperimentRunner runner(&F().world);
     if (cfg.platforms == platform::kAllPlatformsMask) {
-      core::ExpertFinder finder(&F().analyzed, cfg, F().all_index.get());
+      core::ExpertFinder finder = core::ExpertFinder::Create(
+          &F().analyzed, cfg, F().all_index.get()).value();
       return runner.Evaluate(finder, F().world.queries);
     }
-    core::ExpertFinder finder(&F().analyzed, cfg);
+    core::ExpertFinder finder =
+        core::ExpertFinder::Create(&F().analyzed, cfg).value();
     return runner.Evaluate(finder, F().world.queries);
   }
 };
@@ -169,8 +171,8 @@ TEST_F(IntegrationTest, MapGrowsWithWindowSize) {
 TEST_F(IntegrationTest, ReliabilityCorrelatesWithResourceCount) {
   // Fig. 10: candidates with more social resources are assessed better.
   eval::ExperimentRunner runner(&F().world);
-  core::ExpertFinder finder(&F().analyzed, core::ExpertFinderConfig{},
-                            F().all_index.get());
+  core::ExpertFinder finder = core::ExpertFinder::Create(
+      &F().analyzed, core::ExpertFinderConfig{}, F().all_index.get()).value();
   auto reliability = runner.PerUserReliability(finder, F().world.queries);
   std::vector<double> x, y;
   for (const auto& r : reliability) {
@@ -187,7 +189,8 @@ TEST_F(IntegrationTest, LinkedInDistance0StrongForComputerEngineering) {
   core::ExpertFinderConfig li0;
   li0.platforms = platform::MaskOf(platform::Platform::kLinkedIn);
   li0.max_distance = 0;
-  core::ExpertFinder finder(&F().analyzed, li0);
+  core::ExpertFinder finder =
+      core::ExpertFinder::Create(&F().analyzed, li0).value();
   auto ce_queries = synth::QueriesForDomain(Domain::kComputerEngineering);
   auto music_queries = synth::QueriesForDomain(Domain::kMusic);
   eval::AggregateMetrics ce = runner.Evaluate(finder, ce_queries);
@@ -196,8 +199,8 @@ TEST_F(IntegrationTest, LinkedInDistance0StrongForComputerEngineering) {
 }
 
 TEST_F(IntegrationTest, EveryQueryRetrievesSomething) {
-  core::ExpertFinder finder(&F().analyzed, core::ExpertFinderConfig{},
-                            F().all_index.get());
+  core::ExpertFinder finder = core::ExpertFinder::Create(
+      &F().analyzed, core::ExpertFinderConfig{}, F().all_index.get()).value();
   for (const auto& q : F().world.queries) {
     core::RankedExperts r = finder.Rank(q);
     EXPECT_GT(r.matched_resources, 0u) << "query " << q.id << ": " << q.text;

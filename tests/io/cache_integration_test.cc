@@ -41,8 +41,10 @@ TEST(CacheIntegrationTest, ReloadedCorporaProduceIdenticalRankings) {
   reloaded.corpora = std::move(loaded).value();
 
   core::ExpertFinderConfig finder_cfg;
-  core::ExpertFinder f_fresh(&fresh, finder_cfg);
-  core::ExpertFinder f_reloaded(&reloaded, finder_cfg);
+  core::ExpertFinder f_fresh =
+      core::ExpertFinder::Create(&fresh, finder_cfg).value();
+  core::ExpertFinder f_reloaded =
+      core::ExpertFinder::Create(&reloaded, finder_cfg).value();
 
   for (const auto& q : world.queries) {
     core::RankedExperts a = f_fresh.Rank(q);

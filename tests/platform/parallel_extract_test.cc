@@ -1,0 +1,157 @@
+// Determinism of the parallel per-resource analysis path: a hand-built
+// network with a mix of English / non-English / empty / URL-enriched nodes
+// must analyze to the exact same corpus whether the extractor runs on the
+// calling thread or fans out across a worker pool.
+//
+// This file is also compiled into the TSan-instrumented test binary (see
+// tests/CMakeLists.txt): the same assertions then double as a data-race
+// check over the whole extraction pipeline.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/thread_pool.h"
+#include "platform/resource_extractor.h"
+
+namespace crowdex::platform {
+namespace {
+
+/// ~200 nodes cycling through every analysis shape: plain English posts,
+/// Italian posts (language-filtered), empty nodes, URL-enriched posts, and
+/// posts with dead links.
+PlatformNetwork BuildMixedNetwork(WebPageStore* web) {
+  web->Put("http://page/swim",
+           "a long article about the swimming race where the champion won "
+           "another gold medal in the freestyle final at the olympic pool");
+  web->Put("http://page/food",
+           "the best restaurants in milan serve traditional pasta and "
+           "pizza with excellent local wine for dinner");
+
+  PlatformNetwork net;
+  net.platform = Platform::kTwitter;
+  for (int i = 0; i < 200; ++i) {
+    switch (i % 5) {
+      case 0:
+        net.AddNode(graph::NodeKind::kResource, "",
+                    "michael phelps wins the freestyle swimming race number " +
+                        std::to_string(i));
+        break;
+      case 1:
+        net.AddNode(graph::NodeKind::kResource, "",
+                    "oggi sono andato a mangiare una bella pizza con gli "
+                    "amici della squadra numero " + std::to_string(i));
+        break;
+      case 2:
+        net.AddNode(graph::NodeKind::kResource, "", "");
+        break;
+      case 3:
+        net.AddNode(graph::NodeKind::kResource, "",
+                    "short post about the race " + std::to_string(i),
+                    i % 2 == 1 ? "http://page/swim" : "http://page/food");
+        break;
+      default:
+        net.AddNode(graph::NodeKind::kResource, "",
+                    "dead link in post number " + std::to_string(i),
+                    "http://missing/" + std::to_string(i));
+        break;
+    }
+  }
+  return net;
+}
+
+void ExpectIdenticalCorpora(const AnalyzedCorpus& a, const AnalyzedCorpus& b) {
+  EXPECT_EQ(a.platform, b.platform);
+  EXPECT_EQ(a.nodes_with_text, b.nodes_with_text);
+  EXPECT_EQ(a.english_nodes, b.english_nodes);
+  EXPECT_EQ(a.nodes_with_url, b.nodes_with_url);
+  EXPECT_EQ(a.degraded_nodes, b.degraded_nodes);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    const AnalyzedNode& x = a.nodes[i];
+    const AnalyzedNode& y = b.nodes[i];
+    EXPECT_EQ(x.node, y.node) << "node " << i;
+    EXPECT_EQ(x.language, y.language) << "node " << i;
+    EXPECT_EQ(x.has_text, y.has_text) << "node " << i;
+    EXPECT_EQ(x.english, y.english) << "node " << i;
+    ASSERT_EQ(x.terms, y.terms) << "node " << i;
+    ASSERT_EQ(x.entities.size(), y.entities.size()) << "node " << i;
+    for (size_t e = 0; e < x.entities.size(); ++e) {
+      EXPECT_EQ(x.entities[e].entity, y.entities[e].entity);
+      EXPECT_EQ(x.entities[e].frequency, y.entities[e].frequency);
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(x.entities[e].dscore, y.entities[e].dscore);
+    }
+  }
+}
+
+TEST(ParallelExtractTest, PoolAnalysisMatchesSequentialExactly) {
+  entity::KnowledgeBase kb = entity::BuildDefaultKnowledgeBase();
+  ResourceExtractor extractor(&kb);
+  WebPageStore web;
+  PlatformNetwork net = BuildMixedNetwork(&web);
+
+  AnalyzedCorpus sequential = extractor.AnalyzeNetwork(net, web);
+
+  common::ThreadPool pool(4);
+  AnalyzedCorpus parallel =
+      extractor.AnalyzeNetwork(net, web, {.pool = &pool});
+
+  ExpectIdenticalCorpora(sequential, parallel);
+  // The mixed network exercises every statistic.
+  EXPECT_GT(parallel.nodes_with_text, 0u);
+  EXPECT_GT(parallel.english_nodes, 0u);
+  EXPECT_GT(parallel.nodes_with_url, 0u);
+  EXPECT_EQ(parallel.degraded_nodes, 0u);  // fault-free transport
+}
+
+TEST(ParallelExtractTest, RepeatedParallelRunsAreStable) {
+  entity::KnowledgeBase kb = entity::BuildDefaultKnowledgeBase();
+  ResourceExtractor extractor(&kb);
+  WebPageStore web;
+  PlatformNetwork net = BuildMixedNetwork(&web);
+
+  common::ThreadPool pool(4);
+  AnalyzedCorpus first = extractor.AnalyzeNetwork(net, web, {.pool = &pool});
+  for (int round = 0; round < 3; ++round) {
+    AnalyzedCorpus again =
+        extractor.AnalyzeNetwork(net, web, {.pool = &pool});
+    ExpectIdenticalCorpora(first, again);
+  }
+}
+
+TEST(ParallelExtractTest, OneThreadPoolTakesTheSequentialPath) {
+  entity::KnowledgeBase kb = entity::BuildDefaultKnowledgeBase();
+  ResourceExtractor extractor(&kb);
+  WebPageStore web;
+  PlatformNetwork net = BuildMixedNetwork(&web);
+
+  common::ThreadPool one(1);
+  AnalyzedCorpus via_pool = extractor.AnalyzeNetwork(net, web, {.pool = &one});
+  AnalyzedCorpus plain = extractor.AnalyzeNetwork(net, web);
+  ExpectIdenticalCorpora(plain, via_pool);
+}
+
+TEST(ParallelExtractTest, FaultPathIgnoresPoolAndStaysDeterministic) {
+  entity::KnowledgeBase kb = entity::BuildDefaultKnowledgeBase();
+  ResourceExtractor extractor(&kb);
+  WebPageStore web;
+  PlatformNetwork net = BuildMixedNetwork(&web);
+
+  FaultConfig faults;
+  faults.transient_error_prob = 0.3;
+  faults.seed = 99;
+
+  // A non-null api must force the sequential path even when a pool is
+  // passed: FlakyApi draws from one ordered fault stream.
+  common::ThreadPool pool(4);
+  FlakyApi api_a(faults);
+  AnalyzedCorpus a =
+      extractor.AnalyzeNetwork(net, web, {.api = &api_a, .pool = &pool});
+  FlakyApi api_b(faults);
+  AnalyzedCorpus b = extractor.AnalyzeNetwork(net, web, {.api = &api_b});
+  ExpectIdenticalCorpora(a, b);
+}
+
+}  // namespace
+}  // namespace crowdex::platform

@@ -171,7 +171,7 @@ TEST_F(ResourceExtractorTest, FaultyUrlFetchFallsBackToOwnText) {
   FaultConfig config;
   config.transient_error_prob = 1.0;  // Every fetch permanently fails.
   FlakyApi api(config);
-  AnalyzedCorpus corpus = extractor_.AnalyzeNetwork(net, web, &api);
+  AnalyzedCorpus corpus = extractor_.AnalyzeNetwork(net, web, {.api = &api});
   ASSERT_EQ(corpus.nodes.size(), 2u);
   // The node keeps its own text; the unreachable page never leaks in.
   EXPECT_TRUE(corpus.nodes[0].has_text);
@@ -183,7 +183,8 @@ TEST_F(ResourceExtractorTest, FaultyUrlFetchFallsBackToOwnText) {
   // dead link stays the pre-existing NotFound path — silent degradation to
   // own text, not an injected-fault statistic.
   FlakyApi clean(FaultConfig{});
-  AnalyzedCorpus enriched = extractor_.AnalyzeNetwork(net, web, &clean);
+  AnalyzedCorpus enriched =
+      extractor_.AnalyzeNetwork(net, web, {.api = &clean});
   bool has_page_term = false;
   for (const auto& t : enriched.nodes[0].terms) {
     has_page_term = has_page_term || t == "freestyl";

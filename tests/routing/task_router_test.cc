@@ -26,7 +26,8 @@ class TaskRouterTest : public ::testing::Test {
       fx->world = synth::GenerateWorld(cfg);
       fx->analyzed = core::AnalyzeWorld(&fx->world);
       fx->finder = std::make_unique<core::ExpertFinder>(
-          &fx->analyzed, core::ExpertFinderConfig{});
+          core::ExpertFinder::Create(&fx->analyzed, core::ExpertFinderConfig{})
+              .value());
       return fx;
     }();
     return *f;
