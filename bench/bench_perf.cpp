@@ -14,6 +14,12 @@
 // harness, default 0.05), CROWDEX_THREADS (worker count for the parallel
 // arms, default max(4, hardware_concurrency)), CROWDEX_BENCH_JSON (output
 // path, default BENCH_perf.json), CROWDEX_PERF_MICRO=1 (microbenchmarks).
+//
+// --metrics_out=FILE (or CROWDEX_METRICS_OUT) additionally attaches an
+// observability registry to every parallel arm and dumps the collected
+// metrics as JSON. The sequential twins stay uninstrumented, so the
+// existing digest checks double as proof that metrics collection does not
+// perturb any output.
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +28,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -31,6 +38,8 @@
 #include "eval/experiment.h"
 #include "index/search_index.h"
 #include "io/corpus_cache.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "synth/text_gen.h"
 #include "synth/world.h"
 #include "text/language_id.h"
@@ -229,9 +238,12 @@ double Percentile(std::vector<double> sorted, double p) {
 }
 
 /// Runs the whole parallel pipeline against its sequential twin, verifies
-/// bit-identical results, and writes the timings to `json_path`. Returns
-/// false (and reports on stderr) if any parallel arm diverges.
-bool RunEndToEnd(const std::string& json_path) {
+/// bit-identical results, and writes the timings to `json_path`. A
+/// non-empty `metrics_path` instruments the parallel arms and dumps the
+/// collected metrics there as JSON. Returns false (and reports on stderr)
+/// if any parallel arm diverges.
+bool RunEndToEnd(const std::string& json_path,
+                 const std::string& metrics_path) {
   const double scale = EnvDouble("CROWDEX_BENCH_SCALE", 0.05);
   const int threads = EnvInt(
       "CROWDEX_THREADS",
@@ -244,14 +256,20 @@ bool RunEndToEnd(const std::string& json_path) {
   cfg.scale = scale;
   synth::SyntheticWorld world = synth::GenerateWorld(cfg);
 
+  // The registry observes only the parallel arms; their digests must still
+  // match the uninstrumented sequential twins.
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics =
+      metrics_path.empty() ? nullptr : &registry;
+
   // Analysis: 1 thread vs N threads.
   auto t0 = std::chrono::steady_clock::now();
   core::AnalyzedWorld seq = core::AnalyzeWorld(&world, {.thread_count = 1});
   const double analyze_1t = Seconds(t0);
 
   t0 = std::chrono::steady_clock::now();
-  core::AnalyzedWorld par =
-      core::AnalyzeWorld(&world, {.thread_count = threads});
+  core::AnalyzedWorld par = core::AnalyzeWorld(
+      &world, {.thread_count = threads, .metrics = metrics});
   const double analyze_nt = Seconds(t0);
 
   if (io::DigestAnalyzedCorpora(seq.corpora) !=
@@ -272,7 +290,8 @@ bool RunEndToEnd(const std::string& json_path) {
   const double index_1t = Seconds(t0);
 
   t0 = std::chrono::steady_clock::now();
-  core::CorpusIndex par_index(&seq, platform::kAllPlatformsMask, &pool);
+  core::CorpusIndex par_index(&seq, platform::kAllPlatformsMask, &pool,
+                              metrics);
   const double index_nt = Seconds(t0);
 
   if (seq_index.document_count() != par_index.document_count() ||
@@ -283,9 +302,12 @@ bool RunEndToEnd(const std::string& json_path) {
     return false;
   }
 
-  // Query latency over every query in the set (sequential finder).
+  // Query latency over every query in the set (sequential finder). The
+  // finder records per-query rank.* counters and the rank.latency_ms
+  // histogram when metrics are enabled.
   core::ExpertFinder finder =
-      core::ExpertFinder::Create(&seq, core::ExpertFinderConfig{}, &seq_index)
+      core::ExpertFinder::Create(&seq, core::ExpertFinderConfig{}, &seq_index,
+                                 nullptr, metrics)
           .value();
   std::vector<double> latencies_ms;
   latencies_ms.reserve(world.queries.size());
@@ -312,7 +334,7 @@ bool RunEndToEnd(const std::string& json_path) {
 
   t0 = std::chrono::steady_clock::now();
   eval::AggregateMetrics eval_par =
-      runner.Evaluate(finder, world.queries, &pool);
+      runner.Evaluate(finder, world.queries, &pool, metrics);
   const double evaluate_nt = Seconds(t0);
 
   if (eval_seq.map != eval_par.map || eval_seq.mrr != eval_par.mrr ||
@@ -380,6 +402,18 @@ bool RunEndToEnd(const std::string& json_path) {
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", json_path.c_str());
+
+  if (metrics != nullptr) {
+    std::FILE* mout = std::fopen(metrics_path.c_str(), "w");
+    if (mout == nullptr) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", metrics_path.c_str());
+      return false;
+    }
+    const std::string exported = obs::ExportJson(registry);
+    std::fwrite(exported.data(), 1, exported.size(), mout);
+    std::fclose(mout);
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
   return true;
 }
 
@@ -390,7 +424,22 @@ int main(int argc, char** argv) {
   const std::string json_path =
       (json_env != nullptr && *json_env != '\0') ? json_env
                                                  : "BENCH_perf.json";
-  if (!RunEndToEnd(json_path)) return 1;
+  const char* metrics_env = std::getenv("CROWDEX_METRICS_OUT");
+  std::string metrics_path =
+      (metrics_env != nullptr) ? metrics_env : "";
+  // Strip --metrics_out=FILE before google-benchmark sees the arguments.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    constexpr std::string_view kFlag = "--metrics_out=";
+    if (arg.rfind(kFlag, 0) == 0) {
+      metrics_path = arg.substr(kFlag.size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!RunEndToEnd(json_path, metrics_path)) return 1;
 
   const char* micro = std::getenv("CROWDEX_PERF_MICRO");
   if (micro != nullptr && std::string(micro) == "1") {

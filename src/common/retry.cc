@@ -1,6 +1,7 @@
 #include "common/retry.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace crowdex {
 
@@ -8,13 +9,24 @@ uint64_t NextBackoffMs(const BackoffPolicy& policy, uint64_t prev_ms,
                        Rng& rng) {
   uint64_t base = std::max<uint64_t>(policy.base_ms, 1);
   if (prev_ms == 0) return std::min(base, policy.max_ms);
-  uint64_t upper = static_cast<uint64_t>(
-      static_cast<double>(prev_ms) * std::max(policy.multiplier, 1.0));
-  upper = std::clamp(upper, base, policy.max_ms);
+  // Grow the upper bound in double space and clamp before converting back:
+  // prev_ms * multiplier can exceed the uint64 range, and casting such a
+  // double to uint64_t is undefined behavior.
+  const double grown =
+      static_cast<double>(prev_ms) * std::max(policy.multiplier, 1.0);
+  uint64_t upper = grown >= static_cast<double>(policy.max_ms)
+                       ? policy.max_ms
+                       : static_cast<uint64_t>(grown);
+  upper = std::max(upper, std::min(base, policy.max_ms));
   uint64_t lower = std::min(base, upper);
-  return static_cast<uint64_t>(
-      rng.NextInRange(static_cast<int64_t>(lower),
-                      static_cast<int64_t>(upper)));
+  // Draw in unsigned space: routing bounds above INT64_MAX through
+  // Rng::NextInRange's int64_t parameters overflowed. The draw below
+  // consumes the identical rejection-sampled stream for in-range bounds.
+  const uint64_t span = upper - lower;
+  if (span == std::numeric_limits<uint64_t>::max()) {
+    return rng.NextUint64();
+  }
+  return lower + rng.NextBelow(span + 1);
 }
 
 const char* BreakerStateToString(BreakerState state) {
@@ -33,6 +45,7 @@ bool CircuitBreaker::Allow(uint64_t now_ms) {
   if (state_ == BreakerState::kOpen) {
     if (now_ms < open_until_ms_) return false;
     state_ = BreakerState::kHalfOpen;
+    ++transitions_.open_to_half_open;
     half_open_successes_ = 0;
   }
   return true;
@@ -42,6 +55,7 @@ void CircuitBreaker::RecordSuccess(uint64_t /*now_ms*/) {
   if (state_ == BreakerState::kHalfOpen) {
     if (++half_open_successes_ >= config_.half_open_successes) {
       state_ = BreakerState::kClosed;
+      ++transitions_.half_open_to_closed;
       consecutive_failures_ = 0;
     }
     return;
@@ -53,6 +67,7 @@ void CircuitBreaker::RecordFailure(uint64_t now_ms) {
   if (state_ == BreakerState::kHalfOpen) {
     // The probe failed: the backend is still down, back to cooldown.
     state_ = BreakerState::kOpen;
+    ++transitions_.half_open_to_open;
     open_until_ms_ = now_ms + config_.open_duration_ms;
     ++trips_;
     return;
@@ -60,6 +75,7 @@ void CircuitBreaker::RecordFailure(uint64_t now_ms) {
   if (state_ == BreakerState::kClosed &&
       ++consecutive_failures_ >= config_.failure_threshold) {
     state_ = BreakerState::kOpen;
+    ++transitions_.closed_to_open;
     open_until_ms_ = now_ms + config_.open_duration_ms;
     ++trips_;
     consecutive_failures_ = 0;

@@ -54,6 +54,18 @@ enum class BreakerState : uint8_t {
 /// Returns "Closed" / "Open" / "HalfOpen".
 const char* BreakerStateToString(BreakerState state);
 
+/// Per-edge transition counts of the breaker state machine, for the
+/// observability layer (each edge becomes one exported counter).
+struct BreakerTransitions {
+  int closed_to_open = 0;
+  int open_to_half_open = 0;
+  int half_open_to_closed = 0;
+  int half_open_to_open = 0;
+
+  friend bool operator==(const BreakerTransitions&,
+                         const BreakerTransitions&) = default;
+};
+
 struct CircuitBreakerConfig {
   /// Consecutive failures (in closed state) that trip the breaker.
   int failure_threshold = 5;
@@ -96,6 +108,8 @@ class CircuitBreaker {
   int trips() const { return trips_; }
   /// Requests abandoned because the breaker was open (`RecordShed`).
   size_t shed_count() const { return shed_count_; }
+  /// Per-edge state-transition counts since construction.
+  const BreakerTransitions& transitions() const { return transitions_; }
 
  private:
   CircuitBreakerConfig config_;
@@ -105,6 +119,7 @@ class CircuitBreaker {
   uint64_t open_until_ms_ = 0;
   int trips_ = 0;
   size_t shed_count_ = 0;
+  BreakerTransitions transitions_;
 };
 
 /// Outcome of `RetryWithBackoff`: the final status plus accounting for the

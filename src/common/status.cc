@@ -1,6 +1,15 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace crowdex {
+
+void CheckOk(const Status& status, const char* what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "FATAL: %s: %s\n", what, status.ToString().c_str());
+  std::abort();
+}
 
 std::string_view StatusCodeToString(StatusCode code) {
   switch (code) {

@@ -119,6 +119,16 @@ class Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
+/// Terminates the process with a diagnostic when `status` is not OK.
+///
+/// For code paths whose failure is a programming error or an escaped
+/// exception (e.g. a `ParallelFor` over an infallible body) — places where
+/// a plain `assert(s.ok())` would compile to nothing in release builds and
+/// silently continue on partial results. Unlike `assert`, this fires in
+/// every build mode and prints the offending status. Fallible-by-contract
+/// operations must keep returning `Status` instead of calling this.
+void CheckOk(const Status& status, const char* what);
+
 namespace internal {
 /// Shared immutable OK status returned by reference from `Result::status()`.
 inline const Status& OkStatusSingleton() {

@@ -1,8 +1,10 @@
 #include "core/analyzed_world.h"
 
-#include <cassert>
+#include <string>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace crowdex::core {
 
@@ -33,6 +35,7 @@ AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
   out.extractor = std::make_unique<platform::ResourceExtractor>(
       &world->kb, options.extractor);
   common::ThreadPool pool(options.thread_count);
+  obs::StageTimer timer(options.metrics, "analyze_world");
 
   if (!options.faults.has_value()) {
     // Fault-free path: platforms run one after another, the nodes of each
@@ -40,21 +43,34 @@ AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
     // thread count yields bit-identical corpora.
     for (int p = 0; p < platform::kNumPlatforms; ++p) {
       out.corpora[p] = out.extractor->AnalyzeNetwork(
-          world->networks[p], world->web, {.pool = &pool});
+          world->networks[p], world->web,
+          {.pool = &pool, .metrics = options.metrics});
     }
     return out;
   }
 
   // Fault path: `FlakyApi` is single-threaded, so each platform is analyzed
   // sequentially against its own API instance. With private clocks the
-  // three platforms are mutually independent and may run concurrently;
-  // a shared clock couples them through retry backoffs and forces strict
-  // platform order.
+  // three platforms are mutually independent and may run concurrently —
+  // each API stays on one thread, and its per-platform metric prefix keeps
+  // the streams apart. A shared clock couples the platforms through retry
+  // backoffs and forces strict platform order.
   auto apis = MakePlatformApis(*options.faults, options.clock);
+  if (options.metrics != nullptr) {
+    for (int p = 0; p < platform::kNumPlatforms; ++p) {
+      apis[p]->set_metrics(
+          options.metrics,
+          "api." +
+              std::string(platform::PlatformShortName(
+                  platform::kAllPlatforms[static_cast<size_t>(p)])) +
+              ".");
+    }
+  }
   if (options.clock != nullptr || pool.thread_count() == 1) {
     for (int p = 0; p < platform::kNumPlatforms; ++p) {
       out.corpora[p] = out.extractor->AnalyzeNetwork(
-          world->networks[p], world->web, {.api = apis[p].get()});
+          world->networks[p], world->web,
+          {.api = apis[p].get(), .metrics = options.metrics});
     }
   } else {
     Status analyzed = pool.ParallelFor(
@@ -62,12 +78,12 @@ AnalyzedWorld AnalyzeWorld(const synth::SyntheticWorld* world,
         [&](size_t begin, size_t end) {
           for (size_t p = begin; p < end; ++p) {
             out.corpora[p] = out.extractor->AnalyzeNetwork(
-                world->networks[p], world->web, {.api = apis[p].get()});
+                world->networks[p], world->web,
+                {.api = apis[p].get(), .metrics = options.metrics});
           }
           return Status::Ok();
         });
-    assert(analyzed.ok());
-    (void)analyzed;
+    CheckOk(analyzed, "AnalyzeWorld fault-path ParallelFor");
   }
   for (int p = 0; p < platform::kNumPlatforms; ++p) {
     out.fault_stats[p] = apis[p]->stats();

@@ -61,6 +61,12 @@ struct AnalyzeOptions {
   /// sequential within a platform because `FlakyApi` draws from one
   /// ordered fault stream.
   int thread_count = 0;
+  /// Observability registry (null = off; must outlive the call): records
+  /// the whole-world analyze wall time (`stage_ms.analyze_world`), the
+  /// per-platform extraction statistics (`extract.*`), and — on the fault
+  /// path — per-platform transport counters under `api.FB.` / `api.TW.` /
+  /// `api.LI.`. The analyzed corpora are bit-identical with or without it.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs the analysis pipeline over every network of `world` as configured

@@ -1,11 +1,16 @@
 #include "core/corpus_index.h"
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace crowdex::core {
 
 CorpusIndex::CorpusIndex(const AnalyzedWorld* analyzed,
                          platform::PlatformMask mask,
-                         const common::ThreadPool* pool)
+                         const common::ThreadPool* pool,
+                         obs::MetricsRegistry* metrics)
     : analyzed_(analyzed), mask_(mask) {
+  obs::StageTimer timer(metrics, "index_build");
   // Collect borrowed views in (platform, node) order — this fixes the
   // doc-id assignment — then hand the whole collection to the index, which
   // may shard the posting construction across `pool`.
@@ -20,7 +25,7 @@ CorpusIndex::CorpusIndex(const AnalyzedWorld* analyzed,
                       &node.entities});
     }
   }
-  index_.BulkAdd(docs, pool);
+  build_status_ = index_.BulkAdd(docs, pool, metrics);
 }
 
 }  // namespace crowdex::core

@@ -42,8 +42,19 @@ class CorpusIndex {
   /// `analyzed` must outlive this object. A pool of more than one thread
   /// builds the postings in shards (see `SearchIndex::BulkAdd`); document
   /// ids, statistics, and scores are identical for any thread count.
+  /// A non-null `metrics` records build time and document/posting counts
+  /// (`index.*`) without affecting the indexed output.
+  ///
+  /// Construction cannot signal failure directly; check `build_status()`
+  /// before using the index (`ExpertFinder::Create` does, and propagates).
   CorpusIndex(const AnalyzedWorld* analyzed, platform::PlatformMask mask,
-              const common::ThreadPool* pool = nullptr);
+              const common::ThreadPool* pool = nullptr,
+              obs::MetricsRegistry* metrics = nullptr);
+
+  /// OK when the underlying `SearchIndex::BulkAdd` committed every
+  /// document; otherwise the propagated build error (the index is empty —
+  /// a failed bulk add commits nothing).
+  const Status& build_status() const { return build_status_; }
 
   const index::SearchIndex& search_index() const { return index_; }
   platform::PlatformMask mask() const { return mask_; }
@@ -59,6 +70,7 @@ class CorpusIndex {
   const AnalyzedWorld* analyzed_;
   platform::PlatformMask mask_;
   index::SearchIndex index_;
+  Status build_status_;
 };
 
 }  // namespace crowdex::core

@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace crowdex::core {
 
 Result<ExpertFinder> ExpertFinder::Create(const AnalyzedWorld* analyzed,
                                           const ExpertFinderConfig& config,
                                           const CorpusIndex* shared_index,
-                                          const common::ThreadPool* pool) {
+                                          const common::ThreadPool* pool,
+                                          obs::MetricsRegistry* metrics) {
   if (analyzed == nullptr) {
     return Status::InvalidArgument("ExpertFinder: analyzed world is null");
   }
@@ -26,20 +31,34 @@ Result<ExpertFinder> ExpertFinder::Create(const AnalyzedWorld* analyzed,
   std::unique_ptr<CorpusIndex> owned;
   const CorpusIndex* index = shared_index;
   if (index == nullptr) {
-    owned = std::make_unique<CorpusIndex>(analyzed, config.platforms, pool);
+    owned = std::make_unique<CorpusIndex>(analyzed, config.platforms, pool,
+                                          metrics);
+    // A failed bulk add commits nothing; surface it instead of serving
+    // queries from an empty index.
+    CROWDEX_RETURN_IF_ERROR(owned->build_status());
     index = owned.get();
   }
-  return ExpertFinder(analyzed, config, std::move(owned), index);
+  return ExpertFinder(analyzed, config, std::move(owned), index, metrics);
 }
 
 ExpertFinder::ExpertFinder(const AnalyzedWorld* analyzed,
                            const ExpertFinderConfig& config,
                            std::unique_ptr<CorpusIndex> owned_index,
-                           const CorpusIndex* index)
+                           const CorpusIndex* index,
+                           obs::MetricsRegistry* metrics)
     : analyzed_(analyzed),
       config_(config),
       owned_index_(std::move(owned_index)),
-      index_(index) {
+      index_(index),
+      metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    rank_queries_ = metrics_->counter("rank.queries");
+    rank_matched_ = metrics_->counter("rank.matched_resources");
+    rank_reachable_ = metrics_->counter("rank.reachable_resources");
+    rank_considered_ = metrics_->counter("rank.considered_resources");
+    rank_latency_ms_ = metrics_->histogram("rank.latency_ms");
+  }
+  obs::StageTimer timer(metrics_, "build_associations");
   BuildAssociations();
 }
 
@@ -114,6 +133,7 @@ std::vector<index::ScoredDoc> ExpertFinder::WindowedResources(
 
 RankedExperts ExpertFinder::RankAnalyzed(
     const index::AnalyzedQuery& query) const {
+  const auto start = std::chrono::steady_clock::now();
   RankedExperts out;
   std::vector<index::ScoredDoc> windowed = WindowedResources(query, &out);
 
@@ -149,6 +169,17 @@ RankedExperts ExpertFinder::RankAnalyzed(
               return a.score != b.score ? a.score > b.score
                                         : a.candidate < b.candidate;
             });
+
+  if (metrics_ != nullptr) {
+    rank_queries_->Increment(1);
+    rank_matched_->Increment(out.matched_resources);
+    rank_reachable_->Increment(out.reachable_resources);
+    rank_considered_->Increment(out.considered_resources);
+    rank_latency_ms_->Record(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
   return out;
 }
 

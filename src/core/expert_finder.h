@@ -11,6 +11,12 @@
 #include "core/corpus_index.h"
 #include "synth/query_set.h"
 
+namespace crowdex::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace crowdex::obs
+
 namespace crowdex::core {
 
 /// One ranked candidate expert.
@@ -64,13 +70,21 @@ class ExpertFinder {
   /// instead is the cheap path for parameter sweeps. Returns
   /// `kInvalidArgument` — never aborts — when `analyzed` is null or
   /// incomplete, `config` fails `Validate()`, or `shared_index` does not
-  /// cover the configured platforms. `analyzed`, `shared_index`, and the
-  /// finder's own index must outlive the finder; `pool` is only used
-  /// during this call.
+  /// cover the configured platforms, and propagates the build error of the
+  /// private corpus index when its bulk add fails. `analyzed`,
+  /// `shared_index`, and the finder's own index must outlive the finder;
+  /// `pool` is only used during this call.
+  ///
+  /// A non-null `metrics` (which must outlive the finder) instruments
+  /// every `Rank`: per-query matched/reachable/windowed resource counts
+  /// (`rank.*` counters) and a wall-clock rank latency histogram
+  /// (`rank.latency_ms`). Rankings are bit-identical with metrics on, off,
+  /// or shared across finders.
   static Result<ExpertFinder> Create(const AnalyzedWorld* analyzed,
                                      const ExpertFinderConfig& config,
                                      const CorpusIndex* shared_index = nullptr,
-                                     const common::ThreadPool* pool = nullptr);
+                                     const common::ThreadPool* pool = nullptr,
+                                     obs::MetricsRegistry* metrics = nullptr);
 
   ExpertFinder(const ExpertFinder&) = delete;
   ExpertFinder& operator=(const ExpertFinder&) = delete;
@@ -106,7 +120,7 @@ class ExpertFinder {
   /// Invariant-holding constructor: inputs already validated by `Create`.
   ExpertFinder(const AnalyzedWorld* analyzed, const ExpertFinderConfig& config,
                std::unique_ptr<CorpusIndex> owned_index,
-               const CorpusIndex* index);
+               const CorpusIndex* index, obs::MetricsRegistry* metrics);
 
   void BuildAssociations();
   RankedExperts RankAnalyzed(const index::AnalyzedQuery& query) const;
@@ -120,6 +134,14 @@ class ExpertFinder {
   ExpertFinderConfig config_;
   std::unique_ptr<CorpusIndex> owned_index_;
   const CorpusIndex* index_;
+  /// Null = observability off. Instrument handles are resolved once at
+  /// construction so the per-query hot path never takes the registry lock.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* rank_queries_ = nullptr;
+  obs::Counter* rank_matched_ = nullptr;
+  obs::Counter* rank_reachable_ = nullptr;
+  obs::Counter* rank_considered_ = nullptr;
+  obs::Histogram* rank_latency_ms_ = nullptr;
   /// packed (platform, node) -> candidates that reach it, with distance.
   std::unordered_map<uint64_t, std::vector<Association>> associations_;
   /// Per-candidate count of distinct reachable indexed resources.

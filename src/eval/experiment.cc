@@ -1,11 +1,12 @@
 #include "eval/experiment.h"
 
-#include <cassert>
 #include <cmath>
 #include <unordered_set>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace crowdex::eval {
 
@@ -83,7 +84,8 @@ AggregateMetrics ExperimentRunner::Aggregate(
 AggregateMetrics ExperimentRunner::Evaluate(
     const core::ExpertFinder& finder,
     const std::vector<synth::ExpertiseNeed>& queries,
-    const common::ThreadPool* pool) const {
+    const common::ThreadPool* pool, obs::MetricsRegistry* metrics) const {
+  obs::StageTimer timer(metrics, "evaluate");
   std::vector<QueryResult> results(queries.size());
   if (pool != nullptr && pool->thread_count() > 1 && queries.size() > 1) {
     // Each query evaluates independently against the immutable finder;
@@ -96,13 +98,13 @@ AggregateMetrics ExperimentRunner::Evaluate(
           }
           return Status::Ok();
         });
-    assert(evaluated.ok());
-    (void)evaluated;
+    CheckOk(evaluated, "ExperimentRunner::Evaluate ParallelFor");
   } else {
     for (size_t i = 0; i < queries.size(); ++i) {
       results[i] = EvaluateQuery(finder, queries[i]);
     }
   }
+  obs::MetricsRegistry::Add(metrics, "eval.queries", queries.size());
   return Aggregate(results);
 }
 
@@ -128,7 +130,8 @@ AggregateMetrics ExperimentRunner::RandomBaseline(
 std::vector<UserReliability> ExperimentRunner::PerUserReliability(
     const core::ExpertFinder& finder,
     const std::vector<synth::ExpertiseNeed>& queries, size_t top_k,
-    const common::ThreadPool* pool) const {
+    const common::ThreadPool* pool, obs::MetricsRegistry* metrics) const {
+  obs::StageTimer timer(metrics, "per_user_reliability");
   const size_t n = world_->candidates.size();
   std::vector<size_t> tp(n, 0), retrieved(n, 0), relevant(n, 0);
 
@@ -143,8 +146,7 @@ std::vector<UserReliability> ExperimentRunner::PerUserReliability(
   };
   if (pool != nullptr && pool->thread_count() > 1 && queries.size() > 1) {
     Status ranked = pool->ParallelFor(queries.size(), rank_range);
-    assert(ranked.ok());
-    (void)ranked;
+    CheckOk(ranked, "ExperimentRunner::PerUserReliability ParallelFor");
   } else {
     (void)rank_range(0, queries.size());
   }

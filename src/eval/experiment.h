@@ -74,10 +74,13 @@ class ExperimentRunner {
   /// Mean metrics of `finder` over `queries`. A pool of more than one
   /// thread fans the queries out across it (`Rank` is const and
   /// thread-safe); per-query results are committed in query order, so the
-  /// aggregate is identical for any thread count.
+  /// aggregate is identical for any thread count. A non-null `metrics`
+  /// records the evaluated query count (`eval.queries`) and the run's wall
+  /// time (`stage_ms.evaluate`) without affecting any metric value.
   AggregateMetrics Evaluate(const core::ExpertFinder& finder,
                             const std::vector<synth::ExpertiseNeed>& queries,
-                            const common::ThreadPool* pool = nullptr) const;
+                            const common::ThreadPool* pool = nullptr,
+                            obs::MetricsRegistry* metrics = nullptr) const;
 
   /// The paper's random baseline: for each query, 10 runs each ranking 20
   /// uniformly chosen candidates in random order, averaged (Sec. 3.1).
@@ -88,11 +91,13 @@ class ExperimentRunner {
   /// Per-candidate precision/recall/F1 across `queries`, counting a
   /// candidate as "retrieved" when it appears in the top `top_k` of a
   /// query's ranking (Fig. 10). The rankings fan out across `pool` (when
-  /// given); accumulation stays sequential in query order.
+  /// given); accumulation stays sequential in query order. A non-null
+  /// `metrics` records the wall time (`stage_ms.per_user_reliability`).
   std::vector<UserReliability> PerUserReliability(
       const core::ExpertFinder& finder,
       const std::vector<synth::ExpertiseNeed>& queries, size_t top_k = 20,
-      const common::ThreadPool* pool = nullptr) const;
+      const common::ThreadPool* pool = nullptr,
+      obs::MetricsRegistry* metrics = nullptr) const;
 
   /// Graded gains (2^likert − 1) of every candidate for `domain`.
   std::vector<double> GainsForDomain(Domain domain) const;

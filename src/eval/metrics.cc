@@ -99,13 +99,23 @@ std::array<double, kElevenPoints> InterpolatedPrecision11(
     recall[i] = static_cast<double>(hits) / static_cast<double>(relevant.size());
   }
 
+  // The interpolated precision at recall r is max precision over every
+  // position whose recall reaches r. Recall is non-decreasing in the
+  // position, so that maximum is a suffix-max of the precision array
+  // starting at the first position reaching r — computed once in O(n)
+  // instead of rescanning all positions per level (O(11·n)).
+  std::vector<double> suffix_max(ranked.size());
+  double best = 0.0;
+  for (size_t i = ranked.size(); i-- > 0;) {
+    best = std::max(best, precision[i]);
+    suffix_max[i] = best;
+  }
+
+  size_t start = 0;
   for (int level = 0; level < kElevenPoints; ++level) {
     double r = level / 10.0;
-    double best = 0.0;
-    for (size_t i = 0; i < ranked.size(); ++i) {
-      if (recall[i] + 1e-12 >= r) best = std::max(best, precision[i]);
-    }
-    out[level] = best;
+    while (start < ranked.size() && recall[start] + 1e-12 < r) ++start;
+    out[level] = start < ranked.size() ? suffix_max[start] : 0.0;
   }
   return out;
 }

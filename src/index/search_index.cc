@@ -6,6 +6,8 @@
 #include <mutex>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace crowdex::index {
 
@@ -42,25 +44,17 @@ DocId SearchIndex::Add(const IndexableDocument& doc) {
   return id;
 }
 
-void SearchIndex::BulkAdd(const std::vector<DocView>& docs,
-                          const common::ThreadPool* pool) {
+Status SearchIndex::BulkAdd(const std::vector<DocView>& docs,
+                            const common::ThreadPool* pool,
+                            obs::MetricsRegistry* metrics) {
+  obs::Span build_span(metrics, "index.bulk_add_ms");
   const DocId base = static_cast<DocId>(external_ids_.size());
-  external_ids_.reserve(external_ids_.size() + docs.size());
-  for (const DocView& d : docs) external_ids_.push_back(d.external_id);
-
-  const bool parallel =
-      pool != nullptr && pool->thread_count() > 1 && docs.size() > 1;
-  if (!parallel) {
-    for (size_t i = 0; i < docs.size(); ++i) {
-      AppendDoc(base + static_cast<DocId>(i), *docs[i].terms,
-                *docs[i].entities, &term_postings_, &entity_postings_);
-    }
-    return;
-  }
 
   // Each shard owns a contiguous doc range and builds private posting maps;
   // doc ids are preassigned from the range, so no shard ever touches
-  // another's documents.
+  // another's documents. The sequential path runs the same body as one
+  // shard, which keeps both paths under one failure contract: nothing is
+  // committed to the index until every range has built cleanly.
   struct Shard {
     size_t begin = 0;
     TermPostingMap terms;
@@ -68,37 +62,71 @@ void SearchIndex::BulkAdd(const std::vector<DocView>& docs,
   };
   std::vector<Shard> shards;
   std::mutex mu;
-  Status built = pool->ParallelFor(
-      docs.size(), /*min_chunk=*/64, [&](size_t begin, size_t end) {
-        Shard shard;
-        shard.begin = begin;
-        for (size_t i = begin; i < end; ++i) {
-          AppendDoc(base + static_cast<DocId>(i), *docs[i].terms,
-                    *docs[i].entities, &shard.terms, &shard.entities);
-        }
-        std::lock_guard<std::mutex> lock(mu);
-        shards.push_back(std::move(shard));
-        return Status::Ok();
-      });
-  assert(built.ok());
-  (void)built;
+  auto build_range = [&](size_t begin, size_t end) {
+    Shard shard;
+    shard.begin = begin;
+    for (size_t i = begin; i < end; ++i) {
+      if (docs[i].terms == nullptr || docs[i].entities == nullptr) {
+        return Status::InvalidArgument(
+            "BulkAdd: doc " + std::to_string(i) +
+            " has a null terms/entities view");
+      }
+      AppendDoc(base + static_cast<DocId>(i), *docs[i].terms,
+                *docs[i].entities, &shard.terms, &shard.entities);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    shards.push_back(std::move(shard));
+    return Status::Ok();
+  };
+
+  const bool parallel =
+      pool != nullptr && pool->thread_count() > 1 && docs.size() > 1;
+  Status built = parallel
+                     ? pool->ParallelFor(docs.size(), /*min_chunk=*/64,
+                                         build_range)
+                     : build_range(0, docs.size());
+  // ParallelFor reports the lowest-indexed failing chunk, so the error is
+  // deterministic; discarding the unmerged shards leaves the index intact.
+  if (!built.ok()) return built;
+
+  external_ids_.reserve(external_ids_.size() + docs.size());
+  for (const DocView& d : docs) external_ids_.push_back(d.external_id);
 
   // Merging in ascending shard order leaves every posting list sorted by
   // ascending doc id — identical to the sequential build (whose lists grow
   // one doc at a time). Lookups never iterate the maps themselves, so the
   // index is bit-for-bit equivalent for every query.
+  obs::Span merge_span(metrics, "index.shard_merge_ms");
   std::sort(shards.begin(), shards.end(),
             [](const Shard& a, const Shard& b) { return a.begin < b.begin; });
+  size_t term_postings_added = 0;
+  size_t entity_postings_added = 0;
   for (Shard& shard : shards) {
     for (auto& [term, postings] : shard.terms) {
+      term_postings_added += postings.size();
       auto& dst = term_postings_[term];
       dst.insert(dst.end(), postings.begin(), postings.end());
     }
     for (auto& [eid, postings] : shard.entities) {
+      entity_postings_added += postings.size();
       auto& dst = entity_postings_[eid];
       dst.insert(dst.end(), postings.begin(), postings.end());
     }
   }
+  merge_span.Stop();
+
+  if (metrics != nullptr) {
+    obs::MetricsRegistry::Add(metrics, "index.docs_added", docs.size());
+    obs::MetricsRegistry::Add(metrics, "index.term_postings_added",
+                              term_postings_added);
+    obs::MetricsRegistry::Add(metrics, "index.entity_postings_added",
+                              entity_postings_added);
+    obs::MetricsRegistry::Set(metrics, "index.docs",
+                              static_cast<int64_t>(size()));
+    obs::MetricsRegistry::Set(metrics, "index.vocabulary",
+                              static_cast<int64_t>(vocabulary_size()));
+  }
+  return Status::Ok();
 }
 
 uint32_t SearchIndex::ResourceFrequency(const std::string& term) const {
@@ -115,25 +143,31 @@ uint32_t SearchIndex::EntityResourceFrequency(entity::EntityId entity) const {
              : static_cast<uint32_t>(it->second.size());
 }
 
-double SearchIndex::Irf(const std::string& term) const {
-  uint32_t rf = ResourceFrequency(term);
+double SearchIndex::InverseFrequency(size_t rf) const {
   if (rf == 0) return 0.0;
-  return std::log(1.0 + static_cast<double>(size()) / rf);
+  return std::log(1.0 + static_cast<double>(size()) /
+                            static_cast<double>(rf));
+}
+
+double SearchIndex::Irf(const std::string& term) const {
+  return InverseFrequency(ResourceFrequency(term));
 }
 
 double SearchIndex::Eirf(entity::EntityId entity) const {
-  uint32_t rf = EntityResourceFrequency(entity);
-  if (rf == 0) return 0.0;
-  return std::log(1.0 + static_cast<double>(size()) / rf);
+  return InverseFrequency(EntityResourceFrequency(entity));
 }
 
 uint32_t SearchIndex::TermFrequency(DocId doc, const std::string& term) const {
   auto it = term_postings_.find(term);
   if (it == term_postings_.end()) return 0;
-  for (const TermPosting& p : it->second) {
-    if (p.doc == doc) return p.tf;
-  }
-  return 0;
+  // Posting lists are built in ascending doc-id order (both `Add` and the
+  // shard merge of `BulkAdd` guarantee it), so membership is a binary
+  // search, not a linear scan of every posting.
+  const std::vector<TermPosting>& postings = it->second;
+  auto pos = std::lower_bound(
+      postings.begin(), postings.end(), doc,
+      [](const TermPosting& p, DocId d) { return p.doc < d; });
+  return pos != postings.end() && pos->doc == doc ? pos->tf : 0;
 }
 
 std::vector<ScoredDoc> SearchIndex::Search(const AnalyzedQuery& query,
@@ -149,7 +183,9 @@ std::vector<ScoredDoc> SearchIndex::Search(const AnalyzedQuery& query,
     for (const auto& [term, qtf] : query_tf) {
       auto it = term_postings_.find(term);
       if (it == term_postings_.end()) continue;
-      double irf = Irf(term);
+      // The posting list in hand already carries the resource frequency;
+      // going through Irf(term) would hash the term a second time.
+      double irf = InverseFrequency(it->second.size());
       double weight = alpha * qtf * irf * irf;
       for (const TermPosting& p : it->second) {
         scores[p.doc] += weight * p.tf;
@@ -163,7 +199,7 @@ std::vector<ScoredDoc> SearchIndex::Search(const AnalyzedQuery& query,
     for (const auto& [eid, qef] : query_ef) {
       auto it = entity_postings_.find(eid);
       if (it == entity_postings_.end()) continue;
-      double eirf = Eirf(eid);
+      double eirf = InverseFrequency(it->second.size());
       double weight = (1.0 - alpha) * qef * eirf * eirf;
       for (const EntityPosting& p : it->second) {
         // Eq. 2: we(e,r) = 1 + dScore when disambiguation succeeded.

@@ -6,11 +6,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "entity/knowledge_base.h"
 
 namespace crowdex::common {
 class ThreadPool;
 }  // namespace crowdex::common
+
+namespace crowdex::obs {
+class MetricsRegistry;
+}  // namespace crowdex::obs
 
 namespace crowdex::index {
 
@@ -87,8 +92,20 @@ class SearchIndex {
   /// per-entity posting list comes out sorted by ascending doc id —
   /// exactly what the sequential loop produces. A null pool (or one
   /// thread) indexes sequentially.
-  void BulkAdd(const std::vector<DocView>& docs,
-               const common::ThreadPool* pool = nullptr);
+  ///
+  /// Returns `kInvalidArgument` when any `DocView` carries a null terms or
+  /// entities pointer (the failure is detected inside the owning chunk and
+  /// the lowest failing doc index wins deterministically), or `kInternal`
+  /// when a chunk body threw. On any failure the index is left exactly as
+  /// it was before the call — no documents, ids, or postings are committed.
+  ///
+  /// When `metrics` is non-null, build and shard-merge wall time land in
+  /// the `index.bulk_add_ms` / `index.shard_merge_ms` histograms and
+  /// document/posting counts in `index.*` counters and gauges. Metrics
+  /// never affect the indexed output.
+  [[nodiscard]] Status BulkAdd(const std::vector<DocView>& docs,
+                               const common::ThreadPool* pool = nullptr,
+                               obs::MetricsRegistry* metrics = nullptr);
 
   /// Number of indexed documents.
   size_t size() const { return external_ids_.size(); }
@@ -136,6 +153,12 @@ class SearchIndex {
       std::unordered_map<std::string, std::vector<TermPosting>>;
   using EntityPostingMap =
       std::unordered_map<entity::EntityId, std::vector<EntityPosting>>;
+
+  /// log(1 + N / rf) over the current collection; 0 when `rf` is 0. The
+  /// shared core of `Irf`/`Eirf`, also used by `Search` to derive the
+  /// statistic from an already-found posting list instead of re-hashing
+  /// the term.
+  double InverseFrequency(size_t rf) const;
 
   /// Builds the postings of one document into `terms_out`/`entities_out`
   /// (which may be the index's own maps or a shard's).

@@ -1,0 +1,135 @@
+#include "obs/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace crowdex::obs {
+
+namespace {
+
+/// Fixed-precision, locale-independent double rendering. Metric values are
+/// millisecond timings and counts; six significant decimals round-trip
+/// them losslessly enough for dashboards while keeping the byte output
+/// stable across runs that produce equal values.
+void AppendDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    out->append("0");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out->append(buf);
+  // %.6g may emit a bare integer ("5"), which is still valid JSON.
+}
+
+void AppendQuoted(std::string* out, const std::string& text) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendUint(std::string* out, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out->append(buf);
+}
+
+void AppendInt(std::string* out, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out->append(buf);
+}
+
+void AppendHistogram(std::string* out, const HistogramSnapshot& snap) {
+  out->append("{\"count\": ");
+  AppendUint(out, snap.count);
+  out->append(", \"sum\": ");
+  AppendDouble(out, snap.sum);
+  out->append(", \"max\": ");
+  AppendDouble(out, snap.max);
+  out->append(", \"p50\": ");
+  AppendDouble(out, snap.Percentile(0.50));
+  out->append(", \"p95\": ");
+  AppendDouble(out, snap.Percentile(0.95));
+  out->append(", \"p99\": ");
+  AppendDouble(out, snap.Percentile(0.99));
+  out->append(", \"buckets\": [");
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (i > 0) out->append(", ");
+    out->append("{\"le\": ");
+    if (i < snap.bounds.size()) {
+      AppendDouble(out, snap.bounds[i]);
+    } else {
+      out->append("\"inf\"");
+    }
+    out->append(", \"count\": ");
+    AppendUint(out, snap.buckets[i]);
+    out->push_back('}');
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  std::string out;
+  out.reserve(4096);
+  out.append("{\n  \"schema\": \"crowdex-metrics-v1\",\n  \"counters\": {");
+  bool first = true;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    out.append(first ? "\n" : ",\n");
+    first = false;
+    out.append("    ");
+    AppendQuoted(&out, name);
+    out.append(": ");
+    AppendUint(&out, value);
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+
+  out.append("  \"gauges\": {");
+  first = true;
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    out.append(first ? "\n" : ",\n");
+    first = false;
+    out.append("    ");
+    AppendQuoted(&out, name);
+    out.append(": ");
+    AppendInt(&out, value);
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+
+  out.append("  \"histograms\": {");
+  first = true;
+  for (const auto& [name, snap] : registry.HistogramValues()) {
+    out.append(first ? "\n" : ",\n");
+    first = false;
+    out.append("    ");
+    AppendQuoted(&out, name);
+    out.append(": ");
+    AppendHistogram(&out, snap);
+  }
+  out.append(first ? "}\n" : "\n  }\n");
+  out.append("}\n");
+  return out;
+}
+
+}  // namespace crowdex::obs

@@ -1,0 +1,34 @@
+#ifndef CROWDEX_OBS_JSON_H_
+#define CROWDEX_OBS_JSON_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace crowdex::obs {
+
+/// Serializes the registry to a stable JSON document:
+///
+/// ```json
+/// {
+///   "schema": "crowdex-metrics-v1",
+///   "counters": {"api.attempts": 42, ...},
+///   "gauges": {"index.docs": 1234, ...},
+///   "histograms": {
+///     "rank.latency_ms": {
+///       "count": 30, "sum": 12.5, "max": 3.1,
+///       "p50": 0.4, "p95": 1.9, "p99": 3.0,
+///       "buckets": [{"le": 0.001, "count": 0}, ..., {"le": "inf", "count": 0}]
+///     }
+///   }
+/// }
+/// ```
+///
+/// Key order is deterministic (sorted by metric name; fixed field order
+/// inside each object), so two runs that produce the same metric values
+/// produce byte-identical documents — diffable and safe to golden-test.
+std::string ExportJson(const MetricsRegistry& registry);
+
+}  // namespace crowdex::obs
+
+#endif  // CROWDEX_OBS_JSON_H_

@@ -1,0 +1,152 @@
+#ifndef CROWDEX_OBS_METRICS_H_
+#define CROWDEX_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crowdex::obs {
+
+/// Number of independent cache-line-padded atomic shards per counter.
+/// Instrumented hot paths (per-resource analysis chunks, per-query ranking)
+/// increment from many threads at once; sharding keeps those increments
+/// from ping-ponging one cache line between cores.
+inline constexpr size_t kCounterShards = 8;
+
+/// A named monotonic counter. Increments are wait-free relaxed atomic adds
+/// on a thread-local shard; `Value()` sums the shards (reads may race with
+/// writers and see a slightly stale total, which is fine for metrics).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1);
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kCounterShards> shards_;
+};
+
+/// A named instantaneous value (last write wins).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Read-only copy of a histogram's state at one instant.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  /// Finite upper bounds, ascending; the implicit overflow bucket holds
+  /// everything above the last bound.
+  std::vector<double> bounds;
+  /// One entry per bound plus the overflow bucket (`bounds.size() + 1`).
+  std::vector<uint64_t> buckets;
+
+  /// Percentile estimate by linear interpolation inside the bucket that
+  /// contains rank `p * count`. `p` in [0, 1]. Values in the overflow
+  /// bucket interpolate up to the observed maximum.
+  double Percentile(double p) const;
+};
+
+/// A fixed-bucket histogram (latency distributions). Recording is a relaxed
+/// atomic increment of one bucket plus CAS-loop updates of the running sum
+/// and max — cheap enough for per-query instrumentation.
+class Histogram {
+ public:
+  /// `bounds` are the finite bucket upper bounds, strictly ascending; an
+  /// implicit overflow bucket catches everything above the last one.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+
+  uint64_t Count() const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Percentile of the recorded distribution (`p` in [0, 1]); 0 when empty.
+  double Percentile(double p) const { return Snapshot().Percentile(p); }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Exponential bounds from 1µs to 60s, in milliseconds — the default for
+  /// every latency histogram in the system.
+  static std::vector<double> DefaultLatencyBoundsMs();
+
+ private:
+  std::vector<double> bounds_;
+  /// bounds_.size() + 1 entries (overflow last).
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// The process-wide (or scope-wide) metric namespace: named counters,
+/// gauges, and histograms, created on first use and alive as long as the
+/// registry. Handle lookup takes a mutex; hot paths should resolve their
+/// handles once and increment through the returned pointer, which stays
+/// valid for the registry's lifetime.
+///
+/// Everything that accepts a `MetricsRegistry*` in this codebase treats
+/// null as "observability off" and must behave identically either way —
+/// metrics observe the pipeline, they never steer it. The null-safe static
+/// helpers below keep call sites to one line.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument. Never returns null.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  /// Created with `DefaultLatencyBoundsMs()` unless `bounds` is non-empty;
+  /// bounds are fixed at creation (later calls ignore the argument).
+  Histogram* histogram(std::string_view name, std::vector<double> bounds = {});
+
+  /// Null-safe one-liners: no-ops when `metrics` is null.
+  static void Add(MetricsRegistry* metrics, std::string_view name,
+                  uint64_t delta = 1);
+  static void Set(MetricsRegistry* metrics, std::string_view name,
+                  int64_t value);
+  static void Observe(MetricsRegistry* metrics, std::string_view name,
+                      double value);
+
+  /// Sorted-by-name snapshots (the deterministic order of the exporter).
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, int64_t>> GaugeValues() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> HistogramValues()
+      const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace crowdex::obs
+
+#endif  // CROWDEX_OBS_METRICS_H_

@@ -1,0 +1,62 @@
+#ifndef CROWDEX_OBS_SPAN_H_
+#define CROWDEX_OBS_SPAN_H_
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace crowdex::obs {
+
+/// RAII wall-clock timer: measures from construction to destruction (or an
+/// explicit `Stop()`) and records the elapsed milliseconds into the named
+/// histogram of `metrics`. A null registry still measures (`ElapsedMs()`
+/// works) but records nothing — the universal "observability off" contract.
+class Span {
+ public:
+  Span(MetricsRegistry* metrics, std::string_view histogram_name)
+      : metrics_(metrics),
+        name_(histogram_name),
+        start_(std::chrono::steady_clock::now()) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { Stop(); }
+
+  /// Milliseconds since construction.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Records the elapsed time now instead of at destruction. Idempotent.
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    MetricsRegistry::Observe(metrics_, name_, ElapsedMs());
+  }
+
+ private:
+  MetricsRegistry* metrics_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+/// A `Span` with the pipeline-stage naming convention: timings land in the
+/// histogram `stage_ms.<stage>` and each run bumps the `stage_runs.<stage>`
+/// counter, so `obs::ExportJson` groups every stage of Fig. 4 the same way.
+class StageTimer : public Span {
+ public:
+  StageTimer(MetricsRegistry* metrics, std::string_view stage)
+      : Span(metrics, "stage_ms." + std::string(stage)) {
+    MetricsRegistry::Add(metrics, "stage_runs." + std::string(stage));
+  }
+};
+
+}  // namespace crowdex::obs
+
+#endif  // CROWDEX_OBS_SPAN_H_

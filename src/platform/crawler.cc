@@ -4,6 +4,9 @@
 #include <deque>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace crowdex::platform {
 
 namespace {
@@ -38,10 +41,12 @@ std::vector<Privacy> AssignProfilePrivacy(
 Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
                                  const std::vector<graph::NodeId>& authorized,
                                  const std::vector<Privacy>& privacy,
-                                 const CrawlPolicy& policy, FlakyApi* api) {
+                                 const CrawlPolicy& policy, FlakyApi* api,
+                                 obs::MetricsRegistry* metrics) {
   if (authorized.empty()) {
     return Status::InvalidArgument("no authorized profiles");
   }
+  obs::StageTimer timer(metrics, "crawl");
   if (privacy.size() != truth.graph.node_count()) {
     return Status::InvalidArgument(
         "privacy vector must cover every node of the network");
@@ -193,6 +198,30 @@ Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
     }
   }
   if (api != nullptr) stats.faults = api->stats();
+  if (metrics != nullptr) {
+    using obs::MetricsRegistry;
+    MetricsRegistry::Add(metrics, "crawl.requests_used",
+                         static_cast<uint64_t>(stats.requests_used));
+    MetricsRegistry::Add(metrics, "crawl.profiles_visited",
+                         stats.profiles_visited);
+    MetricsRegistry::Add(metrics, "crawl.profiles_denied",
+                         stats.profiles_denied);
+    MetricsRegistry::Add(metrics, "crawl.resources_fetched",
+                         stats.resources_fetched);
+    MetricsRegistry::Add(metrics, "crawl.resources_denied",
+                         stats.resources_denied);
+    MetricsRegistry::Add(metrics, "crawl.containers_truncated",
+                         stats.containers_truncated);
+    MetricsRegistry::Add(metrics, "crawl.degraded_profiles",
+                         stats.degraded_profiles);
+    MetricsRegistry::Add(metrics, "crawl.degraded_containers",
+                         stats.degraded_containers);
+    MetricsRegistry::Add(metrics, "crawl.nodes_crawled",
+                         result.network.graph.node_count());
+    if (stats.budget_exhausted) {
+      MetricsRegistry::Add(metrics, "crawl.budget_exhausted");
+    }
+  }
   return result;
 }
 

@@ -106,11 +106,17 @@ std::vector<Privacy> AssignProfilePrivacy(
 /// smaller crawl, never an inconsistent or aborted one). With `api ==
 /// nullptr` — or a config whose fault probabilities are all zero — the
 /// result is identical to the fault-free crawl.
+///
+/// A non-null `metrics` publishes the final `CrawlStats` as `crawl.*`
+/// counters (accumulating across platforms when the registry is shared)
+/// plus the crawl wall time (`stage_ms.crawl`); the crawled network is
+/// bit-identical either way.
 Result<CrawlResult> CrawlNetwork(const PlatformNetwork& truth,
                                  const std::vector<graph::NodeId>& authorized,
                                  const std::vector<Privacy>& privacy,
                                  const CrawlPolicy& policy,
-                                 FlakyApi* api = nullptr);
+                                 FlakyApi* api = nullptr,
+                                 obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace crowdex::platform
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace crowdex::platform {
 
 FlakyApi::FlakyApi(const FaultConfig& config, SimClock* clock)
@@ -49,12 +51,73 @@ Status FlakyApi::AttemptOnce(std::string_view what) {
   return Status::Ok();
 }
 
+void FlakyApi::set_metrics(obs::MetricsRegistry* metrics,
+                           std::string_view prefix) {
+  metrics_ = metrics;
+  metrics_prefix_ = std::string(prefix);
+  if (metrics_ == nullptr) {
+    m_requests_ = m_attempts_ = m_retries_ = m_backoff_wait_ms_ = nullptr;
+    m_failures_ = m_deadline_exceeded_ = m_breaker_shed_ = nullptr;
+    return;
+  }
+  m_requests_ = metrics_->counter(metrics_prefix_ + "requests");
+  m_attempts_ = metrics_->counter(metrics_prefix_ + "attempts");
+  m_retries_ = metrics_->counter(metrics_prefix_ + "retries");
+  m_backoff_wait_ms_ = metrics_->counter(metrics_prefix_ + "backoff_wait_ms");
+  m_failures_ = metrics_->counter(metrics_prefix_ + "failures");
+  m_deadline_exceeded_ =
+      metrics_->counter(metrics_prefix_ + "deadline_exceeded");
+  m_breaker_shed_ = metrics_->counter(metrics_prefix_ + "breaker_shed");
+  published_transitions_ = breaker_.transitions();
+}
+
+void FlakyApi::PublishCallMetrics(const RetryOutcome& outcome) {
+  m_requests_->Increment(1);
+  m_attempts_->Increment(static_cast<uint64_t>(outcome.attempts));
+  if (outcome.attempts > 1) {
+    m_retries_->Increment(static_cast<uint64_t>(outcome.attempts - 1));
+  }
+  m_backoff_wait_ms_->Increment(outcome.backoff_ms);
+  if (outcome.shed_by_breaker) m_breaker_shed_->Increment(1);
+  if (!outcome.status.ok()) {
+    m_failures_->Increment(1);
+    if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+      m_deadline_exceeded_->Increment(1);
+    }
+  }
+  const BreakerTransitions& now = breaker_.transitions();
+  const BreakerTransitions& prev = published_transitions_;
+  const auto publish_edge = [&](const char* edge, int delta) {
+    if (delta > 0) {
+      metrics_->counter(metrics_prefix_ + "breaker." + edge)
+          ->Increment(static_cast<uint64_t>(delta));
+    }
+  };
+  publish_edge("closed_to_open", now.closed_to_open - prev.closed_to_open);
+  publish_edge("open_to_half_open",
+               now.open_to_half_open - prev.open_to_half_open);
+  publish_edge("half_open_to_closed",
+               now.half_open_to_closed - prev.half_open_to_closed);
+  publish_edge("half_open_to_open",
+               now.half_open_to_open - prev.half_open_to_open);
+  published_transitions_ = now;
+}
+
 Status FlakyApi::Call(std::string_view what) {
   ++stats_.requests;
   RetryPolicy policy = config_.retry;
   if (!config_.retries_enabled) policy.max_attempts = 1;
-  RetryOutcome outcome = RetryWithBackoff(
-      policy, clock_, rng_, &breaker_, [&] { return AttemptOnce(what); });
+  RetryOutcome outcome =
+      RetryWithBackoff(policy, clock_, rng_, &breaker_, [&] {
+        Status s = AttemptOnce(what);
+        if (metrics_ != nullptr && !s.ok()) {
+          metrics_
+              ->counter(metrics_prefix_ + "attempt_failures." +
+                        std::string(StatusCodeToString(s.code())))
+              ->Increment(1);
+        }
+        return s;
+      });
   if (outcome.attempts > 1) stats_.retries += outcome.attempts - 1;
   stats_.backoff_ms += outcome.backoff_ms;
   if (outcome.shed_by_breaker) ++stats_.breaker_shed;
@@ -64,6 +127,7 @@ Status FlakyApi::Call(std::string_view what) {
       ++stats_.deadline_exceeded;
     }
   }
+  if (metrics_ != nullptr) PublishCallMetrics(outcome);
   return outcome.status;
 }
 

@@ -11,6 +11,11 @@
 #include "common/status.h"
 #include "platform/web_page_store.h"
 
+namespace crowdex::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace crowdex::obs
+
 namespace crowdex::platform {
 
 /// Seeded, deterministic fault model for one platform's API transport.
@@ -129,6 +134,16 @@ class FlakyApi {
   /// Accumulated counters (breaker trips/sheds folded in).
   FaultStats stats() const;
 
+  /// Attaches an observability registry: every logical request publishes
+  /// `<prefix>requests/attempts/retries/failures/deadline_exceeded/
+  /// breaker_shed`, simulated `<prefix>backoff_wait_ms`, per-StatusCode
+  /// `<prefix>attempt_failures.<Code>`, and the breaker's per-edge
+  /// transition counters (`<prefix>breaker.<edge>`). `metrics` (which must
+  /// outlive the instance) is observed, never consulted: the fault stream,
+  /// clock, and returned statuses are identical with or without it. Null
+  /// detaches.
+  void set_metrics(obs::MetricsRegistry* metrics, std::string_view prefix);
+
   const CircuitBreaker& breaker() const { return breaker_; }
   const FaultConfig& config() const { return config_; }
   SimClock* clock() { return clock_; }
@@ -138,12 +153,28 @@ class FlakyApi {
   /// the rate limiter, the outage model, and the transient-fault roll.
   Status AttemptOnce(std::string_view what);
 
+  /// Publishes one `Call`'s deltas to the attached registry (single-
+  /// threaded like the rest of the class, so plain delta tracking works).
+  void PublishCallMetrics(const RetryOutcome& outcome);
+
   FaultConfig config_;
   SimClock own_clock_;
   SimClock* clock_;
   Rng rng_;
   CircuitBreaker breaker_;
   FaultStats stats_;
+  /// Observability (null = off). Handles are cached at `set_metrics`.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string metrics_prefix_;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_attempts_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_backoff_wait_ms_ = nullptr;
+  obs::Counter* m_failures_ = nullptr;
+  obs::Counter* m_deadline_exceeded_ = nullptr;
+  obs::Counter* m_breaker_shed_ = nullptr;
+  /// Breaker transitions already published (deltas since this snapshot).
+  BreakerTransitions published_transitions_;
   /// Burst-outage end time (0 = no outage in progress).
   uint64_t outage_until_ms_ = 0;
   /// Rate-limit window bookkeeping.

@@ -1,7 +1,9 @@
 #include "platform/resource_extractor.h"
 
-#include <cassert>
 #include <unordered_map>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace crowdex::platform {
 
@@ -78,6 +80,7 @@ AnalyzedCorpus ResourceExtractor::AnalyzeNetwork(
   AnalyzedCorpus corpus;
   corpus.platform = network.platform;
   const size_t node_count = network.graph.node_count();
+  obs::StageTimer timer(options.metrics, "extract");
 
   // The fault-injecting API draws from one ordered fault stream, so its
   // path must consume nodes strictly in id order (single-threaded).
@@ -103,8 +106,7 @@ AnalyzedCorpus ResourceExtractor::AnalyzeNetwork(
           }
           return Status::Ok();
         });
-    assert(analyzed.ok());
-    (void)analyzed;
+    CheckOk(analyzed, "ResourceExtractor::AnalyzeNetwork ParallelFor");
   } else {
     for (graph::NodeId n = 0; n < node_count; ++n) {
       bool degraded = false;
@@ -116,11 +118,29 @@ AnalyzedCorpus ResourceExtractor::AnalyzeNetwork(
 
   // Statistics are committed in node order after the (possibly parallel)
   // analysis, keeping them independent of execution interleaving.
+  size_t annotated_nodes = 0;
   for (graph::NodeId n = 0; n < node_count; ++n) {
     if (!network.node_url[n].empty()) ++corpus.nodes_with_url;
     if (corpus.nodes[n].has_text) ++corpus.nodes_with_text;
     if (corpus.nodes[n].english) ++corpus.english_nodes;
+    if (!corpus.nodes[n].entities.empty()) ++annotated_nodes;
     if (degraded_flags[n] != 0) ++corpus.degraded_nodes;
+  }
+  if (options.metrics != nullptr) {
+    using obs::MetricsRegistry;
+    MetricsRegistry::Add(options.metrics, "extract.nodes", node_count);
+    MetricsRegistry::Add(options.metrics, "extract.nodes_with_text",
+                         corpus.nodes_with_text);
+    MetricsRegistry::Add(options.metrics, "extract.nodes_with_url",
+                         corpus.nodes_with_url);
+    MetricsRegistry::Add(options.metrics, "extract.english_nodes",
+                         corpus.english_nodes);
+    MetricsRegistry::Add(options.metrics, "extract.language_filtered",
+                         corpus.nodes_with_text - corpus.english_nodes);
+    MetricsRegistry::Add(options.metrics, "extract.annotated_nodes",
+                         annotated_nodes);
+    MetricsRegistry::Add(options.metrics, "extract.degraded",
+                         corpus.degraded_nodes);
   }
   return corpus;
 }

@@ -73,6 +73,11 @@ struct NetworkAnalyzeOptions {
   /// sequential one: every resource's analysis depends only on its own
   /// node, and results are committed in node-id order.
   common::ThreadPool* pool = nullptr;
+  /// Observability registry (null = off): the analysis publishes the
+  /// corpus statistics as `extract.*` counters and its wall time as
+  /// `stage_ms.extract`. Purely observational — the analyzed corpus is
+  /// bit-identical with or without it, at any thread count.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The analysis pipeline of Fig. 4: URL content extraction -> language

@@ -1,5 +1,7 @@
 #include "common/retry.h"
 
+#include <algorithm>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -127,6 +129,89 @@ TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
   EXPECT_EQ(breaker.state(), BreakerState::kOpen);
   EXPECT_EQ(breaker.trips(), 2);
   EXPECT_EQ(breaker.open_until_ms(), 150 + config.open_duration_ms);
+}
+
+TEST(BackoffTest, BoundsAboveInt64MaxDoNotOverflow) {
+  // Regression: bounds used to be routed through Rng::NextInRange's
+  // int64_t parameters, so a max_ms above INT64_MAX overflowed on the
+  // cast. The unsigned-space draw must stay within [base, max].
+  BackoffPolicy policy;
+  policy.base_ms = 100;
+  policy.max_ms = std::numeric_limits<uint64_t>::max();
+  policy.multiplier = 1e18;  // Grown bound saturates at max_ms instantly.
+  Rng rng(3);
+  uint64_t prev = NextBackoffMs(policy, 0, rng);
+  EXPECT_EQ(prev, 100u);
+  for (int i = 0; i < 50; ++i) {
+    prev = NextBackoffMs(policy, prev, rng);
+    EXPECT_GE(prev, policy.base_ms);
+    // No upper assertion needed beyond the type's own range: the point is
+    // that the draw is well-defined; the bound is the full uint64 span.
+  }
+}
+
+TEST(BackoffTest, FullUint64SpanDrawIsWellDefined) {
+  // max = UINT64_MAX with a saturated upper bound draws from [1, UINT64_MAX]
+  // — a span whose `+ 1` would overflow if the bounds were signed or the
+  // base were allowed to be 0 (base_ms = 0 clamps to 1).
+  BackoffPolicy policy;
+  policy.base_ms = 0;
+  policy.max_ms = std::numeric_limits<uint64_t>::max();
+  policy.multiplier = 2.0;
+  Rng rng(11);
+  uint64_t wait = NextBackoffMs(policy, policy.max_ms / 2, rng);
+  EXPECT_GE(wait, 1u);
+}
+
+TEST(BackoffTest, InRangeBoundsKeepTheHistoricalStream) {
+  // The unsigned-space rewrite consumes the identical random stream that
+  // the historical Rng::NextInRange(lo, hi) draw did (both reduce to
+  // lo + NextBelow(hi - lo + 1)), so seeded fault scenarios recorded
+  // before the fix stay reproducible.
+  BackoffPolicy policy;
+  policy.base_ms = 100;
+  policy.max_ms = 10'000;
+  policy.multiplier = 3.0;
+  Rng a(42), b(42);
+  uint64_t p = 0, q = 0;
+  for (int i = 0; i < 20; ++i) {
+    p = NextBackoffMs(policy, p, a);
+    if (i == 0) {
+      q = std::min<uint64_t>(policy.base_ms, policy.max_ms);
+    } else {
+      const uint64_t grown = static_cast<uint64_t>(
+          static_cast<double>(q) * policy.multiplier);
+      const uint64_t hi = std::min<uint64_t>(grown, policy.max_ms);
+      const uint64_t lo = std::min<uint64_t>(policy.base_ms, hi);
+      q = static_cast<uint64_t>(
+          b.NextInRange(static_cast<int64_t>(lo), static_cast<int64_t>(hi)));
+    }
+    EXPECT_EQ(p, q);
+  }
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());  // Streams fully in lockstep.
+}
+
+TEST(CircuitBreakerTest, TransitionsCountEveryEdge) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_duration_ms = 100;
+  config.half_open_successes = 1;
+  CircuitBreaker breaker(config);
+  EXPECT_EQ(breaker.transitions(), BreakerTransitions{});
+
+  breaker.RecordFailure(0);  // closed -> open
+  ASSERT_TRUE(breaker.Allow(100));  // open -> half-open
+  breaker.RecordFailure(110);  // half-open -> open
+  ASSERT_TRUE(breaker.Allow(210));  // open -> half-open
+  breaker.RecordSuccess(220);  // half-open -> closed
+
+  const BreakerTransitions& t = breaker.transitions();
+  EXPECT_EQ(t.closed_to_open, 1);
+  EXPECT_EQ(t.open_to_half_open, 2);
+  EXPECT_EQ(t.half_open_to_open, 1);
+  EXPECT_EQ(t.half_open_to_closed, 1);
+  // Trips count both open edges; the transition counters split them.
+  EXPECT_EQ(breaker.trips(), t.closed_to_open + t.half_open_to_open);
 }
 
 TEST(CircuitBreakerTest, ShedsAreExplicitlyRecorded) {

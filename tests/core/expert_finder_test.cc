@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
 #include <utility>
 
@@ -105,6 +107,64 @@ TEST_F(ExpertFinderTest, WindowFractionApplies) {
   RankedExperts r = finder.Rank(QueryForDomain(Domain::kSport));
   EXPECT_NEAR(static_cast<double>(r.considered_resources),
               0.5 * r.reachable_resources, 1.0);
+}
+
+TEST_F(ExpertFinderTest, WindowLargerThanMatchesConsidersEverythingReachable) {
+  ExpertFinderConfig cfg;
+  cfg.window_size = 1000000;  // Far above any reachable count in this world.
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
+  RankedExperts r = finder.Rank(QueryForDomain(Domain::kSport));
+  ASSERT_GT(r.reachable_resources, 0u);
+  EXPECT_EQ(r.considered_resources, r.reachable_resources);
+}
+
+TEST_F(ExpertFinderTest, WindowSizeTakesPrecedenceOverFraction) {
+  ExpertFinderConfig cfg;
+  cfg.window_size = 3;
+  cfg.window_fraction = 0.9;  // Ignored: an explicit size wins.
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
+  RankedExperts r = finder.Rank(QueryForDomain(Domain::kSport));
+  EXPECT_LE(r.considered_resources, 3u);
+}
+
+TEST_F(ExpertFinderTest, WindowFractionRoundsToNearest) {
+  // The fractional window is llround(fraction * reachable), clamped to the
+  // reachable count. Pin that exact arithmetic for several fractions,
+  // including ones that round up from below half a resource.
+  for (double fraction : {0.001, 0.1, 0.25, 0.5, 0.9, 0.999}) {
+    ExpertFinderConfig cfg;
+    cfg.window_size = 0;
+    cfg.window_fraction = fraction;
+    ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
+    RankedExperts r = finder.Rank(QueryForDomain(Domain::kSport));
+    const size_t expected = std::min<size_t>(
+        r.reachable_resources,
+        static_cast<size_t>(std::llround(fraction * r.reachable_resources)));
+    EXPECT_EQ(r.considered_resources, expected) << "fraction " << fraction;
+  }
+}
+
+TEST_F(ExpertFinderTest, VanishingFractionConsidersNothing) {
+  ExpertFinderConfig cfg;
+  cfg.window_size = 0;
+  cfg.window_fraction = 1e-9;  // Rounds to a zero-resource window.
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
+  RankedExperts r = finder.Rank(QueryForDomain(Domain::kSport));
+  ASSERT_GT(r.reachable_resources, 0u);
+  EXPECT_EQ(r.considered_resources, 0u);
+  EXPECT_TRUE(r.ranking.empty());
+}
+
+TEST_F(ExpertFinderTest, QueryMatchingNothingYieldsEmptyRanking) {
+  ExpertFinderConfig cfg;
+  ExpertFinder finder = ExpertFinder::Create(&F().analyzed, cfg).value();
+  // Out-of-vocabulary terms: nothing matches, so nothing is reachable and
+  // the window degenerates to zero without tripping any bounds.
+  RankedExperts r = finder.RankText("zzzyqx wvvqk jjjxq");
+  EXPECT_EQ(r.matched_resources, 0u);
+  EXPECT_EQ(r.reachable_resources, 0u);
+  EXPECT_EQ(r.considered_resources, 0u);
+  EXPECT_TRUE(r.ranking.empty());
 }
 
 TEST_F(ExpertFinderTest, LargerWindowNeverReducesRetrievedExperts) {

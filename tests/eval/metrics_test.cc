@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
 
 namespace crowdex::eval {
 namespace {
@@ -146,6 +149,73 @@ TEST(Interpolated11Test, KnownCurve) {
   EXPECT_DOUBLE_EQ(curve[5], 1.0);
   // At recall 1.0: precision 2/3.
   EXPECT_NEAR(curve[10], 2.0 / 3.0, 1e-12);
+}
+
+// Reference implementation with the original O(11*n) semantics: for each
+// recall level r, the maximum precision over all ranking prefixes whose
+// recall is >= r. The production code computes the same curve with a single
+// suffix-max pass; the tests below pin the two to identical outputs.
+std::array<double, kElevenPoints> ReferenceInterpolated11(
+    const Ranked& ranked, const Relevant& relevant) {
+  std::array<double, kElevenPoints> curve{};
+  if (relevant.empty()) return curve;
+  for (int level = 0; level < kElevenPoints; ++level) {
+    const double r = level / 10.0;
+    double best = 0.0;
+    int hits = 0;
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      if (relevant.count(ranked[i]) > 0) ++hits;
+      const double recall = static_cast<double>(hits) / relevant.size();
+      if (recall + 1e-12 >= r) {
+        best = std::max(best, static_cast<double>(hits) / (i + 1));
+      }
+    }
+    curve[level] = best;
+  }
+  return curve;
+}
+
+TEST(Interpolated11Test, MatchesReferenceOnRandomizedRankings) {
+  // Deterministic LCG so the randomized cases are reproducible.
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(state >> 33);
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(next() % 40);  // Ranking sizes 0..39.
+    Ranked ranked;
+    ranked.reserve(n);
+    for (int i = 0; i < n; ++i) ranked.push_back(static_cast<int>(next() % 25));
+    Relevant relevant;
+    const int n_rel = static_cast<int>(next() % 12);
+    for (int i = 0; i < n_rel; ++i) relevant.insert(static_cast<int>(next() % 25));
+    const auto expected = ReferenceInterpolated11(ranked, relevant);
+    const auto actual = InterpolatedPrecision11(ranked, relevant);
+    for (int level = 0; level < kElevenPoints; ++level) {
+      ASSERT_NEAR(actual[level], expected[level], 1e-12)
+          << "trial " << trial << " level " << level;
+    }
+  }
+}
+
+TEST(Interpolated11Test, MatchesReferenceOnEdgeShapes) {
+  const Relevant rel = {1, 2, 3};
+  const std::vector<Ranked> shapes = {
+      {},                       // Empty ranking.
+      {1, 2, 3},                // All relevant, in order.
+      {9, 8, 7, 1, 2, 3},       // All relevant at the tail.
+      {1, 9, 1, 2, 9, 3, 3},    // Duplicate ids in the ranking.
+      {9, 8, 7, 6},             // Nothing relevant retrieved.
+  };
+  for (const auto& ranked : shapes) {
+    const auto expected = ReferenceInterpolated11(ranked, rel);
+    const auto actual = InterpolatedPrecision11(ranked, rel);
+    for (int level = 0; level < kElevenPoints; ++level) {
+      ASSERT_NEAR(actual[level], expected[level], 1e-12)
+          << "ranking size " << ranked.size() << " level " << level;
+    }
+  }
 }
 
 TEST(SetMetricsTest, PerfectRetrieval) {

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace crowdex::index {
 namespace {
@@ -189,6 +193,131 @@ TEST(SearchIndexTest, SearchIsDeterministic) {
     EXPECT_EQ(a[i].doc, b[i].doc);
     EXPECT_EQ(a[i].score, b[i].score);
   }
+}
+
+// Owns the analyzed data a DocView collection borrows from.
+struct BulkCorpus {
+  std::vector<std::vector<std::string>> terms;
+  std::vector<std::vector<DocEntity>> entities;
+  std::vector<DocView> views;
+
+  explicit BulkCorpus(size_t n) {
+    terms.reserve(n);
+    entities.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      // std::string("t") (not a char* literal) sidesteps a GCC 12
+      // -Wrestrict false positive on `const char* + std::string&&`.
+      std::vector<std::string> t = {"common",
+                                    std::string("t") + std::to_string(i % 7)};
+      if (i % 3 == 0) t.push_back("common");
+      terms.push_back(std::move(t));
+      entities.push_back(
+          i % 5 == 0 ? std::vector<DocEntity>{{static_cast<entity::EntityId>(
+                                                   i % 4),
+                                               1, 0.5}}
+                     : std::vector<DocEntity>{});
+    }
+    views.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      views.push_back({1000 + i, &terms[i], &entities[i]});
+    }
+  }
+};
+
+TEST(SearchIndexBulkAddTest, SequentialAndShardedBuildsAreIdentical) {
+  BulkCorpus corpus(300);
+  SearchIndex seq, par;
+  ASSERT_TRUE(seq.BulkAdd(corpus.views).ok());
+  common::ThreadPool pool(4);
+  ASSERT_TRUE(par.BulkAdd(corpus.views, &pool).ok());
+
+  ASSERT_EQ(seq.size(), par.size());
+  EXPECT_EQ(seq.vocabulary_size(), par.vocabulary_size());
+  for (DocId d = 0; d < seq.size(); ++d) {
+    EXPECT_EQ(seq.external_id(d), par.external_id(d));
+    EXPECT_EQ(seq.TermFrequency(d, "common"), par.TermFrequency(d, "common"));
+  }
+  auto a = seq.Search(Query({"common", "t3"}, {0}), 0.6);
+  auto b = par.Search(Query({"common", "t3"}, {0}), 0.6);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc);
+    EXPECT_EQ(a[i].score, b[i].score);  // Bit-identical, not just near.
+  }
+}
+
+TEST(SearchIndexBulkAddTest, NullViewFailsAndCommitsNothing) {
+  BulkCorpus corpus(10);
+  corpus.views[4].terms = nullptr;
+  SearchIndex idx;
+  Status s = idx.BulkAdd(corpus.views);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("doc 4"), std::string::npos) << s.message();
+  // Strong guarantee: the failed call left the index untouched.
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.vocabulary_size(), 0u);
+  EXPECT_TRUE(idx.Search(Query({"common"}), 1.0).empty());
+}
+
+TEST(SearchIndexBulkAddTest, FailingChunkPropagatesUnderParallelBuild) {
+  // Regression: the parallel build used to check the chunk status with a
+  // release-mode no-op assert, silently committing a partial index. Place
+  // the poisoned doc well past the first 64-doc chunk so a worker chunk —
+  // not the caller's thread — detects it.
+  BulkCorpus corpus(400);
+  corpus.views[333].entities = nullptr;
+  SearchIndex idx;
+  common::ThreadPool pool(4);
+  Status s = idx.BulkAdd(corpus.views, &pool);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("doc 333"), std::string::npos) << s.message();
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.vocabulary_size(), 0u);
+}
+
+TEST(SearchIndexBulkAddTest, LowestFailingDocWinsDeterministically) {
+  BulkCorpus corpus(400);
+  corpus.views[70].terms = nullptr;
+  corpus.views[350].terms = nullptr;
+  common::ThreadPool pool(4);
+  for (int run = 0; run < 5; ++run) {
+    SearchIndex idx;
+    Status s = idx.BulkAdd(corpus.views, &pool);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("doc 70"), std::string::npos) << s.message();
+  }
+}
+
+TEST(SearchIndexBulkAddTest, FailureLeavesExistingDocumentsIntact) {
+  SearchIndex idx;
+  DocId d = idx.Add(Doc(5, {"keep", "keep"}));
+  BulkCorpus corpus(20);
+  corpus.views[7].terms = nullptr;
+  EXPECT_FALSE(idx.BulkAdd(corpus.views).ok());
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_EQ(idx.TermFrequency(d, "keep"), 2u);
+  ASSERT_EQ(idx.Search(Query({"keep"}), 1.0).size(), 1u);
+  // A subsequent clean bulk add appends after the surviving document.
+  BulkCorpus clean(20);
+  ASSERT_TRUE(idx.BulkAdd(clean.views).ok());
+  EXPECT_EQ(idx.size(), 21u);
+  EXPECT_EQ(idx.external_id(1), 1000u);
+}
+
+TEST(SearchIndexBulkAddTest, TermFrequencyBinarySearchFindsEveryDoc) {
+  // The binary-search membership test relies on posting lists sorted by
+  // ascending doc id; probe first/middle/last and absent docs across both
+  // build paths.
+  BulkCorpus corpus(257);
+  SearchIndex idx;
+  common::ThreadPool pool(3);
+  ASSERT_TRUE(idx.BulkAdd(corpus.views, &pool).ok());
+  EXPECT_EQ(idx.TermFrequency(0, "common"), 2u);    // i % 3 == 0: doubled.
+  EXPECT_EQ(idx.TermFrequency(128, "common"), 1u);
+  EXPECT_EQ(idx.TermFrequency(256, "common"), 1u);
+  EXPECT_EQ(idx.TermFrequency(3, "t3"), 1u);
+  EXPECT_EQ(idx.TermFrequency(3, "t4"), 0u);
+  EXPECT_EQ(idx.TermFrequency(3, "absent"), 0u);
 }
 
 // Alpha sweep property: every returned score must be non-negative and the

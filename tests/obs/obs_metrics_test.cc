@@ -1,0 +1,241 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/span.h"
+
+namespace crowdex::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.Value(), -5);
+}
+
+TEST(HistogramTest, CountsSumAndMax) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Record(0.5);
+  h.Record(5.0);
+  h.Record(50.0);
+  h.Record(500.0);  // Overflow bucket.
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 555.5);
+  EXPECT_DOUBLE_EQ(snap.max, 500.0);
+  ASSERT_EQ(snap.buckets.size(), 4u);  // Three bounds + overflow.
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+}
+
+TEST(HistogramTest, PercentilesInterpolateWithinBuckets) {
+  // 100 uniform samples 0.5..99.5 across ten equal buckets: percentiles
+  // should come out near the true quantiles under linear interpolation.
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int i = 0; i < 100; ++i) h.Record(i + 0.5);
+  EXPECT_NEAR(h.Percentile(0.50), 50.0, 5.0);
+  EXPECT_NEAR(h.Percentile(0.95), 95.0, 5.0);
+  EXPECT_NEAR(h.Percentile(0.99), 99.0, 5.0);
+  EXPECT_NEAR(h.Percentile(0.0), 0.0, 10.0);
+  EXPECT_NEAR(h.Percentile(1.0), 100.0, 1.0);
+}
+
+TEST(HistogramTest, OverflowPercentileIsCappedByObservedMax) {
+  Histogram h({1.0});
+  h.Record(1000.0);
+  h.Record(2000.0);
+  EXPECT_LE(h.Percentile(0.99), 2000.0);
+  EXPECT_GT(h.Percentile(0.99), 1.0);
+}
+
+TEST(HistogramTest, EmptyHistogramPercentileIsZero) {
+  Histogram h(Histogram::DefaultLatencyBoundsMs());
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepTotalCount) {
+  Histogram h(Histogram::DefaultLatencyBoundsMs());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(0.1 * (t + 1));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(RegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x");
+  Counter* b = reg.counter("x");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(reg.counter("x")->Value(), 3u);
+  // Counters, gauges, and histograms are separate namespaces.
+  reg.gauge("x")->Set(-1);
+  reg.histogram("x")->Record(1.0);
+  EXPECT_EQ(reg.counter("x")->Value(), 3u);
+  EXPECT_EQ(reg.gauge("x")->Value(), -1);
+  EXPECT_EQ(reg.histogram("x")->Count(), 1u);
+}
+
+TEST(RegistryTest, SnapshotsAreSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("b")->Increment(2);
+  reg.counter("a")->Increment(1);
+  reg.counter("c")->Increment(3);
+  auto values = reg.CounterValues();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0].first, "a");
+  EXPECT_EQ(values[1].first, "b");
+  EXPECT_EQ(values[2].first, "c");
+  EXPECT_EQ(values[1].second, 2u);
+}
+
+TEST(RegistryTest, NullSafeStaticsAreNoOpsOnNull) {
+  // Must not crash; the "observability off" contract.
+  MetricsRegistry::Add(nullptr, "ignored", 7);
+  MetricsRegistry::Set(nullptr, "ignored", -1);
+  MetricsRegistry::Observe(nullptr, "ignored", 3.5);
+}
+
+TEST(RegistryTest, NullSafeStaticsWriteThroughWhenPresent) {
+  MetricsRegistry reg;
+  MetricsRegistry::Add(&reg, "hits", 2);
+  MetricsRegistry::Add(&reg, "hits");
+  MetricsRegistry::Set(&reg, "level", 9);
+  MetricsRegistry::Observe(&reg, "lat", 1.25);
+  EXPECT_EQ(reg.counter("hits")->Value(), 3u);
+  EXPECT_EQ(reg.gauge("level")->Value(), 9);
+  EXPECT_EQ(reg.histogram("lat")->Count(), 1u);
+  EXPECT_DOUBLE_EQ(reg.histogram("lat")->Sum(), 1.25);
+}
+
+TEST(SpanTest, RecordsElapsedIntoNamedHistogram) {
+  MetricsRegistry reg;
+  {
+    Span span(&reg, "work_ms");
+    EXPECT_GE(span.ElapsedMs(), 0.0);
+  }
+  EXPECT_EQ(reg.histogram("work_ms")->Count(), 1u);
+  EXPECT_GE(reg.histogram("work_ms")->Sum(), 0.0);
+}
+
+TEST(SpanTest, StopIsIdempotent) {
+  MetricsRegistry reg;
+  Span span(&reg, "work_ms");
+  span.Stop();
+  span.Stop();  // Second stop (and the destructor later) must not re-record.
+  EXPECT_EQ(reg.histogram("work_ms")->Count(), 1u);
+}
+
+TEST(SpanTest, NullRegistryStillMeasures) {
+  Span span(nullptr, "work_ms");
+  EXPECT_GE(span.ElapsedMs(), 0.0);
+  span.Stop();  // No-op record; must not crash.
+}
+
+TEST(StageTimerTest, BumpsRunsAndRecordsTiming) {
+  MetricsRegistry reg;
+  { StageTimer t(&reg, "extract"); }
+  { StageTimer t(&reg, "extract"); }
+  EXPECT_EQ(reg.counter("stage_runs.extract")->Value(), 2u);
+  EXPECT_EQ(reg.histogram("stage_ms.extract")->Count(), 2u);
+}
+
+TEST(ExportJsonTest, EmptyRegistryIsStable) {
+  MetricsRegistry reg;
+  std::string doc = ExportJson(reg);
+  EXPECT_NE(doc.find("\"schema\": \"crowdex-metrics-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(doc.find("\"gauges\": {}"), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\": {}"), std::string::npos);
+}
+
+TEST(ExportJsonTest, DeterministicAcrossRegistriesWithEqualContents) {
+  // Two registries populated in different orders but with equal values
+  // must serialize to byte-identical documents.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("z")->Increment(1);
+  a.counter("a")->Increment(2);
+  a.gauge("g")->Set(5);
+  a.histogram("h", {1.0, 2.0})->Record(1.5);
+  b.histogram("h", {1.0, 2.0})->Record(1.5);
+  b.gauge("g")->Set(5);
+  b.counter("a")->Increment(2);
+  b.counter("z")->Increment(1);
+  EXPECT_EQ(ExportJson(a), ExportJson(b));
+  EXPECT_EQ(ExportJson(a), ExportJson(a));  // Re-export is stable too.
+}
+
+TEST(ExportJsonTest, EscapesProblematicNameCharacters) {
+  MetricsRegistry reg;
+  reg.counter("weird\"name\\with\ncontrol")->Increment(1);
+  std::string doc = ExportJson(reg);
+  EXPECT_NE(doc.find("weird\\\"name\\\\with\\u000acontrol"),
+            std::string::npos);
+}
+
+TEST(ExportJsonTest, HistogramObjectHasFixedFieldOrder) {
+  MetricsRegistry reg;
+  reg.histogram("lat", {1.0})->Record(0.5);
+  std::string doc = ExportJson(reg);
+  const size_t count = doc.find("\"count\"");
+  const size_t sum = doc.find("\"sum\"");
+  const size_t max = doc.find("\"max\"");
+  const size_t p50 = doc.find("\"p50\"");
+  const size_t p95 = doc.find("\"p95\"");
+  const size_t p99 = doc.find("\"p99\"");
+  const size_t buckets = doc.find("\"buckets\"");
+  ASSERT_NE(count, std::string::npos);
+  EXPECT_LT(count, sum);
+  EXPECT_LT(sum, max);
+  EXPECT_LT(max, p50);
+  EXPECT_LT(p50, p95);
+  EXPECT_LT(p95, p99);
+  EXPECT_LT(p99, buckets);
+  EXPECT_NE(doc.find("\"le\": \"inf\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crowdex::obs

@@ -1,0 +1,321 @@
+// The observability layer's central contract, checked end to end at
+// reduced scale: attaching a MetricsRegistry anywhere in the pipeline
+// changes nothing about the pipeline's output — corpus digests, index
+// contents, and all query rankings stay bit-identical with metrics on,
+// off, or at any thread count — while the exported JSON is well-formed
+// and names every instrumented stage.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/analyzed_world.h"
+#include "core/corpus_index.h"
+#include "core/expert_finder.h"
+#include "eval/experiment.h"
+#include "io/corpus_cache.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "platform/flaky_api.h"
+#include "platform/platform.h"
+#include "synth/world.h"
+
+namespace crowdex::core {
+namespace {
+
+// --- A minimal JSON validity checker (no dependencies) -------------------
+//
+// Recursive-descent walk over the exporter's output. Accepts exactly the
+// JSON grammar (objects, arrays, strings with escapes, numbers, literals);
+// returns false on any malformed byte. Enough to prove the document parses
+// without pulling in a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !IsHex(text_[pos_])) return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!IsDigit(Peek())) return false;
+    while (IsDigit(Peek())) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!IsDigit(Peek())) return false;
+      while (IsDigit(Peek())) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!IsDigit(Peek())) return false;
+      while (IsDigit(Peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+  static bool IsHex(char c) {
+    return IsDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// -------------------------------------------------------------------------
+
+class ObservabilityPipelineTest : public ::testing::Test {
+ protected:
+  struct Fixture {
+    synth::SyntheticWorld world;
+    // One arm without metrics and one instrumented parallel arm; the
+    // pair proves the "metrics never steer" contract.
+    AnalyzedWorld plain;
+    obs::MetricsRegistry registry;
+    AnalyzedWorld instrumented;
+  };
+
+  static Fixture& F() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      synth::WorldConfig cfg;
+      cfg.scale = 0.02;
+      fx->world = synth::GenerateWorld(cfg);
+      fx->plain = AnalyzeWorld(&fx->world, {.thread_count = 1});
+      fx->instrumented = AnalyzeWorld(
+          &fx->world, {.thread_count = 4, .metrics = &fx->registry});
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+TEST_F(ObservabilityPipelineTest, DigestsMatchWithMetricsOnOrOff) {
+  EXPECT_EQ(io::DigestAnalyzedCorpora(F().plain.corpora),
+            io::DigestAnalyzedCorpora(F().instrumented.corpora));
+}
+
+TEST_F(ObservabilityPipelineTest, RankingsMatchWithMetricsOnOrOff) {
+  common::ThreadPool pool(4);
+  obs::MetricsRegistry& reg = F().registry;
+  ExpertFinder plain =
+      ExpertFinder::Create(&F().plain, ExpertFinderConfig{}).value();
+  ExpertFinder instrumented =
+      ExpertFinder::Create(&F().instrumented, ExpertFinderConfig{}, nullptr,
+                           &pool, &reg)
+          .value();
+  for (const auto& q : F().world.queries) {
+    RankedExperts a = plain.Rank(q);
+    RankedExperts b = instrumented.Rank(q);
+    ASSERT_EQ(a.ranking.size(), b.ranking.size()) << "query " << q.id;
+    for (size_t i = 0; i < a.ranking.size(); ++i) {
+      EXPECT_EQ(a.ranking[i].candidate, b.ranking[i].candidate);
+      EXPECT_EQ(a.ranking[i].score, b.ranking[i].score);
+    }
+    EXPECT_EQ(a.matched_resources, b.matched_resources);
+    EXPECT_EQ(a.reachable_resources, b.reachable_resources);
+    EXPECT_EQ(a.considered_resources, b.considered_resources);
+  }
+}
+
+TEST_F(ObservabilityPipelineTest, ExportedJsonParsesAndNamesEveryStage) {
+  // Drive the remaining stages (index build, ranking, evaluation) through
+  // the fixture registry so the export covers the whole pipeline.
+  common::ThreadPool pool(4);
+  obs::MetricsRegistry& reg = F().registry;
+  ExpertFinder finder = ExpertFinder::Create(&F().instrumented,
+                                             ExpertFinderConfig{}, nullptr,
+                                             &pool, &reg)
+                            .value();
+  // Other tests may have ranked through the shared registry already (test
+  // processes can host one test or the whole suite), so assert deltas.
+  const uint64_t ranked_before = reg.counter("rank.queries")->Value();
+  const uint64_t eval_before = reg.counter("eval.queries")->Value();
+  eval::ExperimentRunner runner(&F().world);
+  (void)runner.Evaluate(finder, F().world.queries, &pool, &reg);
+
+  const std::string doc = obs::ExportJson(reg);
+  EXPECT_TRUE(JsonChecker(doc).Valid()) << doc.substr(0, 400);
+  EXPECT_NE(doc.find("\"schema\": \"crowdex-metrics-v1\""), std::string::npos);
+  for (const char* name :
+       {"extract.nodes", "extract.english_nodes", "index.docs_added",
+        "rank.queries", "rank.matched_resources", "eval.queries",
+        "stage_runs.analyze_world", "stage_runs.extract",
+        "stage_runs.evaluate", "stage_ms.analyze_world",
+        "stage_ms.extract", "stage_ms.evaluate", "rank.latency_ms",
+        "index.bulk_add_ms"}) {
+    EXPECT_NE(doc.find(std::string("\"") + name + "\""), std::string::npos)
+        << "missing metric " << name;
+  }
+
+  // Spot-check a few values against ground truth the test can compute.
+  EXPECT_EQ(reg.counter("rank.queries")->Value() - ranked_before,
+            F().world.queries.size());
+  EXPECT_EQ(reg.counter("eval.queries")->Value() - eval_before,
+            F().world.queries.size());
+  EXPECT_GT(reg.counter("extract.nodes")->Value(), 0u);
+  EXPECT_GT(reg.counter("index.docs_added")->Value(), 0u);
+}
+
+TEST_F(ObservabilityPipelineTest, FaultPathApiCountersMatchFaultStats) {
+  synth::WorldConfig cfg;
+  cfg.scale = 0.02;
+  synth::SyntheticWorld world = synth::GenerateWorld(cfg);
+
+  platform::FaultConfig faults;
+  faults.transient_error_prob = 0.10;
+  faults.seed = 7;
+
+  obs::MetricsRegistry reg;
+  AnalyzedWorld with_metrics =
+      AnalyzeWorld(&world, {.faults = faults, .metrics = &reg});
+  AnalyzedWorld without =
+      AnalyzeWorld(&world, {.faults = faults});
+
+  // The metrics mirror the FaultStats accounting exactly, per platform.
+  for (size_t p = 0; p < platform::kNumPlatforms; ++p) {
+    const platform::FaultStats& stats = with_metrics.fault_stats[p];
+    const std::string prefix =
+        std::string("api.") +
+        std::string(platform::PlatformShortName(platform::kAllPlatforms[p])) +
+        ".";
+    EXPECT_EQ(reg.counter(prefix + "requests")->Value(), stats.requests);
+    EXPECT_EQ(reg.counter(prefix + "attempts")->Value(), stats.attempts);
+    EXPECT_EQ(reg.counter(prefix + "retries")->Value(), stats.retries);
+    EXPECT_EQ(reg.counter(prefix + "failures")->Value(), stats.failures);
+    // And observation never changed the injected fault stream.
+    EXPECT_EQ(stats.requests, without.fault_stats[p].requests);
+    EXPECT_EQ(stats.attempts, without.fault_stats[p].attempts);
+  }
+  EXPECT_EQ(io::DigestAnalyzedCorpora(with_metrics.corpora),
+            io::DigestAnalyzedCorpora(without.corpora));
+}
+
+}  // namespace
+}  // namespace crowdex::core
