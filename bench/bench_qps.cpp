@@ -1,0 +1,338 @@
+// Serving-throughput benchmark for the query hot path. Builds one corpus,
+// then serves a repeated-query workload through three finders over the
+// same shared index:
+//
+//   legacy    — the pre-compiled-path scorer (hash-map accumulation +
+//               full sort), retained behind
+//               `ExpertFinderConfig::compiled_queries = false`;
+//   compiled  — the frozen SoA / dense-accumulator path, cache disabled;
+//   cached    — the compiled path with the compiled-query LRU on
+//               (the serving default).
+//
+// Every ranking served by every arm is compared bit for bit against the
+// legacy answer; any divergence makes the binary exit non-zero, so the
+// ctest smoke run doubles as an equivalence gate. The measured QPS,
+// latency percentiles, cache hit rate, and 1-vs-N batch throughput land in
+// BENCH_rank.json.
+//
+// Environment knobs: CROWDEX_BENCH_SCALE (default 0.05), CROWDEX_THREADS
+// (batch worker count, default max(4, hardware_concurrency)),
+// CROWDEX_QPS_REPEAT (how many times the query set repeats in the
+// workload, default 20), CROWDEX_BENCH_JSON (output path, default
+// BENCH_rank.json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/analyzed_world.h"
+#include "core/expert_finder.h"
+#include "synth/world.h"
+
+namespace {
+
+using namespace crowdex;
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+double Seconds(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+bool SameRanking(const core::RankedExperts& a, const core::RankedExperts& b) {
+  if (a.ranking.size() != b.ranking.size() ||
+      a.matched_resources != b.matched_resources ||
+      a.reachable_resources != b.reachable_resources ||
+      a.considered_resources != b.considered_resources) {
+    return false;
+  }
+  for (size_t i = 0; i < a.ranking.size(); ++i) {
+    if (a.ranking[i].candidate != b.ranking[i].candidate ||
+        a.ranking[i].score != b.ranking[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Serves `workload` once through `finder`, one call at a time, recording
+/// per-call latencies. Returns the elapsed wall time.
+double ServeWorkload(const core::ExpertFinder& finder,
+                     const std::vector<synth::ExpertiseNeed>& workload,
+                     std::vector<core::RankedExperts>* results,
+                     std::vector<double>* latencies_ms) {
+  results->clear();
+  results->reserve(workload.size());
+  if (latencies_ms != nullptr) latencies_ms->reserve(workload.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& q : workload) {
+    const auto t0 = std::chrono::steady_clock::now();
+    results->push_back(finder.Rank(q));
+    if (latencies_ms != nullptr) latencies_ms->push_back(Seconds(t0) * 1e3);
+  }
+  return Seconds(start);
+}
+
+/// A minimal well-formedness scan of the JSON this binary just wrote:
+/// balanced braces/brackets outside strings, properly terminated strings,
+/// non-empty document. Catches truncated or interleaved writes without
+/// pulling in a parser.
+bool JsonLooksWellFormed(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) text.append(buf, n);
+  std::fclose(in);
+  if (text.empty()) return false;
+
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string && text.front() == '{';
+}
+
+bool Run(const std::string& json_path) {
+  const double scale = EnvDouble("CROWDEX_BENCH_SCALE", 0.05);
+  const int threads =
+      EnvInt("CROWDEX_THREADS",
+             std::max(4, common::ThreadPool::HardwareThreads()));
+  const int repeat = std::max(1, EnvInt("CROWDEX_QPS_REPEAT", 20));
+
+  std::printf("crowdex qps: scale=%.3f threads=%d repeat=%d "
+              "hardware_concurrency=%d\n",
+              scale, threads, repeat,
+              common::ThreadPool::HardwareThreads());
+
+  synth::WorldConfig cfg;
+  cfg.scale = scale;
+  synth::SyntheticWorld world = synth::GenerateWorld(cfg);
+  core::AnalyzedWorld analyzed = core::AnalyzeWorld(&world);
+  core::CorpusIndex index(&analyzed, platform::kAllPlatformsMask);
+
+  // Repeated-query workload: the full query set served `repeat` times,
+  // interleaved (q0..qN, q0..qN, ...) the way evaluation sweeps and
+  // parameter studies replay it.
+  std::vector<synth::ExpertiseNeed> workload;
+  workload.reserve(world.queries.size() * static_cast<size_t>(repeat));
+  for (int r = 0; r < repeat; ++r) {
+    for (const auto& q : world.queries) workload.push_back(q);
+  }
+
+  core::ExpertFinderConfig legacy_cfg;
+  legacy_cfg.compiled_queries = false;
+  core::ExpertFinderConfig compiled_cfg;
+  compiled_cfg.query_cache_capacity = 0;
+  core::ExpertFinderConfig cached_cfg;  // serving defaults
+
+  core::ExpertFinder legacy =
+      core::ExpertFinder::Create(&analyzed, legacy_cfg, &index).value();
+  core::ExpertFinder compiled =
+      core::ExpertFinder::Create(&analyzed, compiled_cfg, &index).value();
+  core::ExpertFinder cached =
+      core::ExpertFinder::Create(&analyzed, cached_cfg, &index).value();
+
+  // Single-thread serving: the same workload through every arm.
+  std::vector<core::RankedExperts> legacy_results;
+  std::vector<core::RankedExperts> compiled_results;
+  std::vector<core::RankedExperts> cached_results;
+  std::vector<double> latencies_ms;
+  const double legacy_s = ServeWorkload(legacy, workload, &legacy_results,
+                                        nullptr);
+  const double compiled_s =
+      ServeWorkload(compiled, workload, &compiled_results, nullptr);
+  const double cached_s =
+      ServeWorkload(cached, workload, &cached_results, &latencies_ms);
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (!SameRanking(legacy_results[i], compiled_results[i])) {
+      std::fprintf(stderr,
+                   "FAIL: compiled ranking diverged from legacy at "
+                   "workload item %zu\n",
+                   i);
+      return false;
+    }
+    if (!SameRanking(legacy_results[i], cached_results[i])) {
+      std::fprintf(stderr,
+                   "FAIL: cached ranking diverged from legacy at "
+                   "workload item %zu\n",
+                   i);
+      return false;
+    }
+  }
+
+  // Determinism across repeats of the same serve path.
+  std::vector<core::RankedExperts> cached_again;
+  (void)ServeWorkload(cached, workload, &cached_again, nullptr);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (!SameRanking(cached_results[i], cached_again[i])) {
+      std::fprintf(stderr,
+                   "FAIL: repeated cached serve diverged at item %zu\n", i);
+      return false;
+    }
+  }
+
+  // Batch serving, 1 thread vs N threads, both against the legacy answer.
+  common::ThreadPool pool(threads);
+  const auto b0 = std::chrono::steady_clock::now();
+  std::vector<core::RankedExperts> batch_1t = cached.RankBatch(workload);
+  const double batch_1t_s = Seconds(b0);
+  const auto b1 = std::chrono::steady_clock::now();
+  std::vector<core::RankedExperts> batch_nt =
+      cached.RankBatch(workload, &pool);
+  const double batch_nt_s = Seconds(b1);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (!SameRanking(legacy_results[i], batch_1t[i]) ||
+        !SameRanking(legacy_results[i], batch_nt[i])) {
+      std::fprintf(stderr,
+                   "FAIL: batch ranking diverged from legacy at item %zu\n",
+                   i);
+      return false;
+    }
+  }
+
+  const size_t calls = workload.size();
+  const double legacy_qps = legacy_s > 0 ? calls / legacy_s : 0;
+  const double compiled_qps = compiled_s > 0 ? calls / compiled_s : 0;
+  const double cached_qps = cached_s > 0 ? calls / cached_s : 0;
+  const double batch_1t_qps = batch_1t_s > 0 ? calls / batch_1t_s : 0;
+  const double batch_nt_qps = batch_nt_s > 0 ? calls / batch_nt_s : 0;
+
+  const auto cache_stats = cached.query_cache_stats();
+  const uint64_t lookups = cache_stats.hits + cache_stats.misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(cache_stats.hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = Percentile(latencies_ms, 0.50);
+  const double p95 = Percentile(latencies_ms, 0.95);
+  const double p99 = Percentile(latencies_ms, 0.99);
+
+  std::printf("legacy:    %8.1f qps  (%.3fs for %zu calls)\n", legacy_qps,
+              legacy_s, calls);
+  std::printf("compiled:  %8.1f qps  (%.2fx vs legacy, cache off)\n",
+              compiled_qps,
+              legacy_qps > 0 ? compiled_qps / legacy_qps : 0.0);
+  std::printf("cached:    %8.1f qps  (%.2fx vs legacy, hit rate %.3f)\n",
+              cached_qps, legacy_qps > 0 ? cached_qps / legacy_qps : 0.0,
+              hit_rate);
+  std::printf("latency:   p50 %.4fms  p95 %.4fms  p99 %.4fms\n", p50, p95,
+              p99);
+  std::printf("batch:     1t %8.1f qps  %dt %8.1f qps  (%.2fx)\n",
+              batch_1t_qps, threads, batch_nt_qps,
+              batch_1t_qps > 0 ? batch_nt_qps / batch_1t_qps : 0.0);
+  std::printf("determinism: every arm bit-identical to the legacy path\n");
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", json_path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"crowdex-bench-rank-v1\",\n");
+  std::fprintf(out, "  \"scale\": %.6f,\n", scale);
+  std::fprintf(out, "  \"indexed_docs\": %zu,\n", index.document_count());
+  std::fprintf(out, "  \"unique_queries\": %zu,\n", world.queries.size());
+  std::fprintf(out, "  \"workload_calls\": %zu,\n", calls);
+  std::fprintf(out, "  \"hardware_concurrency\": %d,\n",
+               common::ThreadPool::HardwareThreads());
+  std::fprintf(out, "  \"threads\": %d,\n", threads);
+  std::fprintf(out, "  \"legacy_qps\": %.2f,\n", legacy_qps);
+  std::fprintf(out, "  \"compiled_qps\": %.2f,\n", compiled_qps);
+  std::fprintf(out, "  \"cached_qps\": %.2f,\n", cached_qps);
+  std::fprintf(out, "  \"compiled_speedup_vs_legacy\": %.4f,\n",
+               legacy_qps > 0 ? compiled_qps / legacy_qps : 0.0);
+  std::fprintf(out, "  \"cached_speedup_vs_legacy\": %.4f,\n",
+               legacy_qps > 0 ? cached_qps / legacy_qps : 0.0);
+  std::fprintf(out, "  \"rank_latency_ms\": {\n");
+  std::fprintf(out, "    \"p50\": %.4f,\n", p50);
+  std::fprintf(out, "    \"p95\": %.4f,\n", p95);
+  std::fprintf(out, "    \"p99\": %.4f\n", p99);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"query_cache\": {\n");
+  std::fprintf(out, "    \"hits\": %llu,\n",
+               static_cast<unsigned long long>(cache_stats.hits));
+  std::fprintf(out, "    \"misses\": %llu,\n",
+               static_cast<unsigned long long>(cache_stats.misses));
+  std::fprintf(out, "    \"evictions\": %llu,\n",
+               static_cast<unsigned long long>(cache_stats.evictions));
+  std::fprintf(out, "    \"hit_rate\": %.4f\n", hit_rate);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"batch_qps_1t\": %.2f,\n", batch_1t_qps);
+  std::fprintf(out, "  \"batch_qps_nt\": %.2f,\n", batch_nt_qps);
+  std::fprintf(out, "  \"batch_speedup\": %.4f,\n",
+               batch_1t_qps > 0 ? batch_nt_qps / batch_1t_qps : 0.0);
+  std::fprintf(out, "  \"deterministic\": true\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  if (!JsonLooksWellFormed(json_path)) {
+    std::fprintf(stderr, "FAIL: %s is not well-formed JSON\n",
+                 json_path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const char* json_env = std::getenv("CROWDEX_BENCH_JSON");
+  const std::string json_path =
+      (json_env != nullptr && *json_env != '\0') ? json_env
+                                                 : "BENCH_rank.json";
+  return Run(json_path) ? 0 : 1;
+}

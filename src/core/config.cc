@@ -22,6 +22,9 @@ Status ExpertFinderConfig::Validate() const {
   if (window_size <= 0 && window_fraction > 1.0) {
     return Status::InvalidArgument("window_fraction must be <= 1");
   }
+  if (query_cache_capacity < 0) {
+    return Status::InvalidArgument("query_cache_capacity must be >= 0");
+  }
   return Status::Ok();
 }
 

@@ -56,6 +56,19 @@ struct ExpertFinderConfig {
   double distance_weight_max = 1.0;
   double distance_weight_min = 0.5;
 
+  /// Serve queries through the compiled path (interned term ids, frozen
+  /// SoA postings, dense top-k scoring) when the corpus index carries a
+  /// frozen form. Rankings are bit-identical either way (DESIGN.md §10);
+  /// `false` retains the legacy per-query hash-map scorer, kept for
+  /// equivalence tests and before/after benchmarking (`bench_qps`).
+  bool compiled_queries = true;
+
+  /// Capacity of the per-finder compiled-query LRU cache (entries), keyed
+  /// by the analyzed query. 0 disables caching; only meaningful on the
+  /// compiled path. Hit/miss/eviction counts export as
+  /// `rank.query_cache.*` when metrics are attached.
+  int query_cache_capacity = 256;
+
   /// Validates parameter ranges.
   Status Validate() const;
 };

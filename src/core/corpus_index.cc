@@ -26,6 +26,10 @@ CorpusIndex::CorpusIndex(const AnalyzedWorld* analyzed,
     }
   }
   build_status_ = index_.BulkAdd(docs, pool, metrics);
+  // Freeze the serving layout (interned dictionary + SoA posting arenas)
+  // so finders can take the compiled query path. The corpus never mutates
+  // after construction, so the frozen form stays valid for its lifetime.
+  if (build_status_.ok()) index_.Freeze(metrics);
 }
 
 }  // namespace crowdex::core

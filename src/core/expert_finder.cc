@@ -5,10 +5,25 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
 namespace crowdex::core {
+
+namespace {
+
+/// Dense scoring scratch for the compiled query path. One per thread:
+/// `Rank` is const and called concurrently (evaluation fan-out, batch
+/// serving), and the accumulator grows to the largest index this thread
+/// has served, then gets reused — the "reusable vector + generation
+/// stamps" that replaces the per-query hash map.
+index::ScoreAccumulator& LocalAccumulator() {
+  static thread_local index::ScoreAccumulator acc;
+  return acc;
+}
+
+}  // namespace
 
 Result<ExpertFinder> ExpertFinder::Create(const AnalyzedWorld* analyzed,
                                           const ExpertFinderConfig& config,
@@ -51,11 +66,20 @@ ExpertFinder::ExpertFinder(const AnalyzedWorld* analyzed,
       owned_index_(std::move(owned_index)),
       index_(index),
       metrics_(metrics) {
+  compiled_path_ =
+      config_.compiled_queries && index_->search_index().frozen();
+  if (compiled_path_ && config_.query_cache_capacity > 0) {
+    query_cache_ = std::make_unique<index::CompiledQueryCache>(
+        static_cast<size_t>(config_.query_cache_capacity));
+  }
   if (metrics_ != nullptr) {
     rank_queries_ = metrics_->counter("rank.queries");
     rank_matched_ = metrics_->counter("rank.matched_resources");
     rank_reachable_ = metrics_->counter("rank.reachable_resources");
     rank_considered_ = metrics_->counter("rank.considered_resources");
+    cache_hits_ = metrics_->counter("rank.query_cache.hits");
+    cache_misses_ = metrics_->counter("rank.query_cache.misses");
+    cache_evictions_ = metrics_->counter("rank.query_cache.evictions");
     rank_latency_ms_ = metrics_->histogram("rank.latency_ms");
   }
   obs::StageTimer timer(metrics_, "build_associations");
@@ -90,6 +114,23 @@ void ExpertFinder::BuildAssociations() {
       }
     }
   }
+
+  // Project the association map onto dense DocId-indexed arrays: the
+  // ranking hot path replaces one hash probe per matched/windowed resource
+  // with an array load, and the byte vector doubles as the eligibility
+  // filter of the compiled retrieval. Values of `associations_` are
+  // address-stable (node-based map, never mutated after this point).
+  const index::SearchIndex& si = index_->search_index();
+  const size_t docs = si.size();
+  doc_associations_.assign(docs, nullptr);
+  reachable_bits_.assign(docs, 0);
+  for (index::DocId d = 0; d < docs; ++d) {
+    auto it = associations_.find(si.external_id(d));
+    if (it != associations_.end()) {
+      doc_associations_[d] = &it->second;
+      reachable_bits_[d] = 1;
+    }
+  }
 }
 
 RankedExperts ExpertFinder::Rank(const synth::ExpertiseNeed& query) const {
@@ -100,9 +141,84 @@ RankedExperts ExpertFinder::RankText(const std::string& query_text) const {
   return RankAnalyzed(analyzed_->extractor->AnalyzeQuery(query_text));
 }
 
+std::vector<RankedExperts> ExpertFinder::RankBatch(
+    const std::vector<synth::ExpertiseNeed>& queries,
+    const common::ThreadPool* pool) const {
+  std::vector<RankedExperts> out(queries.size());
+  auto body = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = Rank(queries[i]);
+    return Status::Ok();
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && queries.size() > 1) {
+    // Each worker thread ranks through its own thread-local accumulator;
+    // slots are committed by query position, so the batch is bit-identical
+    // to the sequential loop for any thread count.
+    CheckOk(pool->ParallelFor(queries.size(), /*min_chunk=*/1, body),
+            "ExpertFinder::RankBatch ParallelFor");
+  } else {
+    CheckOk(body(0, queries.size()), "ExpertFinder::RankBatch");
+  }
+  return out;
+}
+
+size_t ExpertFinder::ResolveWindow(size_t eligible) const {
+  // Window: the number of top relevant resources considered (Sec. 2.4.1).
+  size_t window = eligible;
+  if (config_.window_size > 0) {
+    window = std::min<size_t>(window, config_.window_size);
+  } else if (config_.window_fraction > 0.0) {
+    window = std::min<size_t>(
+        window, static_cast<size_t>(
+                    std::llround(config_.window_fraction *
+                                 static_cast<double>(eligible))));
+  }
+  return window;
+}
+
+std::shared_ptr<const index::CompiledQuery> ExpertFinder::CompiledFor(
+    const index::AnalyzedQuery& query) const {
+  const index::SearchIndex& si = index_->search_index();
+  if (query_cache_ == nullptr) {
+    return std::make_shared<const index::CompiledQuery>(si.Compile(query));
+  }
+  const std::string key = index::AnalyzedQueryCacheKey(query);
+  if (std::shared_ptr<const index::CompiledQuery> hit =
+          query_cache_->Lookup(key)) {
+    if (cache_hits_ != nullptr) cache_hits_->Increment(1);
+    return hit;
+  }
+  if (cache_misses_ != nullptr) cache_misses_->Increment(1);
+  auto compiled =
+      std::make_shared<const index::CompiledQuery>(si.Compile(query));
+  const size_t evicted = query_cache_->Insert(key, compiled);
+  if (evicted > 0 && cache_evictions_ != nullptr) {
+    cache_evictions_->Increment(evicted);
+  }
+  return compiled;
+}
+
 std::vector<index::ScoredDoc> ExpertFinder::WindowedResources(
     const index::AnalyzedQuery& query, RankedExperts* stats) const {
-  // Social resources matching (Sec. 2.4): retrieve and score resources.
+  if (compiled_path_) {
+    // Compiled serving path: score through the dense accumulator with the
+    // reachability bytes as the eligibility filter, then select only the
+    // window — matching resources beyond it are never sorted.
+    std::shared_ptr<const index::CompiledQuery> compiled = CompiledFor(query);
+    index::ScoreAccumulator& acc = LocalAccumulator();
+    const index::RetrievalStats rs = index_->search_index().AccumulateCompiled(
+        *compiled, config_.alpha, reachable_bits_.data(), &acc);
+    stats->matched_resources = rs.matched;
+    stats->reachable_resources = rs.eligible;
+    const size_t window = ResolveWindow(rs.eligible);
+    std::vector<index::ScoredDoc> windowed;
+    acc.TakeTop(window, &windowed);
+    stats->considered_resources = windowed.size();
+    return windowed;
+  }
+
+  // Legacy path (retained verbatim for equivalence testing and
+  // before/after benchmarking): full-sort retrieval, then the
+  // reachability filter, then the window.
   std::vector<index::ScoredDoc> matches = index_->Search(query, config_.alpha);
   stats->matched_resources = matches.size();
 
@@ -117,15 +233,7 @@ std::vector<index::ScoredDoc> ExpertFinder::WindowedResources(
   }
   stats->reachable_resources = reachable.size();
 
-  // Window: the number of top relevant resources considered (Sec. 2.4.1).
-  size_t window = reachable.size();
-  if (config_.window_size > 0) {
-    window = std::min<size_t>(window, config_.window_size);
-  } else if (config_.window_fraction > 0.0) {
-    window = std::min<size_t>(
-        window, static_cast<size_t>(
-                    std::llround(config_.window_fraction * reachable.size())));
-  }
+  const size_t window = ResolveWindow(reachable.size());
   reachable.resize(window);
   stats->considered_resources = window;
   return reachable;
@@ -143,8 +251,10 @@ RankedExperts ExpertFinder::RankAnalyzed(
       static_cast<int>(analyzed_->world->candidates.size());
   std::vector<double> scores(num_candidates, 0.0);
   for (const index::ScoredDoc& doc : windowed) {
-    auto it = associations_.find(doc.external_id);
-    for (const Association& a : it->second) {
+    // Windowed docs are reachable by construction, so the per-doc
+    // association list is always present.
+    const std::vector<Association>& assoc = *doc_associations_[doc.doc];
+    for (const Association& a : assoc) {
       double wr = DistanceWeight(config_, a.distance);
       switch (config_.aggregation) {
         case AggregationMode::kWeightedSum:
@@ -193,8 +303,8 @@ std::vector<ResourceEvidence> ExpertFinder::Explain(
   RankedExperts stats;
   index::AnalyzedQuery query = analyzed_->extractor->AnalyzeQuery(query_text);
   for (const index::ScoredDoc& doc : WindowedResources(query, &stats)) {
-    auto it = associations_.find(doc.external_id);
-    for (const Association& a : it->second) {
+    const std::vector<Association>& assoc = *doc_associations_[doc.doc];
+    for (const Association& a : assoc) {
       if (a.candidate != candidate) continue;
       PlatformNodeKey key = PlatformNodeKey::Unpack(doc.external_id);
       ResourceEvidence ev;
@@ -222,6 +332,11 @@ size_t ExpertFinder::ReachableResources(int candidate) const {
     return 0;
   }
   return reachable_counts_[candidate];
+}
+
+index::CompiledQueryCache::Stats ExpertFinder::query_cache_stats() const {
+  return query_cache_ != nullptr ? query_cache_->stats()
+                                 : index::CompiledQueryCache::Stats{};
 }
 
 }  // namespace crowdex::core

@@ -1,6 +1,7 @@
 #ifndef CROWDEX_CORE_EXPERT_FINDER_H_
 #define CROWDEX_CORE_EXPERT_FINDER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include "core/analyzed_world.h"
 #include "core/config.h"
 #include "core/corpus_index.h"
+#include "index/query_cache.h"
 #include "synth/query_set.h"
 
 namespace crowdex::obs {
@@ -61,6 +63,16 @@ struct ResourceEvidence {
 /// against the analyzed social resources (Eq. 1–2) and ranks candidate
 /// experts by aggregating resource relevance over their social
 /// neighborhood (Eq. 3, Table 1 distances).
+///
+/// Per-query serving goes through a compile-then-serve hot path by
+/// default: queries are compiled once against the frozen corpus index
+/// (string hashing and bag construction happen at compile time, not per
+/// posting), scored through a dense epoch-tagged accumulator, and
+/// top-k-selected to the configured window instead of fully sorted.
+/// Compiled queries are cached in a bounded LRU so evaluation sweeps and
+/// repeated traffic skip recompilation. Rankings are bit-identical to the
+/// retained legacy path (`ExpertFinderConfig::compiled_queries = false`)
+/// for every configuration, thread count, and cache state.
 class ExpertFinder {
  public:
   /// Validates the inputs and builds a finder over `analyzed` with
@@ -77,9 +89,10 @@ class ExpertFinder {
   ///
   /// A non-null `metrics` (which must outlive the finder) instruments
   /// every `Rank`: per-query matched/reachable/windowed resource counts
-  /// (`rank.*` counters) and a wall-clock rank latency histogram
-  /// (`rank.latency_ms`). Rankings are bit-identical with metrics on, off,
-  /// or shared across finders.
+  /// (`rank.*` counters), a wall-clock rank latency histogram
+  /// (`rank.latency_ms`), and compiled-query cache traffic
+  /// (`rank.query_cache.hits` / `.misses` / `.evictions`). Rankings are
+  /// bit-identical with metrics on, off, or shared across finders.
   static Result<ExpertFinder> Create(const AnalyzedWorld* analyzed,
                                      const ExpertFinderConfig& config,
                                      const CorpusIndex* shared_index = nullptr,
@@ -91,11 +104,20 @@ class ExpertFinder {
   ExpertFinder(ExpertFinder&&) = default;
   ExpertFinder& operator=(ExpertFinder&&) = default;
 
-  /// Ranks the candidate experts for `query`.
+  /// Ranks the candidate experts for `query`. Thread-safe.
   RankedExperts Rank(const synth::ExpertiseNeed& query) const;
 
   /// Ranks for a free-form expertise need (quickstart path).
   RankedExperts RankText(const std::string& query_text) const;
+
+  /// Ranks every query in `queries`, fanning the list out across `pool`
+  /// (when given) with one dense score accumulator per worker thread.
+  /// Results are committed into slots indexed by query position, so the
+  /// output vector is identical — element for element, bit for bit — to
+  /// calling `Rank` in a loop, at any thread count.
+  std::vector<RankedExperts> RankBatch(
+      const std::vector<synth::ExpertiseNeed>& queries,
+      const common::ThreadPool* pool = nullptr) const;
 
   /// Number of distinct resources reachable from `candidate` under this
   /// configuration (indexed English resources only). Fig. 10's x-axis.
@@ -110,6 +132,13 @@ class ExpertFinder {
 
   const ExpertFinderConfig& config() const { return config_; }
   const CorpusIndex& corpus() const { return *index_; }
+
+  /// True when queries are served through the compiled path (config flag
+  /// on and the corpus index is frozen).
+  bool serving_compiled() const { return compiled_path_; }
+
+  /// Compiled-query cache traffic (all zero when the cache is off).
+  index::CompiledQueryCache::Stats query_cache_stats() const;
 
  private:
   struct Association {
@@ -127,13 +156,28 @@ class ExpertFinder {
 
   /// The retrieval front half shared by Rank and Explain: matched ->
   /// reachability filter -> window. Returns the windowed scored docs.
+  /// Dispatches to the compiled top-k path or the retained legacy
+  /// full-sort path depending on `compiled_path_`; both return the same
+  /// bytes.
   std::vector<index::ScoredDoc> WindowedResources(
       const index::AnalyzedQuery& query, RankedExperts* stats) const;
+
+  /// Compiled form of `query`, through the LRU cache when enabled. The
+  /// returned pointer owns the compiled query (cache hit or fresh).
+  std::shared_ptr<const index::CompiledQuery> CompiledFor(
+      const index::AnalyzedQuery& query) const;
+
+  /// Resolves the configured window over `eligible` reachable resources
+  /// (Sec. 2.4.1 semantics, shared by both serving paths).
+  size_t ResolveWindow(size_t eligible) const;
 
   const AnalyzedWorld* analyzed_;
   ExpertFinderConfig config_;
   std::unique_ptr<CorpusIndex> owned_index_;
   const CorpusIndex* index_;
+  bool compiled_path_ = false;
+  /// Null = off; thread-safe, shared by concurrent Rank calls.
+  mutable std::unique_ptr<index::CompiledQueryCache> query_cache_;
   /// Null = observability off. Instrument handles are resolved once at
   /// construction so the per-query hot path never takes the registry lock.
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -141,9 +185,19 @@ class ExpertFinder {
   obs::Counter* rank_matched_ = nullptr;
   obs::Counter* rank_reachable_ = nullptr;
   obs::Counter* rank_considered_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* cache_evictions_ = nullptr;
   obs::Histogram* rank_latency_ms_ = nullptr;
   /// packed (platform, node) -> candidates that reach it, with distance.
   std::unordered_map<uint64_t, std::vector<Association>> associations_;
+  /// Per-DocId view of `associations_` for the ranking hot path: the
+  /// association list of each indexed doc (null when unreachable) and a
+  /// reachability byte per doc (the eligibility filter handed to the
+  /// compiled retrieval). Pointees live in `associations_`, whose values
+  /// are address-stable for the finder's lifetime.
+  std::vector<const std::vector<Association>*> doc_associations_;
+  std::vector<uint8_t> reachable_bits_;
   /// Per-candidate count of distinct reachable indexed resources.
   std::vector<size_t> reachable_counts_;
 };

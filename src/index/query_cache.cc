@@ -1,0 +1,74 @@
+#include "index/query_cache.h"
+
+#include <cassert>
+#include <utility>
+
+namespace crowdex::index {
+
+CompiledQueryCache::CompiledQueryCache(size_t capacity)
+    : capacity_(capacity) {
+  assert(capacity_ >= 1);
+}
+
+std::shared_ptr<const CompiledQuery> CompiledQueryCache::Lookup(
+    std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->compiled;
+}
+
+size_t CompiledQueryCache::Insert(
+    std::string_view key, std::shared_ptr<const CompiledQuery> compiled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    it->second->compiled = std::move(compiled);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return 0;
+  }
+  lru_.push_front(Entry{std::string(key), std::move(compiled)});
+  by_key_.emplace(std::string_view(lru_.front().key), lru_.begin());
+  if (lru_.size() <= capacity_) return 0;
+  by_key_.erase(std::string_view(lru_.back().key));
+  lru_.pop_back();
+  ++stats_.evictions;
+  return 1;
+}
+
+size_t CompiledQueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+CompiledQueryCache::Stats CompiledQueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string AnalyzedQueryCacheKey(const AnalyzedQuery& query) {
+  size_t bytes = 1;
+  for (const std::string& t : query.terms) bytes += t.size() + 1;
+  bytes += query.entities.size() * sizeof(entity::EntityId);
+  std::string key;
+  key.reserve(bytes);
+  for (const std::string& t : query.terms) {
+    key += t;
+    key += '\x1f';
+  }
+  key += '\x1e';
+  for (entity::EntityId e : query.entities) {
+    // Fixed-width little-endian so ids never alias across boundaries.
+    for (size_t b = 0; b < sizeof(entity::EntityId); ++b) {
+      key += static_cast<char>((e >> (8 * b)) & 0xFF);
+    }
+  }
+  return key;
+}
+
+}  // namespace crowdex::index

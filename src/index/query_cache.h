@@ -1,0 +1,86 @@
+#ifndef CROWDEX_INDEX_QUERY_CACHE_H_
+#define CROWDEX_INDEX_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "index/search_index.h"
+
+namespace crowdex::index {
+
+/// A bounded, thread-safe LRU cache of compiled queries, keyed by a digest
+/// of the analyzed query (see `AnalyzedQueryCacheKey`). Evaluation sweeps
+/// and repeated serving traffic hit the same expertise needs over and
+/// over; caching the compiled form skips query-side bag construction and
+/// dictionary resolution on every repeat.
+///
+/// Correctness note: the key is the full serialized analyzed query, not a
+/// lossy hash — two distinct queries can never collide, so a cache hit is
+/// exactly the compiled query that `SearchIndex::Compile` would return and
+/// rankings are bit-identical with the cache on or off, at any capacity.
+///
+/// All operations take one internal mutex; entries are `shared_ptr`s so a
+/// hit escapes the lock immediately and eviction never invalidates a
+/// compiled query still in use by a concurrent ranking.
+class CompiledQueryCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// `capacity` is the maximum number of cached entries; must be >= 1.
+  explicit CompiledQueryCache(size_t capacity);
+
+  CompiledQueryCache(const CompiledQueryCache&) = delete;
+  CompiledQueryCache& operator=(const CompiledQueryCache&) = delete;
+
+  /// Returns the cached compiled query for `key` (refreshing its recency),
+  /// or null on a miss.
+  std::shared_ptr<const CompiledQuery> Lookup(std::string_view key);
+
+  /// Inserts `compiled` under `key`, or refreshes the existing entry (the
+  /// new value wins — compiled queries are deterministic, so both are
+  /// equal anyway). Returns the number of entries evicted to respect the
+  /// capacity bound (0 or 1).
+  size_t Insert(std::string_view key,
+                std::shared_ptr<const CompiledQuery> compiled);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CompiledQuery> compiled;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  /// Views point into the owning `Entry::key`, which is stable: list nodes
+  /// never relocate and entries are erased from the map first.
+  std::unordered_map<std::string_view, std::list<Entry>::iterator,
+                     TransparentStringHash, std::equal_to<>>
+      by_key_;
+  Stats stats_;
+};
+
+/// Serializes `query` into a cache key. Unit separators (0x1f / 0x1e)
+/// cannot appear in analyzed terms (the text pipeline strips control
+/// bytes), and entity ids are fixed-width, so the mapping is injective:
+/// equal keys imply equal analyzed queries.
+std::string AnalyzedQueryCacheKey(const AnalyzedQuery& query);
+
+}  // namespace crowdex::index
+
+#endif  // CROWDEX_INDEX_QUERY_CACHE_H_

@@ -11,6 +11,17 @@
 
 namespace crowdex::index {
 
+namespace {
+
+/// Strict total order of retrieval results: descending score, ties broken
+/// by ascending doc id. Total over distinct documents, so any top-k
+/// selection under it is exactly the prefix of the full sort.
+bool BetterDoc(const ScoredDoc& a, const ScoredDoc& b) {
+  return a.score != b.score ? a.score > b.score : a.doc < b.doc;
+}
+
+}  // namespace
+
 void SearchIndex::AppendDoc(DocId id, const std::vector<std::string>& terms,
                             const std::vector<DocEntity>& entities,
                             TermPostingMap* terms_out,
@@ -41,6 +52,7 @@ DocId SearchIndex::Add(const IndexableDocument& doc) {
   DocId id = static_cast<DocId>(external_ids_.size());
   external_ids_.push_back(doc.external_id);
   AppendDoc(id, doc.terms, doc.entities, &term_postings_, &entity_postings_);
+  frozen_ = false;
   return id;
 }
 
@@ -86,9 +98,11 @@ Status SearchIndex::BulkAdd(const std::vector<DocView>& docs,
                                          build_range)
                      : build_range(0, docs.size());
   // ParallelFor reports the lowest-indexed failing chunk, so the error is
-  // deterministic; discarding the unmerged shards leaves the index intact.
+  // deterministic; discarding the unmerged shards leaves the index (and
+  // any frozen form) intact.
   if (!built.ok()) return built;
 
+  frozen_ = false;
   external_ids_.reserve(external_ids_.size() + docs.size());
   for (const DocView& d : docs) external_ids_.push_back(d.external_id);
 
@@ -129,7 +143,7 @@ Status SearchIndex::BulkAdd(const std::vector<DocView>& docs,
   return Status::Ok();
 }
 
-uint32_t SearchIndex::ResourceFrequency(const std::string& term) const {
+uint32_t SearchIndex::ResourceFrequency(std::string_view term) const {
   auto it = term_postings_.find(term);
   return it == term_postings_.end()
              ? 0
@@ -149,7 +163,7 @@ double SearchIndex::InverseFrequency(size_t rf) const {
                             static_cast<double>(rf));
 }
 
-double SearchIndex::Irf(const std::string& term) const {
+double SearchIndex::Irf(std::string_view term) const {
   return InverseFrequency(ResourceFrequency(term));
 }
 
@@ -157,7 +171,7 @@ double SearchIndex::Eirf(entity::EntityId entity) const {
   return InverseFrequency(EntityResourceFrequency(entity));
 }
 
-uint32_t SearchIndex::TermFrequency(DocId doc, const std::string& term) const {
+uint32_t SearchIndex::TermFrequency(DocId doc, std::string_view term) const {
   auto it = term_postings_.find(term);
   if (it == term_postings_.end()) return 0;
   // Posting lists are built in ascending doc-id order (both `Add` and the
@@ -214,9 +228,217 @@ std::vector<ScoredDoc> SearchIndex::Search(const AnalyzedQuery& query,
   for (const auto& [doc, score] : scores) {
     if (score > 0.0) out.push_back({doc, external_ids_[doc], score});
   }
-  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
-    return a.score != b.score ? a.score > b.score : a.doc < b.doc;
-  });
+  std::sort(out.begin(), out.end(), BetterDoc);
+  return out;
+}
+
+// --- Frozen serving form ---------------------------------------------------
+
+void SearchIndex::Freeze(obs::MetricsRegistry* metrics) {
+  obs::Span span(metrics, "index.freeze_ms");
+
+  // Term ids are assigned in lexicographic order — a pure function of the
+  // indexed content. Iterating `term_postings_` directly would leak the
+  // build history (sequential insertion vs. shard-merge order) into the
+  // dictionary layout.
+  std::vector<std::string_view> terms;
+  terms.reserve(term_postings_.size());
+  size_t term_posting_total = 0;
+  for (const auto& [term, postings] : term_postings_) {
+    terms.push_back(term);
+    term_posting_total += postings.size();
+  }
+  std::sort(terms.begin(), terms.end());
+
+  term_dict_.clear();
+  term_dict_.reserve(terms.size());
+  term_irf_.clear();
+  term_irf_.reserve(terms.size());
+  term_offsets_.clear();
+  term_offsets_.reserve(terms.size() + 1);
+  term_post_doc_.clear();
+  term_post_doc_.reserve(term_posting_total);
+  term_post_tf_.clear();
+  term_post_tf_.reserve(term_posting_total);
+
+  term_offsets_.push_back(0);
+  for (std::string_view term : terms) {
+    const std::vector<TermPosting>& postings =
+        term_postings_.find(term)->second;
+    term_dict_.emplace(std::string(term),
+                       static_cast<TermId>(term_irf_.size()));
+    term_irf_.push_back(InverseFrequency(postings.size()));
+    for (const TermPosting& p : postings) {
+      term_post_doc_.push_back(p.doc);
+      term_post_tf_.push_back(p.tf);
+    }
+    term_offsets_.push_back(term_post_doc_.size());
+  }
+
+  // Entities: numeric id order, same reasoning.
+  std::vector<entity::EntityId> entities;
+  entities.reserve(entity_postings_.size());
+  for (const auto& [eid, postings] : entity_postings_) entities.push_back(eid);
+  std::sort(entities.begin(), entities.end());
+
+  entity_slot_.clear();
+  entity_slot_.reserve(entities.size());
+  entity_eirf_.clear();
+  entity_eirf_.reserve(entities.size());
+  entity_offsets_.clear();
+  entity_offsets_.reserve(entities.size() + 1);
+  entity_post_doc_.clear();
+  entity_post_ef_.clear();
+  entity_post_we_.clear();
+
+  entity_offsets_.push_back(0);
+  for (entity::EntityId eid : entities) {
+    const std::vector<EntityPosting>& postings =
+        entity_postings_.find(eid)->second;
+    entity_slot_.emplace(eid, static_cast<uint32_t>(entity_eirf_.size()));
+    // eirf is derived from the FULL posting list (zero-weight postings
+    // included) — exactly what the legacy scorer computes — even though
+    // the arena below prunes the zero-weight entries.
+    entity_eirf_.push_back(InverseFrequency(postings.size()));
+    for (const EntityPosting& p : postings) {
+      // we(e,r) = 1 + dScore when disambiguation succeeded, else 0 (Eq. 2).
+      // A zero-weight posting contributes `weight · ef · 0.0 = +0.0`, and
+      // adding +0.0 to a non-negative accumulator slot is a bitwise no-op,
+      // so pruning it here cannot change any score.
+      if (p.dscore <= 0.0) continue;
+      entity_post_doc_.push_back(p.doc);
+      entity_post_ef_.push_back(p.ef);
+      entity_post_we_.push_back(1.0 + p.dscore);
+    }
+    entity_offsets_.push_back(entity_post_doc_.size());
+  }
+
+  frozen_ = true;
+}
+
+CompiledQuery SearchIndex::Compile(const AnalyzedQuery& query) const {
+  assert(frozen_);
+  CompiledQuery out;
+
+  // Build the query-side bags with the SAME container type and insertion
+  // sequence as the legacy `Search`, then resolve in its iteration order.
+  // Per-document floating-point sums depend on the order term/entity
+  // groups are processed; replicating the legacy order here is what makes
+  // the compiled scores bit-identical (dropping unknown groups is safe —
+  // they contribute to no document).
+  std::unordered_map<std::string, uint32_t> query_tf;
+  for (const auto& t : query.terms) ++query_tf[t];
+  out.terms.reserve(query_tf.size());
+  for (const auto& [term, qtf] : query_tf) {
+    auto it = term_dict_.find(term);
+    if (it == term_dict_.end()) continue;
+    out.terms.push_back({it->second, qtf});
+  }
+
+  std::unordered_map<entity::EntityId, uint32_t> query_ef;
+  for (entity::EntityId e : query.entities) ++query_ef[e];
+  out.entities.reserve(query_ef.size());
+  for (const auto& [eid, qef] : query_ef) {
+    auto it = entity_slot_.find(eid);
+    if (it == entity_slot_.end()) continue;
+    out.entities.push_back({it->second, qef});
+  }
+  return out;
+}
+
+void ScoreAccumulator::Reset(size_t num_docs) {
+  ++epoch_;
+  if (stamps_.size() < num_docs) {
+    stamps_.resize(num_docs, 0);
+    scores_.resize(num_docs, 0.0);
+  }
+  touched_.clear();
+  candidates_.clear();
+}
+
+void ScoreAccumulator::TakeTop(size_t k, std::vector<ScoredDoc>* out) {
+  if (k < candidates_.size()) {
+    // Partial selection: nth_element moves the top k (under the strict
+    // total order) into the prefix, then only that prefix is sorted. The
+    // tail — everything a window would discard — is never ordered.
+    std::nth_element(candidates_.begin(), candidates_.begin() + k,
+                     candidates_.end(), BetterDoc);
+    candidates_.resize(k);
+  }
+  std::sort(candidates_.begin(), candidates_.end(), BetterDoc);
+  out->assign(candidates_.begin(), candidates_.end());
+}
+
+RetrievalStats SearchIndex::AccumulateCompiled(const CompiledQuery& query,
+                                               double alpha,
+                                               const uint8_t* eligible,
+                                               ScoreAccumulator* acc) const {
+  assert(frozen_);
+  assert(alpha >= 0.0 && alpha <= 1.0);
+  acc->Reset(size());
+  const uint64_t epoch = acc->epoch_;
+  std::vector<double>& scores = acc->scores_;
+  std::vector<uint64_t>& stamps = acc->stamps_;
+  std::vector<DocId>& touched = acc->touched_;
+
+  // The weight expressions below replicate the legacy `Search` character
+  // for character: `alpha * qtf * irf * irf` associates as
+  // `((alpha·qtf)·irf)·irf`, and the per-posting contribution multiplies
+  // in the same order. Only the *lookup* of irf/we changed (array load vs.
+  // hash + log), so every contribution is the same double.
+  if (alpha > 0.0) {
+    for (const CompiledQuery::TermRef& t : query.terms) {
+      const double irf = term_irf_[t.id];
+      const double weight = alpha * t.qtf * irf * irf;
+      const size_t end = term_offsets_[t.id + 1];
+      for (size_t i = term_offsets_[t.id]; i < end; ++i) {
+        const DocId d = term_post_doc_[i];
+        if (stamps[d] != epoch) {
+          stamps[d] = epoch;
+          scores[d] = 0.0;
+          touched.push_back(d);
+        }
+        scores[d] += weight * term_post_tf_[i];
+      }
+    }
+  }
+
+  if (alpha < 1.0) {
+    for (const CompiledQuery::EntityRef& e : query.entities) {
+      const double eirf = entity_eirf_[e.slot];
+      const double weight = (1.0 - alpha) * e.qef * eirf * eirf;
+      const size_t end = entity_offsets_[e.slot + 1];
+      for (size_t i = entity_offsets_[e.slot]; i < end; ++i) {
+        const DocId d = entity_post_doc_[i];
+        if (stamps[d] != epoch) {
+          stamps[d] = epoch;
+          scores[d] = 0.0;
+          touched.push_back(d);
+        }
+        scores[d] += weight * entity_post_ef_[i] * entity_post_we_[i];
+      }
+    }
+  }
+
+  RetrievalStats stats;
+  for (const DocId d : touched) {
+    const double score = scores[d];
+    if (score <= 0.0) continue;
+    ++stats.matched;
+    if (eligible == nullptr || eligible[d] != 0) {
+      acc->candidates_.push_back({d, external_ids_[d], score});
+    }
+  }
+  stats.eligible = acc->candidates_.size();
+  return stats;
+}
+
+std::vector<ScoredDoc> SearchIndex::SearchCompiled(const CompiledQuery& query,
+                                                   double alpha,
+                                                   ScoreAccumulator* acc) const {
+  AccumulateCompiled(query, alpha, /*eligible=*/nullptr, acc);
+  std::vector<ScoredDoc> out;
+  acc->TakeTop(acc->candidate_count(), &out);
   return out;
 }
 

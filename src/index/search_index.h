@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/string_util.h"
 #include "entity/knowledge_base.h"
 
 namespace crowdex::common {
@@ -21,6 +23,11 @@ namespace crowdex::index {
 
 /// Position of a document inside one `SearchIndex` (dense, 0-based).
 using DocId = uint32_t;
+
+/// Interned id of a term in a frozen index's dictionary (dense, 0-based,
+/// assigned in lexicographic term order so ids are independent of how the
+/// postings were built — sequential or sharded).
+using TermId = uint32_t;
 
 /// An entity occurrence attached to an indexed document.
 struct DocEntity {
@@ -65,6 +72,80 @@ struct AnalyzedQuery {
   std::vector<entity::EntityId> entities;
 };
 
+/// A query compiled against one frozen index: terms resolved to interned
+/// `TermId`s, entities to dense dictionary slots, with the query-side
+/// multiplicities (`tf(t, q)` / `ef(e, q)`) pre-aggregated. Compiling once
+/// and scoring many times skips string hashing and query-side bag
+/// construction on every call. A compiled query is only meaningful against
+/// the frozen state it was compiled from; refreezing after mutation
+/// requires recompiling.
+struct CompiledQuery {
+  struct TermRef {
+    TermId id = 0;
+    /// Query-side term frequency (a repeated query term contributes
+    /// repeatedly in Eq. 1).
+    uint32_t qtf = 0;
+  };
+  struct EntityRef {
+    /// Dense slot in the frozen entity dictionary (not the EntityId).
+    uint32_t slot = 0;
+    uint32_t qef = 0;
+  };
+  /// Terms/entities present in the dictionary, in the exact group order
+  /// the legacy scorer would have processed them (see `Compile`); unknown
+  /// ones are dropped at compile time.
+  std::vector<TermRef> terms;
+  std::vector<EntityRef> entities;
+};
+
+/// Counts produced by one compiled retrieval pass.
+struct RetrievalStats {
+  /// Documents with positive Eq. 1 score (the legacy `Search` result size).
+  size_t matched = 0;
+  /// Matched documents passing the eligibility filter (all of them when no
+  /// filter is given) — the pool a top-k window applies to.
+  size_t eligible = 0;
+};
+
+/// Reusable dense scoring scratch for the compiled query path: one score
+/// slot per document plus a generation stamp, so clearing between queries
+/// is a single epoch bump instead of an O(N) wipe or a per-query hash map.
+/// Not thread-safe — use one accumulator per thread (they are cheap; the
+/// buffers grow to the largest index served and are then reused).
+class ScoreAccumulator {
+ public:
+  ScoreAccumulator() = default;
+  ScoreAccumulator(const ScoreAccumulator&) = delete;
+  ScoreAccumulator& operator=(const ScoreAccumulator&) = delete;
+
+  /// Number of candidates collected by the last accumulate pass.
+  size_t candidate_count() const { return candidates_.size(); }
+
+  /// Moves the top `k` collected candidates (by descending score, ties by
+  /// ascending doc id) into `*out`, best first. `k >= candidate_count()`
+  /// selects all of them. Because the order is a strict total order over
+  /// distinct documents, the selected set and its order are exactly the
+  /// first `k` elements of the full sort — partial selection cannot change
+  /// the result, only skip sorting the tail.
+  void TakeTop(size_t k, std::vector<ScoredDoc>* out);
+
+ private:
+  friend class SearchIndex;
+
+  /// Starts a new query over `num_docs` documents: bumps the epoch and
+  /// grows the buffers if the index is larger than anything seen before.
+  void Reset(size_t num_docs);
+
+  std::vector<double> scores_;
+  /// Stamp per doc; `stamps_[d] == epoch_` marks `scores_[d]` as live.
+  std::vector<uint64_t> stamps_;
+  uint64_t epoch_ = 0;
+  /// Docs touched by the current query, in first-touch order.
+  std::vector<DocId> touched_;
+  /// Eligible positive-score docs collected after accumulation.
+  std::vector<ScoredDoc> candidates_;
+};
+
 /// In-memory inverted index implementing the paper's retrieval model.
 ///
 /// Resources are represented both as bags of words and as sets of entities
@@ -76,6 +157,18 @@ struct AnalyzedQuery {
 /// with `we(e,r) = 1 + dScore(e,r)` when the entity was disambiguated with
 /// positive confidence and 0 otherwise (Eq. 2). `irf` / `eirf` are inverse
 /// resource frequencies over the whole indexed collection.
+///
+/// The index has two serving forms. The mutable build form (`Add` /
+/// `BulkAdd` + `Search`) accepts documents at any time and recomputes
+/// collection statistics per query. `Freeze()` additionally compiles a
+/// read-only serving layout — an interned term dictionary plus contiguous
+/// structure-of-arrays posting arenas with `irf`/`eirf` precomputed — that
+/// `Compile` + `AccumulateCompiled` score against without any hashing or
+/// sorting beyond the requested top-k. The compiled path returns
+/// bit-identical scores and orderings to `Search` (the equivalence
+/// argument lives in DESIGN.md §10 and is enforced by
+/// `tests/index/query_path_equivalence_test.cc`). Mutating the index
+/// drops the frozen form; refreeze before compiling again.
 class SearchIndex {
  public:
   SearchIndex() = default;
@@ -83,6 +176,7 @@ class SearchIndex {
   /// Adds `doc` to the collection and returns its dense id. Frequencies
   /// (`tf`, `ef`) are computed here; `irf`/`eirf` reflect the collection at
   /// query time, so documents may be added at any point before searching.
+  /// Drops the frozen serving form, if any.
   DocId Add(const IndexableDocument& doc);
 
   /// Adds `docs` in order: doc i receives id `size() + i` no matter how
@@ -97,7 +191,8 @@ class SearchIndex {
   /// entities pointer (the failure is detected inside the owning chunk and
   /// the lowest failing doc index wins deterministically), or `kInternal`
   /// when a chunk body threw. On any failure the index is left exactly as
-  /// it was before the call — no documents, ids, or postings are committed.
+  /// it was before the call — no documents, ids, or postings are committed
+  /// and an existing frozen form stays valid; a successful commit drops it.
   ///
   /// When `metrics` is non-null, build and shard-merge wall time land in
   /// the `index.bulk_add_ms` / `index.shard_merge_ms` histograms and
@@ -111,26 +206,65 @@ class SearchIndex {
   size_t size() const { return external_ids_.size(); }
 
   /// Resource frequency of `term` (number of documents containing it).
-  uint32_t ResourceFrequency(const std::string& term) const;
+  uint32_t ResourceFrequency(std::string_view term) const;
 
   /// Resource frequency of `entity`.
   uint32_t EntityResourceFrequency(entity::EntityId entity) const;
 
   /// Inverse resource frequency: log(1 + N / rf). Returns 0 for unseen
   /// terms (they cannot contribute to any score).
-  double Irf(const std::string& term) const;
+  double Irf(std::string_view term) const;
 
   /// Entity inverse resource frequency, same formula over entity postings.
   double Eirf(entity::EntityId entity) const;
 
   /// Term frequency of `term` in `doc` (0 when absent).
-  uint32_t TermFrequency(DocId doc, const std::string& term) const;
+  uint32_t TermFrequency(DocId doc, std::string_view term) const;
 
   /// Scores every matching document per Eq. 1 and returns them sorted by
   /// descending score (ties broken by ascending doc id for determinism).
   /// Only documents with score > 0 are returned. `alpha` must be in [0,1].
   std::vector<ScoredDoc> Search(const AnalyzedQuery& query,
                                 double alpha) const;
+
+  // --- Frozen serving form -------------------------------------------------
+
+  /// Builds (or rebuilds) the frozen serving layout from the current
+  /// postings: the interned term/entity dictionaries, the flat
+  /// offset-indexed posting arenas, and the precomputed `irf`/`eirf`
+  /// statistics. Idempotent; O(postings + V log V). Term/entity ids depend
+  /// only on the indexed content (lexicographic / numeric order), never on
+  /// how the postings were built. A non-null `metrics` records the wall
+  /// time in the `index.freeze_ms` histogram.
+  void Freeze(obs::MetricsRegistry* metrics = nullptr);
+
+  /// True while the frozen form matches the indexed content (set by
+  /// `Freeze`, dropped by any successful mutation).
+  bool frozen() const { return frozen_; }
+
+  /// Resolves `query` against the frozen dictionaries. Terms and entities
+  /// absent from the collection are dropped (they cannot score). The group
+  /// order of the result replicates the legacy scorer's iteration order
+  /// exactly, which is what makes compiled scores bit-identical to
+  /// `Search` (per-document sums are accumulated in the same sequence).
+  /// Requires `frozen()`.
+  CompiledQuery Compile(const AnalyzedQuery& query) const;
+
+  /// Scores `query` against the frozen arenas into `acc` and collects the
+  /// candidates: every document with positive score that passes
+  /// `eligible` (a byte per doc; null means all documents are eligible).
+  /// Returns the matched/eligible counts; retrieve the ranked results with
+  /// `acc->TakeTop(k, ...)`. Requires `frozen()`; `alpha` in [0, 1].
+  /// Thread-safe for concurrent calls with distinct accumulators.
+  RetrievalStats AccumulateCompiled(const CompiledQuery& query, double alpha,
+                                    const uint8_t* eligible,
+                                    ScoreAccumulator* acc) const;
+
+  /// Convenience: full compiled retrieval, equivalent to `Search` (same
+  /// documents, same score bits, same order).
+  std::vector<ScoredDoc> SearchCompiled(const CompiledQuery& query,
+                                        double alpha,
+                                        ScoreAccumulator* acc) const;
 
   /// External id of `doc`.
   uint64_t external_id(DocId doc) const { return external_ids_[doc]; }
@@ -149,15 +283,20 @@ class SearchIndex {
     double dscore;
   };
 
+  /// Transparent hash/eq so the statistic lookups (`ResourceFrequency`,
+  /// `Irf`, `TermFrequency`) resolve `string_view` terms without
+  /// materializing a temporary `std::string`.
   using TermPostingMap =
-      std::unordered_map<std::string, std::vector<TermPosting>>;
+      std::unordered_map<std::string, std::vector<TermPosting>,
+                         TransparentStringHash, std::equal_to<>>;
   using EntityPostingMap =
       std::unordered_map<entity::EntityId, std::vector<EntityPosting>>;
 
   /// log(1 + N / rf) over the current collection; 0 when `rf` is 0. The
   /// shared core of `Irf`/`Eirf`, also used by `Search` to derive the
   /// statistic from an already-found posting list instead of re-hashing
-  /// the term.
+  /// the term, and by `Freeze` to precompute the per-term/per-entity
+  /// statistics (same code, same inputs — bit-identical values).
   double InverseFrequency(size_t rf) const;
 
   /// Builds the postings of one document into `terms_out`/`entities_out`
@@ -170,6 +309,31 @@ class SearchIndex {
   std::vector<uint64_t> external_ids_;
   TermPostingMap term_postings_;
   EntityPostingMap entity_postings_;
+
+  // Frozen serving form (valid iff `frozen_`). Term postings become one
+  // flat doc/tf pair of arrays indexed by `term_offsets_[id] ..
+  // term_offsets_[id + 1]`; entity postings likewise, with the Eq. 2
+  // weight `we = 1 + dScore` precomputed per posting and zero-weight
+  // postings pruned (they contribute exactly +0.0 to a non-negative
+  // accumulator, so dropping them cannot change any score bit).
+  bool frozen_ = false;
+  std::unordered_map<std::string, TermId, TransparentStringHash,
+                     std::equal_to<>>
+      term_dict_;
+  /// Precomputed log(1 + N / rf) per TermId. The scorer squares it in the
+  /// legacy association order (see DESIGN.md §10): storing irf² outright
+  /// would reassociate `α·qtf·irf·irf` into `α·qtf·(irf·irf)` and drift
+  /// from the legacy path by an ulp.
+  std::vector<double> term_irf_;
+  std::vector<size_t> term_offsets_;
+  std::vector<DocId> term_post_doc_;
+  std::vector<uint32_t> term_post_tf_;
+  std::unordered_map<entity::EntityId, uint32_t> entity_slot_;
+  std::vector<double> entity_eirf_;
+  std::vector<size_t> entity_offsets_;
+  std::vector<DocId> entity_post_doc_;
+  std::vector<uint32_t> entity_post_ef_;
+  std::vector<double> entity_post_we_;
 };
 
 }  // namespace crowdex::index

@@ -1,0 +1,196 @@
+// End-to-end equivalence of the compiled serving path at the ExpertFinder
+// level: for every configuration (alpha sweep, window variants, cache on /
+// off, batch at 1 and N threads) the compiled path must produce rankings
+// bit-identical to the retained legacy path — same candidates, same score
+// bits, same tie order, same per-query stats.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/analyzed_world.h"
+#include "core/corpus_index.h"
+#include "core/expert_finder.h"
+#include "synth/world.h"
+
+namespace crowdex::core {
+namespace {
+
+void ExpectSameRanking(const RankedExperts& a, const RankedExperts& b,
+                       const std::string& context) {
+  ASSERT_EQ(a.ranking.size(), b.ranking.size()) << context;
+  for (size_t i = 0; i < a.ranking.size(); ++i) {
+    EXPECT_EQ(a.ranking[i].candidate, b.ranking[i].candidate)
+        << context << " rank " << i;
+    EXPECT_EQ(a.ranking[i].score, b.ranking[i].score)
+        << context << " rank " << i;
+  }
+  EXPECT_EQ(a.matched_resources, b.matched_resources) << context;
+  EXPECT_EQ(a.reachable_resources, b.reachable_resources) << context;
+  EXPECT_EQ(a.considered_resources, b.considered_resources) << context;
+}
+
+class CompiledRankTest : public ::testing::Test {
+ protected:
+  struct Fixture {
+    synth::SyntheticWorld world;
+    AnalyzedWorld analyzed;
+    std::unique_ptr<CorpusIndex> index;
+  };
+
+  static Fixture& F() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      synth::WorldConfig cfg;
+      cfg.scale = 0.02;
+      fx->world = synth::GenerateWorld(cfg);
+      fx->analyzed = AnalyzeWorld(&fx->world, {.thread_count = 1});
+      fx->index = std::make_unique<CorpusIndex>(&fx->analyzed,
+                                                platform::kAllPlatformsMask);
+      return fx;
+    }();
+    return *f;
+  }
+
+  static ExpertFinder Make(const ExpertFinderConfig& cfg) {
+    return ExpertFinder::Create(&F().analyzed, cfg, F().index.get()).value();
+  }
+};
+
+TEST_F(CompiledRankTest, SharedCorpusIndexIsFrozen) {
+  EXPECT_TRUE(F().index->search_index().frozen());
+}
+
+TEST_F(CompiledRankTest, ServingPathFollowsConfig) {
+  ExpertFinderConfig legacy_cfg;
+  legacy_cfg.compiled_queries = false;
+  EXPECT_FALSE(Make(legacy_cfg).serving_compiled());
+  EXPECT_TRUE(Make(ExpertFinderConfig{}).serving_compiled());
+}
+
+TEST_F(CompiledRankTest, CompiledMatchesLegacyCacheOnAndOff) {
+  ExpertFinderConfig legacy_cfg;
+  legacy_cfg.compiled_queries = false;
+  ExpertFinderConfig uncached_cfg;
+  uncached_cfg.query_cache_capacity = 0;
+  ExpertFinder legacy = Make(legacy_cfg);
+  ExpertFinder uncached = Make(uncached_cfg);
+  ExpertFinder cached = Make(ExpertFinderConfig{});
+
+  // Two passes over the query set: the second is served from the cache,
+  // and must still be bit-identical.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& q : F().world.queries) {
+      RankedExperts want = legacy.Rank(q);
+      ExpectSameRanking(want, uncached.Rank(q),
+                        "uncached pass " + std::to_string(pass) + " query " +
+                            std::to_string(q.id));
+      ExpectSameRanking(want, cached.Rank(q),
+                        "cached pass " + std::to_string(pass) + " query " +
+                            std::to_string(q.id));
+    }
+  }
+  const auto stats = cached.query_cache_stats();
+  EXPECT_EQ(stats.misses, F().world.queries.size());
+  EXPECT_EQ(stats.hits, F().world.queries.size());
+  EXPECT_EQ(uncached.query_cache_stats().hits, 0u);
+  EXPECT_EQ(uncached.query_cache_stats().misses, 0u);
+}
+
+TEST_F(CompiledRankTest, ConfigSweepStaysEquivalent) {
+  struct WindowVariant {
+    int size;
+    double fraction;
+  };
+  const WindowVariant windows[] = {
+      {100, 0.0},      // the paper's default
+      {1, 0.0},        // degenerate window
+      {1000000, 0.0},  // beyond every match count
+      {0, 0.3},        // fractional window
+      {0, 0.0},        // all reachable resources
+  };
+  for (double alpha : {0.0, 0.5, 1.0}) {
+    for (const WindowVariant& w : windows) {
+      ExpertFinderConfig cfg;
+      cfg.alpha = alpha;
+      cfg.window_size = w.size;
+      cfg.window_fraction = w.fraction;
+      ExpertFinderConfig legacy_cfg = cfg;
+      legacy_cfg.compiled_queries = false;
+      ExpertFinder compiled = Make(cfg);
+      ExpertFinder legacy = Make(legacy_cfg);
+      for (const auto& q : F().world.queries) {
+        ExpectSameRanking(
+            legacy.Rank(q), compiled.Rank(q),
+            "alpha=" + std::to_string(alpha) +
+                " window=" + std::to_string(w.size) + "/" +
+                std::to_string(w.fraction) + " query " + std::to_string(q.id));
+      }
+    }
+  }
+}
+
+TEST_F(CompiledRankTest, RankBatchMatchesSequentialAtAnyThreadCount) {
+  ExpertFinder finder = Make(ExpertFinderConfig{});
+  std::vector<RankedExperts> want;
+  want.reserve(F().world.queries.size());
+  for (const auto& q : F().world.queries) want.push_back(finder.Rank(q));
+
+  std::vector<RankedExperts> inline_batch = finder.RankBatch(F().world.queries);
+  common::ThreadPool pool(4);
+  std::vector<RankedExperts> pooled_batch =
+      finder.RankBatch(F().world.queries, &pool);
+
+  ASSERT_EQ(inline_batch.size(), want.size());
+  ASSERT_EQ(pooled_batch.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ExpectSameRanking(want[i], inline_batch[i],
+                      "inline batch query " + std::to_string(i));
+    ExpectSameRanking(want[i], pooled_batch[i],
+                      "pooled batch query " + std::to_string(i));
+  }
+}
+
+TEST_F(CompiledRankTest, ExplainAgreesAcrossServingPaths) {
+  ExpertFinderConfig legacy_cfg;
+  legacy_cfg.compiled_queries = false;
+  ExpertFinder legacy = Make(legacy_cfg);
+  ExpertFinder compiled = Make(ExpertFinderConfig{});
+  const std::string& text = F().world.queries.front().text;
+  for (int candidate : {0, 1, 2}) {
+    auto a = legacy.Explain(text, candidate, 5);
+    auto b = compiled.Explain(text, candidate, 5);
+    ASSERT_EQ(a.size(), b.size()) << "candidate " << candidate;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].node, b[i].node);
+      EXPECT_EQ(a[i].distance, b[i].distance);
+      EXPECT_EQ(a[i].resource_score, b[i].resource_score);
+      EXPECT_EQ(a[i].contribution, b[i].contribution);
+    }
+  }
+}
+
+TEST_F(CompiledRankTest, NegativeCacheCapacityIsRejected) {
+  ExpertFinderConfig cfg;
+  cfg.query_cache_capacity = -1;
+  EXPECT_FALSE(ExpertFinder::Create(&F().analyzed, cfg, F().index.get()).ok());
+}
+
+TEST_F(CompiledRankTest, RepeatedQueryHitsTheCache) {
+  ExpertFinder finder = Make(ExpertFinderConfig{});
+  const auto& q = F().world.queries.front();
+  RankedExperts first = finder.Rank(q);
+  RankedExperts second = finder.Rank(q);
+  RankedExperts third = finder.Rank(q);
+  ExpectSameRanking(first, second, "second serve");
+  ExpectSameRanking(first, third, "third serve");
+  const auto stats = finder.query_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+}  // namespace
+}  // namespace crowdex::core

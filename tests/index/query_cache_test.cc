@@ -1,0 +1,144 @@
+// Unit tests for the compiled-query LRU cache and its injective key
+// function. The concurrency test doubles as the TSan workload for the
+// cache's single internal mutex.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/query_cache.h"
+
+namespace crowdex::index {
+namespace {
+
+std::shared_ptr<const CompiledQuery> Compiled(uint32_t marker) {
+  auto q = std::make_shared<CompiledQuery>();
+  q->terms.push_back({marker, 1});
+  return q;
+}
+
+TEST(CompiledQueryCacheTest, MissThenHitReturnsSamePointer) {
+  CompiledQueryCache cache(4);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  auto v = Compiled(1);
+  EXPECT_EQ(cache.Insert("a", v), 0u);
+  // A hit is the exact cached object, not a copy.
+  EXPECT_EQ(cache.Lookup("a").get(), v.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(CompiledQueryCacheTest, EvictsLeastRecentlyUsed) {
+  CompiledQueryCache cache(2);
+  cache.Insert("a", Compiled(1));
+  cache.Insert("b", Compiled(2));
+  // Touch "a" so "b" becomes the LRU entry.
+  ASSERT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Insert("c", Compiled(3)), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CompiledQueryCacheTest, InsertRefreshesExistingEntry) {
+  CompiledQueryCache cache(2);
+  cache.Insert("a", Compiled(1));
+  auto v2 = Compiled(2);
+  EXPECT_EQ(cache.Insert("a", v2), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup("a").get(), v2.get());
+  // Reinsert also refreshes recency: "a" must survive the next eviction.
+  cache.Insert("b", Compiled(3));
+  cache.Insert("a", Compiled(4));
+  cache.Insert("c", Compiled(5));
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+}
+
+TEST(CompiledQueryCacheTest, CapacityOneStillCaches) {
+  CompiledQueryCache cache(1);
+  cache.Insert("a", Compiled(1));
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Insert("b", Compiled(2)), 1u);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("b"), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CompiledQueryCacheTest, EvictedEntryStaysAliveForHolders) {
+  CompiledQueryCache cache(1);
+  auto v = Compiled(1);
+  cache.Insert("a", v);
+  std::shared_ptr<const CompiledQuery> held = cache.Lookup("a");
+  cache.Insert("b", Compiled(2));  // evicts "a"
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->terms[0].id, 1u);  // still valid after eviction
+}
+
+TEST(AnalyzedQueryCacheKeyTest, KeyIsInjective) {
+  AnalyzedQuery a;
+  a.terms = {"ab", "c"};
+  AnalyzedQuery b;
+  b.terms = {"a", "bc"};
+  EXPECT_NE(AnalyzedQueryCacheKey(a), AnalyzedQueryCacheKey(b));
+
+  AnalyzedQuery c;
+  c.terms = {"x"};
+  AnalyzedQuery d;
+  d.entities = {static_cast<entity::EntityId>('x')};
+  EXPECT_NE(AnalyzedQueryCacheKey(c), AnalyzedQueryCacheKey(d));
+
+  AnalyzedQuery e;
+  e.entities = {1, 2};
+  AnalyzedQuery f;
+  f.entities = {2, 1};
+  EXPECT_NE(AnalyzedQueryCacheKey(e), AnalyzedQueryCacheKey(f));
+
+  AnalyzedQuery g;
+  g.terms = {"x", "x"};
+  AnalyzedQuery h;
+  h.terms = {"x"};
+  EXPECT_NE(AnalyzedQueryCacheKey(g), AnalyzedQueryCacheKey(h));
+
+  // Equal queries produce equal keys (the other half of injectivity).
+  AnalyzedQuery i;
+  i.terms = {"x", "y"};
+  i.entities = {3};
+  AnalyzedQuery j = i;
+  EXPECT_EQ(AnalyzedQueryCacheKey(i), AnalyzedQueryCacheKey(j));
+}
+
+TEST(CompiledQueryCacheTest, ConcurrentMixedTrafficKeepsInvariants) {
+  CompiledQueryCache cache(4);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "k" + std::to_string((t + i) % 8);
+        if (i % 3 == 0) {
+          cache.Insert(key, Compiled(static_cast<uint32_t>(i)));
+        } else if (std::shared_ptr<const CompiledQuery> hit =
+                       cache.Lookup(key)) {
+          // Use the payload so TSan sees the read crossing threads.
+          EXPECT_FALSE(hit->terms.empty());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+  const CompiledQueryCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.misses + stats.hits, 0u);
+}
+
+}  // namespace
+}  // namespace crowdex::index

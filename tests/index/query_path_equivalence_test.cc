@@ -1,0 +1,353 @@
+// Property tests for the compiled query path: over randomized corpora and
+// queries, the frozen/top-k/batch serving paths must return byte-identical
+// ScoredDoc lists (same scores, same tie order) to the legacy full-sort
+// Search, across the alpha range and window sizes including 0, 1, and
+// beyond the match count. These tests enforce the determinism argument of
+// DESIGN.md §10.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "index/search_index.h"
+
+namespace crowdex::index {
+namespace {
+
+// Built with += rather than `"t" + std::to_string(...)`: GCC 12's
+// -Wrestrict trips a false positive on the inlined operator+ chain, and
+// the repo holds a zero-warnings bar.
+std::string TermName(size_t i) {
+  std::string s = "t";
+  s += std::to_string(i);
+  return s;
+}
+
+// Exact (bitwise) equality of two result lists, including order.
+void ExpectSameResults(const std::vector<ScoredDoc>& a,
+                       const std::vector<ScoredDoc>& b,
+                       const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc) << context << " rank " << i;
+    EXPECT_EQ(a[i].external_id, b[i].external_id) << context << " rank " << i;
+    // Bitwise: operator== on doubles, no tolerance.
+    EXPECT_EQ(a[i].score, b[i].score) << context << " rank " << i;
+  }
+}
+
+std::vector<IndexableDocument> RandomCorpus(std::mt19937_64* rng,
+                                            size_t num_docs, size_t vocab,
+                                            size_t num_entities) {
+  std::uniform_int_distribution<size_t> term_count(0, 12);
+  std::uniform_int_distribution<size_t> term_pick(0, vocab - 1);
+  std::uniform_int_distribution<size_t> entity_count(0, 4);
+  std::uniform_int_distribution<entity::EntityId> entity_pick(
+      1, static_cast<entity::EntityId>(num_entities));
+  std::uniform_int_distribution<uint32_t> freq(1, 3);
+  // Mix of confident, zero, and negative disambiguation scores so the
+  // frozen arena's zero-weight pruning is exercised.
+  const double dscores[] = {0.9, 0.5, 0.3, 0.0, -0.25};
+  std::uniform_int_distribution<size_t> dscore_pick(0, 4);
+
+  std::vector<IndexableDocument> docs(num_docs);
+  for (size_t i = 0; i < num_docs; ++i) {
+    docs[i].external_id = 1000 + i;
+    const size_t terms = term_count(*rng);
+    for (size_t t = 0; t < terms; ++t) {
+      docs[i].terms.push_back(TermName(term_pick(*rng)));
+    }
+    const size_t ents = entity_count(*rng);
+    for (size_t e = 0; e < ents; ++e) {
+      docs[i].entities.push_back(
+          {entity_pick(*rng), freq(*rng), dscores[dscore_pick(*rng)]});
+    }
+  }
+  return docs;
+}
+
+AnalyzedQuery RandomQuery(std::mt19937_64* rng, size_t vocab,
+                          size_t num_entities) {
+  std::uniform_int_distribution<size_t> term_count(0, 6);
+  std::uniform_int_distribution<size_t> term_pick(0, vocab - 1);
+  std::uniform_int_distribution<size_t> entity_count(0, 3);
+  std::uniform_int_distribution<entity::EntityId> entity_pick(
+      1, static_cast<entity::EntityId>(num_entities));
+
+  AnalyzedQuery q;
+  const size_t terms = term_count(*rng);
+  for (size_t t = 0; t < terms; ++t) {
+    q.terms.push_back(TermName(term_pick(*rng)));
+  }
+  // Repeated terms (query-side multiplicity) and a term/entity the corpus
+  // has never seen (must be dropped at compile time with no effect).
+  if (!q.terms.empty()) q.terms.push_back(q.terms.front());
+  q.terms.push_back("never-indexed");
+  const size_t ents = entity_count(*rng);
+  for (size_t e = 0; e < ents; ++e) q.entities.push_back(entity_pick(*rng));
+  q.entities.push_back(static_cast<entity::EntityId>(num_entities + 777));
+  return q;
+}
+
+constexpr double kAlphas[] = {0.0, 0.5, 1.0};
+
+TEST(QueryPathEquivalenceTest, SearchCompiledMatchesLegacyAcrossAlphas) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    std::mt19937_64 rng(seed);
+    SearchIndex idx;
+    for (const auto& d : RandomCorpus(&rng, 40, 25, 8)) idx.Add(d);
+    idx.Freeze();
+    ASSERT_TRUE(idx.frozen());
+
+    ScoreAccumulator acc;
+    for (int qi = 0; qi < 10; ++qi) {
+      AnalyzedQuery q = RandomQuery(&rng, 25, 8);
+      CompiledQuery compiled = idx.Compile(q);
+      for (double alpha : kAlphas) {
+        ExpectSameResults(
+            idx.Search(q, alpha), idx.SearchCompiled(compiled, alpha, &acc),
+            "seed " + std::to_string(seed) + " query " + std::to_string(qi) +
+                " alpha " + std::to_string(alpha));
+      }
+    }
+  }
+}
+
+TEST(QueryPathEquivalenceTest, TopKSelectionIsPrefixOfFullSort) {
+  std::mt19937_64 rng(99);
+  SearchIndex idx;
+  for (const auto& d : RandomCorpus(&rng, 60, 20, 6)) idx.Add(d);
+  idx.Freeze();
+
+  ScoreAccumulator acc;
+  for (int qi = 0; qi < 8; ++qi) {
+    AnalyzedQuery q = RandomQuery(&rng, 20, 6);
+    CompiledQuery compiled = idx.Compile(q);
+    for (double alpha : kAlphas) {
+      const std::vector<ScoredDoc> full = idx.Search(q, alpha);
+      const size_t n = full.size();
+      for (size_t k : {size_t{0}, size_t{1}, size_t{3}, n, n + 5}) {
+        const RetrievalStats stats =
+            idx.AccumulateCompiled(compiled, alpha, nullptr, &acc);
+        EXPECT_EQ(stats.matched, n);
+        EXPECT_EQ(stats.eligible, n);
+        std::vector<ScoredDoc> topk;
+        acc.TakeTop(k, &topk);
+        std::vector<ScoredDoc> expected(full.begin(),
+                                        full.begin() + std::min(k, n));
+        ExpectSameResults(expected, topk,
+                          "k=" + std::to_string(k) + " alpha=" +
+                              std::to_string(alpha));
+      }
+    }
+  }
+}
+
+TEST(QueryPathEquivalenceTest, EligibilityFilterMatchesLegacyPostFilter) {
+  std::mt19937_64 rng(7);
+  SearchIndex idx;
+  for (const auto& d : RandomCorpus(&rng, 50, 15, 5)) idx.Add(d);
+  idx.Freeze();
+
+  std::vector<uint8_t> eligible(idx.size());
+  std::bernoulli_distribution keep(0.6);
+  for (auto& e : eligible) e = keep(rng) ? 1 : 0;
+
+  ScoreAccumulator acc;
+  for (int qi = 0; qi < 8; ++qi) {
+    AnalyzedQuery q = RandomQuery(&rng, 15, 5);
+    CompiledQuery compiled = idx.Compile(q);
+    for (double alpha : kAlphas) {
+      const std::vector<ScoredDoc> full = idx.Search(q, alpha);
+      std::vector<ScoredDoc> filtered;
+      for (const ScoredDoc& d : full) {
+        if (eligible[d.doc] != 0) filtered.push_back(d);
+      }
+
+      const RetrievalStats stats =
+          idx.AccumulateCompiled(compiled, alpha, eligible.data(), &acc);
+      EXPECT_EQ(stats.matched, full.size());
+      EXPECT_EQ(stats.eligible, filtered.size());
+      std::vector<ScoredDoc> got;
+      acc.TakeTop(acc.candidate_count(), &got);
+      ExpectSameResults(filtered, got, "alpha=" + std::to_string(alpha));
+    }
+  }
+}
+
+// The frozen dictionary layout must be a pure function of the indexed
+// content: building sequentially (Add) or sharded (BulkAdd over a pool)
+// yields the same compiled queries and the same compiled results.
+TEST(QueryPathEquivalenceTest, FreezeIsIndependentOfBuildHistory) {
+  std::mt19937_64 rng(42);
+  std::vector<IndexableDocument> docs = RandomCorpus(&rng, 200, 30, 10);
+
+  SearchIndex sequential;
+  for (const auto& d : docs) sequential.Add(d);
+  sequential.Freeze();
+
+  std::vector<DocView> views;
+  views.reserve(docs.size());
+  for (const auto& d : docs) {
+    views.push_back({d.external_id, &d.terms, &d.entities});
+  }
+  common::ThreadPool pool(4);
+  SearchIndex sharded;
+  ASSERT_TRUE(sharded.BulkAdd(views, &pool).ok());
+  sharded.Freeze();
+
+  ScoreAccumulator acc_a;
+  ScoreAccumulator acc_b;
+  for (int qi = 0; qi < 10; ++qi) {
+    AnalyzedQuery q = RandomQuery(&rng, 30, 10);
+    CompiledQuery ca = sequential.Compile(q);
+    CompiledQuery cb = sharded.Compile(q);
+    // Identical term-id resolution, not just identical results.
+    ASSERT_EQ(ca.terms.size(), cb.terms.size());
+    for (size_t i = 0; i < ca.terms.size(); ++i) {
+      EXPECT_EQ(ca.terms[i].id, cb.terms[i].id);
+      EXPECT_EQ(ca.terms[i].qtf, cb.terms[i].qtf);
+    }
+    ASSERT_EQ(ca.entities.size(), cb.entities.size());
+    for (size_t i = 0; i < ca.entities.size(); ++i) {
+      EXPECT_EQ(ca.entities[i].slot, cb.entities[i].slot);
+      EXPECT_EQ(ca.entities[i].qef, cb.entities[i].qef);
+    }
+    for (double alpha : kAlphas) {
+      ExpectSameResults(sequential.SearchCompiled(ca, alpha, &acc_a),
+                        sharded.SearchCompiled(cb, alpha, &acc_b),
+                        "query " + std::to_string(qi));
+    }
+  }
+}
+
+TEST(QueryPathEquivalenceTest, MutationDropsFrozenFormAndRefreezeRestores) {
+  std::mt19937_64 rng(5);
+  SearchIndex idx;
+  for (const auto& d : RandomCorpus(&rng, 30, 12, 4)) idx.Add(d);
+  idx.Freeze();
+  EXPECT_TRUE(idx.frozen());
+
+  idx.Add(IndexableDocument{9999, {"t1", "t1", "brand-new-term"}, {}});
+  EXPECT_FALSE(idx.frozen());
+
+  idx.Freeze();
+  EXPECT_TRUE(idx.frozen());
+  ScoreAccumulator acc;
+  AnalyzedQuery q;
+  q.terms = {"t1", "brand-new-term"};
+  ExpectSameResults(idx.Search(q, 1.0),
+                    idx.SearchCompiled(idx.Compile(q), 1.0, &acc),
+                    "refrozen after Add");
+}
+
+TEST(QueryPathEquivalenceTest, FailedBulkAddKeepsFrozenFormValid) {
+  std::mt19937_64 rng(6);
+  SearchIndex idx;
+  for (const auto& d : RandomCorpus(&rng, 20, 10, 4)) idx.Add(d);
+  idx.Freeze();
+
+  std::vector<std::string> terms = {"t0"};
+  std::vector<DocView> bad = {{1, &terms, nullptr}};
+  EXPECT_FALSE(idx.BulkAdd(bad).ok());
+  // Nothing was committed, so the frozen form still matches the content.
+  EXPECT_TRUE(idx.frozen());
+  ScoreAccumulator acc;
+  AnalyzedQuery q;
+  q.terms = {"t0", "t1"};
+  ExpectSameResults(idx.Search(q, 1.0),
+                    idx.SearchCompiled(idx.Compile(q), 1.0, &acc),
+                    "after failed BulkAdd");
+}
+
+TEST(QueryPathEquivalenceTest, EmptyAndUnmatchableQueriesReturnNothing) {
+  std::mt19937_64 rng(8);
+  SearchIndex idx;
+  for (const auto& d : RandomCorpus(&rng, 25, 10, 4)) idx.Add(d);
+  idx.Freeze();
+
+  ScoreAccumulator acc;
+  AnalyzedQuery empty;
+  AnalyzedQuery unknown;
+  unknown.terms = {"nope", "nada"};
+  unknown.entities = {424242};
+  for (const AnalyzedQuery& q : {empty, unknown}) {
+    CompiledQuery compiled = idx.Compile(q);
+    EXPECT_TRUE(compiled.terms.empty());
+    EXPECT_TRUE(compiled.entities.empty());
+    for (double alpha : kAlphas) {
+      EXPECT_TRUE(idx.Search(q, alpha).empty());
+      const RetrievalStats stats =
+          idx.AccumulateCompiled(compiled, alpha, nullptr, &acc);
+      EXPECT_EQ(stats.matched, 0u);
+      EXPECT_EQ(stats.eligible, 0u);
+      EXPECT_TRUE(idx.SearchCompiled(compiled, alpha, &acc).empty());
+    }
+  }
+}
+
+// Concurrent frozen retrieval with one accumulator per thread must agree
+// with the single-threaded answer bit for bit (also exercised under TSan).
+TEST(QueryPathEquivalenceTest, ConcurrentCompiledSearchesAreIdentical) {
+  std::mt19937_64 rng(11);
+  SearchIndex idx;
+  for (const auto& d : RandomCorpus(&rng, 80, 20, 6)) idx.Add(d);
+  idx.Freeze();
+
+  std::vector<AnalyzedQuery> queries;
+  std::vector<CompiledQuery> compiled;
+  std::vector<std::vector<ScoredDoc>> expected;
+  ScoreAccumulator base_acc;
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(RandomQuery(&rng, 20, 6));
+    compiled.push_back(idx.Compile(queries.back()));
+    expected.push_back(idx.SearchCompiled(compiled.back(), 0.6, &base_acc));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::vector<std::vector<ScoredDoc>>> got(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      ScoreAccumulator acc;  // one per thread
+      got[t].resize(compiled.size());
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t qi = 0; qi < compiled.size(); ++qi) {
+          got[t][qi] = idx.SearchCompiled(compiled[qi], 0.6, &acc);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (size_t qi = 0; qi < compiled.size(); ++qi) {
+      ExpectSameResults(expected[qi], got[t][qi],
+                        "thread " + std::to_string(t) + " query " +
+                            std::to_string(qi));
+    }
+  }
+}
+
+TEST(QueryPathEquivalenceTest, StringViewStatisticLookups) {
+  SearchIndex idx;
+  IndexableDocument d;
+  d.external_id = 1;
+  d.terms = {"swim", "swim", "pool"};
+  DocId id = idx.Add(d);
+  const std::string long_term(64, 'x');
+  // string_view lookups (no std::string materialization at the call site).
+  std::string_view sv = "swim";
+  EXPECT_EQ(idx.ResourceFrequency(sv), 1u);
+  EXPECT_EQ(idx.TermFrequency(id, sv), 2u);
+  EXPECT_GT(idx.Irf(sv), 0.0);
+  EXPECT_EQ(idx.ResourceFrequency(std::string_view(long_term)), 0u);
+}
+
+}  // namespace
+}  // namespace crowdex::index

@@ -257,8 +257,12 @@ TEST_F(ObservabilityPipelineTest, ExportedJsonParsesAndNamesEveryStage) {
   // processes can host one test or the whole suite), so assert deltas.
   const uint64_t ranked_before = reg.counter("rank.queries")->Value();
   const uint64_t eval_before = reg.counter("eval.queries")->Value();
+  const uint64_t cache_hits_before =
+      reg.counter("rank.query_cache.hits")->Value();
   eval::ExperimentRunner runner(&F().world);
   (void)runner.Evaluate(finder, F().world.queries, &pool, &reg);
+  // Serve one query a second time so the export carries a real cache hit.
+  (void)finder.Rank(F().world.queries.front());
 
   const std::string doc = obs::ExportJson(reg);
   EXPECT_TRUE(JsonChecker(doc).Valid()) << doc.substr(0, 400);
@@ -269,18 +273,23 @@ TEST_F(ObservabilityPipelineTest, ExportedJsonParsesAndNamesEveryStage) {
         "stage_runs.analyze_world", "stage_runs.extract",
         "stage_runs.evaluate", "stage_ms.analyze_world",
         "stage_ms.extract", "stage_ms.evaluate", "rank.latency_ms",
-        "index.bulk_add_ms"}) {
+        "index.bulk_add_ms", "index.freeze_ms", "rank.query_cache.hits",
+        "rank.query_cache.misses", "rank.query_cache.evictions"}) {
     EXPECT_NE(doc.find(std::string("\"") + name + "\""), std::string::npos)
         << "missing metric " << name;
   }
 
-  // Spot-check a few values against ground truth the test can compute.
+  // Spot-check a few values against ground truth the test can compute:
+  // one evaluation pass plus the repeated serve above.
   EXPECT_EQ(reg.counter("rank.queries")->Value() - ranked_before,
-            F().world.queries.size());
+            F().world.queries.size() + 1);
   EXPECT_EQ(reg.counter("eval.queries")->Value() - eval_before,
             F().world.queries.size());
   EXPECT_GT(reg.counter("extract.nodes")->Value(), 0u);
   EXPECT_GT(reg.counter("index.docs_added")->Value(), 0u);
+  // The repeated serve above must have landed in the cache counters.
+  EXPECT_GE(reg.counter("rank.query_cache.hits")->Value() - cache_hits_before,
+            1u);
 }
 
 TEST_F(ObservabilityPipelineTest, FaultPathApiCountersMatchFaultStats) {
