@@ -307,7 +307,7 @@ bool RunEndToEnd(const std::string& json_path,
   // histogram when metrics are enabled.
   core::ExpertFinder finder =
       core::ExpertFinder::Create(&seq, core::ExpertFinderConfig{}, &seq_index,
-                                 nullptr, metrics)
+                                 core::RuntimeContext{nullptr, metrics})
           .value();
   std::vector<double> latencies_ms;
   latencies_ms.reserve(world.queries.size());

@@ -229,7 +229,7 @@ bool Run(const std::string& json_path) {
   const double batch_1t_s = Seconds(b0);
   const auto b1 = std::chrono::steady_clock::now();
   std::vector<core::RankedExperts> batch_nt =
-      cached.RankBatch(workload, &pool);
+      cached.RankBatch(workload, core::RuntimeContext{&pool, nullptr});
   const double batch_nt_s = Seconds(b1);
   for (size_t i = 0; i < workload.size(); ++i) {
     if (!SameRanking(legacy_results[i], batch_1t[i]) ||

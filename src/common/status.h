@@ -30,6 +30,11 @@ enum class StatusCode {
   /// A quota was exhausted (API rate limit). Retryable once the limiting
   /// window has passed.
   kResourceExhausted,
+  /// Persistent data is unrecoverably lost or corrupted (failed checksum,
+  /// truncated file, structurally inconsistent serialized state). Not
+  /// retryable — the bytes on disk will not heal themselves; the caller
+  /// must fall back to rebuilding the artifact from its source.
+  kDataLoss,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -97,6 +102,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   /// True iff this status represents success.

@@ -32,4 +32,12 @@ CorpusIndex::CorpusIndex(const AnalyzedWorld* analyzed,
   if (build_status_.ok()) index_.Freeze(metrics);
 }
 
+CorpusIndex::CorpusIndex(index::SearchIndex index, platform::PlatformMask mask)
+    : mask_(mask), index_(std::move(index)) {
+  CheckOk(index_.frozen()
+              ? Status::Ok()
+              : Status::FailedPrecondition("adopted index is not frozen"),
+          "CorpusIndex adoption");
+}
+
 }  // namespace crowdex::core

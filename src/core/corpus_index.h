@@ -51,6 +51,12 @@ class CorpusIndex {
               const common::ThreadPool* pool = nullptr,
               obs::MetricsRegistry* metrics = nullptr);
 
+  /// Adopts an already-built index as the corpus for `mask` — the snapshot
+  /// cold-start path, where the index arrives frozen from disk instead of
+  /// being rebuilt from an `AnalyzedWorld`. `index` must be frozen;
+  /// `build_status()` is OK by construction.
+  CorpusIndex(index::SearchIndex index, platform::PlatformMask mask);
+
   /// OK when the underlying `SearchIndex::BulkAdd` committed every
   /// document; otherwise the propagated build error (the index is empty —
   /// a failed bulk add commits nothing).
@@ -67,7 +73,9 @@ class CorpusIndex {
   }
 
  private:
-  const AnalyzedWorld* analyzed_;
+  /// Null for adopted (snapshot-restored) corpora, which never re-read the
+  /// analyzed world.
+  const AnalyzedWorld* analyzed_ = nullptr;
   platform::PlatformMask mask_;
   index::SearchIndex index_;
   Status build_status_;

@@ -28,8 +28,7 @@ index::ScoreAccumulator& LocalAccumulator() {
 Result<ExpertFinder> ExpertFinder::Create(const AnalyzedWorld* analyzed,
                                           const ExpertFinderConfig& config,
                                           const CorpusIndex* shared_index,
-                                          const common::ThreadPool* pool,
-                                          obs::MetricsRegistry* metrics) {
+                                          const RuntimeContext& ctx) {
   if (analyzed == nullptr) {
     return Status::InvalidArgument("ExpertFinder: analyzed world is null");
   }
@@ -46,14 +45,14 @@ Result<ExpertFinder> ExpertFinder::Create(const AnalyzedWorld* analyzed,
   std::unique_ptr<CorpusIndex> owned;
   const CorpusIndex* index = shared_index;
   if (index == nullptr) {
-    owned = std::make_unique<CorpusIndex>(analyzed, config.platforms, pool,
-                                          metrics);
+    owned = std::make_unique<CorpusIndex>(analyzed, config.platforms,
+                                          ctx.pool, ctx.metrics);
     // A failed bulk add commits nothing; surface it instead of serving
     // queries from an empty index.
     CROWDEX_RETURN_IF_ERROR(owned->build_status());
     index = owned.get();
   }
-  return ExpertFinder(analyzed, config, std::move(owned), index, metrics);
+  return ExpertFinder(analyzed, config, std::move(owned), index, ctx.metrics);
 }
 
 ExpertFinder::ExpertFinder(const AnalyzedWorld* analyzed,
@@ -65,7 +64,16 @@ ExpertFinder::ExpertFinder(const AnalyzedWorld* analyzed,
       config_(config),
       owned_index_(std::move(owned_index)),
       index_(index),
+      extractor_(analyzed->extractor.get()),
+      num_candidates_(
+          static_cast<uint32_t>(analyzed->world->candidates.size())),
       metrics_(metrics) {
+  InitServingState();
+  obs::StageTimer timer(metrics_, "build_associations");
+  BuildAssociations();
+}
+
+void ExpertFinder::InitServingState() {
   compiled_path_ =
       config_.compiled_queries && index_->search_index().frozen();
   if (compiled_path_ && config_.query_cache_capacity > 0) {
@@ -82,8 +90,6 @@ ExpertFinder::ExpertFinder(const AnalyzedWorld* analyzed,
     cache_evictions_ = metrics_->counter("rank.query_cache.evictions");
     rank_latency_ms_ = metrics_->histogram("rank.latency_ms");
   }
-  obs::StageTimer timer(metrics_, "build_associations");
-  BuildAssociations();
 }
 
 void ExpertFinder::BuildAssociations() {
@@ -133,22 +139,65 @@ void ExpertFinder::BuildAssociations() {
   }
 }
 
+Result<RankedExperts> ExpertFinder::Rank(const RankRequest& request) const {
+  RankParams params{config_.alpha, config_.window_size,
+                    config_.window_fraction};
+  if (request.alpha.has_value()) {
+    if (!(*request.alpha >= 0.0 && *request.alpha <= 1.0)) {
+      return Status::InvalidArgument(
+          "RankRequest: alpha override must be in [0, 1]");
+    }
+    params.alpha = *request.alpha;
+  }
+  if (request.window_size.has_value()) params.window_size = *request.window_size;
+  if (request.window_fraction.has_value()) {
+    params.window_fraction = *request.window_fraction;
+  }
+  // Mirror ExpertFinderConfig::Validate: a fraction only applies when no
+  // fixed window is set, and then it must not exceed 1.
+  if (params.window_size <= 0 &&
+      (params.window_fraction > 1.0 || params.window_fraction < 0.0)) {
+    return Status::InvalidArgument(
+        "RankRequest: effective window_fraction must be in [0, 1] when no "
+        "fixed window size is set");
+  }
+  if (request.analyzed != nullptr) {
+    return RankWithParams(*request.analyzed, params);
+  }
+  return RankWithParams(extractor_->AnalyzeQuery(request.text), params);
+}
+
 RankedExperts ExpertFinder::Rank(const synth::ExpertiseNeed& query) const {
   return RankText(query.text);
 }
 
 RankedExperts ExpertFinder::RankText(const std::string& query_text) const {
-  return RankAnalyzed(analyzed_->extractor->AnalyzeQuery(query_text));
+  // Override-free requests cannot fail, so the wrapper stays infallible.
+  RankRequest request;
+  request.text = query_text;
+  Result<RankedExperts> out = Rank(request);
+  CheckOk(out.status(), "ExpertFinder::RankText");
+  return std::move(out).value();
+}
+
+RankedExperts ExpertFinder::RankAnalyzed(
+    const index::AnalyzedQuery& query) const {
+  RankRequest request;
+  request.analyzed = &query;
+  Result<RankedExperts> out = Rank(request);
+  CheckOk(out.status(), "ExpertFinder::RankAnalyzed");
+  return std::move(out).value();
 }
 
 std::vector<RankedExperts> ExpertFinder::RankBatch(
     const std::vector<synth::ExpertiseNeed>& queries,
-    const common::ThreadPool* pool) const {
+    const RuntimeContext& ctx) const {
   std::vector<RankedExperts> out(queries.size());
   auto body = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) out[i] = Rank(queries[i]);
     return Status::Ok();
   };
+  const common::ThreadPool* pool = ctx.pool;
   if (pool != nullptr && pool->thread_count() > 1 && queries.size() > 1) {
     // Each worker thread ranks through its own thread-local accumulator;
     // slots are committed by query position, so the batch is bit-identical
@@ -161,15 +210,16 @@ std::vector<RankedExperts> ExpertFinder::RankBatch(
   return out;
 }
 
-size_t ExpertFinder::ResolveWindow(size_t eligible) const {
+size_t ExpertFinder::ResolveWindow(size_t eligible,
+                                   const RankParams& params) {
   // Window: the number of top relevant resources considered (Sec. 2.4.1).
   size_t window = eligible;
-  if (config_.window_size > 0) {
-    window = std::min<size_t>(window, config_.window_size);
-  } else if (config_.window_fraction > 0.0) {
+  if (params.window_size > 0) {
+    window = std::min<size_t>(window, params.window_size);
+  } else if (params.window_fraction > 0.0) {
     window = std::min<size_t>(
         window, static_cast<size_t>(
-                    std::llround(config_.window_fraction *
+                    std::llround(params.window_fraction *
                                  static_cast<double>(eligible))));
   }
   return window;
@@ -198,18 +248,21 @@ std::shared_ptr<const index::CompiledQuery> ExpertFinder::CompiledFor(
 }
 
 std::vector<index::ScoredDoc> ExpertFinder::WindowedResources(
-    const index::AnalyzedQuery& query, RankedExperts* stats) const {
+    const index::AnalyzedQuery& query, const RankParams& params,
+    RankedExperts* stats) const {
   if (compiled_path_) {
     // Compiled serving path: score through the dense accumulator with the
     // reachability bytes as the eligibility filter, then select only the
-    // window — matching resources beyond it are never sorted.
+    // window — matching resources beyond it are never sorted. Compiled
+    // queries are alpha-independent, so per-call alpha overrides share
+    // cache entries with configured serving.
     std::shared_ptr<const index::CompiledQuery> compiled = CompiledFor(query);
     index::ScoreAccumulator& acc = LocalAccumulator();
     const index::RetrievalStats rs = index_->search_index().AccumulateCompiled(
-        *compiled, config_.alpha, reachable_bits_.data(), &acc);
+        *compiled, params.alpha, reachable_bits_.data(), &acc);
     stats->matched_resources = rs.matched;
     stats->reachable_resources = rs.eligible;
-    const size_t window = ResolveWindow(rs.eligible);
+    const size_t window = ResolveWindow(rs.eligible, params);
     std::vector<index::ScoredDoc> windowed;
     acc.TakeTop(window, &windowed);
     stats->considered_resources = windowed.size();
@@ -219,36 +272,39 @@ std::vector<index::ScoredDoc> ExpertFinder::WindowedResources(
   // Legacy path (retained verbatim for equivalence testing and
   // before/after benchmarking): full-sort retrieval, then the
   // reachability filter, then the window.
-  std::vector<index::ScoredDoc> matches = index_->Search(query, config_.alpha);
+  std::vector<index::ScoredDoc> matches = index_->Search(query, params.alpha);
   stats->matched_resources = matches.size();
 
   // Keep resources reachable from at least one candidate — only those can
-  // transfer relevance to an expert via Eq. 3.
+  // transfer relevance to an expert via Eq. 3. The per-doc association
+  // array doubles as the membership test (set exactly for reachable docs),
+  // so snapshot-restored finders — which have no external-id keyed map —
+  // take the same branch.
   std::vector<index::ScoredDoc> reachable;
   reachable.reserve(matches.size());
   for (const index::ScoredDoc& doc : matches) {
-    if (associations_.contains(doc.external_id)) {
+    if (reachable_bits_[doc.doc] != 0) {
       reachable.push_back(doc);
     }
   }
   stats->reachable_resources = reachable.size();
 
-  const size_t window = ResolveWindow(reachable.size());
+  const size_t window = ResolveWindow(reachable.size(), params);
   reachable.resize(window);
   stats->considered_resources = window;
   return reachable;
 }
 
-RankedExperts ExpertFinder::RankAnalyzed(
-    const index::AnalyzedQuery& query) const {
+RankedExperts ExpertFinder::RankWithParams(const index::AnalyzedQuery& query,
+                                           const RankParams& params) const {
   const auto start = std::chrono::steady_clock::now();
   RankedExperts out;
-  std::vector<index::ScoredDoc> windowed = WindowedResources(query, &out);
+  std::vector<index::ScoredDoc> windowed =
+      WindowedResources(query, params, &out);
 
   // Expert ranking (Eq. 3 by default): aggregate resource relevance over
   // each candidate's social neighborhood.
-  const int num_candidates =
-      static_cast<int>(analyzed_->world->candidates.size());
+  const int num_candidates = static_cast<int>(num_candidates_);
   std::vector<double> scores(num_candidates, 0.0);
   for (const index::ScoredDoc& doc : windowed) {
     // Windowed docs are reachable by construction, so the per-doc
@@ -296,13 +352,14 @@ RankedExperts ExpertFinder::RankAnalyzed(
 std::vector<ResourceEvidence> ExpertFinder::Explain(
     const std::string& query_text, int candidate, size_t top_k) const {
   std::vector<ResourceEvidence> out;
-  if (candidate < 0 ||
-      candidate >= static_cast<int>(analyzed_->world->candidates.size())) {
+  if (candidate < 0 || candidate >= static_cast<int>(num_candidates_)) {
     return out;
   }
   RankedExperts stats;
-  index::AnalyzedQuery query = analyzed_->extractor->AnalyzeQuery(query_text);
-  for (const index::ScoredDoc& doc : WindowedResources(query, &stats)) {
+  const RankParams params{config_.alpha, config_.window_size,
+                          config_.window_fraction};
+  index::AnalyzedQuery query = extractor_->AnalyzeQuery(query_text);
+  for (const index::ScoredDoc& doc : WindowedResources(query, params, &stats)) {
     const std::vector<Association>& assoc = *doc_associations_[doc.doc];
     for (const Association& a : assoc) {
       if (a.candidate != candidate) continue;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "core/analyzed_world.h"
 #include "core/config.h"
 #include "core/corpus_index.h"
+#include "core/runtime_context.h"
 #include "index/query_cache.h"
 #include "synth/query_set.h"
 
@@ -45,6 +47,30 @@ struct RankedExperts {
   size_t considered_resources = 0;
 };
 
+/// The canonical description of one ranking call — the single entry point
+/// every serving surface (in-process, batch, snapshot-served) goes
+/// through. Exactly one query form is used: `analyzed` when non-null
+/// (precedence), otherwise `text` is run through the finder's query
+/// analyzer. The optional fields override the finder's configuration for
+/// this call only; absent fields keep the configured values, so
+/// `Rank({.text = t})` is the configured default ranking.
+struct RankRequest {
+  /// Free-form expertise need; analyzed with the finder's extractor.
+  std::string text;
+  /// Pre-analyzed query (borrowed for the call). Takes precedence over
+  /// `text` when non-null — batch callers analyze once, rank many times.
+  const index::AnalyzedQuery* analyzed = nullptr;
+  /// Per-call override of `ExpertFinderConfig::alpha` (Eq. 1 blend). Must
+  /// be in [0, 1]. Compiled queries are alpha-independent, so overrides
+  /// hit the same cache entries as configured serving.
+  std::optional<double> alpha;
+  /// Per-call override of `ExpertFinderConfig::window_size`; <= 0 defers
+  /// to the (possibly also overridden) window fraction.
+  std::optional<int> window_size;
+  /// Per-call override of `ExpertFinderConfig::window_fraction`.
+  std::optional<double> window_fraction;
+};
+
 /// One piece of evidence explaining a candidate's expertise score: a
 /// resource that matched the query and is socially connected to them.
 struct ResourceEvidence {
@@ -77,17 +103,17 @@ class ExpertFinder {
  public:
   /// Validates the inputs and builds a finder over `analyzed` with
   /// `config`. Without `shared_index` a private corpus index is
-  /// constructed for `config.platforms` (sharded across `pool` when one is
-  /// given); passing a `shared_index` that covers `config.platforms`
-  /// instead is the cheap path for parameter sweeps. Returns
-  /// `kInvalidArgument` — never aborts — when `analyzed` is null or
-  /// incomplete, `config` fails `Validate()`, or `shared_index` does not
-  /// cover the configured platforms, and propagates the build error of the
-  /// private corpus index when its bulk add fails. `analyzed`,
+  /// constructed for `config.platforms` (sharded across `ctx.pool` when
+  /// one is given); passing a `shared_index` that covers
+  /// `config.platforms` instead is the cheap path for parameter sweeps.
+  /// Returns `kInvalidArgument` — never aborts — when `analyzed` is null
+  /// or incomplete, `config` fails `Validate()`, or `shared_index` does
+  /// not cover the configured platforms, and propagates the build error of
+  /// the private corpus index when its bulk add fails. `analyzed`,
   /// `shared_index`, and the finder's own index must outlive the finder;
-  /// `pool` is only used during this call.
+  /// `ctx.pool` is only used during this call.
   ///
-  /// A non-null `metrics` (which must outlive the finder) instruments
+  /// A non-null `ctx.metrics` (which must outlive the finder) instruments
   /// every `Rank`: per-query matched/reachable/windowed resource counts
   /// (`rank.*` counters), a wall-clock rank latency histogram
   /// (`rank.latency_ms`), and compiled-query cache traffic
@@ -96,28 +122,75 @@ class ExpertFinder {
   static Result<ExpertFinder> Create(const AnalyzedWorld* analyzed,
                                      const ExpertFinderConfig& config,
                                      const CorpusIndex* shared_index = nullptr,
-                                     const common::ThreadPool* pool = nullptr,
-                                     obs::MetricsRegistry* metrics = nullptr);
+                                     const RuntimeContext& ctx = {});
 
   ExpertFinder(const ExpertFinder&) = delete;
   ExpertFinder& operator=(const ExpertFinder&) = delete;
   ExpertFinder(ExpertFinder&&) = default;
   ExpertFinder& operator=(ExpertFinder&&) = default;
 
-  /// Ranks the candidate experts for `query`. Thread-safe.
+  /// The canonical ranking entry point: every other `Rank*` signature is a
+  /// thin wrapper over this one. Resolves the query (pre-analyzed form
+  /// takes precedence, otherwise `request.text` goes through the query
+  /// analyzer), applies the per-call overrides, and ranks. Thread-safe.
+  /// Returns `kInvalidArgument` when an override is out of range
+  /// (`alpha` outside [0, 1], `window_fraction > 1` while the effective
+  /// window size is <= 0); override-free requests cannot fail.
+  Result<RankedExperts> Rank(const RankRequest& request) const;
+
+  /// Wrapper: ranks a benchmark query — `Rank({.text = query.text})`.
+  /// Thread-safe; kept so evaluation code reads as the paper does.
   RankedExperts Rank(const synth::ExpertiseNeed& query) const;
 
-  /// Ranks for a free-form expertise need (quickstart path).
+  /// Wrapper: ranks a free-form expertise need (quickstart path) —
+  /// `Rank({.text = query_text})`.
   RankedExperts RankText(const std::string& query_text) const;
 
-  /// Ranks every query in `queries`, fanning the list out across `pool`
-  /// (when given) with one dense score accumulator per worker thread.
-  /// Results are committed into slots indexed by query position, so the
-  /// output vector is identical — element for element, bit for bit — to
-  /// calling `Rank` in a loop, at any thread count.
+  /// Wrapper: ranks an already-analyzed query with the configured
+  /// parameters — `Rank({.analyzed = &query})`.
+  RankedExperts RankAnalyzed(const index::AnalyzedQuery& query) const;
+
+  /// Ranks every query in `queries`, fanning the list out across
+  /// `ctx.pool` (when given) with one dense score accumulator per worker
+  /// thread. Results are committed into slots indexed by query position,
+  /// so the output vector is identical — element for element, bit for bit
+  /// — to calling `Rank` in a loop, at any thread count.
   std::vector<RankedExperts> RankBatch(
       const std::vector<synth::ExpertiseNeed>& queries,
-      const common::ThreadPool* pool = nullptr) const;
+      const RuntimeContext& ctx = {}) const;
+
+  /// Persists this finder's complete serving state — the frozen index and
+  /// the association tables — as one checksummed snapshot at `path`
+  /// (atomic rename; see io/snapshot.h for the format). `epoch` is the
+  /// caller's version number for the artifact and `fingerprint` an opaque
+  /// digest of the inputs (corpus seed/scale, analyzer options, ...) that
+  /// the loader must present to deserialize. Requires the frozen compiled
+  /// serving form (`kFailedPrecondition` otherwise). Snapshot bytes are a
+  /// pure function of the serving state: any thread count, same file.
+  /// `ctx.metrics` records `snapshot.save_ms` / `snapshot.bytes`.
+  Status SaveSnapshot(uint64_t epoch, uint64_t fingerprint,
+                      const std::string& path,
+                      const RuntimeContext& ctx = {}) const;
+
+  /// Cold-start path: restores a finder from a snapshot written by
+  /// `SaveSnapshot`, skipping crawl → analyze → build → freeze entirely.
+  /// The restored finder serves rankings bit-identical to the one that
+  /// saved the snapshot. `extractor` (non-null, outliving the finder)
+  /// analyzes incoming query text — typically built from the same
+  /// knowledge base as the saving process, which is what `fingerprint`
+  /// should attest; a mismatch against the stored fingerprint returns
+  /// `kFailedPrecondition`. Corrupt files return `kDataLoss` /
+  /// `kInvalidArgument` (see io/snapshot.h) and never a partial finder.
+  /// `ctx.metrics` records `snapshot.load_ms` and becomes the finder's
+  /// registry, as in `Create`.
+  static Result<ExpertFinder> FromSnapshotFile(const std::string& path,
+                                               uint64_t expected_fingerprint,
+                                               const platform::ResourceExtractor* extractor,
+                                               const RuntimeContext& ctx = {});
+
+  /// The snapshot epoch this finder was restored from (0 for finders built
+  /// in-process by `Create`).
+  uint64_t snapshot_epoch() const { return epoch_; }
 
   /// Number of distinct resources reachable from `candidate` under this
   /// configuration (indexed English resources only). Fig. 10's x-axis.
@@ -146,13 +219,34 @@ class ExpertFinder {
     int distance;
   };
 
+  /// The effective ranking parameters of one call: the finder's configured
+  /// values with any `RankRequest` overrides applied.
+  struct RankParams {
+    double alpha;
+    int window_size;
+    double window_fraction;
+  };
+
   /// Invariant-holding constructor: inputs already validated by `Create`.
   ExpertFinder(const AnalyzedWorld* analyzed, const ExpertFinderConfig& config,
                std::unique_ptr<CorpusIndex> owned_index,
                const CorpusIndex* index, obs::MetricsRegistry* metrics);
 
+  /// Snapshot-restoring constructor (see serving.cc): the association
+  /// state is filled in by `FromSnapshotFile` after construction.
+  ExpertFinder(const ExpertFinderConfig& config,
+               std::unique_ptr<CorpusIndex> owned_index,
+               const platform::ResourceExtractor* extractor,
+               uint32_t num_candidates, uint64_t epoch,
+               obs::MetricsRegistry* metrics);
+
+  /// Shared tail of both constructors: resolves the serving path, the
+  /// query cache, and the metric handles from the already-set members.
+  void InitServingState();
+
   void BuildAssociations();
-  RankedExperts RankAnalyzed(const index::AnalyzedQuery& query) const;
+  RankedExperts RankWithParams(const index::AnalyzedQuery& query,
+                               const RankParams& params) const;
 
   /// The retrieval front half shared by Rank and Explain: matched ->
   /// reachability filter -> window. Returns the windowed scored docs.
@@ -160,21 +254,33 @@ class ExpertFinder {
   /// full-sort path depending on `compiled_path_`; both return the same
   /// bytes.
   std::vector<index::ScoredDoc> WindowedResources(
-      const index::AnalyzedQuery& query, RankedExperts* stats) const;
+      const index::AnalyzedQuery& query, const RankParams& params,
+      RankedExperts* stats) const;
 
   /// Compiled form of `query`, through the LRU cache when enabled. The
   /// returned pointer owns the compiled query (cache hit or fresh).
   std::shared_ptr<const index::CompiledQuery> CompiledFor(
       const index::AnalyzedQuery& query) const;
 
-  /// Resolves the configured window over `eligible` reachable resources
+  /// Resolves the effective window over `eligible` reachable resources
   /// (Sec. 2.4.1 semantics, shared by both serving paths).
-  size_t ResolveWindow(size_t eligible) const;
+  static size_t ResolveWindow(size_t eligible, const RankParams& params);
 
+  /// Null for snapshot-restored finders — everything the ranking paths
+  /// need from the analyzed world is captured in `num_candidates_`,
+  /// `extractor_`, and the association tables below.
   const AnalyzedWorld* analyzed_;
   ExpertFinderConfig config_;
   std::unique_ptr<CorpusIndex> owned_index_;
   const CorpusIndex* index_;
+  /// Query analyzer (borrowed): `analyzed_->extractor` for built finders,
+  /// the caller-provided extractor for snapshot-restored ones.
+  const platform::ResourceExtractor* extractor_ = nullptr;
+  /// Number of candidate experts — `world->candidates.size()` when built,
+  /// the persisted count when restored.
+  uint32_t num_candidates_ = 0;
+  /// Snapshot epoch this finder was restored from; 0 when built in-process.
+  uint64_t epoch_ = 0;
   bool compiled_path_ = false;
   /// Null = off; thread-safe, shared by concurrent Rank calls.
   mutable std::unique_ptr<index::CompiledQueryCache> query_cache_;

@@ -1,0 +1,37 @@
+#ifndef CROWDEX_CORE_RUNTIME_CONTEXT_H_
+#define CROWDEX_CORE_RUNTIME_CONTEXT_H_
+
+namespace crowdex::common {
+class ThreadPool;
+}  // namespace crowdex::common
+
+namespace crowdex::obs {
+class MetricsRegistry;
+}  // namespace crowdex::obs
+
+namespace crowdex::core {
+
+/// The ambient execution facilities an API call may use, bundled so every
+/// signature takes one optional context instead of threading two separate
+/// nullable pointers. Both members are optional and independent:
+///
+///   - `pool` — worker threads for internal parallelism. Null (or a
+///     one-thread pool) means fully sequential execution. Results are
+///     bit-identical either way; the pool only changes wall-clock time.
+///   - `metrics` — observability registry. Null means observability off.
+///     Metrics observe, they never steer: outputs are bit-identical with
+///     metrics on, off, or shared across components.
+///
+/// The context is borrowed for the duration of the call that receives it
+/// (construction-time callers like `ExpertFinder::Create` additionally
+/// keep `metrics` for the lifetime of the built object — see each API's
+/// contract). A default-constructed `RuntimeContext{}` is the sequential,
+/// unobserved configuration.
+struct RuntimeContext {
+  const common::ThreadPool* pool = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+}  // namespace crowdex::core
+
+#endif  // CROWDEX_CORE_RUNTIME_CONTEXT_H_

@@ -1,0 +1,264 @@
+#include "core/serving.h"
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "io/snapshot.h"
+#include "obs/metrics.h"
+
+namespace crowdex::core {
+
+namespace {
+
+io::SnapshotConfig ToSnapshotConfig(const ExpertFinderConfig& c) {
+  io::SnapshotConfig sc;
+  sc.alpha = c.alpha;
+  sc.window_size = c.window_size;
+  sc.window_fraction = c.window_fraction;
+  sc.max_distance = c.max_distance;
+  sc.include_friends = c.include_friends;
+  sc.platforms = c.platforms;
+  sc.aggregation = static_cast<uint32_t>(c.aggregation);
+  sc.distance_weight_max = c.distance_weight_max;
+  sc.distance_weight_min = c.distance_weight_min;
+  sc.compiled_queries = c.compiled_queries;
+  sc.query_cache_capacity = c.query_cache_capacity;
+  return sc;
+}
+
+/// Rebuilds a validated `ExpertFinderConfig` from its persisted mirror.
+/// The scalars passed their CRC, but a snapshot from a buggy writer could
+/// still carry out-of-domain values — surface those as `kDataLoss`
+/// (structural inconsistency), never as a crash or a silently-clamped
+/// configuration.
+Status ConfigFromSnapshot(const io::SnapshotConfig& sc,
+                          ExpertFinderConfig* out) {
+  if (sc.aggregation > static_cast<uint32_t>(AggregationMode::kMaxResource)) {
+    return Status::DataLoss("snapshot config: unknown aggregation mode");
+  }
+  if (sc.platforms == 0 || sc.platforms > 0xFF) {
+    return Status::DataLoss("snapshot config: platform mask out of range");
+  }
+  ExpertFinderConfig c;
+  c.alpha = sc.alpha;
+  c.window_size = sc.window_size;
+  c.window_fraction = sc.window_fraction;
+  c.max_distance = sc.max_distance;
+  c.include_friends = sc.include_friends;
+  c.platforms = static_cast<platform::PlatformMask>(sc.platforms);
+  c.aggregation = static_cast<AggregationMode>(sc.aggregation);
+  c.distance_weight_max = sc.distance_weight_max;
+  c.distance_weight_min = sc.distance_weight_min;
+  c.compiled_queries = sc.compiled_queries;
+  c.query_cache_capacity = sc.query_cache_capacity;
+  Status valid = c.Validate();
+  if (!valid.ok()) {
+    return Status::DataLoss("snapshot config rejected: " + valid.message());
+  }
+  *out = c;
+  return Status::Ok();
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Status ExpertFinder::SaveSnapshot(uint64_t epoch, uint64_t fingerprint,
+                                  const std::string& path,
+                                  const RuntimeContext& ctx) const {
+  const auto start = std::chrono::steady_clock::now();
+  const index::SearchIndex& si = index_->search_index();
+  if (!si.frozen()) {
+    return Status::FailedPrecondition(
+        "ExpertFinder::SaveSnapshot: the corpus index has no frozen serving "
+        "form to persist");
+  }
+
+  // Project the per-doc association lists to CSR over doc ids. Doc order
+  // is the canonical order of the frozen index, so the emitted arrays (and
+  // therefore the snapshot bytes) are independent of the hash-map iteration
+  // order and thread count the finder was built with.
+  const size_t docs = si.size();
+  std::vector<uint64_t> offsets(docs + 1, 0);
+  uint64_t total = 0;
+  for (size_t d = 0; d < docs; ++d) {
+    if (doc_associations_[d] != nullptr) total += doc_associations_[d]->size();
+    offsets[d + 1] = total;
+  }
+  std::vector<uint32_t> candidates;
+  std::vector<int32_t> distances;
+  candidates.reserve(total);
+  distances.reserve(total);
+  for (size_t d = 0; d < docs; ++d) {
+    if (doc_associations_[d] == nullptr) continue;
+    for (const Association& a : *doc_associations_[d]) {
+      candidates.push_back(static_cast<uint32_t>(a.candidate));
+      distances.push_back(a.distance);
+    }
+  }
+  std::vector<uint64_t> counts(reachable_counts_.begin(),
+                               reachable_counts_.end());
+
+  io::ServingSnapshotView view;
+  view.epoch = epoch;
+  view.fingerprint = fingerprint;
+  view.num_candidates = num_candidates_;
+  view.config = ToSnapshotConfig(config_);
+  view.index = si.ExportFrozen();
+  view.assoc_offsets = &offsets;
+  view.assoc_candidate = &candidates;
+  view.assoc_distance = &distances;
+  view.reachable_counts = &counts;
+  CROWDEX_RETURN_IF_ERROR(io::SaveServingSnapshot(view, path));
+
+  if (ctx.metrics != nullptr) {
+    std::error_code ec;
+    const uintmax_t bytes = std::filesystem::file_size(path, ec);
+    if (!ec) {
+      obs::MetricsRegistry::Set(ctx.metrics, "snapshot.bytes",
+                                static_cast<int64_t>(bytes));
+    }
+    obs::MetricsRegistry::Observe(ctx.metrics, "snapshot.save_ms",
+                                  ElapsedMs(start));
+  }
+  return Status::Ok();
+}
+
+ExpertFinder::ExpertFinder(const ExpertFinderConfig& config,
+                           std::unique_ptr<CorpusIndex> owned_index,
+                           const platform::ResourceExtractor* extractor,
+                           uint32_t num_candidates, uint64_t epoch,
+                           obs::MetricsRegistry* metrics)
+    : analyzed_(nullptr),
+      config_(config),
+      owned_index_(std::move(owned_index)),
+      index_(owned_index_.get()),
+      extractor_(extractor),
+      num_candidates_(num_candidates),
+      epoch_(epoch),
+      metrics_(metrics) {
+  InitServingState();
+}
+
+Result<ExpertFinder> ExpertFinder::FromSnapshotFile(
+    const std::string& path, uint64_t expected_fingerprint,
+    const platform::ResourceExtractor* extractor, const RuntimeContext& ctx) {
+  const auto start = std::chrono::steady_clock::now();
+  if (extractor == nullptr) {
+    return Status::InvalidArgument(
+        "ExpertFinder::FromSnapshotFile: extractor is null (text queries "
+        "need a query analyzer)");
+  }
+  Result<io::ServingSnapshotData> loaded = io::LoadServingSnapshot(path);
+  CROWDEX_RETURN_IF_ERROR(loaded.status());
+  io::ServingSnapshotData data = std::move(loaded).value();
+  if (data.fingerprint != expected_fingerprint) {
+    return Status::FailedPrecondition(
+        "ExpertFinder::FromSnapshotFile: snapshot fingerprint does not match "
+        "the expected corpus/configuration digest");
+  }
+  ExpertFinderConfig config;
+  CROWDEX_RETURN_IF_ERROR(ConfigFromSnapshot(data.config, &config));
+
+  Result<index::SearchIndex> restored =
+      index::SearchIndex::FromFrozen(std::move(data.index));
+  if (!restored.ok()) {
+    return Status::DataLoss("snapshot index rejected: " +
+                            restored.status().message());
+  }
+  auto corpus = std::make_unique<CorpusIndex>(std::move(restored).value(),
+                                              config.platforms);
+
+  ExpertFinder finder(config, std::move(corpus), extractor,
+                      data.num_candidates, data.epoch, ctx.metrics);
+
+  // Rehydrate the association tables from the CSR arrays. The io layer
+  // already validated CSR shape and id ranges; the doc count is re-checked
+  // here because it ties two independently-parsed sections together.
+  const index::SearchIndex& si = finder.index_->search_index();
+  const size_t docs = si.size();
+  if (data.assoc_offsets.size() != docs + 1) {
+    return Status::DataLoss(
+        "snapshot associations do not cover the snapshot index");
+  }
+  finder.doc_associations_.assign(docs, nullptr);
+  finder.reachable_bits_.assign(docs, 0);
+  for (size_t d = 0; d < docs; ++d) {
+    const uint64_t begin = data.assoc_offsets[d];
+    const uint64_t end = data.assoc_offsets[d + 1];
+    if (begin == end) continue;
+    std::vector<Association>& assoc =
+        finder.associations_[si.external_id(static_cast<index::DocId>(d))];
+    assoc.reserve(end - begin);
+    for (uint64_t i = begin; i < end; ++i) {
+      assoc.push_back({static_cast<int>(data.assoc_candidate[i]),
+                       static_cast<int>(data.assoc_distance[i])});
+    }
+    finder.doc_associations_[d] = &assoc;
+    finder.reachable_bits_[d] = 1;
+  }
+  finder.reachable_counts_.assign(data.reachable_counts.begin(),
+                                  data.reachable_counts.end());
+
+  obs::MetricsRegistry::Observe(ctx.metrics, "snapshot.load_ms",
+                                ElapsedMs(start));
+  return finder;
+}
+
+SnapshotManager::SnapshotManager(const RuntimeContext& ctx) {
+  if (ctx.metrics != nullptr) {
+    swap_total_ = ctx.metrics->counter("snapshot.swap_total");
+    active_epoch_ = ctx.metrics->gauge("snapshot.active_epoch");
+  }
+}
+
+void SnapshotManager::Swap(std::shared_ptr<const ServingSnapshot> next) {
+  const uint64_t epoch = next != nullptr ? next->epoch() : 0;
+  std::shared_ptr<const ServingSnapshot> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired = std::move(live_);
+    live_ = std::move(next);
+    ++swaps_;
+  }
+  if (swap_total_ != nullptr) swap_total_->Increment(1);
+  if (active_epoch_ != nullptr) {
+    active_epoch_->Set(static_cast<int64_t>(epoch));
+  }
+  // `retired` drops its reference outside the lock: the previous snapshot
+  // is destroyed here unless an in-flight Rank still pins it, in which
+  // case the last such call frees it — readers never block on a swap.
+}
+
+std::shared_ptr<const ServingSnapshot> SnapshotManager::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+uint64_t SnapshotManager::active_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_ != nullptr ? live_->epoch() : 0;
+}
+
+uint64_t SnapshotManager::swap_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return swaps_;
+}
+
+Result<RankedExperts> SnapshotManager::Rank(const RankRequest& request) const {
+  std::shared_ptr<const ServingSnapshot> snapshot = Acquire();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition(
+        "SnapshotManager: no serving snapshot installed");
+  }
+  return snapshot->finder().Rank(request);
+}
+
+}  // namespace crowdex::core

@@ -1,0 +1,87 @@
+#ifndef CROWDEX_CORE_SERVING_H_
+#define CROWDEX_CORE_SERVING_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/expert_finder.h"
+#include "core/runtime_context.h"
+
+namespace crowdex::obs {
+class Counter;
+class Gauge;
+}  // namespace crowdex::obs
+
+namespace crowdex::core {
+
+/// One immutable serving unit: a finder pinned to the snapshot epoch it
+/// serves. Shared (via `shared_ptr<const ServingSnapshot>`) between the
+/// `SnapshotManager` that publishes it and every in-flight `Rank` call
+/// that acquired it, and destroyed when the last holder lets go.
+class ServingSnapshot {
+ public:
+  /// Wraps `finder` as the serving unit for `epoch`. The default (`epoch
+  /// == 0`) takes the finder's own `snapshot_epoch()` — right for
+  /// snapshot-restored finders; in-process-built finders (epoch 0) should
+  /// pass the version number the deployment assigns them.
+  explicit ServingSnapshot(ExpertFinder finder, uint64_t epoch = 0)
+      : finder_(std::move(finder)),
+        epoch_(epoch != 0 ? epoch : finder_.snapshot_epoch()) {}
+
+  const ExpertFinder& finder() const { return finder_; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  ExpertFinder finder_;
+  uint64_t epoch_;
+};
+
+/// Publishes serving snapshots with atomic hot swap (RCU-style): `Swap`
+/// installs a new snapshot while concurrent `Rank`/`Acquire` callers keep
+/// ranking against the epoch they already hold — no reader ever blocks on
+/// a swap, observes a half-installed snapshot, or mixes state from two
+/// epochs within one call. The old snapshot is destroyed when its last
+/// in-flight reference drops.
+///
+/// A non-null `ctx.metrics` (outliving the manager) exports
+/// `snapshot.swap_total` (swaps published) and `snapshot.active_epoch`
+/// (epoch currently serving). All methods are thread-safe.
+class SnapshotManager {
+ public:
+  explicit SnapshotManager(const RuntimeContext& ctx = {});
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// Atomically publishes `next` (may be null to take the manager out of
+  /// service). In-flight calls finish on the snapshot they acquired;
+  /// subsequent calls see `next`.
+  void Swap(std::shared_ptr<const ServingSnapshot> next);
+
+  /// The currently-live snapshot (null before the first `Swap`). Holding
+  /// the returned pointer pins that epoch: callers doing several reads
+  /// that must agree acquire once and read through the copy.
+  std::shared_ptr<const ServingSnapshot> Acquire() const;
+
+  /// Epoch of the live snapshot; 0 when none is installed.
+  uint64_t active_epoch() const;
+
+  /// Number of `Swap` calls so far.
+  uint64_t swap_count() const;
+
+  /// Ranks `request` against the live snapshot — an acquire-rank-release
+  /// convenience that pins exactly one epoch for the duration of the call.
+  /// `kFailedPrecondition` when no snapshot is installed.
+  Result<RankedExperts> Rank(const RankRequest& request) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServingSnapshot> live_;
+  uint64_t swaps_ = 0;
+  obs::Counter* swap_total_ = nullptr;
+  obs::Gauge* active_epoch_ = nullptr;
+};
+
+}  // namespace crowdex::core
+
+#endif  // CROWDEX_CORE_SERVING_H_

@@ -49,6 +49,11 @@ void SearchIndex::AppendDoc(DocId id, const std::vector<std::string>& terms,
 }
 
 DocId SearchIndex::Add(const IndexableDocument& doc) {
+  if (serving_only_) {
+    CheckOk(Status::FailedPrecondition(
+                "SearchIndex::Add on a serving-only index"),
+            "SearchIndex::Add");
+  }
   DocId id = static_cast<DocId>(external_ids_.size());
   external_ids_.push_back(doc.external_id);
   AppendDoc(id, doc.terms, doc.entities, &term_postings_, &entity_postings_);
@@ -59,6 +64,11 @@ DocId SearchIndex::Add(const IndexableDocument& doc) {
 Status SearchIndex::BulkAdd(const std::vector<DocView>& docs,
                             const common::ThreadPool* pool,
                             obs::MetricsRegistry* metrics) {
+  if (serving_only_) {
+    return Status::FailedPrecondition(
+        "SearchIndex::BulkAdd: index is serving-only (loaded from a frozen "
+        "snapshot); rebuild from the corpus to mutate");
+  }
   obs::Span build_span(metrics, "index.bulk_add_ms");
   const DocId base = static_cast<DocId>(external_ids_.size());
 
@@ -144,6 +154,14 @@ Status SearchIndex::BulkAdd(const std::vector<DocView>& docs,
 }
 
 uint32_t SearchIndex::ResourceFrequency(std::string_view term) const {
+  if (serving_only_) {
+    // Term postings are never pruned by `Freeze`, so the arena segment
+    // length IS the resource frequency.
+    auto it = term_dict_.find(term);
+    if (it == term_dict_.end()) return 0;
+    return static_cast<uint32_t>(term_offsets_[it->second + 1] -
+                                 term_offsets_[it->second]);
+  }
   auto it = term_postings_.find(term);
   return it == term_postings_.end()
              ? 0
@@ -151,6 +169,12 @@ uint32_t SearchIndex::ResourceFrequency(std::string_view term) const {
 }
 
 uint32_t SearchIndex::EntityResourceFrequency(entity::EntityId entity) const {
+  if (serving_only_) {
+    // The entity arena prunes zero-weight postings, so the unpruned list
+    // length travels separately in `entity_rf_`.
+    auto it = entity_slot_.find(entity);
+    return it == entity_slot_.end() ? 0 : entity_rf_[it->second];
+  }
   auto it = entity_postings_.find(entity);
   return it == entity_postings_.end()
              ? 0
@@ -164,14 +188,33 @@ double SearchIndex::InverseFrequency(size_t rf) const {
 }
 
 double SearchIndex::Irf(std::string_view term) const {
+  if (serving_only_) {
+    // The frozen table holds exactly `InverseFrequency(rf)` as computed at
+    // freeze time — same formula, same inputs, same bits.
+    auto it = term_dict_.find(term);
+    return it == term_dict_.end() ? 0.0 : term_irf_[it->second];
+  }
   return InverseFrequency(ResourceFrequency(term));
 }
 
 double SearchIndex::Eirf(entity::EntityId entity) const {
+  if (serving_only_) {
+    auto it = entity_slot_.find(entity);
+    return it == entity_slot_.end() ? 0.0 : entity_eirf_[it->second];
+  }
   return InverseFrequency(EntityResourceFrequency(entity));
 }
 
 uint32_t SearchIndex::TermFrequency(DocId doc, std::string_view term) const {
+  if (serving_only_) {
+    auto it = term_dict_.find(term);
+    if (it == term_dict_.end()) return 0;
+    const auto begin = term_post_doc_.begin() + term_offsets_[it->second];
+    const auto end = term_post_doc_.begin() + term_offsets_[it->second + 1];
+    auto pos = std::lower_bound(begin, end, doc);
+    if (pos == end || *pos != doc) return 0;
+    return term_post_tf_[static_cast<size_t>(pos - term_post_doc_.begin())];
+  }
   auto it = term_postings_.find(term);
   if (it == term_postings_.end()) return 0;
   // Posting lists are built in ascending doc-id order (both `Add` and the
@@ -187,6 +230,12 @@ uint32_t SearchIndex::TermFrequency(DocId doc, std::string_view term) const {
 std::vector<ScoredDoc> SearchIndex::Search(const AnalyzedQuery& query,
                                            double alpha) const {
   assert(alpha >= 0.0 && alpha <= 1.0);
+  if (serving_only_) {
+    // No mutable postings to walk — answer through the compiled path,
+    // which is bit-identical to this one (DESIGN.md §10).
+    ScoreAccumulator acc;
+    return SearchCompiled(Compile(query), alpha, &acc);
+  }
   std::unordered_map<DocId, double> scores;
 
   if (alpha > 0.0) {
@@ -235,6 +284,9 @@ std::vector<ScoredDoc> SearchIndex::Search(const AnalyzedQuery& query,
 // --- Frozen serving form ---------------------------------------------------
 
 void SearchIndex::Freeze(obs::MetricsRegistry* metrics) {
+  // A serving-only index has no mutable postings to refreeze from; its
+  // frozen form is the index, so there is nothing to (re)build.
+  if (serving_only_) return;
   obs::Span span(metrics, "index.freeze_ms");
 
   // Term ids are assigned in lexicographic order — a pure function of the
@@ -285,6 +337,8 @@ void SearchIndex::Freeze(obs::MetricsRegistry* metrics) {
   entity_slot_.reserve(entities.size());
   entity_eirf_.clear();
   entity_eirf_.reserve(entities.size());
+  entity_rf_.clear();
+  entity_rf_.reserve(entities.size());
   entity_offsets_.clear();
   entity_offsets_.reserve(entities.size() + 1);
   entity_post_doc_.clear();
@@ -300,6 +354,7 @@ void SearchIndex::Freeze(obs::MetricsRegistry* metrics) {
     // included) — exactly what the legacy scorer computes — even though
     // the arena below prunes the zero-weight entries.
     entity_eirf_.push_back(InverseFrequency(postings.size()));
+    entity_rf_.push_back(static_cast<uint32_t>(postings.size()));
     for (const EntityPosting& p : postings) {
       // we(e,r) = 1 + dScore when disambiguation succeeded, else 0 (Eq. 2).
       // A zero-weight posting contributes `weight · ef · 0.0 = +0.0`, and
@@ -440,6 +495,148 @@ std::vector<ScoredDoc> SearchIndex::SearchCompiled(const CompiledQuery& query,
   std::vector<ScoredDoc> out;
   acc->TakeTop(acc->candidate_count(), &out);
   return out;
+}
+
+// --- Frozen export / import ------------------------------------------------
+
+FrozenIndexView SearchIndex::ExportFrozen() const {
+  CheckOk(frozen_ ? Status::Ok()
+                  : Status::FailedPrecondition("index is not frozen"),
+          "SearchIndex::ExportFrozen");
+  FrozenIndexView view;
+  view.external_ids = &external_ids_;
+  view.terms.resize(term_dict_.size());
+  for (const auto& [term, id] : term_dict_) view.terms[id] = term;
+  view.term_irf = &term_irf_;
+  view.term_offsets = &term_offsets_;
+  view.term_post_doc = &term_post_doc_;
+  view.term_post_tf = &term_post_tf_;
+  view.entities.resize(entity_slot_.size());
+  for (const auto& [eid, slot] : entity_slot_) view.entities[slot] = eid;
+  view.entity_eirf = &entity_eirf_;
+  view.entity_rf = &entity_rf_;
+  view.entity_offsets = &entity_offsets_;
+  view.entity_post_doc = &entity_post_doc_;
+  view.entity_post_ef = &entity_post_ef_;
+  view.entity_post_we = &entity_post_we_;
+  return view;
+}
+
+namespace {
+
+/// Checks one dictionary/arena family: offsets form a monotone staircase
+/// over the arena, parallel arrays agree on length, and every posting's
+/// doc id is in range with ascending order inside each segment.
+Status ValidateArena(const char* what, size_t dict_size,
+                     const std::vector<size_t>& offsets,
+                     const std::vector<DocId>& post_doc, size_t num_docs) {
+  if (offsets.size() != dict_size + 1 || offsets.front() != 0 ||
+      offsets.back() != post_doc.size()) {
+    return Status::DataLoss(std::string(what) +
+                            ": offset table does not span the arena");
+  }
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::DataLoss(std::string(what) +
+                              ": offsets are not monotone");
+    }
+    for (size_t j = offsets[i]; j < offsets[i + 1]; ++j) {
+      if (post_doc[j] >= num_docs) {
+        return Status::DataLoss(std::string(what) +
+                                ": posting doc id out of range");
+      }
+      if (j > offsets[i] && post_doc[j - 1] >= post_doc[j]) {
+        return Status::DataLoss(std::string(what) +
+                                ": postings not ascending within a segment");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SearchIndex> SearchIndex::FromFrozen(FrozenIndexData data) {
+  const size_t num_docs = data.external_ids.size();
+  if (data.term_irf.size() != data.terms.size() ||
+      data.term_post_tf.size() != data.term_post_doc.size()) {
+    return Status::DataLoss("frozen index: term array sizes disagree");
+  }
+  if (data.entity_eirf.size() != data.entities.size() ||
+      data.entity_rf.size() != data.entities.size() ||
+      data.entity_post_ef.size() != data.entity_post_doc.size() ||
+      data.entity_post_we.size() != data.entity_post_doc.size()) {
+    return Status::DataLoss("frozen index: entity array sizes disagree");
+  }
+  CROWDEX_RETURN_IF_ERROR(ValidateArena("frozen index terms",
+                                        data.terms.size(), data.term_offsets,
+                                        data.term_post_doc, num_docs));
+  CROWDEX_RETURN_IF_ERROR(
+      ValidateArena("frozen index entities", data.entities.size(),
+                    data.entity_offsets, data.entity_post_doc, num_docs));
+  // Dictionaries are strictly sorted by construction (`Freeze` assigns ids
+  // in lexicographic / numeric order); a violation means the bytes do not
+  // describe any freezable index.
+  for (size_t i = 1; i < data.terms.size(); ++i) {
+    if (data.terms[i - 1] >= data.terms[i]) {
+      return Status::DataLoss("frozen index: term dictionary not sorted");
+    }
+  }
+  for (size_t i = 1; i < data.entities.size(); ++i) {
+    if (data.entities[i - 1] >= data.entities[i]) {
+      return Status::DataLoss("frozen index: entity dictionary not sorted");
+    }
+  }
+  // A term with an empty posting segment has rf = 0 and an undefined irf;
+  // `Freeze` never emits one (a dictionary entry exists because at least
+  // one posting does). Entities may have empty *arena* segments (pruning),
+  // but their unpruned rf must still be positive and can only shrink.
+  for (size_t i = 0; i < data.terms.size(); ++i) {
+    if (data.term_offsets[i] == data.term_offsets[i + 1]) {
+      return Status::DataLoss("frozen index: empty term posting segment");
+    }
+  }
+  for (size_t i = 0; i < data.entities.size(); ++i) {
+    const size_t pruned =
+        data.entity_offsets[i + 1] - data.entity_offsets[i];
+    if (data.entity_rf[i] == 0 || data.entity_rf[i] < pruned ||
+        data.entity_rf[i] > num_docs) {
+      return Status::DataLoss(
+          "frozen index: entity resource frequency inconsistent");
+    }
+  }
+  for (size_t i = 0; i < data.entity_post_we.size(); ++i) {
+    if (!(data.entity_post_we[i] > 1.0)) {
+      return Status::DataLoss(
+          "frozen index: non-positive entity posting weight survived "
+          "pruning");
+    }
+  }
+
+  SearchIndex index;
+  index.external_ids_ = std::move(data.external_ids);
+  index.term_irf_ = std::move(data.term_irf);
+  index.term_offsets_ = std::move(data.term_offsets);
+  index.term_post_doc_ = std::move(data.term_post_doc);
+  index.term_post_tf_ = std::move(data.term_post_tf);
+  index.entity_eirf_ = std::move(data.entity_eirf);
+  index.entity_rf_ = std::move(data.entity_rf);
+  index.entity_offsets_ = std::move(data.entity_offsets);
+  index.entity_post_doc_ = std::move(data.entity_post_doc);
+  index.entity_post_ef_ = std::move(data.entity_post_ef);
+  index.entity_post_we_ = std::move(data.entity_post_we);
+  index.term_dict_.reserve(data.terms.size());
+  for (size_t i = 0; i < data.terms.size(); ++i) {
+    index.term_dict_.emplace(std::move(data.terms[i]),
+                             static_cast<TermId>(i));
+  }
+  index.entity_slot_.reserve(data.entities.size());
+  for (size_t i = 0; i < data.entities.size(); ++i) {
+    index.entity_slot_.emplace(data.entities[i], static_cast<uint32_t>(i));
+  }
+  index.frozen_ = true;
+  index.serving_only_ = true;
+  return index;
 }
 
 }  // namespace crowdex::index

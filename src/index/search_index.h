@@ -98,6 +98,51 @@ struct CompiledQuery {
   std::vector<EntityRef> entities;
 };
 
+/// Borrowed, read-only view of a frozen index's serving layout, in the
+/// exact in-memory representation the compiled query path scores against.
+/// Produced by `SearchIndex::ExportFrozen` for serialization; every pointer
+/// targets storage owned by the index and stays valid until the index is
+/// mutated or destroyed. `terms` / `entities` are materialized per call
+/// (dictionary keys in TermId / slot order); everything else is borrowed.
+struct FrozenIndexView {
+  const std::vector<uint64_t>* external_ids = nullptr;
+  /// Dictionary terms in TermId order (views into the index's own keys).
+  std::vector<std::string_view> terms;
+  const std::vector<double>* term_irf = nullptr;
+  const std::vector<size_t>* term_offsets = nullptr;
+  const std::vector<DocId>* term_post_doc = nullptr;
+  const std::vector<uint32_t>* term_post_tf = nullptr;
+  /// Dictionary entities in slot order.
+  std::vector<entity::EntityId> entities;
+  const std::vector<double>* entity_eirf = nullptr;
+  /// Unpruned posting-list length per slot (the statistic `eirf` derives
+  /// from — the arena below stores only the positive-weight postings).
+  const std::vector<uint32_t>* entity_rf = nullptr;
+  const std::vector<size_t>* entity_offsets = nullptr;
+  const std::vector<DocId>* entity_post_doc = nullptr;
+  const std::vector<uint32_t>* entity_post_ef = nullptr;
+  const std::vector<double>* entity_post_we = nullptr;
+};
+
+/// Owned form of the same layout, as a deserializer assembles it. Consumed
+/// by `SearchIndex::FromFrozen`, which validates the structural invariants
+/// and adopts the arrays without copying them.
+struct FrozenIndexData {
+  std::vector<uint64_t> external_ids;
+  std::vector<std::string> terms;
+  std::vector<double> term_irf;
+  std::vector<size_t> term_offsets;
+  std::vector<DocId> term_post_doc;
+  std::vector<uint32_t> term_post_tf;
+  std::vector<entity::EntityId> entities;
+  std::vector<double> entity_eirf;
+  std::vector<uint32_t> entity_rf;
+  std::vector<size_t> entity_offsets;
+  std::vector<DocId> entity_post_doc;
+  std::vector<uint32_t> entity_post_ef;
+  std::vector<double> entity_post_we;
+};
+
 /// Counts produced by one compiled retrieval pass.
 struct RetrievalStats {
   /// Documents with positive Eq. 1 score (the legacy `Search` result size).
@@ -176,7 +221,8 @@ class SearchIndex {
   /// Adds `doc` to the collection and returns its dense id. Frequencies
   /// (`tf`, `ef`) are computed here; `irf`/`eirf` reflect the collection at
   /// query time, so documents may be added at any point before searching.
-  /// Drops the frozen serving form, if any.
+  /// Drops the frozen serving form, if any. Aborts on a serving-only index
+  /// (mutation there is a programming error — see `FromFrozen`).
   DocId Add(const IndexableDocument& doc);
 
   /// Adds `docs` in order: doc i receives id `size() + i` no matter how
@@ -189,8 +235,9 @@ class SearchIndex {
   ///
   /// Returns `kInvalidArgument` when any `DocView` carries a null terms or
   /// entities pointer (the failure is detected inside the owning chunk and
-  /// the lowest failing doc index wins deterministically), or `kInternal`
-  /// when a chunk body threw. On any failure the index is left exactly as
+  /// the lowest failing doc index wins deterministically), `kInternal`
+  /// when a chunk body threw, or `kFailedPrecondition` on a serving-only
+  /// index (see `FromFrozen`). On any failure the index is left exactly as
   /// it was before the call — no documents, ids, or postings are committed
   /// and an existing frozen form stays valid; a successful commit drops it.
   ///
@@ -242,6 +289,28 @@ class SearchIndex {
   /// `Freeze`, dropped by any successful mutation).
   bool frozen() const { return frozen_; }
 
+  /// Exports the frozen serving layout for serialization. Requires
+  /// `frozen()` (aborts otherwise); see `FrozenIndexView` for lifetimes.
+  FrozenIndexView ExportFrozen() const;
+
+  /// Reassembles an index directly in its frozen serving form from
+  /// deserialized arrays — the cold-start path that skips every `Add` /
+  /// `Freeze` step. The result is *serving-only*: it answers `Search`,
+  /// `Compile`, statistics, and `TermFrequency` bit-identically to the
+  /// index the data was exported from, but holds no mutable postings —
+  /// `BulkAdd` returns `kFailedPrecondition` and `Add` aborts.
+  ///
+  /// Validates the structural invariants the scorer relies on (offset
+  /// monotonicity, arena sizes, sorted dictionaries, doc ids in range,
+  /// ascending per-segment postings) and returns `kDataLoss` when any is
+  /// violated — corrupt bytes that survived a checksum must not turn into
+  /// out-of-bounds loads at query time.
+  static Result<SearchIndex> FromFrozen(FrozenIndexData data);
+
+  /// True for indexes reassembled by `FromFrozen`: frozen serving state
+  /// only, no mutable postings.
+  bool serving_only() const { return serving_only_; }
+
   /// Resolves `query` against the frozen dictionaries. Terms and entities
   /// absent from the collection are dropped (they cannot score). The group
   /// order of the result replicates the legacy scorer's iteration order
@@ -270,7 +339,9 @@ class SearchIndex {
   uint64_t external_id(DocId doc) const { return external_ids_[doc]; }
 
   /// Number of distinct terms in the collection.
-  size_t vocabulary_size() const { return term_postings_.size(); }
+  size_t vocabulary_size() const {
+    return serving_only_ ? term_irf_.size() : term_postings_.size();
+  }
 
  private:
   struct TermPosting {
@@ -317,6 +388,9 @@ class SearchIndex {
   // postings pruned (they contribute exactly +0.0 to a non-negative
   // accumulator, so dropping them cannot change any score bit).
   bool frozen_ = false;
+  /// Set by `FromFrozen`: the mutable posting maps are empty and every
+  /// read path must answer from the frozen arrays alone.
+  bool serving_only_ = false;
   std::unordered_map<std::string, TermId, TransparentStringHash,
                      std::equal_to<>>
       term_dict_;
@@ -330,6 +404,10 @@ class SearchIndex {
   std::vector<uint32_t> term_post_tf_;
   std::unordered_map<entity::EntityId, uint32_t> entity_slot_;
   std::vector<double> entity_eirf_;
+  /// Unpruned posting-list length per slot. `eirf` is a function of it,
+  /// but serving-only indexes must also answer `EntityResourceFrequency`
+  /// exactly, and the pruned arena segment below under-counts.
+  std::vector<uint32_t> entity_rf_;
   std::vector<size_t> entity_offsets_;
   std::vector<DocId> entity_post_doc_;
   std::vector<uint32_t> entity_post_ef_;

@@ -1,0 +1,649 @@
+#include "io/snapshot.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string_view>
+#include <type_traits>
+
+namespace crowdex::io {
+
+namespace {
+
+// Section ids of format version 1. The reader ignores unknown ids so a
+// later minor revision may append sections without breaking old readers;
+// removing or reshaping one of these requires a format version bump.
+enum SectionId : uint32_t {
+  kMeta = 1,
+  kDocs = 2,
+  kTermDict = 3,
+  kTermArena = 4,
+  kEntityDict = 5,
+  kEntityArena = 6,
+  kAssociations = 7,
+};
+constexpr uint32_t kRequiredSections[] = {
+    kMeta, kDocs, kTermDict, kTermArena, kEntityDict, kEntityArena,
+    kAssociations};
+
+constexpr size_t kHeaderBytes = 16;         // magic, version, count, reserved
+constexpr size_t kTableEntryBytes = 24;     // id, crc, offset, size
+constexpr size_t kSectionAlignment = 64;
+constexpr uint32_t kMaxSections = 1024;
+
+template <typename T>
+void EncodeLe(T v, char* out) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+template <typename T>
+T DecodeLe(const char* in) {
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<unsigned char>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+uint32_t Crc32(std::string_view bytes) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char b : bytes) {
+    crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// True when raw element runs can be memcpy'd as their on-disk encoding.
+template <typename T>
+constexpr bool LeMemcpyable() {
+  return std::endian::native == std::endian::little && std::is_integral_v<T>;
+}
+
+/// One section payload under construction.
+class SectionBuf {
+ public:
+  explicit SectionBuf(uint32_t id) : id_(id) {}
+
+  void PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutScalar(v); }
+  void PutU64(uint64_t v) { PutScalar(v); }
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutScalar(bits);
+  }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    bytes_.append(s.data(), s.size());
+  }
+  void PutU32Array(const uint32_t* p, size_t n) { PutArray(p, n); }
+  void PutU64Array(const uint64_t* p, size_t n) { PutArray(p, n); }
+  void PutSizeArray(const size_t* p, size_t n) {
+    if constexpr (sizeof(size_t) == sizeof(uint64_t)) {
+      PutArray(reinterpret_cast<const uint64_t*>(p), n);
+    } else {
+      for (size_t i = 0; i < n; ++i) PutU64(p[i]);
+    }
+  }
+  void PutDoubleArray(const double* p, size_t n) {
+    if constexpr (std::endian::native == std::endian::little) {
+      bytes_.append(reinterpret_cast<const char*>(p), n * sizeof(double));
+    } else {
+      for (size_t i = 0; i < n; ++i) PutDouble(p[i]);
+    }
+  }
+
+  uint32_t id() const { return id_; }
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  template <typename T>
+  void PutScalar(T v) {
+    char buf[sizeof(T)];
+    EncodeLe(v, buf);
+    bytes_.append(buf, sizeof(buf));
+  }
+  template <typename T>
+  void PutArray(const T* p, size_t n) {
+    if constexpr (LeMemcpyable<T>()) {
+      bytes_.append(reinterpret_cast<const char*>(p), n * sizeof(T));
+    } else {
+      for (size_t i = 0; i < n; ++i) PutScalar(p[i]);
+    }
+  }
+
+  uint32_t id_;
+  std::string bytes_;
+};
+
+/// Bounds-checked cursor over one verified section payload. Every getter
+/// reports overruns as `kDataLoss` — past the CRC, a short field means the
+/// writer and reader disagree about the format, i.e. corruption.
+class SectionCursor {
+ public:
+  explicit SectionCursor(std::string_view bytes) : bytes_(bytes) {}
+
+  Status GetU8(uint8_t* out) {
+    CROWDEX_RETURN_IF_ERROR(Need(1));
+    *out = static_cast<uint8_t>(bytes_[pos_]);
+    ++pos_;
+    return Status::Ok();
+  }
+  Status GetU32(uint32_t* out) { return GetScalar(out); }
+  Status GetU64(uint64_t* out) { return GetScalar(out); }
+  Status GetDouble(double* out) {
+    uint64_t bits = 0;
+    CROWDEX_RETURN_IF_ERROR(GetScalar(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::Ok();
+  }
+  Status GetString(std::string* out) {
+    uint32_t len = 0;
+    CROWDEX_RETURN_IF_ERROR(GetU32(&len));
+    CROWDEX_RETURN_IF_ERROR(Need(len));
+    out->assign(bytes_.data() + pos_, len);
+    pos_ += len;
+    return Status::Ok();
+  }
+  /// Reads a length previously written as U64 and guarantees that `count`
+  /// elements of `elem_size` bytes still fit in the section — the
+  /// corruption guard that keeps a flipped length byte from turning into
+  /// a multi-gigabyte allocation.
+  Status GetCount(size_t elem_size, uint64_t* count) {
+    CROWDEX_RETURN_IF_ERROR(GetU64(count));
+    if (elem_size != 0 && *count > Remaining() / elem_size) {
+      return Status::DataLoss("snapshot: array length exceeds section size");
+    }
+    return Status::Ok();
+  }
+  Status GetU32Array(size_t n, std::vector<uint32_t>* out) {
+    return GetArray(n, out);
+  }
+  Status GetU64Array(size_t n, std::vector<uint64_t>* out) {
+    return GetArray(n, out);
+  }
+  Status GetSizeArray(size_t n, std::vector<size_t>* out) {
+    if constexpr (sizeof(size_t) == sizeof(uint64_t)) {
+      return GetArray(n, out);
+    } else {
+      out->resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t v = 0;
+        CROWDEX_RETURN_IF_ERROR(GetU64(&v));
+        if (v > std::numeric_limits<size_t>::max()) {
+          return Status::DataLoss("snapshot: offset exceeds address space");
+        }
+        (*out)[i] = static_cast<size_t>(v);
+      }
+      return Status::Ok();
+    }
+  }
+  Status GetDoubleArray(size_t n, std::vector<double>* out) {
+    CROWDEX_RETURN_IF_ERROR(Need(n * sizeof(double)));
+    out->resize(n);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out->data(), bytes_.data() + pos_, n * sizeof(double));
+      pos_ += n * sizeof(double);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        CROWDEX_RETURN_IF_ERROR(GetDouble(&(*out)[i]));
+      }
+    }
+    return Status::Ok();
+  }
+  /// The payload must be fully consumed — trailing bytes mean the section
+  /// size in the table disagrees with the content.
+  Status ExpectEnd() const {
+    if (pos_ != bytes_.size()) {
+      return Status::DataLoss("snapshot: trailing bytes in section");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  size_t Remaining() const { return bytes_.size() - pos_; }
+  Status Need(size_t n) {
+    if (n > Remaining()) {
+      return Status::DataLoss("snapshot: section truncated");
+    }
+    return Status::Ok();
+  }
+  template <typename T>
+  Status GetScalar(T* out) {
+    CROWDEX_RETURN_IF_ERROR(Need(sizeof(T)));
+    *out = DecodeLe<T>(bytes_.data() + pos_);
+    pos_ += sizeof(T);
+    return Status::Ok();
+  }
+  template <typename T>
+  Status GetArray(size_t n, std::vector<T>* out) {
+    CROWDEX_RETURN_IF_ERROR(Need(n * sizeof(T)));
+    out->resize(n);
+    if constexpr (LeMemcpyable<T>()) {
+      std::memcpy(out->data(), bytes_.data() + pos_, n * sizeof(T));
+      pos_ += n * sizeof(T);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        CROWDEX_RETURN_IF_ERROR(GetScalar(&(*out)[i]));
+      }
+    }
+    return Status::Ok();
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+SectionBuf BuildMetaSection(const ServingSnapshotView& view) {
+  SectionBuf s(kMeta);
+  s.PutU64(view.epoch);
+  s.PutU64(view.fingerprint);
+  s.PutU32(view.num_candidates);
+  const SnapshotConfig& c = view.config;
+  s.PutDouble(c.alpha);
+  s.PutU32(static_cast<uint32_t>(c.window_size));
+  s.PutDouble(c.window_fraction);
+  s.PutU32(static_cast<uint32_t>(c.max_distance));
+  s.PutU8(c.include_friends ? 1 : 0);
+  s.PutU8(c.compiled_queries ? 1 : 0);
+  s.PutU32(c.platforms);
+  s.PutU32(c.aggregation);
+  s.PutDouble(c.distance_weight_max);
+  s.PutDouble(c.distance_weight_min);
+  s.PutU32(static_cast<uint32_t>(c.query_cache_capacity));
+  return s;
+}
+
+Status ParseMetaSection(std::string_view bytes, ServingSnapshotData* out) {
+  SectionCursor c(bytes);
+  CROWDEX_RETURN_IF_ERROR(c.GetU64(&out->epoch));
+  CROWDEX_RETURN_IF_ERROR(c.GetU64(&out->fingerprint));
+  CROWDEX_RETURN_IF_ERROR(c.GetU32(&out->num_candidates));
+  SnapshotConfig& cfg = out->config;
+  uint32_t u32 = 0;
+  uint8_t u8 = 0;
+  CROWDEX_RETURN_IF_ERROR(c.GetDouble(&cfg.alpha));
+  CROWDEX_RETURN_IF_ERROR(c.GetU32(&u32));
+  cfg.window_size = static_cast<int32_t>(u32);
+  CROWDEX_RETURN_IF_ERROR(c.GetDouble(&cfg.window_fraction));
+  CROWDEX_RETURN_IF_ERROR(c.GetU32(&u32));
+  cfg.max_distance = static_cast<int32_t>(u32);
+  CROWDEX_RETURN_IF_ERROR(c.GetU8(&u8));
+  cfg.include_friends = u8 != 0;
+  CROWDEX_RETURN_IF_ERROR(c.GetU8(&u8));
+  cfg.compiled_queries = u8 != 0;
+  CROWDEX_RETURN_IF_ERROR(c.GetU32(&cfg.platforms));
+  CROWDEX_RETURN_IF_ERROR(c.GetU32(&cfg.aggregation));
+  CROWDEX_RETURN_IF_ERROR(c.GetDouble(&cfg.distance_weight_max));
+  CROWDEX_RETURN_IF_ERROR(c.GetDouble(&cfg.distance_weight_min));
+  CROWDEX_RETURN_IF_ERROR(c.GetU32(&u32));
+  cfg.query_cache_capacity = static_cast<int32_t>(u32);
+  return c.ExpectEnd();
+}
+
+}  // namespace
+
+Status SaveServingSnapshot(const ServingSnapshotView& view,
+                           const std::string& path) {
+  const index::FrozenIndexView& idx = view.index;
+  if (idx.external_ids == nullptr || view.assoc_offsets == nullptr ||
+      view.assoc_candidate == nullptr || view.assoc_distance == nullptr ||
+      view.reachable_counts == nullptr) {
+    return Status::InvalidArgument("snapshot save: incomplete view");
+  }
+
+  std::vector<SectionBuf> sections;
+  sections.reserve(7);
+  sections.push_back(BuildMetaSection(view));
+
+  {
+    SectionBuf s(kDocs);
+    s.PutU64(idx.external_ids->size());
+    s.PutU64Array(idx.external_ids->data(), idx.external_ids->size());
+    sections.push_back(std::move(s));
+  }
+  {
+    SectionBuf s(kTermDict);
+    s.PutU64(idx.terms.size());
+    s.PutDoubleArray(idx.term_irf->data(), idx.term_irf->size());
+    s.PutSizeArray(idx.term_offsets->data(), idx.term_offsets->size());
+    for (std::string_view term : idx.terms) s.PutString(term);
+    sections.push_back(std::move(s));
+  }
+  {
+    SectionBuf s(kTermArena);
+    s.PutU64(idx.term_post_doc->size());
+    s.PutU32Array(idx.term_post_doc->data(), idx.term_post_doc->size());
+    s.PutU32Array(idx.term_post_tf->data(), idx.term_post_tf->size());
+    sections.push_back(std::move(s));
+  }
+  {
+    SectionBuf s(kEntityDict);
+    s.PutU64(idx.entities.size());
+    s.PutU32Array(idx.entities.data(), idx.entities.size());
+    s.PutDoubleArray(idx.entity_eirf->data(), idx.entity_eirf->size());
+    s.PutU32Array(idx.entity_rf->data(), idx.entity_rf->size());
+    s.PutSizeArray(idx.entity_offsets->data(), idx.entity_offsets->size());
+    sections.push_back(std::move(s));
+  }
+  {
+    SectionBuf s(kEntityArena);
+    s.PutU64(idx.entity_post_doc->size());
+    s.PutU32Array(idx.entity_post_doc->data(), idx.entity_post_doc->size());
+    s.PutU32Array(idx.entity_post_ef->data(), idx.entity_post_ef->size());
+    s.PutDoubleArray(idx.entity_post_we->data(), idx.entity_post_we->size());
+    sections.push_back(std::move(s));
+  }
+  {
+    SectionBuf s(kAssociations);
+    s.PutU64(view.assoc_offsets->size());
+    s.PutU64Array(view.assoc_offsets->data(), view.assoc_offsets->size());
+    s.PutU64(view.assoc_candidate->size());
+    s.PutU32Array(view.assoc_candidate->data(), view.assoc_candidate->size());
+    s.PutU32Array(
+        reinterpret_cast<const uint32_t*>(view.assoc_distance->data()),
+        view.assoc_distance->size());
+    s.PutU64(view.reachable_counts->size());
+    s.PutU64Array(view.reachable_counts->data(),
+                  view.reachable_counts->size());
+    sections.push_back(std::move(s));
+  }
+
+  // Lay the sections out 64-byte aligned behind the header + table.
+  const size_t table_bytes = kHeaderBytes + kTableEntryBytes * sections.size();
+  std::vector<uint64_t> offsets(sections.size());
+  uint64_t cursor = table_bytes;
+  for (size_t i = 0; i < sections.size(); ++i) {
+    cursor = (cursor + kSectionAlignment - 1) / kSectionAlignment *
+             kSectionAlignment;
+    offsets[i] = cursor;
+    cursor += sections[i].bytes().size();
+  }
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::Internal("snapshot save: cannot open " + tmp_path);
+    }
+    char buf[8];
+    auto put_u32 = [&](uint32_t v) {
+      EncodeLe(v, buf);
+      out.write(buf, 4);
+    };
+    auto put_u64 = [&](uint64_t v) {
+      EncodeLe(v, buf);
+      out.write(buf, 8);
+    };
+    put_u32(kSnapshotMagic);
+    put_u32(kSnapshotFormatVersion);
+    put_u32(static_cast<uint32_t>(sections.size()));
+    put_u32(0);  // reserved
+    for (size_t i = 0; i < sections.size(); ++i) {
+      put_u32(sections[i].id());
+      put_u32(Crc32(sections[i].bytes()));
+      put_u64(offsets[i]);
+      put_u64(sections[i].bytes().size());
+    }
+    uint64_t written = table_bytes;
+    for (size_t i = 0; i < sections.size(); ++i) {
+      for (; written < offsets[i]; ++written) out.put('\0');
+      const std::string& bytes = sections[i].bytes();
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      written += bytes.size();
+    }
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::Internal("snapshot save: write failed for " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("snapshot save: cannot publish " + path);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+struct SectionRecord {
+  uint32_t id = 0;
+  uint32_t crc = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+};
+
+Status ParseDocsSection(std::string_view bytes, ServingSnapshotData* out) {
+  SectionCursor c(bytes);
+  uint64_t n = 0;
+  CROWDEX_RETURN_IF_ERROR(c.GetCount(sizeof(uint64_t), &n));
+  CROWDEX_RETURN_IF_ERROR(c.GetU64Array(n, &out->index.external_ids));
+  return c.ExpectEnd();
+}
+
+Status ParseTermDictSection(std::string_view bytes, ServingSnapshotData* out) {
+  SectionCursor c(bytes);
+  uint64_t n = 0;
+  CROWDEX_RETURN_IF_ERROR(c.GetCount(sizeof(double), &n));
+  CROWDEX_RETURN_IF_ERROR(c.GetDoubleArray(n, &out->index.term_irf));
+  CROWDEX_RETURN_IF_ERROR(c.GetSizeArray(n + 1, &out->index.term_offsets));
+  out->index.terms.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    CROWDEX_RETURN_IF_ERROR(c.GetString(&out->index.terms[i]));
+  }
+  return c.ExpectEnd();
+}
+
+Status ParseTermArenaSection(std::string_view bytes,
+                             ServingSnapshotData* out) {
+  SectionCursor c(bytes);
+  uint64_t n = 0;
+  CROWDEX_RETURN_IF_ERROR(c.GetCount(2 * sizeof(uint32_t), &n));
+  CROWDEX_RETURN_IF_ERROR(c.GetU32Array(n, &out->index.term_post_doc));
+  CROWDEX_RETURN_IF_ERROR(c.GetU32Array(n, &out->index.term_post_tf));
+  return c.ExpectEnd();
+}
+
+Status ParseEntityDictSection(std::string_view bytes,
+                              ServingSnapshotData* out) {
+  SectionCursor c(bytes);
+  uint64_t n = 0;
+  CROWDEX_RETURN_IF_ERROR(c.GetCount(2 * sizeof(uint32_t) + sizeof(double),
+                                     &n));
+  CROWDEX_RETURN_IF_ERROR(c.GetU32Array(n, &out->index.entities));
+  CROWDEX_RETURN_IF_ERROR(c.GetDoubleArray(n, &out->index.entity_eirf));
+  CROWDEX_RETURN_IF_ERROR(c.GetU32Array(n, &out->index.entity_rf));
+  CROWDEX_RETURN_IF_ERROR(c.GetSizeArray(n + 1, &out->index.entity_offsets));
+  return c.ExpectEnd();
+}
+
+Status ParseEntityArenaSection(std::string_view bytes,
+                               ServingSnapshotData* out) {
+  SectionCursor c(bytes);
+  uint64_t n = 0;
+  CROWDEX_RETURN_IF_ERROR(
+      c.GetCount(2 * sizeof(uint32_t) + sizeof(double), &n));
+  CROWDEX_RETURN_IF_ERROR(c.GetU32Array(n, &out->index.entity_post_doc));
+  CROWDEX_RETURN_IF_ERROR(c.GetU32Array(n, &out->index.entity_post_ef));
+  CROWDEX_RETURN_IF_ERROR(c.GetDoubleArray(n, &out->index.entity_post_we));
+  return c.ExpectEnd();
+}
+
+Status ParseAssociationsSection(std::string_view bytes,
+                                ServingSnapshotData* out) {
+  SectionCursor c(bytes);
+  uint64_t n = 0;
+  CROWDEX_RETURN_IF_ERROR(c.GetCount(sizeof(uint64_t), &n));
+  CROWDEX_RETURN_IF_ERROR(c.GetU64Array(n, &out->assoc_offsets));
+  CROWDEX_RETURN_IF_ERROR(c.GetCount(2 * sizeof(uint32_t), &n));
+  CROWDEX_RETURN_IF_ERROR(c.GetU32Array(n, &out->assoc_candidate));
+  std::vector<uint32_t> distances;
+  CROWDEX_RETURN_IF_ERROR(c.GetU32Array(n, &distances));
+  out->assoc_distance.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out->assoc_distance[i] = static_cast<int32_t>(distances[i]);
+  }
+  CROWDEX_RETURN_IF_ERROR(c.GetCount(sizeof(uint64_t), &n));
+  CROWDEX_RETURN_IF_ERROR(c.GetU64Array(n, &out->reachable_counts));
+  return c.ExpectEnd();
+}
+
+/// Cross-section consistency of the association tables: CSR shape over the
+/// doc table, candidate / distance ranges against the meta section. The
+/// frozen-index arrays get their own validation in
+/// `SearchIndex::FromFrozen`.
+Status ValidateAssociations(const ServingSnapshotData& data) {
+  const size_t num_docs = data.index.external_ids.size();
+  if (data.assoc_offsets.size() != num_docs + 1 ||
+      data.assoc_offsets.front() != 0 ||
+      data.assoc_offsets.back() != data.assoc_candidate.size()) {
+    return Status::DataLoss(
+        "snapshot: association offsets do not span the doc table");
+  }
+  for (size_t i = 0; i + 1 < data.assoc_offsets.size(); ++i) {
+    if (data.assoc_offsets[i] > data.assoc_offsets[i + 1]) {
+      return Status::DataLoss("snapshot: association offsets not monotone");
+    }
+  }
+  for (size_t i = 0; i < data.assoc_candidate.size(); ++i) {
+    if (data.assoc_candidate[i] >= data.num_candidates) {
+      return Status::DataLoss("snapshot: association candidate out of range");
+    }
+    if (data.assoc_distance[i] < 0 || data.assoc_distance[i] > 2) {
+      return Status::DataLoss("snapshot: association distance out of range");
+    }
+  }
+  if (data.reachable_counts.size() != data.num_candidates) {
+    return Status::DataLoss(
+        "snapshot: reachable-count table size disagrees with meta");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ServingSnapshotData> LoadServingSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("snapshot not found: " + path);
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
+
+  char header[kHeaderBytes];
+  in.read(header, sizeof(header));
+  if (static_cast<size_t>(in.gcount()) != sizeof(header)) {
+    return Status::DataLoss("snapshot: truncated header");
+  }
+  if (DecodeLe<uint32_t>(header) != kSnapshotMagic) {
+    return Status::InvalidArgument("not a crowdex snapshot: " + path);
+  }
+  const uint32_t version = DecodeLe<uint32_t>(header + 4);
+  if (version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot format version " + std::to_string(version) +
+        " (expected " + std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  const uint32_t section_count = DecodeLe<uint32_t>(header + 8);
+  if (section_count > kMaxSections) {
+    return Status::DataLoss("snapshot: implausible section count");
+  }
+
+  std::vector<SectionRecord> table(section_count);
+  for (SectionRecord& rec : table) {
+    char entry[kTableEntryBytes];
+    in.read(entry, sizeof(entry));
+    if (static_cast<size_t>(in.gcount()) != sizeof(entry)) {
+      return Status::DataLoss("snapshot: truncated section table");
+    }
+    rec.id = DecodeLe<uint32_t>(entry);
+    rec.crc = DecodeLe<uint32_t>(entry + 4);
+    rec.offset = DecodeLe<uint64_t>(entry + 8);
+    rec.size = DecodeLe<uint64_t>(entry + 16);
+    if (rec.offset > file_size || rec.size > file_size - rec.offset) {
+      return Status::DataLoss("snapshot: section extends past end of file");
+    }
+  }
+
+  ServingSnapshotData data;
+  for (uint32_t required : kRequiredSections) {
+    const SectionRecord* found = nullptr;
+    for (const SectionRecord& rec : table) {
+      if (rec.id != required) continue;
+      if (found != nullptr) {
+        return Status::DataLoss("snapshot: duplicate section " +
+                                std::to_string(required));
+      }
+      found = &rec;
+    }
+    if (found == nullptr) {
+      return Status::DataLoss("snapshot: missing section " +
+                              std::to_string(required));
+    }
+    std::string payload(found->size, '\0');
+    in.seekg(static_cast<std::streamoff>(found->offset));
+    in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (static_cast<uint64_t>(in.gcount()) != found->size) {
+      return Status::DataLoss("snapshot: truncated section " +
+                              std::to_string(required));
+    }
+    if (Crc32(payload) != found->crc) {
+      return Status::DataLoss("snapshot: checksum mismatch in section " +
+                              std::to_string(required));
+    }
+    Status parsed;
+    switch (required) {
+      case kMeta:
+        parsed = ParseMetaSection(payload, &data);
+        break;
+      case kDocs:
+        parsed = ParseDocsSection(payload, &data);
+        break;
+      case kTermDict:
+        parsed = ParseTermDictSection(payload, &data);
+        break;
+      case kTermArena:
+        parsed = ParseTermArenaSection(payload, &data);
+        break;
+      case kEntityDict:
+        parsed = ParseEntityDictSection(payload, &data);
+        break;
+      case kEntityArena:
+        parsed = ParseEntityArenaSection(payload, &data);
+        break;
+      case kAssociations:
+        parsed = ParseAssociationsSection(payload, &data);
+        break;
+      default:
+        parsed = Status::Internal("unreachable");
+    }
+    CROWDEX_RETURN_IF_ERROR(parsed);
+  }
+  CROWDEX_RETURN_IF_ERROR(ValidateAssociations(data));
+  return data;
+}
+
+}  // namespace crowdex::io

@@ -1,0 +1,100 @@
+#ifndef CROWDEX_IO_SNAPSHOT_H_
+#define CROWDEX_IO_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/search_index.h"
+
+namespace crowdex::io {
+
+/// On-disk serving snapshot format (version 1).
+///
+/// A snapshot persists everything an `ExpertFinder` needs to serve queries
+/// — the frozen index (dictionaries, irf/eirf tables, SoA posting arenas)
+/// plus the doc→candidate association tables — so a process can cold-start
+/// by loading one file instead of re-running crawl→analyze→build→freeze.
+///
+/// Layout: a fixed header (magic, format version, section count) followed
+/// by a section table (id, CRC-32, byte offset, byte size per section) and
+/// the section payloads, each starting on a 64-byte boundary. Every
+/// section is independently checksummed; bulk arrays are stored as raw
+/// little-endian element runs so loading is a handful of block reads
+/// straight into the destination arrays — no per-posting decode step.
+/// Snapshot bytes are a pure function of the serving state (and the
+/// serving state is a pure function of the corpus), so saves are
+/// byte-stable across thread counts and repeat runs.
+///
+/// Error contract of `LoadServingSnapshot`:
+///   - missing file                          → `kNotFound`
+///   - wrong magic or format version         → `kInvalidArgument`
+///   - truncation, checksum mismatch, or any
+///     structural inconsistency              → `kDataLoss`
+/// Failures never return partially-loaded state.
+inline constexpr uint32_t kSnapshotMagic = 0x50535843;  // "CXSP" on disk
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Plain-scalar mirror of `core::ExpertFinderConfig`, kept in `io` so the
+/// snapshot codec does not depend on the core layer. The core layer
+/// converts in both directions (see `ExpertFinder::SaveSnapshot`).
+struct SnapshotConfig {
+  double alpha = 0.0;
+  int32_t window_size = 0;
+  double window_fraction = 0.0;
+  int32_t max_distance = 0;
+  bool include_friends = false;
+  uint32_t platforms = 0;
+  uint32_t aggregation = 0;
+  double distance_weight_max = 0.0;
+  double distance_weight_min = 0.0;
+  bool compiled_queries = true;
+  int32_t query_cache_capacity = 0;
+};
+
+/// Borrowed view of one serving state, assembled by the saver. The
+/// association tables are CSR over doc ids: doc `d`'s associations are
+/// `(assoc_candidate[i], assoc_distance[i])` for `i` in
+/// `[assoc_offsets[d], assoc_offsets[d+1])`.
+struct ServingSnapshotView {
+  uint64_t epoch = 0;
+  /// Opaque caller-chosen corpus/configuration digest; the loader rejects
+  /// snapshots whose fingerprint does not match its expectation.
+  uint64_t fingerprint = 0;
+  uint32_t num_candidates = 0;
+  SnapshotConfig config;
+  index::FrozenIndexView index;
+  const std::vector<uint64_t>* assoc_offsets = nullptr;
+  const std::vector<uint32_t>* assoc_candidate = nullptr;
+  const std::vector<int32_t>* assoc_distance = nullptr;
+  const std::vector<uint64_t>* reachable_counts = nullptr;
+};
+
+/// Owned form produced by the loader; mirrors `ServingSnapshotView`.
+struct ServingSnapshotData {
+  uint64_t epoch = 0;
+  uint64_t fingerprint = 0;
+  uint32_t num_candidates = 0;
+  SnapshotConfig config;
+  index::FrozenIndexData index;
+  std::vector<uint64_t> assoc_offsets;
+  std::vector<uint32_t> assoc_candidate;
+  std::vector<int32_t> assoc_distance;
+  std::vector<uint64_t> reachable_counts;
+};
+
+/// Serializes `view` to `path`. The file is written to `path + ".tmp"` and
+/// published with an atomic rename, so a concurrent reader (or a crash)
+/// never observes a half-written snapshot at `path`.
+Status SaveServingSnapshot(const ServingSnapshotView& view,
+                           const std::string& path);
+
+/// Reads and verifies a snapshot written by `SaveServingSnapshot`. See the
+/// error contract above; on success every section passed its CRC and the
+/// cheap structural checks (array sizes, CSR shape, id ranges).
+Result<ServingSnapshotData> LoadServingSnapshot(const std::string& path);
+
+}  // namespace crowdex::io
+
+#endif  // CROWDEX_IO_SNAPSHOT_H_

@@ -142,7 +142,7 @@ TEST_F(CompiledRankTest, RankBatchMatchesSequentialAtAnyThreadCount) {
   std::vector<RankedExperts> inline_batch = finder.RankBatch(F().world.queries);
   common::ThreadPool pool(4);
   std::vector<RankedExperts> pooled_batch =
-      finder.RankBatch(F().world.queries, &pool);
+      finder.RankBatch(F().world.queries, RuntimeContext{&pool, nullptr});
 
   ASSERT_EQ(inline_batch.size(), want.size());
   ASSERT_EQ(pooled_batch.size(), want.size());

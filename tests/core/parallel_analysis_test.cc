@@ -124,7 +124,7 @@ TEST_F(ParallelAnalysisTest, RankingsMatchAcrossThreadCountsForAllQueries) {
   ExpertFinder f_seq =
       ExpertFinder::Create(&F().sequential, ExpertFinderConfig{}).value();
   ExpertFinder f_par = ExpertFinder::Create(&F().parallel, ExpertFinderConfig{},
-                                            nullptr, &pool)
+                                            nullptr, RuntimeContext{&pool, nullptr})
                            .value();
   for (const auto& q : F().world.queries) {
     RankedExperts a = f_seq.Rank(q);

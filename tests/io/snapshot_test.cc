@@ -1,0 +1,303 @@
+#include "io/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "index/search_index.h"
+
+namespace crowdex::io {
+namespace {
+
+using index::AnalyzedQuery;
+using index::DocEntity;
+using index::IndexableDocument;
+using index::ScoredDoc;
+using index::SearchIndex;
+
+IndexableDocument Doc(uint64_t id, std::vector<std::string> terms,
+                      std::vector<DocEntity> entities = {}) {
+  IndexableDocument d;
+  d.external_id = id;
+  d.terms = std::move(terms);
+  d.entities = std::move(entities);
+  return d;
+}
+
+/// A small frozen index with term and entity postings, including an entity
+/// posting that prunes (dscore 0) so the pruned-arena invariants are
+/// exercised, plus hand-built CSR association tables over 3 candidates.
+struct World {
+  SearchIndex index;
+  std::vector<uint64_t> assoc_offsets;
+  std::vector<uint32_t> assoc_candidate;
+  std::vector<int32_t> assoc_distance;
+  std::vector<uint64_t> reachable_counts;
+
+  World() {
+    index.Add(Doc(100, {"swim", "swim", "pool"}, {{7, 2, 0.8}}));
+    index.Add(Doc(200, {"pool", "race"}, {{7, 1, 0.4}, {9, 3, 0.0}}));
+    index.Add(Doc(300, {"race"}, {{9, 1, 0.9}}));
+    index.Add(Doc(400, {"swim", "race", "gym"}));
+    index.Freeze();
+    // Doc 0 -> candidates 0 (d=0) and 2 (d=2); doc 1 -> none;
+    // doc 2 -> candidate 1 (d=1); doc 3 -> candidate 0 (d=1).
+    assoc_offsets = {0, 2, 2, 3, 4};
+    assoc_candidate = {0, 2, 1, 0};
+    assoc_distance = {0, 2, 1, 1};
+    reachable_counts = {2, 1, 1};
+  }
+
+  ServingSnapshotView View() const {
+    ServingSnapshotView view;
+    view.epoch = 42;
+    view.fingerprint = 0xFEEDFACEu;
+    view.num_candidates = 3;
+    view.config.alpha = 0.6;
+    view.config.window_size = 100;
+    view.config.max_distance = 2;
+    view.config.platforms = 0xF;
+    view.config.distance_weight_max = 1.0;
+    view.config.distance_weight_min = 0.5;
+    view.config.query_cache_capacity = 256;
+    view.index = index.ExportFrozen();
+    view.assoc_offsets = &assoc_offsets;
+    view.assoc_candidate = &assoc_candidate;
+    view.assoc_distance = &assoc_distance;
+    view.reachable_counts = &reachable_counts;
+    return view;
+  }
+};
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+AnalyzedQuery Query(std::vector<std::string> terms,
+                    std::vector<entity::EntityId> entities = {}) {
+  AnalyzedQuery q;
+  q.terms = std::move(terms);
+  q.entities = std::move(entities);
+  return q;
+}
+
+void ExpectSameResults(const std::vector<ScoredDoc>& a,
+                       const std::vector<ScoredDoc>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc);
+    EXPECT_EQ(a[i].external_id, b[i].external_id);
+    EXPECT_EQ(a[i].score, b[i].score);  // Bit-identical, not just near.
+  }
+}
+
+TEST(SnapshotTest, RoundTripPreservesEveryField) {
+  World w;
+  const std::string path = TempPath("roundtrip.snap");
+  ASSERT_TRUE(SaveServingSnapshot(w.View(), path).ok());
+
+  Result<ServingSnapshotData> loaded = LoadServingSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const ServingSnapshotData& data = loaded.value();
+  EXPECT_EQ(data.epoch, 42u);
+  EXPECT_EQ(data.fingerprint, 0xFEEDFACEu);
+  EXPECT_EQ(data.num_candidates, 3u);
+  EXPECT_EQ(data.config.alpha, 0.6);
+  EXPECT_EQ(data.config.window_size, 100);
+  EXPECT_EQ(data.config.platforms, 0xFu);
+  EXPECT_EQ(data.config.query_cache_capacity, 256);
+  EXPECT_EQ(data.assoc_offsets, w.assoc_offsets);
+  EXPECT_EQ(data.assoc_candidate, w.assoc_candidate);
+  EXPECT_EQ(data.assoc_distance, w.assoc_distance);
+  EXPECT_EQ(data.reachable_counts, w.reachable_counts);
+  EXPECT_EQ(data.index.external_ids,
+            (std::vector<uint64_t>{100, 200, 300, 400}));
+}
+
+TEST(SnapshotTest, RestoredIndexServesIdenticalSearches) {
+  World w;
+  const std::string path = TempPath("restore.snap");
+  ASSERT_TRUE(SaveServingSnapshot(w.View(), path).ok());
+  Result<ServingSnapshotData> loaded = LoadServingSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  Result<SearchIndex> restored =
+      SearchIndex::FromFrozen(std::move(loaded.value().index));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const SearchIndex& ri = restored.value();
+  EXPECT_TRUE(ri.serving_only());
+  EXPECT_EQ(ri.size(), w.index.size());
+  EXPECT_EQ(ri.vocabulary_size(), w.index.vocabulary_size());
+  EXPECT_EQ(ri.Irf("swim"), w.index.Irf("swim"));
+  EXPECT_EQ(ri.Eirf(7), w.index.Eirf(7));
+  EXPECT_EQ(ri.EntityResourceFrequency(9), w.index.EntityResourceFrequency(9));
+  EXPECT_EQ(ri.TermFrequency(0, "swim"), 2u);
+  for (double alpha : {0.0, 0.25, 0.6, 1.0}) {
+    ExpectSameResults(ri.Search(Query({"swim", "race"}, {7, 9}), alpha),
+                      w.index.Search(Query({"swim", "race"}, {7, 9}), alpha));
+  }
+}
+
+TEST(SnapshotTest, ServingOnlyIndexRejectsMutation) {
+  World w;
+  const std::string path = TempPath("mutate.snap");
+  ASSERT_TRUE(SaveServingSnapshot(w.View(), path).ok());
+  Result<ServingSnapshotData> loaded = LoadServingSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Result<SearchIndex> restored =
+      SearchIndex::FromFrozen(std::move(loaded.value().index));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  std::vector<std::string> terms = {"new"};
+  std::vector<DocEntity> entities;
+  std::vector<index::DocView> views = {{999, &terms, &entities}};
+  Status s = restored.value().BulkAdd(views);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(restored.value().size(), 4u);
+}
+
+TEST(SnapshotTest, SavesAreByteStable) {
+  World w;
+  const std::string a = TempPath("stable_a.snap");
+  const std::string b = TempPath("stable_b.snap");
+  ASSERT_TRUE(SaveServingSnapshot(w.View(), a).ok());
+  ASSERT_TRUE(SaveServingSnapshot(w.View(), b).ok());
+  const std::string bytes_a = ReadFile(a);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, ReadFile(b));
+}
+
+TEST(SnapshotTest, NoTempFileSurvivesSave) {
+  World w;
+  const std::string path = TempPath("atomic.snap");
+  ASSERT_TRUE(SaveServingSnapshot(w.View(), path).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  Result<ServingSnapshotData> r =
+      LoadServingSnapshot(TempPath("does_not_exist.snap"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, WrongMagicIsInvalidArgument) {
+  World w;
+  const std::string path = TempPath("magic.snap");
+  ASSERT_TRUE(SaveServingSnapshot(w.View(), path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[0] = 'X';
+  WriteFile(path, bytes);
+  Result<ServingSnapshotData> r = LoadServingSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, UnknownFormatVersionIsInvalidArgument) {
+  World w;
+  const std::string path = TempPath("version.snap");
+  ASSERT_TRUE(SaveServingSnapshot(w.View(), path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[4] = static_cast<char>(kSnapshotFormatVersion + 1);
+  WriteFile(path, bytes);
+  Result<ServingSnapshotData> r = LoadServingSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, TruncationIsDataLoss) {
+  World w;
+  const std::string path = TempPath("truncated.snap");
+  ASSERT_TRUE(SaveServingSnapshot(w.View(), path).ok());
+  const std::string bytes = ReadFile(path);
+  // Chop at several depths: inside the payloads, inside the section table,
+  // and inside the header.
+  for (size_t keep : {bytes.size() - 1, bytes.size() / 2, size_t{40},
+                      size_t{12}, size_t{0}}) {
+    WriteFile(path, bytes.substr(0, keep));
+    Result<ServingSnapshotData> r = LoadServingSnapshot(path);
+    ASSERT_FALSE(r.ok()) << "keep=" << keep;
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << "keep=" << keep;
+  }
+}
+
+uint64_t ReadLe(const std::string& bytes, size_t off, size_t width) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < width; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+TEST(SnapshotTest, FlippedPayloadBytesAreCaughtByChecksums) {
+  World w;
+  const std::string path = TempPath("flip.snap");
+  ASSERT_TRUE(SaveServingSnapshot(w.View(), path).ok());
+  const std::string bytes = ReadFile(path);
+  // Walk the section table and flip bytes inside every payload (the
+  // alignment padding between sections carries no data, so only payload
+  // bytes are CRC-covered). Each flip must surface as kDataLoss.
+  const size_t count = ReadLe(bytes, 8, 4);
+  ASSERT_EQ(count, 7u);
+  for (size_t s = 0; s < count; ++s) {
+    const size_t entry = 16 + 24 * s;
+    const size_t offset = ReadLe(bytes, entry + 8, 8);
+    const size_t size = ReadLe(bytes, entry + 16, 8);
+    ASSERT_GT(size, 0u);
+    for (size_t off : {offset, offset + size / 2, offset + size - 1}) {
+      std::string corrupt = bytes;
+      corrupt[off] = static_cast<char>(corrupt[off] ^ 0x40);
+      WriteFile(path, corrupt);
+      Result<ServingSnapshotData> r = LoadServingSnapshot(path);
+      ASSERT_FALSE(r.ok()) << "section " << s << " offset " << off;
+      EXPECT_EQ(r.status().code(), StatusCode::kDataLoss)
+          << "section " << s << " offset " << off << ": " << r.status();
+    }
+  }
+}
+
+TEST(SnapshotTest, FlippedTableChecksumIsCaught) {
+  World w;
+  const std::string path = TempPath("flipcrc.snap");
+  ASSERT_TRUE(SaveServingSnapshot(w.View(), path).ok());
+  std::string bytes = ReadFile(path);
+  // Byte 16+4 is the stored CRC of the first section.
+  bytes[20] = static_cast<char>(bytes[20] ^ 0x01);
+  WriteFile(path, bytes);
+  Result<ServingSnapshotData> r = LoadServingSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotTest, FailedLoadNeverReturnsPartialState) {
+  World w;
+  const std::string path = TempPath("partial.snap");
+  ASSERT_TRUE(SaveServingSnapshot(w.View(), path).ok());
+  std::string bytes = ReadFile(path);
+  // Corrupt the very last section's payload: everything before it parses
+  // cleanly, and the loader must still hand back nothing.
+  bytes[bytes.size() - 1] = static_cast<char>(bytes[bytes.size() - 1] ^ 0xFF);
+  WriteFile(path, bytes);
+  Result<ServingSnapshotData> r = LoadServingSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace crowdex::io

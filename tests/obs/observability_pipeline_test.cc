@@ -228,7 +228,7 @@ TEST_F(ObservabilityPipelineTest, RankingsMatchWithMetricsOnOrOff) {
       ExpertFinder::Create(&F().plain, ExpertFinderConfig{}).value();
   ExpertFinder instrumented =
       ExpertFinder::Create(&F().instrumented, ExpertFinderConfig{}, nullptr,
-                           &pool, &reg)
+                           RuntimeContext{&pool, &reg})
           .value();
   for (const auto& q : F().world.queries) {
     RankedExperts a = plain.Rank(q);
@@ -251,7 +251,7 @@ TEST_F(ObservabilityPipelineTest, ExportedJsonParsesAndNamesEveryStage) {
   obs::MetricsRegistry& reg = F().registry;
   ExpertFinder finder = ExpertFinder::Create(&F().instrumented,
                                              ExpertFinderConfig{}, nullptr,
-                                             &pool, &reg)
+                                             RuntimeContext{&pool, &reg})
                             .value();
   // Other tests may have ranked through the shared registry already (test
   // processes can host one test or the whole suite), so assert deltas.
