@@ -1,0 +1,274 @@
+// Scatter-gather serving benchmark: the evaluation query set served
+// through a ShardRouter at 1 / 4 / 16 shards under injected per-shard
+// fault rates of 0% to 50%, against the unsharded finder as ground truth.
+//
+// Two properties are gated (non-zero exit on violation), so the ctest
+// smoke run doubles as the sharded-serving acceptance test:
+//
+//   exactness  — at fault rate 0, the merged ranking at EVERY shard count
+//                must be bit-identical to the unsharded ranking for every
+//                query (the doc-partitioned merge is exact, not
+//                approximate);
+//   honesty    — under faults, every response that claims `complete` must
+//                also be bit-identical, and every degraded response must
+//                say so (non-empty `degraded_shards`, coverage < 1).
+//                A silent partial — complete=true with a divergent
+//                ranking, or a degraded response dressed as full — fails
+//                the run.
+//
+// Per-cell serving times, completeness/degradation/unavailability counts,
+// mean coverage, and the summed shard fault statistics (retries, breaker
+// sheds, deadline expiries) land in BENCH_shard.json. Latency numbers are
+// reported, never gated — fault injection runs on a simulated clock, and
+// wall-clock on a shared CI core is too noisy to assert.
+//
+// Environment knobs: CROWDEX_BENCH_SCALE (default 0.05), CROWDEX_THREADS
+// (fan-out pool, default max(4, hardware_concurrency)), CROWDEX_BENCH_JSON
+// (output path, default BENCH_shard.json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/analyzed_world.h"
+#include "core/corpus_index.h"
+#include "core/expert_finder.h"
+#include "core/shard_router.h"
+#include "synth/world.h"
+
+namespace {
+
+using namespace crowdex;
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+double MsSince(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool SameRanking(const core::RankedExperts& a, const core::RankedExperts& b) {
+  if (a.ranking.size() != b.ranking.size() ||
+      a.matched_resources != b.matched_resources ||
+      a.reachable_resources != b.reachable_resources ||
+      a.considered_resources != b.considered_resources) {
+    return false;
+  }
+  for (size_t i = 0; i < a.ranking.size(); ++i) {
+    if (a.ranking[i].candidate != b.ranking[i].candidate ||
+        a.ranking[i].score != b.ranking[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Cell {
+  int shards = 0;
+  double fault_rate = 0.0;
+  size_t complete = 0;
+  size_t degraded = 0;
+  size_t unavailable = 0;
+  double coverage_sum = 0.0;
+  double serve_ms = 0.0;
+  uint64_t calls = 0;
+  uint64_t failures = 0;
+  uint64_t retries = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t breaker_sheds = 0;
+  int breaker_trips = 0;
+};
+
+bool Run(const std::string& json_path) {
+  const double scale = EnvDouble("CROWDEX_BENCH_SCALE", 0.05);
+  const int threads =
+      EnvInt("CROWDEX_THREADS",
+             std::max(4, common::ThreadPool::HardwareThreads()));
+  const std::vector<int> shard_counts = {1, 4, 16};
+  const std::vector<double> fault_rates = {0.0, 0.10, 0.25, 0.50};
+
+  std::printf("crowdex shard sweep: scale=%.3f threads=%d\n", scale, threads);
+
+  synth::WorldConfig cfg;
+  cfg.scale = scale;
+  synth::SyntheticWorld world = synth::GenerateWorld(cfg);
+  core::AnalyzedWorld analyzed = core::AnalyzeWorld(&world);
+  core::ExpertFinder finder =
+      core::ExpertFinder::Create(&analyzed, core::ExpertFinderConfig{})
+          .value();
+  std::printf("corpus:    %zu docs, %zu queries\n",
+              finder.corpus().document_count(), world.queries.size());
+
+  // Ground truth once: the unsharded ranking of every query.
+  std::vector<core::RankedExperts> want;
+  want.reserve(world.queries.size());
+  for (const auto& q : world.queries) want.push_back(finder.Rank(q));
+
+  common::ThreadPool pool(threads);
+  std::vector<Cell> cells;
+  bool ok = true;
+
+  for (int shards : shard_counts) {
+    for (double rate : fault_rates) {
+      core::ShardRouterConfig rcfg;
+      rcfg.faults.transient_error_prob = rate;
+      rcfg.retry.max_attempts = 3;
+      rcfg.retry.backoff.base_ms = 1;
+      rcfg.retry.backoff.max_ms = 8;
+      Result<core::ShardRouter> router = core::ShardRouter::Partition(
+          finder, shards, rcfg, core::RuntimeContext{&pool, nullptr});
+      if (!router.ok()) {
+        std::fprintf(stderr, "FAIL: Partition(%d): %s\n", shards,
+                     router.status().ToString().c_str());
+        return false;
+      }
+
+      Cell cell;
+      cell.shards = shards;
+      cell.fault_rate = rate;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < world.queries.size(); ++i) {
+        core::RankRequest req;
+        req.text = world.queries[i].text;
+        Result<core::ShardedRankResult> r = router.value().Rank(req);
+        if (!r.ok()) {
+          if (r.status().code() != StatusCode::kUnavailable) {
+            std::fprintf(stderr,
+                         "FAIL: shards=%d rate=%.2f query %zu: unexpected "
+                         "error %s\n",
+                         shards, rate, i, r.status().ToString().c_str());
+            ok = false;
+          }
+          ++cell.unavailable;
+          continue;
+        }
+        const core::ShardedRankResult& v = r.value();
+        cell.coverage_sum += v.coverage;
+        if (v.complete) {
+          ++cell.complete;
+          // Honesty gate: a complete response IS the unsharded ranking.
+          if (!SameRanking(v.ranked, want[i])) {
+            std::fprintf(stderr,
+                         "FAIL: shards=%d rate=%.2f query %zu: complete "
+                         "response diverged from unsharded ranking\n",
+                         shards, rate, i);
+            ok = false;
+          }
+        } else {
+          ++cell.degraded;
+          // Honesty gate: a degraded response must say what is missing.
+          if (v.degraded_shards.empty() || v.coverage >= 1.0) {
+            std::fprintf(stderr,
+                         "FAIL: shards=%d rate=%.2f query %zu: degraded "
+                         "response with no degradation report\n",
+                         shards, rate, i);
+            ok = false;
+          }
+        }
+      }
+      cell.serve_ms = MsSince(t0);
+
+      // Exactness gate: with no faults injected every response is
+      // complete, at every shard count.
+      if (rate == 0.0 && cell.complete != world.queries.size()) {
+        std::fprintf(stderr,
+                     "FAIL: shards=%d rate=0: %zu/%zu responses complete "
+                     "(all must be)\n",
+                     shards, cell.complete, world.queries.size());
+        ok = false;
+      }
+
+      for (int s = 0; s < shards; ++s) {
+        const core::ShardStats stats = router.value().shard_stats(s);
+        cell.calls += stats.calls;
+        cell.failures += stats.failures;
+        cell.retries += stats.retries;
+        cell.deadline_exceeded += stats.deadline_exceeded;
+        cell.breaker_sheds += stats.breaker_shed;
+        cell.breaker_trips += stats.breaker.trips;
+      }
+
+      const size_t answered = cell.complete + cell.degraded;
+      std::printf(
+          "shards=%2d rate=%4.0f%%: %3zu complete, %3zu degraded, %3zu "
+          "unavailable, coverage %.3f, %6.1fms, %llu retries, %llu sheds\n",
+          shards, rate * 100.0, cell.complete, cell.degraded,
+          cell.unavailable,
+          answered > 0 ? cell.coverage_sum / static_cast<double>(answered)
+                       : 0.0,
+          cell.serve_ms, static_cast<unsigned long long>(cell.retries),
+          static_cast<unsigned long long>(cell.breaker_sheds));
+      cells.push_back(cell);
+    }
+  }
+
+  if (ok) {
+    std::printf("determinism: fault-free merged rankings bit-identical to "
+                "unsharded at every shard count; all %zu queries\n",
+                world.queries.size());
+  }
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", json_path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"crowdex-bench-shard-v1\",\n");
+  std::fprintf(out, "  \"scale\": %.6f,\n", scale);
+  std::fprintf(out, "  \"indexed_docs\": %zu,\n",
+               finder.corpus().document_count());
+  std::fprintf(out, "  \"queries\": %zu,\n", world.queries.size());
+  std::fprintf(out, "  \"threads\": %d,\n", threads);
+  std::fprintf(out, "  \"exact\": %s,\n", ok ? "true" : "false");
+  std::fprintf(out, "  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const size_t answered = c.complete + c.degraded;
+    std::fprintf(
+        out,
+        "    {\"shards\": %d, \"fault_rate\": %.2f, \"complete\": %zu, "
+        "\"degraded\": %zu, \"unavailable\": %zu, \"mean_coverage\": %.6f, "
+        "\"serve_ms\": %.2f, \"shard_calls\": %llu, \"failures\": %llu, "
+        "\"retries\": %llu, \"deadline_exceeded\": %llu, "
+        "\"breaker_sheds\": %llu, \"breaker_trips\": %d}%s\n",
+        c.shards, c.fault_rate, c.complete, c.degraded, c.unavailable,
+        answered > 0 ? c.coverage_sum / static_cast<double>(answered) : 0.0,
+        c.serve_ms, static_cast<unsigned long long>(c.calls),
+        static_cast<unsigned long long>(c.failures),
+        static_cast<unsigned long long>(c.retries),
+        static_cast<unsigned long long>(c.deadline_exceeded),
+        static_cast<unsigned long long>(c.breaker_sheds), c.breaker_trips,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  const char* json_env = std::getenv("CROWDEX_BENCH_JSON");
+  const std::string json_path =
+      (json_env != nullptr && *json_env != '\0') ? json_env
+                                                 : "BENCH_shard.json";
+  return Run(json_path) ? 0 : 1;
+}

@@ -66,6 +66,28 @@ struct BreakerTransitions {
                          const BreakerTransitions&) = default;
 };
 
+/// Read-only copy of a breaker's full state at one instant: the machine
+/// state plus every transition/shed statistic. One call under the owner's
+/// lock gives health reporters (shard routers, obs exporters) a coherent
+/// picture without poking individual accessors that could interleave with
+/// concurrent state changes.
+struct BreakerSnapshot {
+  BreakerState state = BreakerState::kClosed;
+  /// Consecutive failures counted in the closed state.
+  int consecutive_failures = 0;
+  /// End of the current cooldown (meaningful while `state` is open).
+  uint64_t open_until_ms = 0;
+  /// Times the breaker transitioned closed/half-open -> open.
+  int trips = 0;
+  /// Requests abandoned because the breaker was open.
+  size_t shed_count = 0;
+  /// Per-edge state-transition counts since construction.
+  BreakerTransitions transitions;
+
+  friend bool operator==(const BreakerSnapshot&,
+                         const BreakerSnapshot&) = default;
+};
+
 struct CircuitBreakerConfig {
   /// Consecutive failures (in closed state) that trip the breaker.
   int failure_threshold = 5;
@@ -110,6 +132,19 @@ class CircuitBreaker {
   size_t shed_count() const { return shed_count_; }
   /// Per-edge state-transition counts since construction.
   const BreakerTransitions& transitions() const { return transitions_; }
+
+  /// Coherent copy of the complete breaker state (state machine position,
+  /// transition counts, shed/trip statistics) for health reporting.
+  BreakerSnapshot StateSnapshot() const {
+    BreakerSnapshot snap;
+    snap.state = state_;
+    snap.consecutive_failures = consecutive_failures_;
+    snap.open_until_ms = open_until_ms_;
+    snap.trips = trips_;
+    snap.shed_count = shed_count_;
+    snap.transitions = transitions_;
+    return snap;
+  }
 
  private:
   CircuitBreakerConfig config_;

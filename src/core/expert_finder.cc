@@ -139,9 +139,10 @@ void ExpertFinder::BuildAssociations() {
   }
 }
 
-Result<RankedExperts> ExpertFinder::Rank(const RankRequest& request) const {
-  RankParams params{config_.alpha, config_.window_size,
-                    config_.window_fraction};
+Result<ExpertFinder::RankParams> ExpertFinder::ResolveParams(
+    const ExpertFinderConfig& config, const RankRequest& request) {
+  RankParams params{config.alpha, config.window_size,
+                    config.window_fraction};
   if (request.alpha.has_value()) {
     if (!(*request.alpha >= 0.0 && *request.alpha <= 1.0)) {
       return Status::InvalidArgument(
@@ -161,10 +162,22 @@ Result<RankedExperts> ExpertFinder::Rank(const RankRequest& request) const {
         "RankRequest: effective window_fraction must be in [0, 1] when no "
         "fixed window size is set");
   }
-  if (request.analyzed != nullptr) {
-    return RankWithParams(*request.analyzed, params);
-  }
-  return RankWithParams(extractor_->AnalyzeQuery(request.text), params);
+  return params;
+}
+
+const index::AnalyzedQuery* ExpertFinder::AnalyzeQueryText(
+    const RankRequest& request, index::AnalyzedQuery* storage) const {
+  if (request.analyzed != nullptr) return request.analyzed;
+  *storage = extractor_->AnalyzeQuery(request.text);
+  return storage;
+}
+
+Result<RankedExperts> ExpertFinder::Rank(const RankRequest& request) const {
+  Result<RankParams> params = ResolveParams(config_, request);
+  CROWDEX_RETURN_IF_ERROR(params.status());
+  index::AnalyzedQuery storage;
+  const index::AnalyzedQuery* query = AnalyzeQueryText(request, &storage);
+  return RankWithParams(*query, params.value());
 }
 
 RankedExperts ExpertFinder::Rank(const synth::ExpertiseNeed& query) const {
@@ -295,6 +308,49 @@ std::vector<index::ScoredDoc> ExpertFinder::WindowedResources(
   return reachable;
 }
 
+std::vector<ExpertScore> ExpertFinder::AggregateExperts(
+    const ExpertFinderConfig& config, size_t num_candidates,
+    const std::vector<FragmentEntry>& windowed) {
+  // Expert ranking (Eq. 3 by default): aggregate resource relevance over
+  // each candidate's social neighborhood. Entry order IS the summation
+  // order, so callers must present entries in (score desc, doc asc) order
+  // for bit-equivalence with single-index serving.
+  std::vector<double> scores(num_candidates, 0.0);
+  for (const FragmentEntry& entry : windowed) {
+    // Windowed docs are reachable by construction, so the per-doc
+    // association list is always present.
+    const std::vector<Association>& assoc = *entry.associations;
+    for (const Association& a : assoc) {
+      double wr = DistanceWeight(config, a.distance);
+      switch (config.aggregation) {
+        case AggregationMode::kWeightedSum:
+          scores[a.candidate] += entry.score * wr;
+          break;
+        case AggregationMode::kVotes:
+          scores[a.candidate] += wr;
+          break;
+        case AggregationMode::kMaxResource:
+          scores[a.candidate] =
+              std::max(scores[a.candidate], entry.score * wr);
+          break;
+      }
+    }
+  }
+
+  std::vector<ExpertScore> ranking;
+  for (size_t u = 0; u < num_candidates; ++u) {
+    if (scores[u] > 0.0) {
+      ranking.push_back({static_cast<int>(u), scores[u]});
+    }
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const ExpertScore& a, const ExpertScore& b) {
+              return a.score != b.score ? a.score > b.score
+                                        : a.candidate < b.candidate;
+            });
+  return ranking;
+}
+
 RankedExperts ExpertFinder::RankWithParams(const index::AnalyzedQuery& query,
                                            const RankParams& params) const {
   const auto start = std::chrono::steady_clock::now();
@@ -302,39 +358,12 @@ RankedExperts ExpertFinder::RankWithParams(const index::AnalyzedQuery& query,
   std::vector<index::ScoredDoc> windowed =
       WindowedResources(query, params, &out);
 
-  // Expert ranking (Eq. 3 by default): aggregate resource relevance over
-  // each candidate's social neighborhood.
-  const int num_candidates = static_cast<int>(num_candidates_);
-  std::vector<double> scores(num_candidates, 0.0);
+  std::vector<FragmentEntry> entries;
+  entries.reserve(windowed.size());
   for (const index::ScoredDoc& doc : windowed) {
-    // Windowed docs are reachable by construction, so the per-doc
-    // association list is always present.
-    const std::vector<Association>& assoc = *doc_associations_[doc.doc];
-    for (const Association& a : assoc) {
-      double wr = DistanceWeight(config_, a.distance);
-      switch (config_.aggregation) {
-        case AggregationMode::kWeightedSum:
-          scores[a.candidate] += doc.score * wr;
-          break;
-        case AggregationMode::kVotes:
-          scores[a.candidate] += wr;
-          break;
-        case AggregationMode::kMaxResource:
-          scores[a.candidate] =
-              std::max(scores[a.candidate], doc.score * wr);
-          break;
-      }
-    }
+    entries.push_back({doc.doc, doc.score, doc_associations_[doc.doc]});
   }
-
-  for (int u = 0; u < num_candidates; ++u) {
-    if (scores[u] > 0.0) out.ranking.push_back({u, scores[u]});
-  }
-  std::sort(out.ranking.begin(), out.ranking.end(),
-            [](const ExpertScore& a, const ExpertScore& b) {
-              return a.score != b.score ? a.score > b.score
-                                        : a.candidate < b.candidate;
-            });
+  out.ranking = AggregateExperts(config_, num_candidates_, entries);
 
   if (metrics_ != nullptr) {
     rank_queries_->Increment(1);
@@ -394,6 +423,87 @@ size_t ExpertFinder::ReachableResources(int candidate) const {
 index::CompiledQueryCache::Stats ExpertFinder::query_cache_stats() const {
   return query_cache_ != nullptr ? query_cache_->stats()
                                  : index::CompiledQueryCache::Stats{};
+}
+
+Result<ExpertFinder::RankFragment> ExpertFinder::RetrieveFragment(
+    const index::AnalyzedQuery& query, const RankParams& params,
+    size_t limit) const {
+  if (!compiled_path_) {
+    return Status::FailedPrecondition(
+        "ExpertFinder::RetrieveFragment: sharded retrieval requires the "
+        "frozen compiled serving path");
+  }
+  std::shared_ptr<const index::CompiledQuery> compiled = CompiledFor(query);
+  index::ScoreAccumulator& acc = LocalAccumulator();
+  const index::RetrievalStats rs = index_->search_index().AccumulateCompiled(
+      *compiled, params.alpha, reachable_bits_.data(), &acc);
+  RankFragment frag;
+  frag.matched = rs.matched;
+  frag.eligible = rs.eligible;
+  // `limit` bounds this shard's prefix; the router resolves the global
+  // window and has already widened `limit` to cover any merge outcome, so
+  // truncation here can never cut a doc the merged window would keep.
+  const size_t take = limit == 0 ? rs.eligible : std::min(limit, rs.eligible);
+  std::vector<index::ScoredDoc> top;
+  acc.TakeTop(take, &top);
+  frag.entries.reserve(top.size());
+  for (const index::ScoredDoc& doc : top) {
+    frag.entries.push_back({doc.doc, doc.score, doc_associations_[doc.doc]});
+  }
+  return frag;
+}
+
+Result<std::vector<FinderShard>> ExpertFinder::PartitionShards(
+    int num_shards, const RuntimeContext& ctx) const {
+  if (!index_->search_index().frozen()) {
+    return Status::FailedPrecondition(
+        "ExpertFinder::PartitionShards: sharding requires the frozen "
+        "compiled serving form");
+  }
+  obs::StageTimer timer(ctx.metrics, "partition_shards");
+  Result<std::vector<index::SearchIndex>> parts =
+      index_->search_index().PartitionFrozen(num_shards);
+  CROWDEX_RETURN_IF_ERROR(parts.status());
+
+  const size_t total_docs = index_->search_index().size();
+  std::vector<FinderShard> shards;
+  shards.reserve(parts.value().size());
+  for (int s = 0; s < num_shards; ++s) {
+    const size_t base =
+        index::SearchIndex::PartitionDocBase(total_docs, num_shards, s);
+    auto corpus = std::make_unique<CorpusIndex>(
+        std::move(parts.value()[s]), config_.platforms);
+    // Shard finders carry no metrics registry: the router owns shard.*
+    // observability, and per-shard rank.* counters would double-count.
+    ExpertFinder finder(config_, std::move(corpus), extractor_,
+                        num_candidates_, epoch_, /*metrics=*/nullptr);
+
+    // Copy this finder's association lists for the shard's doc range; the
+    // shard owns its copies so it outlives (and can be swapped
+    // independently of) the finder it was partitioned from.
+    const index::SearchIndex& si = finder.index_->search_index();
+    const size_t docs = si.size();
+    finder.doc_associations_.assign(docs, nullptr);
+    finder.reachable_bits_.assign(docs, 0);
+    finder.reachable_counts_.assign(num_candidates_, 0);
+    for (size_t d = 0; d < docs; ++d) {
+      const std::vector<Association>* assoc =
+          doc_associations_[base + d];
+      if (assoc == nullptr) continue;
+      std::vector<Association>& copy =
+          finder.associations_[si.external_id(static_cast<index::DocId>(d))];
+      copy = *assoc;
+      finder.doc_associations_[d] = &copy;
+      finder.reachable_bits_[d] = 1;
+      for (const Association& a : copy) {
+        ++finder.reachable_counts_[a.candidate];
+      }
+    }
+
+    FinderShard shard{std::move(finder), static_cast<index::DocId>(base)};
+    shards.push_back(std::move(shard));
+  }
+  return shards;
 }
 
 }  // namespace crowdex::core

@@ -71,6 +71,8 @@ struct RankRequest {
   std::optional<double> window_fraction;
 };
 
+struct FinderShard;
+
 /// One piece of evidence explaining a candidate's expertise score: a
 /// resource that matched the query and is socially connected to them.
 struct ResourceEvidence {
@@ -101,6 +103,61 @@ struct ResourceEvidence {
 /// for every configuration, thread count, and cache state.
 class ExpertFinder {
  public:
+  /// One doc -> candidate association: `candidate` reaches the resource at
+  /// social-graph `distance` (Table 1). Public so scatter-gather fragments
+  /// can carry borrowed association lists to the merge tier.
+  struct Association {
+    int candidate;
+    int distance;
+  };
+
+  /// The effective ranking parameters of one call: the finder's configured
+  /// values with any `RankRequest` overrides applied.
+  struct RankParams {
+    double alpha;
+    int window_size;
+    double window_fraction;
+  };
+
+  /// Applies (and validates) `request`'s per-call overrides against
+  /// `config` — the single override-resolution path shared by `Rank` and
+  /// the shard router, so sharded serving accepts and rejects exactly the
+  /// requests unsharded serving does. `kInvalidArgument` when an override
+  /// is out of range (`alpha` outside [0, 1], effective `window_fraction`
+  /// outside [0, 1] while no fixed window is set).
+  static Result<RankParams> ResolveParams(const ExpertFinderConfig& config,
+                                          const RankRequest& request);
+
+  /// Resolves the effective window over `eligible` reachable resources
+  /// (Sec. 2.4.1 semantics, shared by both serving paths and by the shard
+  /// router, which applies it to the cross-shard eligible total).
+  static size_t ResolveWindow(size_t eligible, const RankParams& params);
+
+  /// One windowed scored resource of a scatter-gather fragment, carrying
+  /// its association list (borrowed from the finder that produced it, valid
+  /// for the finder's lifetime).
+  struct FragmentEntry {
+    /// Shard-local doc id (ascending local id == ascending global id under
+    /// the order-preserving partition).
+    index::DocId doc = 0;
+    double score = 0.0;
+    const std::vector<Association>* associations = nullptr;
+  };
+
+  /// The retrieval half of one shard's contribution to a scatter-gather
+  /// rank: this finder's top eligible resources plus the match statistics
+  /// the router needs for global window resolution and accurate coverage
+  /// accounting.
+  struct RankFragment {
+    /// Top `limit` eligible resources by (score desc, local doc asc) — an
+    /// exact prefix of the shard's full eligible ranking.
+    std::vector<FragmentEntry> entries;
+    /// Resources with positive Eq. 1 score in this shard.
+    size_t matched = 0;
+    /// Matched resources passing the reachability filter in this shard.
+    size_t eligible = 0;
+  };
+
   /// Validates the inputs and builds a finder over `analyzed` with
   /// `config`. Without `shared_index` a private corpus index is
   /// constructed for `config.platforms` (sharded across `ctx.pool` when
@@ -206,6 +263,10 @@ class ExpertFinder {
   const ExpertFinderConfig& config() const { return config_; }
   const CorpusIndex& corpus() const { return *index_; }
 
+  /// Number of candidate experts this finder ranks over (the Eq. 3
+  /// accumulation width — sharded merges size their tables with it).
+  size_t num_candidates() const { return num_candidates_; }
+
   /// True when queries are served through the compiled path (config flag
   /// on and the corpus index is frozen).
   bool serving_compiled() const { return compiled_path_; }
@@ -213,20 +274,48 @@ class ExpertFinder {
   /// Compiled-query cache traffic (all zero when the cache is off).
   index::CompiledQueryCache::Stats query_cache_stats() const;
 
+  /// Analyzes `request` into the query form ranking consumes: returns
+  /// `request.analyzed` when set (borrowed), otherwise analyzes
+  /// `request.text` into `*storage` and returns its address. Exposed so
+  /// the shard router analyzes once and fans the same query to every
+  /// shard — byte-identical to each shard analyzing independently, since
+  /// all shards share the extractor.
+  const index::AnalyzedQuery* AnalyzeQueryText(const RankRequest& request,
+                                               index::AnalyzedQuery* storage) const;
+
+  /// Scatter half of a sharded rank: this finder's top `limit` eligible
+  /// resources for `query` under `params` (by score desc, local doc asc —
+  /// the same strict total order `Rank` uses), with `limit = 0` meaning
+  /// all eligible resources. Entries borrow association lists from this
+  /// finder. Requires the frozen compiled serving path
+  /// (`kFailedPrecondition` otherwise); thread-safe like `Rank`.
+  Result<RankFragment> RetrieveFragment(const index::AnalyzedQuery& query,
+                                        const RankParams& params,
+                                        size_t limit) const;
+
+  /// Gather half of a sharded rank: runs the Eq. 3 aggregation loop over
+  /// `windowed` entries (already globally windowed, in global score-desc /
+  /// doc-asc order) exactly as `Rank` runs it over one index, so the
+  /// floating-point summation order — and therefore every bit of every
+  /// score — matches unsharded serving. `num_candidates` sizes the
+  /// accumulation table.
+  static std::vector<ExpertScore> AggregateExperts(
+      const ExpertFinderConfig& config, size_t num_candidates,
+      const std::vector<FragmentEntry>& windowed);
+
+  /// Splits this finder into `num_shards` doc-partitioned shard finders,
+  /// each serving the contiguous global doc range starting at its
+  /// `doc_base` (order-preserving: ascending local id == ascending global
+  /// id). Shard indexes keep the GLOBAL collection statistics (irf/eirf),
+  /// so per-doc Eq. 1 scores are bit-identical to the unsharded index and
+  /// a merged ranking is exact, not approximate. Requires the frozen
+  /// compiled serving form (`kFailedPrecondition` otherwise). Shard
+  /// finders borrow this finder's extractor; they carry no metrics
+  /// registry of their own (the router owns `shard.*` observability).
+  Result<std::vector<FinderShard>> PartitionShards(
+      int num_shards, const RuntimeContext& ctx = {}) const;
+
  private:
-  struct Association {
-    int candidate;
-    int distance;
-  };
-
-  /// The effective ranking parameters of one call: the finder's configured
-  /// values with any `RankRequest` overrides applied.
-  struct RankParams {
-    double alpha;
-    int window_size;
-    double window_fraction;
-  };
-
   /// Invariant-holding constructor: inputs already validated by `Create`.
   ExpertFinder(const AnalyzedWorld* analyzed, const ExpertFinderConfig& config,
                std::unique_ptr<CorpusIndex> owned_index,
@@ -261,10 +350,6 @@ class ExpertFinder {
   /// returned pointer owns the compiled query (cache hit or fresh).
   std::shared_ptr<const index::CompiledQuery> CompiledFor(
       const index::AnalyzedQuery& query) const;
-
-  /// Resolves the effective window over `eligible` reachable resources
-  /// (Sec. 2.4.1 semantics, shared by both serving paths).
-  static size_t ResolveWindow(size_t eligible, const RankParams& params);
 
   /// Null for snapshot-restored finders — everything the ranking paths
   /// need from the analyzed world is captured in `num_candidates_`,
@@ -306,6 +391,15 @@ class ExpertFinder {
   std::vector<uint8_t> reachable_bits_;
   /// Per-candidate count of distinct reachable indexed resources.
   std::vector<size_t> reachable_counts_;
+};
+
+/// One doc-partitioned shard of a finder: a self-contained serving-only
+/// `ExpertFinder` over the contiguous global doc range starting at
+/// `doc_base`. Global doc id = `doc_base` + shard-local doc id.
+struct FinderShard {
+  ExpertFinder finder;
+  /// First global `DocId` served by this shard.
+  index::DocId doc_base = 0;
 };
 
 }  // namespace crowdex::core

@@ -1,0 +1,386 @@
+#include "core/shard_router.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "io/shard_manifest.h"
+#include "obs/metrics.h"
+
+namespace crowdex::core {
+
+ShardRouter::ShardRouter(const ShardRouterConfig& config,
+                         const RuntimeContext& ctx)
+    : config_(config), pool_(ctx.pool), metrics_(ctx.metrics) {}
+
+void ShardRouter::InitShards() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    // Independent per-shard fault streams: every shard's fault sequence is
+    // a function of (seed, shard id, its own call count) only, so one
+    // shard's faults never perturb another's regardless of fan-out
+    // interleaving.
+    sh.rng = Rng(config_.fault_seed + s);
+    sh.breaker = CircuitBreaker(config_.breaker);
+    if (metrics_ != nullptr) {
+      const std::string prefix = "shard." + std::to_string(s);
+      sh.m_calls = metrics_->counter(prefix + ".calls");
+      sh.m_failures = metrics_->counter(prefix + ".failures");
+      sh.m_retries = metrics_->counter(prefix + ".retries");
+      sh.m_deadline = metrics_->counter(prefix + ".deadline_exceeded");
+      sh.m_shed = metrics_->counter(prefix + ".breaker_shed");
+      sh.m_breaker_closed_to_open =
+          metrics_->counter(prefix + ".breaker.closed_to_open");
+      sh.m_breaker_open_to_half_open =
+          metrics_->counter(prefix + ".breaker.open_to_half_open");
+      sh.m_breaker_half_open_to_closed =
+          metrics_->counter(prefix + ".breaker.half_open_to_closed");
+      sh.m_breaker_half_open_to_open =
+          metrics_->counter(prefix + ".breaker.half_open_to_open");
+      sh.m_latency_ms = metrics_->histogram(prefix + ".latency_ms");
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->gauge("shard.count")
+        ->Set(static_cast<int64_t>(shards_.size()));
+    m_requests_ = metrics_->counter("shard.rank.requests");
+    m_degraded_ = metrics_->counter("shard.rank.degraded");
+    m_below_quorum_ = metrics_->counter("shard.rank.below_quorum");
+  }
+}
+
+Result<ShardRouter> ShardRouter::Partition(const ExpertFinder& finder,
+                                           int num_shards,
+                                           const ShardRouterConfig& config,
+                                           const RuntimeContext& ctx) {
+  Result<std::vector<FinderShard>> parts =
+      finder.PartitionShards(num_shards, ctx);
+  CROWDEX_RETURN_IF_ERROR(parts.status());
+
+  ShardRouter router(config, ctx);
+  router.shards_.reserve(parts.value().size());
+  for (FinderShard& part : parts.value()) {
+    auto shard = std::make_unique<Shard>();
+    shard->doc_base = part.doc_base;
+    shard->doc_count = part.finder.corpus().search_index().size();
+    // Shard managers get no metrics registry: snapshot.* stays the
+    // single-index surface, and the router's shard.* family is the one
+    // observability story for the sharded tier.
+    shard->manager = std::make_unique<SnapshotManager>();
+    shard->manager->Swap(
+        std::make_shared<const ServingSnapshot>(std::move(part.finder)));
+    router.shards_.push_back(std::move(shard));
+  }
+  router.InitShards();
+  return router;
+}
+
+template <typename Fn>
+Status ShardRouter::CallShard(int s, Fn&& work) const {
+  Shard& sh = *shards_[s];
+  const ShardFaultConfig& f = FaultsFor(s);
+  // One lock per shard call: concurrent Rank fan-outs serialize on each
+  // shard's fault state (clock, rng, breaker), so every shard's fault
+  // sequence is well-defined no matter how the pool interleaves shards.
+  std::lock_guard<std::mutex> lock(sh.mu);
+
+  RetryPolicy policy = config_.retry;
+  policy.deadline_ms = config_.shard_deadline_ms;
+  const uint64_t call_start = sh.clock.NowMs();
+
+  RetryOutcome outcome = RetryWithBackoff(
+      policy, &sh.clock, sh.rng, &sh.breaker, [&]() -> Status {
+        // Simulated service latency (possibly spiked) is charged before
+        // the outcome is decided, like a real slow backend: a spike can
+        // push an otherwise-successful attempt over the deadline.
+        uint64_t latency = f.base_latency_ms;
+        if (f.latency_spike_prob > 0.0 &&
+            sh.rng.NextBool(f.latency_spike_prob)) {
+          latency += f.spike_latency_ms;
+        }
+        sh.clock.AdvanceMs(latency);
+        if (config_.shard_deadline_ms > 0 &&
+            sh.clock.NowMs() > call_start + config_.shard_deadline_ms) {
+          // Non-retryable by design: the call's time budget is spent.
+          return Status::DeadlineExceeded("shard call deadline exceeded");
+        }
+        if (sh.outage_until_ms > sh.clock.NowMs()) {
+          return Status::Unavailable("shard hard outage");
+        }
+        if (f.outage_prob > 0.0 && sh.rng.NextBool(f.outage_prob)) {
+          sh.outage_until_ms = sh.clock.NowMs() + f.outage_duration_ms;
+          return Status::Unavailable("shard hard outage begins");
+        }
+        if (f.transient_error_prob > 0.0 &&
+            sh.rng.NextBool(f.transient_error_prob)) {
+          return Status::Unavailable("injected transient shard error");
+        }
+        return work();
+      });
+
+  sh.stats.calls += 1;
+  if (outcome.attempts > 1) {
+    sh.stats.retries += static_cast<uint64_t>(outcome.attempts - 1);
+  }
+  if (outcome.shed_by_breaker) sh.stats.breaker_shed += 1;
+  if (!outcome.status.ok()) {
+    sh.stats.failures += 1;
+    if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+      sh.stats.deadline_exceeded += 1;
+    }
+  }
+  sh.stats.breaker = sh.breaker.StateSnapshot();
+
+  if (sh.m_calls != nullptr) {
+    sh.m_calls->Increment(1);
+    if (outcome.attempts > 1) {
+      sh.m_retries->Increment(static_cast<uint64_t>(outcome.attempts - 1));
+    }
+    if (outcome.shed_by_breaker) sh.m_shed->Increment(1);
+    if (!outcome.status.ok()) {
+      sh.m_failures->Increment(1);
+      if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+        sh.m_deadline->Increment(1);
+      }
+    }
+    sh.m_latency_ms->Record(
+        static_cast<double>(sh.clock.NowMs() - call_start));
+    // Publish breaker transitions as deltas so the exported counters sum
+    // correctly over any number of calls.
+    const BreakerTransitions& t = sh.stats.breaker.transitions;
+    const BreakerTransitions& p = sh.published_transitions;
+    if (t.closed_to_open > p.closed_to_open) {
+      sh.m_breaker_closed_to_open->Increment(
+          static_cast<uint64_t>(t.closed_to_open - p.closed_to_open));
+    }
+    if (t.open_to_half_open > p.open_to_half_open) {
+      sh.m_breaker_open_to_half_open->Increment(
+          static_cast<uint64_t>(t.open_to_half_open - p.open_to_half_open));
+    }
+    if (t.half_open_to_closed > p.half_open_to_closed) {
+      sh.m_breaker_half_open_to_closed->Increment(static_cast<uint64_t>(
+          t.half_open_to_closed - p.half_open_to_closed));
+    }
+    if (t.half_open_to_open > p.half_open_to_open) {
+      sh.m_breaker_half_open_to_open->Increment(
+          static_cast<uint64_t>(t.half_open_to_open - p.half_open_to_open));
+    }
+    sh.published_transitions = t;
+  }
+  return outcome.status;
+}
+
+Result<ShardedRankResult> ShardRouter::Rank(const RankRequest& request) const {
+  if (m_requests_ != nullptr) m_requests_->Increment(1);
+  const int n = num_shards();
+
+  // Pin one snapshot per shard for the whole call: a concurrent Swap
+  // retires a snapshot only after the last in-flight rank releases it, so
+  // fragment entries (which borrow association lists from their snapshot's
+  // finder) stay valid through the merge.
+  std::vector<std::shared_ptr<const ServingSnapshot>> snaps(n);
+  const ExpertFinder* lead = nullptr;
+  for (int s = 0; s < n; ++s) {
+    snaps[s] = shards_[s]->manager->Acquire();
+    if (lead == nullptr && snaps[s] != nullptr) lead = &snaps[s]->finder();
+  }
+  if (lead == nullptr) {
+    if (m_below_quorum_ != nullptr) m_below_quorum_->Increment(1);
+    return Status::Unavailable(
+        "shard router: no shard has a serving snapshot installed");
+  }
+
+  Result<ExpertFinder::RankParams> resolved =
+      ExpertFinder::ResolveParams(lead->config(), request);
+  CROWDEX_RETURN_IF_ERROR(resolved.status());
+  const ExpertFinder::RankParams params = resolved.value();
+  index::AnalyzedQuery storage;
+  const index::AnalyzedQuery* query = lead->AnalyzeQueryText(request, &storage);
+
+  // Per-shard prefix bound. With a fixed window the global top-W is
+  // contained in the union of per-shard top-W prefixes; a fraction window
+  // depends on the cross-shard eligible total (unknown until gather), so
+  // each shard returns its full eligible ranking.
+  const size_t limit =
+      params.window_size > 0 ? static_cast<size_t>(params.window_size) : 0;
+
+  std::vector<Status> statuses(n, Status::Ok());
+  std::vector<ExpertFinder::RankFragment> fragments(n);
+  auto scatter = [&](size_t begin, size_t end) -> Status {
+    for (size_t s = begin; s < end; ++s) {
+      if (snaps[s] == nullptr) {
+        statuses[s] = Status::FailedPrecondition(
+            "shard out of service: no snapshot installed");
+        continue;
+      }
+      const ExpertFinder& shard_finder = snaps[s]->finder();
+      statuses[s] = CallShard(static_cast<int>(s), [&]() -> Status {
+        Result<ExpertFinder::RankFragment> frag =
+            shard_finder.RetrieveFragment(*query, params, limit);
+        CROWDEX_RETURN_IF_ERROR(frag.status());
+        fragments[s] = std::move(frag).value();
+        return Status::Ok();
+      });
+    }
+    return Status::Ok();
+  };
+  if (pool_ != nullptr && pool_->thread_count() > 1 && n > 1) {
+    CheckOk(pool_->ParallelFor(static_cast<size_t>(n), /*min_chunk=*/1,
+                               scatter),
+            "ShardRouter::Rank scatter");
+  } else {
+    CheckOk(scatter(0, static_cast<size_t>(n)), "ShardRouter::Rank scatter");
+  }
+
+  ShardedRankResult out;
+  out.shards_total = n;
+  size_t total_docs = 0;
+  size_t served_docs = 0;
+  size_t matched = 0;
+  size_t eligible = 0;
+  size_t merged_size = 0;
+  for (int s = 0; s < n; ++s) {
+    total_docs += shards_[s]->doc_count;
+    if (statuses[s].ok()) {
+      ++out.shards_ok;
+      served_docs += shards_[s]->doc_count;
+      matched += fragments[s].matched;
+      eligible += fragments[s].eligible;
+      merged_size += fragments[s].entries.size();
+    } else {
+      out.degraded_shards.push_back(s);
+      out.degraded_statuses.push_back(statuses[s]);
+    }
+  }
+
+  const int quorum = std::clamp(config_.quorum_shards, 1, n);
+  if (out.shards_ok < quorum) {
+    if (m_below_quorum_ != nullptr) m_below_quorum_->Increment(1);
+    return Status::Unavailable(
+        "shard router: " + std::to_string(out.shards_ok) + "/" +
+        std::to_string(n) + " shards answered, below quorum of " +
+        std::to_string(quorum));
+  }
+  out.complete = out.shards_ok == n;
+  out.coverage = total_docs > 0 ? static_cast<double>(served_docs) /
+                                      static_cast<double>(total_docs)
+                                : 1.0;
+  if (!out.complete && m_degraded_ != nullptr) m_degraded_->Increment(1);
+
+  // Gather: lift fragment entries onto the global doc axis and impose the
+  // single-index total order — score descending, global DocId ascending —
+  // so equal-score docs merge identically at any shard count and the
+  // downstream Eq. 3 summation runs in exactly the order unsharded
+  // serving uses.
+  std::vector<ExpertFinder::FragmentEntry> merged;
+  merged.reserve(merged_size);
+  for (int s = 0; s < n; ++s) {
+    if (!statuses[s].ok()) continue;
+    const index::DocId base = shards_[s]->doc_base;
+    for (const ExpertFinder::FragmentEntry& e : fragments[s].entries) {
+      merged.push_back({base + e.doc, e.score, e.associations});
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ExpertFinder::FragmentEntry& a,
+               const ExpertFinder::FragmentEntry& b) {
+              return a.score != b.score ? a.score > b.score : a.doc < b.doc;
+            });
+  // The global window resolves against the eligible total of the shards
+  // that answered — under degradation the response ranks what was
+  // reachable, and `coverage`/`complete` say what was not.
+  const size_t window = ExpertFinder::ResolveWindow(eligible, params);
+  if (merged.size() > window) merged.resize(window);
+
+  out.ranked.matched_resources = matched;
+  out.ranked.reachable_resources = eligible;
+  out.ranked.considered_resources = merged.size();
+  out.ranked.ranking = ExpertFinder::AggregateExperts(
+      lead->config(), lead->num_candidates(), merged);
+  return out;
+}
+
+ShardStats ShardRouter::shard_stats(int s) const {
+  const Shard& sh = *shards_[s];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  ShardStats stats = sh.stats;
+  stats.breaker = sh.breaker.StateSnapshot();
+  return stats;
+}
+
+Status ShardRouter::SaveShardSet(uint64_t epoch, uint64_t fingerprint,
+                                 const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("shard set save: cannot create directory " + dir);
+  }
+  io::ShardManifest manifest;
+  manifest.fingerprint = fingerprint;
+  manifest.epoch = epoch;
+  manifest.ranges.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_ptr<const ServingSnapshot> snap = shards_[s]->manager->Acquire();
+    if (snap == nullptr) {
+      return Status::FailedPrecondition(
+          "shard set save: shard " + std::to_string(s) +
+          " has no serving snapshot installed");
+    }
+    const std::string path =
+        dir + "/" + io::ShardSnapshotFileName(static_cast<int>(s));
+    CROWDEX_RETURN_IF_ERROR(
+        snap->finder().SaveSnapshot(epoch, fingerprint, path));
+    manifest.ranges.push_back(
+        {static_cast<uint64_t>(shards_[s]->doc_base),
+         static_cast<uint64_t>(shards_[s]->doc_count)});
+  }
+  // The manifest is written last: a crash mid-save leaves snapshots
+  // without a manifest (an unloadable, clearly-incomplete set), never a
+  // manifest pointing at missing shards.
+  return io::SaveShardManifest(manifest,
+                               dir + "/" + io::kShardManifestFileName);
+}
+
+Result<ShardRouter> ShardRouter::LoadShardSet(
+    const std::string& dir, uint64_t expected_fingerprint,
+    const platform::ResourceExtractor* extractor,
+    const ShardRouterConfig& config, const RuntimeContext& ctx) {
+  Result<io::ShardManifest> manifest =
+      io::LoadShardManifest(dir + "/" + io::kShardManifestFileName);
+  CROWDEX_RETURN_IF_ERROR(manifest.status());
+  if (manifest.value().fingerprint != expected_fingerprint) {
+    return Status::FailedPrecondition(
+        "shard set load: manifest fingerprint does not match the expected "
+        "corpus/configuration digest");
+  }
+
+  ShardRouter router(config, ctx);
+  router.shards_.reserve(manifest.value().ranges.size());
+  for (size_t s = 0; s < manifest.value().ranges.size(); ++s) {
+    const io::ShardRange& range = manifest.value().ranges[s];
+    const std::string path =
+        dir + "/" + io::ShardSnapshotFileName(static_cast<int>(s));
+    // Shard finders carry no metrics registry (see Partition).
+    Result<ExpertFinder> finder = ExpertFinder::FromSnapshotFile(
+        path, expected_fingerprint, extractor, RuntimeContext{});
+    CROWDEX_RETURN_IF_ERROR(finder.status());
+    if (finder.value().corpus().search_index().size() != range.doc_count) {
+      return Status::DataLoss(
+          "shard set load: shard " + std::to_string(s) +
+          " snapshot doc count disagrees with the manifest");
+    }
+    auto shard = std::make_unique<Shard>();
+    shard->doc_base = static_cast<index::DocId>(range.doc_base);
+    shard->doc_count = static_cast<size_t>(range.doc_count);
+    shard->manager = std::make_unique<SnapshotManager>();
+    shard->manager->Swap(std::make_shared<const ServingSnapshot>(
+        std::move(finder).value()));
+    router.shards_.push_back(std::move(shard));
+  }
+  router.InitShards();
+  return router;
+}
+
+}  // namespace crowdex::core

@@ -497,6 +497,91 @@ std::vector<ScoredDoc> SearchIndex::SearchCompiled(const CompiledQuery& query,
   return out;
 }
 
+Result<std::vector<SearchIndex>> SearchIndex::PartitionFrozen(
+    int num_shards) const {
+  if (!frozen_) {
+    return Status::FailedPrecondition(
+        "SearchIndex::PartitionFrozen: index has no frozen serving form");
+  }
+  if (num_shards <= 0) {
+    return Status::InvalidArgument(
+        "SearchIndex::PartitionFrozen: shard count must be positive");
+  }
+  const size_t num_docs = size();
+
+  // Dictionary keys in id order (the hash maps are keyed the other way).
+  std::vector<std::string_view> terms(term_irf_.size());
+  for (const auto& [term, id] : term_dict_) terms[id] = term;
+  std::vector<entity::EntityId> entities(entity_eirf_.size());
+  for (const auto& [eid, slot] : entity_slot_) entities[slot] = eid;
+
+  std::vector<size_t> base(static_cast<size_t>(num_shards) + 1);
+  for (int s = 0; s <= num_shards; ++s) {
+    base[s] = PartitionDocBase(num_docs, num_shards, s);
+  }
+
+  std::vector<SearchIndex> shards(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    SearchIndex& sh = shards[s];
+    sh.external_ids_.assign(external_ids_.begin() + base[s],
+                            external_ids_.begin() + base[s + 1]);
+    sh.term_offsets_.push_back(0);
+    sh.entity_offsets_.push_back(0);
+    sh.frozen_ = true;
+    sh.serving_only_ = true;
+  }
+
+  // Posting segments are sorted by ascending doc id, so each shard's slice
+  // of a segment is one contiguous run: every segment is split with a
+  // single linear pass. Shard-local ids are global ids rebased to the
+  // shard's range, preserving order.
+  for (TermId t = 0; t < terms.size(); ++t) {
+    const size_t seg_end = term_offsets_[t + 1];
+    size_t i = term_offsets_[t];
+    for (int s = 0; s < num_shards && i < seg_end; ++s) {
+      size_t j = i;
+      while (j < seg_end && term_post_doc_[j] < base[s + 1]) ++j;
+      if (j == i) continue;
+      SearchIndex& sh = shards[s];
+      sh.term_dict_.emplace(std::string(terms[t]),
+                            static_cast<TermId>(sh.term_irf_.size()));
+      sh.term_irf_.push_back(term_irf_[t]);
+      for (size_t k = i; k < j; ++k) {
+        sh.term_post_doc_.push_back(term_post_doc_[k] -
+                                    static_cast<DocId>(base[s]));
+        sh.term_post_tf_.push_back(term_post_tf_[k]);
+      }
+      sh.term_offsets_.push_back(sh.term_post_doc_.size());
+      i = j;
+    }
+  }
+
+  for (uint32_t e = 0; e < entities.size(); ++e) {
+    const size_t seg_end = entity_offsets_[e + 1];
+    size_t i = entity_offsets_[e];
+    for (int s = 0; s < num_shards && i < seg_end; ++s) {
+      size_t j = i;
+      while (j < seg_end && entity_post_doc_[j] < base[s + 1]) ++j;
+      if (j == i) continue;
+      SearchIndex& sh = shards[s];
+      sh.entity_slot_.emplace(entities[e],
+                              static_cast<uint32_t>(sh.entity_eirf_.size()));
+      sh.entity_eirf_.push_back(entity_eirf_[e]);
+      sh.entity_rf_.push_back(entity_rf_[e]);
+      for (size_t k = i; k < j; ++k) {
+        sh.entity_post_doc_.push_back(entity_post_doc_[k] -
+                                      static_cast<DocId>(base[s]));
+        sh.entity_post_ef_.push_back(entity_post_ef_[k]);
+        sh.entity_post_we_.push_back(entity_post_we_[k]);
+      }
+      sh.entity_offsets_.push_back(sh.entity_post_doc_.size());
+      i = j;
+    }
+  }
+
+  return shards;
+}
+
 // --- Frozen export / import ------------------------------------------------
 
 FrozenIndexView SearchIndex::ExportFrozen() const {

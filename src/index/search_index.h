@@ -311,6 +311,41 @@ class SearchIndex {
   /// only, no mutable postings.
   bool serving_only() const { return serving_only_; }
 
+  /// Doc-partitions the frozen serving form into `num_shards` serving-only
+  /// indexes. Shard `s` holds the contiguous global doc range
+  /// `[PartitionDocBase(size, num_shards, s), PartitionDocBase(size,
+  /// num_shards, s + 1))`, renumbered to local ids `0..count-1` in global
+  /// order — so ascending local id within a shard is ascending global id,
+  /// which is what keeps per-shard top-k tie-breaking consistent with a
+  /// global merge.
+  ///
+  /// Each shard's dictionaries are filtered to the terms/entities with at
+  /// least one posting in the shard, but the `irf`/`eirf` weight tables
+  /// are copied from the GLOBAL collection: Eq. 1 weights are collection
+  /// statistics, so a shard scoring its own postings with global statistics
+  /// produces bit-identical per-doc scores to the unsharded index — the
+  /// invariant the scatter-gather router's exactness proof rests on
+  /// (DESIGN.md §12). Shards therefore answer `Irf`/`Eirf`/
+  /// `EntityResourceFrequency` with collection-level values, not
+  /// shard-local ones (entity rf travels in its own table because entity
+  /// postings are pruned). Term `ResourceFrequency` is the one shard-local
+  /// statistic: serving-only indexes derive it from the posting-segment
+  /// length, which in a shard covers only the shard's docs. Scoring never
+  /// consults it — `Irf` reads the frozen global table directly.
+  ///
+  /// Requires `frozen()`; `num_shards` must be positive (shards beyond the
+  /// doc count come out empty, which is legal). Returns `kFailedPrecondition`
+  /// / `kInvalidArgument` respectively.
+  Result<std::vector<SearchIndex>> PartitionFrozen(int num_shards) const;
+
+  /// First global doc id of shard `s` when `num_docs` documents are split
+  /// into `num_shards` contiguous ranges (`s == num_shards` gives the end
+  /// sentinel). Pure arithmetic, shared by the partitioner and the router.
+  static size_t PartitionDocBase(size_t num_docs, int num_shards, int s) {
+    return num_docs * static_cast<size_t>(s) /
+           static_cast<size_t>(num_shards);
+  }
+
   /// Resolves `query` against the frozen dictionaries. Terms and entities
   /// absent from the collection are dropped (they cannot score). The group
   /// order of the result replicates the legacy scorer's iteration order

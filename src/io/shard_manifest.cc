@@ -1,0 +1,130 @@
+#include "io/shard_manifest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "io/binary_format.h"
+
+namespace crowdex::io {
+
+namespace {
+
+/// Ranges must tile a prefix of the global doc axis: ascending bases, no
+/// gaps, no overlap. One function serves both the saver (caller bug →
+/// `kInvalidArgument`) and the loader (corrupt file → `kDataLoss`).
+Status ValidateRanges(const std::vector<ShardRange>& ranges) {
+  if (ranges.empty()) {
+    return Status::InvalidArgument("shard manifest: no shard ranges");
+  }
+  uint64_t expected_base = 0;
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    if (ranges[s].doc_base != expected_base) {
+      return Status::InvalidArgument(
+          "shard manifest: shard ranges do not tile the doc axis");
+    }
+    if (ranges[s].doc_count >
+        std::numeric_limits<uint64_t>::max() - expected_base) {
+      return Status::InvalidArgument("shard manifest: doc range overflows");
+    }
+    expected_base += ranges[s].doc_count;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ShardSnapshotFileName(int shard) {
+  return "shard_" + std::to_string(shard) + ".snap";
+}
+
+Status SaveShardManifest(const ShardManifest& manifest,
+                         const std::string& path) {
+  CROWDEX_RETURN_IF_ERROR(ValidateRanges(manifest.ranges));
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::Internal("shard manifest save: cannot open " + tmp_path);
+    }
+    BinaryWriter writer(&out);
+    writer.WriteU32(kShardManifestMagic);
+    writer.WriteU32(kShardManifestVersion);
+    writer.WriteU64(manifest.fingerprint);
+    writer.WriteU64(manifest.epoch);
+    writer.WriteU32(static_cast<uint32_t>(manifest.ranges.size()));
+    for (const ShardRange& r : manifest.ranges) {
+      writer.WriteU64(r.doc_base);
+      writer.WriteU64(r.doc_count);
+    }
+    out.flush();
+    if (!writer.ok()) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::Internal("shard manifest save: write failed for " +
+                              tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("shard manifest save: cannot publish " + path);
+  }
+  return Status::Ok();
+}
+
+Result<ShardManifest> LoadShardManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("shard manifest not found: " + path);
+  }
+  BinaryReader reader(&in);
+
+  Result<uint32_t> magic = reader.ReadU32();
+  CROWDEX_RETURN_IF_ERROR(magic.status());
+  if (magic.value() != kShardManifestMagic) {
+    return Status::InvalidArgument("shard manifest: bad magic in " + path);
+  }
+  Result<uint32_t> version = reader.ReadU32();
+  CROWDEX_RETURN_IF_ERROR(version.status());
+  if (version.value() != kShardManifestVersion) {
+    return Status::InvalidArgument(
+        "shard manifest: unsupported format version in " + path);
+  }
+
+  ShardManifest manifest;
+  Result<uint64_t> fingerprint = reader.ReadU64();
+  CROWDEX_RETURN_IF_ERROR(fingerprint.status());
+  manifest.fingerprint = fingerprint.value();
+  Result<uint64_t> epoch = reader.ReadU64();
+  CROWDEX_RETURN_IF_ERROR(epoch.status());
+  manifest.epoch = epoch.value();
+
+  Result<uint32_t> count = reader.ReadU32();
+  CROWDEX_RETURN_IF_ERROR(count.status());
+  // A shard count beyond any plausible deployment means a corrupt length
+  // field; refuse before attempting the allocation.
+  constexpr uint32_t kMaxShards = 1u << 20;
+  if (count.value() == 0 || count.value() > kMaxShards) {
+    return Status::DataLoss("shard manifest: implausible shard count in " +
+                            path);
+  }
+  manifest.ranges.reserve(count.value());
+  for (uint32_t s = 0; s < count.value(); ++s) {
+    ShardRange r;
+    Result<uint64_t> base = reader.ReadU64();
+    CROWDEX_RETURN_IF_ERROR(base.status());
+    r.doc_base = base.value();
+    Result<uint64_t> docs = reader.ReadU64();
+    CROWDEX_RETURN_IF_ERROR(docs.status());
+    r.doc_count = docs.value();
+    manifest.ranges.push_back(r);
+  }
+  Status valid = ValidateRanges(manifest.ranges);
+  if (!valid.ok()) {
+    return Status::DataLoss("shard manifest rejected: " + valid.message());
+  }
+  return manifest;
+}
+
+}  // namespace crowdex::io

@@ -1,0 +1,69 @@
+#ifndef CROWDEX_IO_SHARD_MANIFEST_H_
+#define CROWDEX_IO_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crowdex::io {
+
+/// On-disk manifest of a sharded snapshot set (version 1).
+///
+/// A shard set is a directory holding one serving snapshot per shard
+/// (`shard_<s>.snap`, the regular io/snapshot.h format) plus this manifest
+/// recording the doc partition — which contiguous global doc range each
+/// shard file serves. The manifest is what makes the set a *partition*
+/// rather than a pile of independent snapshots: a loader that reassembles
+/// the shards without it could not place shard-local doc ids on the global
+/// axis, and the merge tier's tie-breaking (global DocId order) depends on
+/// those bases.
+///
+/// Error contract of `LoadShardManifest`, matching the snapshot codec:
+/// missing file → `kNotFound`; wrong magic/version → `kInvalidArgument`;
+/// truncation or structural inconsistency (overlapping or out-of-order
+/// ranges, zero shards) → `kDataLoss`. Failures never return partial data.
+inline constexpr uint32_t kShardManifestMagic = 0x4D535843;  // "CXSM"
+inline constexpr uint32_t kShardManifestVersion = 1;
+
+/// One shard's slice of the global doc axis: `[doc_base, doc_base +
+/// doc_count)`.
+struct ShardRange {
+  uint64_t doc_base = 0;
+  uint64_t doc_count = 0;
+
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+struct ShardManifest {
+  /// Mirrors the fingerprint of every shard snapshot in the set (the set
+  /// is saved atomically from one finder, so they are all equal).
+  uint64_t fingerprint = 0;
+  /// Mirrors the epoch of every shard snapshot in the set.
+  uint64_t epoch = 0;
+  /// Contiguous, ascending, non-overlapping; `ranges[s]` describes
+  /// `shard_<s>.snap`.
+  std::vector<ShardRange> ranges;
+};
+
+/// File name of the manifest inside a shard-set directory.
+inline constexpr const char* kShardManifestFileName = "shards.manifest";
+
+/// File name of shard `s`'s snapshot inside a shard-set directory.
+std::string ShardSnapshotFileName(int shard);
+
+/// Serializes `manifest` to `path` (tmp file + atomic rename, like the
+/// snapshot codec). `kInvalidArgument` when the ranges are empty,
+/// out of order, or overlapping — a malformed partition is a caller bug
+/// worth catching before it reaches disk.
+Status SaveShardManifest(const ShardManifest& manifest,
+                         const std::string& path);
+
+/// Reads and validates a manifest written by `SaveShardManifest`. See the
+/// error contract above.
+Result<ShardManifest> LoadShardManifest(const std::string& path);
+
+}  // namespace crowdex::io
+
+#endif  // CROWDEX_IO_SHARD_MANIFEST_H_

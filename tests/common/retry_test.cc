@@ -387,6 +387,48 @@ TEST(RetryWithBackoffTest, RepeatedTransportFailuresTripBreaker) {
   EXPECT_EQ(breaker.trips(), 1);
 }
 
+TEST(CircuitBreakerTest, StateSnapshotIsCoherentCopy) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 2;
+  config.open_duration_ms = 100;
+  config.half_open_successes = 1;
+  CircuitBreaker breaker(config);
+
+  // Fresh breaker: the snapshot is all defaults, equal to a default-
+  // constructed one.
+  EXPECT_EQ(breaker.StateSnapshot(), BreakerSnapshot{});
+
+  breaker.RecordFailure(0);
+  BreakerSnapshot mid = breaker.StateSnapshot();
+  EXPECT_EQ(mid.state, BreakerState::kClosed);
+  EXPECT_EQ(mid.consecutive_failures, 1);
+  EXPECT_EQ(mid.trips, 0);
+
+  breaker.RecordFailure(10);  // closed -> open
+  breaker.RecordShed();
+  BreakerSnapshot open = breaker.StateSnapshot();
+  EXPECT_EQ(open.state, BreakerState::kOpen);
+  EXPECT_EQ(open.open_until_ms, 110u);
+  EXPECT_EQ(open.trips, 1);
+  EXPECT_EQ(open.shed_count, 1u);
+  EXPECT_EQ(open.transitions.closed_to_open, 1);
+
+  // Every field mirrors the individual accessors at the same instant.
+  EXPECT_EQ(open.state, breaker.state());
+  EXPECT_EQ(open.open_until_ms, breaker.open_until_ms());
+  EXPECT_EQ(open.trips, breaker.trips());
+  EXPECT_EQ(open.shed_count, breaker.shed_count());
+  EXPECT_EQ(open.transitions, breaker.transitions());
+
+  // The snapshot is a copy: later breaker activity leaves it unchanged.
+  ASSERT_TRUE(breaker.Allow(200));  // open -> half-open
+  breaker.RecordSuccess(210);       // half-open -> closed
+  EXPECT_EQ(open.state, BreakerState::kOpen);
+  EXPECT_EQ(open.transitions.open_to_half_open, 0);
+  EXPECT_EQ(breaker.StateSnapshot().state, BreakerState::kClosed);
+  EXPECT_EQ(breaker.StateSnapshot().transitions.half_open_to_closed, 1);
+}
+
 TEST(SimClockTest, AdvancesMonotonically) {
   SimClock clock;
   EXPECT_EQ(clock.NowMs(), 0u);

@@ -15,6 +15,7 @@
 #include "core/analyzed_world.h"
 #include "core/corpus_index.h"
 #include "core/expert_finder.h"
+#include "core/shard_router.h"
 #include "eval/experiment.h"
 #include "io/corpus_cache.h"
 #include "obs/json.h"
@@ -263,6 +264,13 @@ TEST_F(ObservabilityPipelineTest, ExportedJsonParsesAndNamesEveryStage) {
   (void)runner.Evaluate(finder, F().world.queries, &pool, &reg);
   // Serve one query a second time so the export carries a real cache hit.
   (void)finder.Rank(F().world.queries.front());
+  // And one sharded rank so the export carries the shard.* family.
+  ShardRouter router = ShardRouter::Partition(finder, 2, ShardRouterConfig{},
+                                              RuntimeContext{nullptr, &reg})
+                           .value();
+  RankRequest sharded_req;
+  sharded_req.text = F().world.queries.front().text;
+  ASSERT_TRUE(router.Rank(sharded_req).ok());
 
   const std::string doc = obs::ExportJson(reg);
   EXPECT_TRUE(JsonChecker(doc).Valid()) << doc.substr(0, 400);
@@ -274,7 +282,12 @@ TEST_F(ObservabilityPipelineTest, ExportedJsonParsesAndNamesEveryStage) {
         "stage_runs.evaluate", "stage_ms.analyze_world",
         "stage_ms.extract", "stage_ms.evaluate", "rank.latency_ms",
         "index.bulk_add_ms", "index.freeze_ms", "rank.query_cache.hits",
-        "rank.query_cache.misses", "rank.query_cache.evictions"}) {
+        "rank.query_cache.misses", "rank.query_cache.evictions",
+        "shard.count", "shard.rank.requests", "shard.rank.degraded",
+        "shard.rank.below_quorum", "shard.0.calls", "shard.0.failures",
+        "shard.0.retries", "shard.0.deadline_exceeded",
+        "shard.0.breaker_shed", "shard.0.breaker.closed_to_open",
+        "shard.0.latency_ms", "shard.1.calls"}) {
     EXPECT_NE(doc.find(std::string("\"") + name + "\""), std::string::npos)
         << "missing metric " << name;
   }
