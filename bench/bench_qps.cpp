@@ -6,20 +6,25 @@
 //               full sort), retained behind
 //               `ExpertFinderConfig::compiled_queries = false`;
 //   compiled  — the frozen SoA / dense-accumulator path, cache disabled;
-//   cached    — the compiled path with the compiled-query LRU on
-//               (the serving default).
+//   cached    — the compiled path with the plan-cache LRU on
+//               (the serving default);
+//   planned   — (plan mode, CROWDEX_QPS_PLAN=1) the public plan API:
+//               each call goes through `Rank(RankRequest)` with
+//               `explain = true`, so the served ranking is the executed,
+//               pass-optimized query plan and the explain payload is
+//               checked for per-query determinism.
 //
 // Every ranking served by every arm is compared bit for bit against the
-// legacy answer; any divergence makes the binary exit non-zero, so the
-// ctest smoke run doubles as an equivalence gate. The measured QPS,
-// latency percentiles, cache hit rate, and 1-vs-N batch throughput land in
-// BENCH_rank.json.
+// legacy answer; any divergence — including compiled vs planned — makes
+// the binary exit non-zero, so the ctest smoke runs double as an
+// equivalence gate. The measured QPS, latency percentiles, cache hit
+// rate, and 1-vs-N batch throughput land in BENCH_rank.json.
 //
 // Environment knobs: CROWDEX_BENCH_SCALE (default 0.05), CROWDEX_THREADS
 // (batch worker count, default max(4, hardware_concurrency)),
 // CROWDEX_QPS_REPEAT (how many times the query set repeats in the
-// workload, default 20), CROWDEX_BENCH_JSON (output path, default
-// BENCH_rank.json).
+// workload, default 20), CROWDEX_QPS_PLAN (serve the planned arm too,
+// default 0), CROWDEX_BENCH_JSON (output path, default BENCH_rank.json).
 
 #include <algorithm>
 #include <chrono>
@@ -148,10 +153,11 @@ bool Run(const std::string& json_path) {
       EnvInt("CROWDEX_THREADS",
              std::max(4, common::ThreadPool::HardwareThreads()));
   const int repeat = std::max(1, EnvInt("CROWDEX_QPS_REPEAT", 20));
+  const bool plan_mode = EnvInt("CROWDEX_QPS_PLAN", 0) != 0;
 
-  std::printf("crowdex qps: scale=%.3f threads=%d repeat=%d "
+  std::printf("crowdex qps: scale=%.3f threads=%d repeat=%d plan_mode=%d "
               "hardware_concurrency=%d\n",
-              scale, threads, repeat,
+              scale, threads, repeat, plan_mode ? 1 : 0,
               common::ThreadPool::HardwareThreads());
 
   synth::WorldConfig cfg;
@@ -222,6 +228,61 @@ bool Run(const std::string& json_path) {
     }
   }
 
+  // Plan mode: serve the workload through the public plan API — the
+  // canonical `Rank(RankRequest)` entry with `explain = true` — and hold
+  // it to the same bit-identity bar. A compiled-vs-planned divergence, a
+  // missing explain payload, or an unstable plan text fails the run.
+  double planned_s = 0.0;
+  if (plan_mode) {
+    core::ExpertFinder planned =
+        core::ExpertFinder::Create(&analyzed, cached_cfg, &index).value();
+    std::vector<std::string> plan_texts(world.queries.size());
+    std::vector<core::RankedExperts> planned_results;
+    planned_results.reserve(workload.size());
+    const auto p0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < workload.size(); ++i) {
+      core::RankRequest req;
+      req.text = workload[i].text;
+      req.explain = true;
+      Result<core::RankedExperts> r = planned.Rank(req);
+      if (!r.ok()) {
+        std::fprintf(stderr, "FAIL: planned serve error at item %zu: %s\n",
+                     i, r.status().ToString().c_str());
+        return false;
+      }
+      planned_results.push_back(std::move(r).value());
+    }
+    planned_s = Seconds(p0);
+    for (size_t i = 0; i < workload.size(); ++i) {
+      if (!SameRanking(legacy_results[i], planned_results[i])) {
+        std::fprintf(stderr,
+                     "FAIL: planned ranking diverged from legacy (and so "
+                     "from compiled) at workload item %zu\n",
+                     i);
+        return false;
+      }
+      const auto& explain = planned_results[i].explain;
+      if (explain == nullptr || explain->plan_text.empty() ||
+          explain->canonical_key.empty()) {
+        std::fprintf(stderr,
+                     "FAIL: planned serve returned no explain payload at "
+                     "item %zu\n",
+                     i);
+        return false;
+      }
+      std::string& seen = plan_texts[i % world.queries.size()];
+      if (seen.empty()) {
+        seen = explain->plan_text;
+      } else if (seen != explain->plan_text) {
+        std::fprintf(stderr,
+                     "FAIL: plan text for query %zu changed between "
+                     "serves\n",
+                     i % world.queries.size());
+        return false;
+      }
+    }
+  }
+
   // Batch serving, 1 thread vs N threads, both against the legacy answer.
   common::ThreadPool pool(threads);
   const auto b0 = std::chrono::steady_clock::now();
@@ -248,7 +309,8 @@ bool Run(const std::string& json_path) {
   const double batch_1t_qps = batch_1t_s > 0 ? calls / batch_1t_s : 0;
   const double batch_nt_qps = batch_nt_s > 0 ? calls / batch_nt_s : 0;
 
-  const auto cache_stats = cached.query_cache_stats();
+  const double planned_qps = planned_s > 0 ? calls / planned_s : 0;
+  const auto cache_stats = cached.plan_cache_stats();
   const uint64_t lookups = cache_stats.hits + cache_stats.misses;
   const double hit_rate =
       lookups > 0 ? static_cast<double>(cache_stats.hits) /
@@ -268,6 +330,10 @@ bool Run(const std::string& json_path) {
   std::printf("cached:    %8.1f qps  (%.2fx vs legacy, hit rate %.3f)\n",
               cached_qps, legacy_qps > 0 ? cached_qps / legacy_qps : 0.0,
               hit_rate);
+  if (plan_mode) {
+    std::printf("planned:   %8.1f qps  (%.2fx vs legacy, explain on)\n",
+                planned_qps, legacy_qps > 0 ? planned_qps / legacy_qps : 0.0);
+  }
   std::printf("latency:   p50 %.4fms  p95 %.4fms  p99 %.4fms\n", p50, p95,
               p99);
   std::printf("batch:     1t %8.1f qps  %dt %8.1f qps  (%.2fx)\n",
@@ -281,7 +347,7 @@ bool Run(const std::string& json_path) {
     return false;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"crowdex-bench-rank-v1\",\n");
+  std::fprintf(out, "  \"schema\": \"crowdex-bench-rank-v2\",\n");
   std::fprintf(out, "  \"scale\": %.6f,\n", scale);
   std::fprintf(out, "  \"indexed_docs\": %zu,\n", index.document_count());
   std::fprintf(out, "  \"unique_queries\": %zu,\n", world.queries.size());
@@ -301,7 +367,9 @@ bool Run(const std::string& json_path) {
   std::fprintf(out, "    \"p95\": %.4f,\n", p95);
   std::fprintf(out, "    \"p99\": %.4f\n", p99);
   std::fprintf(out, "  },\n");
-  std::fprintf(out, "  \"query_cache\": {\n");
+  std::fprintf(out, "  \"plan_mode\": %s,\n", plan_mode ? "true" : "false");
+  std::fprintf(out, "  \"planned_qps\": %.2f,\n", planned_qps);
+  std::fprintf(out, "  \"plan_cache\": {\n");
   std::fprintf(out, "    \"hits\": %llu,\n",
                static_cast<unsigned long long>(cache_stats.hits));
   std::fprintf(out, "    \"misses\": %llu,\n",

@@ -28,6 +28,18 @@ Status ExpertFinderConfig::Validate() const {
   return Status::Ok();
 }
 
+const char* AggregationModeLabel(AggregationMode mode) {
+  switch (mode) {
+    case AggregationMode::kWeightedSum:
+      return "weighted_sum";
+    case AggregationMode::kVotes:
+      return "votes";
+    case AggregationMode::kMaxResource:
+      return "max_resource";
+  }
+  return "unknown";
+}
+
 double DistanceWeight(const ExpertFinderConfig& config, int distance) {
   // Linear decrease over distances 0..2 (the paper's Table-1 horizon),
   // independent of the configured max_distance so that, e.g., a distance-1

@@ -63,15 +63,20 @@ struct ExpertFinderConfig {
   /// equivalence tests and before/after benchmarking (`bench_qps`).
   bool compiled_queries = true;
 
-  /// Capacity of the per-finder compiled-query LRU cache (entries), keyed
-  /// by the analyzed query. 0 disables caching; only meaningful on the
-  /// compiled path. Hit/miss/eviction counts export as
-  /// `rank.query_cache.*` when metrics are attached.
+  /// Capacity of the per-finder plan LRU cache (entries), keyed by the
+  /// canonical key of the optimized query plan. 0 disables caching; only
+  /// meaningful on the compiled path. Hit/miss/eviction counts export as
+  /// `rank.plan_cache.*` (with `rank.query_cache.*` aliases) when metrics
+  /// are attached.
   int query_cache_capacity = 256;
 
   /// Validates parameter ranges.
   Status Validate() const;
 };
+
+/// Stable lower_snake label of `mode`, recorded on plan Aggregate nodes
+/// and rendered in explain output.
+const char* AggregationModeLabel(AggregationMode mode);
 
 /// The `wr(r, ex)` of Eq. 3 for a resource at `distance`: linear
 /// interpolation between the config's weight interval over distances

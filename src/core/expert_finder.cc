@@ -77,9 +77,11 @@ void ExpertFinder::InitServingState() {
   compiled_path_ =
       config_.compiled_queries && index_->search_index().frozen();
   if (compiled_path_ && config_.query_cache_capacity > 0) {
-    query_cache_ = std::make_unique<index::CompiledQueryCache>(
+    plan_cache_ = std::make_unique<plan::PlanCache>(
         static_cast<size_t>(config_.query_cache_capacity));
   }
+  pass_manager_ = plan::PassManager::ServingPipeline({});
+  pass_manager_.AttachMetrics(metrics_);
   if (metrics_ != nullptr) {
     rank_queries_ = metrics_->counter("rank.queries");
     rank_matched_ = metrics_->counter("rank.matched_resources");
@@ -88,6 +90,9 @@ void ExpertFinder::InitServingState() {
     cache_hits_ = metrics_->counter("rank.query_cache.hits");
     cache_misses_ = metrics_->counter("rank.query_cache.misses");
     cache_evictions_ = metrics_->counter("rank.query_cache.evictions");
+    plan_cache_hits_ = metrics_->counter("rank.plan_cache.hits");
+    plan_cache_misses_ = metrics_->counter("rank.plan_cache.misses");
+    plan_cache_evictions_ = metrics_->counter("rank.plan_cache.evictions");
     rank_latency_ms_ = metrics_->histogram("rank.latency_ms");
   }
 }
@@ -177,7 +182,17 @@ Result<RankedExperts> ExpertFinder::Rank(const RankRequest& request) const {
   CROWDEX_RETURN_IF_ERROR(params.status());
   index::AnalyzedQuery storage;
   const index::AnalyzedQuery* query = AnalyzeQueryText(request, &storage);
-  return RankWithParams(*query, params.value());
+  return RankWithParams(*query, params.value(), request.explain);
+}
+
+RankedExperts ExpertFinder::RankChecked(const RankRequest& request,
+                                        const char* caller) const {
+  // Override-free requests cannot fail, so the wrappers stay infallible:
+  // validation happens on the one ResolveParams path inside Rank, and a
+  // failure here would mean the wrapper passed an override it never takes.
+  Result<RankedExperts> out = Rank(request);
+  CheckOk(out.status(), caller);
+  return std::move(out).value();
 }
 
 RankedExperts ExpertFinder::Rank(const synth::ExpertiseNeed& query) const {
@@ -185,21 +200,16 @@ RankedExperts ExpertFinder::Rank(const synth::ExpertiseNeed& query) const {
 }
 
 RankedExperts ExpertFinder::RankText(const std::string& query_text) const {
-  // Override-free requests cannot fail, so the wrapper stays infallible.
   RankRequest request;
   request.text = query_text;
-  Result<RankedExperts> out = Rank(request);
-  CheckOk(out.status(), "ExpertFinder::RankText");
-  return std::move(out).value();
+  return RankChecked(request, "ExpertFinder::RankText");
 }
 
 RankedExperts ExpertFinder::RankAnalyzed(
     const index::AnalyzedQuery& query) const {
   RankRequest request;
   request.analyzed = &query;
-  Result<RankedExperts> out = Rank(request);
-  CheckOk(out.status(), "ExpertFinder::RankAnalyzed");
-  return std::move(out).value();
+  return RankChecked(request, "ExpertFinder::RankAnalyzed");
 }
 
 std::vector<RankedExperts> ExpertFinder::RankBatch(
@@ -226,86 +236,88 @@ std::vector<RankedExperts> ExpertFinder::RankBatch(
 size_t ExpertFinder::ResolveWindow(size_t eligible,
                                    const RankParams& params) {
   // Window: the number of top relevant resources considered (Sec. 2.4.1).
-  size_t window = eligible;
-  if (params.window_size > 0) {
-    window = std::min<size_t>(window, params.window_size);
-  } else if (params.window_fraction > 0.0) {
-    window = std::min<size_t>(
-        window, static_cast<size_t>(
-                    std::llround(params.window_fraction *
-                                 static_cast<double>(eligible))));
-  }
-  return window;
+  // One implementation, shared with the plan executor.
+  return plan::ResolveWindowSpec(
+      eligible, plan::WindowSpec{params.window_size, params.window_fraction});
 }
 
-std::shared_ptr<const index::CompiledQuery> ExpertFinder::CompiledFor(
-    const index::AnalyzedQuery& query) const {
-  const index::SearchIndex& si = index_->search_index();
-  if (query_cache_ == nullptr) {
-    return std::make_shared<const index::CompiledQuery>(si.Compile(query));
+plan::QueryPlan ExpertFinder::PlanFor(const index::AnalyzedQuery& query,
+                                      const RankParams& params,
+                                      std::vector<plan::PassTrace>* trace)
+    const {
+  plan::PlanOptions options;
+  options.use_compiled = compiled_path_;
+  options.aggregation = AggregationModeLabel(config_.aggregation);
+  plan::QueryPlan plan =
+      plan::Planner::Lower(query, params.alpha, params.window_size,
+                           params.window_fraction, options);
+  pass_manager_.Run(&plan, trace);
+  return plan;
+}
+
+plan::ExecContext ExpertFinder::MakeExecContext() const {
+  plan::ExecContext ctx;
+  ctx.index = &index_->search_index();
+  ctx.eligible = reachable_bits_.data();
+  ctx.cache = plan_cache_.get();
+  ctx.acc = compiled_path_ ? &LocalAccumulator() : nullptr;
+  return ctx;
+}
+
+void ExpertFinder::RecordCacheTraffic(
+    const plan::RetrievalOutcome& outcome) const {
+  if (!outcome.cache_used || metrics_ == nullptr) return;
+  // Both families move together: rank.plan_cache.* is canonical,
+  // rank.query_cache.* the dashboard-compatibility alias.
+  if (outcome.cache_hit) {
+    cache_hits_->Increment(1);
+    plan_cache_hits_->Increment(1);
+  } else {
+    cache_misses_->Increment(1);
+    plan_cache_misses_->Increment(1);
   }
-  const std::string key = index::AnalyzedQueryCacheKey(query);
-  if (std::shared_ptr<const index::CompiledQuery> hit =
-          query_cache_->Lookup(key)) {
-    if (cache_hits_ != nullptr) cache_hits_->Increment(1);
-    return hit;
+  if (outcome.cache_evictions > 0) {
+    cache_evictions_->Increment(outcome.cache_evictions);
+    plan_cache_evictions_->Increment(outcome.cache_evictions);
   }
-  if (cache_misses_ != nullptr) cache_misses_->Increment(1);
-  auto compiled =
-      std::make_shared<const index::CompiledQuery>(si.Compile(query));
-  const size_t evicted = query_cache_->Insert(key, compiled);
-  if (evicted > 0 && cache_evictions_ != nullptr) {
-    cache_evictions_->Increment(evicted);
-  }
-  return compiled;
 }
 
 std::vector<index::ScoredDoc> ExpertFinder::WindowedResources(
     const index::AnalyzedQuery& query, const RankParams& params,
-    RankedExperts* stats) const {
-  if (compiled_path_) {
-    // Compiled serving path: score through the dense accumulator with the
-    // reachability bytes as the eligibility filter, then select only the
-    // window — matching resources beyond it are never sorted. Compiled
-    // queries are alpha-independent, so per-call alpha overrides share
-    // cache entries with configured serving.
-    std::shared_ptr<const index::CompiledQuery> compiled = CompiledFor(query);
-    index::ScoreAccumulator& acc = LocalAccumulator();
-    const index::RetrievalStats rs = index_->search_index().AccumulateCompiled(
-        *compiled, params.alpha, reachable_bits_.data(), &acc);
-    stats->matched_resources = rs.matched;
-    stats->reachable_resources = rs.eligible;
-    const size_t window = ResolveWindow(rs.eligible, params);
-    std::vector<index::ScoredDoc> windowed;
-    acc.TakeTop(window, &windowed);
-    stats->considered_resources = windowed.size();
-    return windowed;
+    RankedExperts* stats,
+    std::shared_ptr<const plan::PlanExplain>* explain) const {
+  // Lower -> optimize -> execute. The plan's leaf order captures the
+  // legacy group iteration order once; both executor arms consume it
+  // unchanged, so rankings are bit-identical to the pre-plan paths
+  // (DESIGN.md §10, §13). Compiled forms are alpha-independent, so
+  // per-call alpha overrides share plan-cache entries with configured
+  // serving (the canonical key excludes alpha).
+  std::vector<plan::PassTrace> traces;
+  plan::QueryPlan plan =
+      PlanFor(query, params, explain != nullptr ? &traces : nullptr);
+
+  // Aggregate wraps the retrieval subtree (a pushed-down Score, or a
+  // Window over a Score before pushdown).
+  const plan::PlanNode& retrieval = plan.root.children[0];
+  plan::RetrievalOutcome outcome =
+      plan::ExecuteRetrieval(retrieval, MakeExecContext());
+  RecordCacheTraffic(outcome);
+
+  stats->matched_resources = outcome.matched;
+  stats->reachable_resources = outcome.eligible;
+  stats->considered_resources = outcome.windowed.size();
+
+  if (explain != nullptr) {
+    auto info = std::make_shared<plan::PlanExplain>();
+    info->plan_text = plan::ToString(plan);
+    const plan::PlanNode* score =
+        plan::FindNode(plan.root, plan::PlanNodeKind::kScore);
+    if (score != nullptr) info->canonical_key = plan::EscapeKey(score->cache_key);
+    info->passes = std::move(traces);
+    info->cache_hit = outcome.cache_hit;
+    *explain = std::move(info);
   }
-
-  // Legacy path (retained verbatim for equivalence testing and
-  // before/after benchmarking): full-sort retrieval, then the
-  // reachability filter, then the window.
-  std::vector<index::ScoredDoc> matches = index_->Search(query, params.alpha);
-  stats->matched_resources = matches.size();
-
-  // Keep resources reachable from at least one candidate — only those can
-  // transfer relevance to an expert via Eq. 3. The per-doc association
-  // array doubles as the membership test (set exactly for reachable docs),
-  // so snapshot-restored finders — which have no external-id keyed map —
-  // take the same branch.
-  std::vector<index::ScoredDoc> reachable;
-  reachable.reserve(matches.size());
-  for (const index::ScoredDoc& doc : matches) {
-    if (reachable_bits_[doc.doc] != 0) {
-      reachable.push_back(doc);
-    }
-  }
-  stats->reachable_resources = reachable.size();
-
-  const size_t window = ResolveWindow(reachable.size(), params);
-  reachable.resize(window);
-  stats->considered_resources = window;
-  return reachable;
+  return std::move(outcome.windowed);
 }
 
 std::vector<ExpertScore> ExpertFinder::AggregateExperts(
@@ -352,11 +364,12 @@ std::vector<ExpertScore> ExpertFinder::AggregateExperts(
 }
 
 RankedExperts ExpertFinder::RankWithParams(const index::AnalyzedQuery& query,
-                                           const RankParams& params) const {
+                                           const RankParams& params,
+                                           bool explain) const {
   const auto start = std::chrono::steady_clock::now();
   RankedExperts out;
-  std::vector<index::ScoredDoc> windowed =
-      WindowedResources(query, params, &out);
+  std::vector<index::ScoredDoc> windowed = WindowedResources(
+      query, params, &out, explain ? &out.explain : nullptr);
 
   std::vector<FragmentEntry> entries;
   entries.reserve(windowed.size());
@@ -420,37 +433,48 @@ size_t ExpertFinder::ReachableResources(int candidate) const {
   return reachable_counts_[candidate];
 }
 
-index::CompiledQueryCache::Stats ExpertFinder::query_cache_stats() const {
-  return query_cache_ != nullptr ? query_cache_->stats()
-                                 : index::CompiledQueryCache::Stats{};
+plan::PlanCache::Stats ExpertFinder::plan_cache_stats() const {
+  return plan_cache_ != nullptr ? plan_cache_->stats()
+                                : plan::PlanCache::Stats{};
+}
+
+plan::PlanCache::Stats ExpertFinder::query_cache_stats() const {
+  return plan_cache_stats();
+}
+
+Result<ExpertFinder::RankFragment> ExpertFinder::ExecuteFragmentPlan(
+    const plan::PlanNode& score, size_t limit) const {
+  if (!compiled_path_) {
+    return Status::FailedPrecondition(
+        "ExpertFinder::ExecuteFragmentPlan: sharded retrieval requires the "
+        "frozen compiled serving path");
+  }
+  plan::RetrievalOutcome outcome =
+      plan::ExecuteFragment(score, limit, MakeExecContext());
+  RecordCacheTraffic(outcome);
+  RankFragment frag;
+  frag.matched = outcome.matched;
+  frag.eligible = outcome.eligible;
+  frag.entries.reserve(outcome.windowed.size());
+  for (const index::ScoredDoc& doc : outcome.windowed) {
+    frag.entries.push_back({doc.doc, doc.score, doc_associations_[doc.doc]});
+  }
+  return frag;
 }
 
 Result<ExpertFinder::RankFragment> ExpertFinder::RetrieveFragment(
     const index::AnalyzedQuery& query, const RankParams& params,
     size_t limit) const {
-  if (!compiled_path_) {
-    return Status::FailedPrecondition(
-        "ExpertFinder::RetrieveFragment: sharded retrieval requires the "
-        "frozen compiled serving path");
+  // Wrapper for callers holding an analyzed query: lower + optimize a plan
+  // of our own, then execute its Score subtree as a fragment.
+  plan::QueryPlan plan = PlanFor(query, params, /*trace=*/nullptr);
+  const plan::PlanNode* score =
+      plan::FindNode(plan.root, plan::PlanNodeKind::kScore);
+  if (score == nullptr) {
+    return Status::Internal(
+        "ExpertFinder::RetrieveFragment: lowered plan has no Score node");
   }
-  std::shared_ptr<const index::CompiledQuery> compiled = CompiledFor(query);
-  index::ScoreAccumulator& acc = LocalAccumulator();
-  const index::RetrievalStats rs = index_->search_index().AccumulateCompiled(
-      *compiled, params.alpha, reachable_bits_.data(), &acc);
-  RankFragment frag;
-  frag.matched = rs.matched;
-  frag.eligible = rs.eligible;
-  // `limit` bounds this shard's prefix; the router resolves the global
-  // window and has already widened `limit` to cover any merge outcome, so
-  // truncation here can never cut a doc the merged window would keep.
-  const size_t take = limit == 0 ? rs.eligible : std::min(limit, rs.eligible);
-  std::vector<index::ScoredDoc> top;
-  acc.TakeTop(take, &top);
-  frag.entries.reserve(top.size());
-  for (const index::ScoredDoc& doc : top) {
-    frag.entries.push_back({doc.doc, doc.score, doc_associations_[doc.doc]});
-  }
-  return frag;
+  return ExecuteFragmentPlan(*score, limit);
 }
 
 Result<std::vector<FinderShard>> ExpertFinder::PartitionShards(

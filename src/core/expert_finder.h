@@ -12,7 +12,10 @@
 #include "core/config.h"
 #include "core/corpus_index.h"
 #include "core/runtime_context.h"
-#include "index/query_cache.h"
+#include "plan/executor.h"
+#include "plan/passes.h"
+#include "plan/plan_cache.h"
+#include "plan/planner.h"
 #include "synth/query_set.h"
 
 namespace crowdex::obs {
@@ -45,6 +48,12 @@ struct RankedExperts {
   size_t reachable_resources = 0;
   /// Resources actually used by Eq. 3 after windowing (|RR*|).
   size_t considered_resources = 0;
+  /// The executed query plan, set only when `RankRequest::explain` was
+  /// requested (null otherwise): the post-pass plan tree, the canonical
+  /// cache key, the per-pass outcomes, and whether the compiled form came
+  /// from the plan cache. Deterministic for a fixed request and serving
+  /// configuration (DESIGN.md §13).
+  std::shared_ptr<const plan::PlanExplain> explain;
 };
 
 /// The canonical description of one ranking call — the single entry point
@@ -69,6 +78,10 @@ struct RankRequest {
   std::optional<int> window_size;
   /// Per-call override of `ExpertFinderConfig::window_fraction`.
   std::optional<double> window_fraction;
+  /// When true, the ranking carries a `PlanExplain` describing the
+  /// executed plan (`RankedExperts::explain`). Explaining never changes
+  /// the ranking — the same plan executes either way.
+  bool explain = false;
 };
 
 struct FinderShard;
@@ -92,15 +105,20 @@ struct ResourceEvidence {
 /// experts by aggregating resource relevance over their social
 /// neighborhood (Eq. 3, Table 1 distances).
 ///
-/// Per-query serving goes through a compile-then-serve hot path by
-/// default: queries are compiled once against the frozen corpus index
-/// (string hashing and bag construction happen at compile time, not per
-/// posting), scored through a dense epoch-tagged accumulator, and
-/// top-k-selected to the configured window instead of fully sorted.
-/// Compiled queries are cached in a bounded LRU so evaluation sweeps and
-/// repeated traffic skip recompilation. Rankings are bit-identical to the
-/// retained legacy path (`ExpertFinderConfig::compiled_queries = false`)
-/// for every configuration, thread count, and cache state.
+/// Every ranking call lowers to an explicit query plan (DESIGN.md §13):
+/// the analyzed query plus the resolved parameters become an
+/// Aggregate → Window → Score → leaves tree, the serving pass pipeline
+/// rewrites it (constant-α folding, dead-leaf pruning, window pushdown,
+/// cache-key canonicalization), and the plan executor interprets it
+/// against the frozen corpus index. The default compiled arm compiles the
+/// plan's leaf groups once (string hashing and bag construction happen at
+/// compile time, not per posting), scores through a dense epoch-tagged
+/// accumulator, and top-k-selects to the pushed-down window instead of
+/// fully sorting; compiled forms are cached in a bounded LRU keyed by the
+/// canonical plan key. Rankings are bit-identical to the retained legacy
+/// arm (`ExpertFinderConfig::compiled_queries = false`) for every
+/// configuration, thread count, and cache state, and `RankRequest::explain`
+/// returns the executed plan.
 class ExpertFinder {
  public:
   /// One doc -> candidate association: `candidate` reaches the resource at
@@ -173,9 +191,11 @@ class ExpertFinder {
   /// A non-null `ctx.metrics` (which must outlive the finder) instruments
   /// every `Rank`: per-query matched/reachable/windowed resource counts
   /// (`rank.*` counters), a wall-clock rank latency histogram
-  /// (`rank.latency_ms`), and compiled-query cache traffic
-  /// (`rank.query_cache.hits` / `.misses` / `.evictions`). Rankings are
-  /// bit-identical with metrics on, off, or shared across finders.
+  /// (`rank.latency_ms`), plan-cache traffic (`rank.plan_cache.hits` /
+  /// `.misses` / `.evictions`, with `rank.query_cache.*` kept as aliases),
+  /// and per-pass plan-pipeline timings (`plan.pass.<name>.ms` /
+  /// `.applied`). Rankings are bit-identical with metrics on, off, or
+  /// shared across finders.
   static Result<ExpertFinder> Create(const AnalyzedWorld* analyzed,
                                      const ExpertFinderConfig& config,
                                      const CorpusIndex* shared_index = nullptr,
@@ -271,8 +291,19 @@ class ExpertFinder {
   /// on and the corpus index is frozen).
   bool serving_compiled() const { return compiled_path_; }
 
-  /// Compiled-query cache traffic (all zero when the cache is off).
-  index::CompiledQueryCache::Stats query_cache_stats() const;
+  /// Plan-cache traffic (all zero when the cache is off). The plan cache
+  /// subsumed the old compiled-query cache: entries are keyed by the
+  /// canonical key of the post-pass Score subtree, so pruned plans cache
+  /// their own (smaller) compiled forms. Exported as `rank.plan_cache.*`
+  /// counters, with `rank.query_cache.*` kept as aliases for existing
+  /// dashboards.
+  plan::PlanCache::Stats plan_cache_stats() const;
+
+  /// Deprecated alias of `plan_cache_stats()` (the compiled-query cache no
+  /// longer exists as a separate object); prefer plan-cache stats via
+  /// `PlanExplain` or the `rank.plan_cache.*` counters. Kept so existing
+  /// callers and dashboards keep working.
+  plan::PlanCache::Stats query_cache_stats() const;
 
   /// Analyzes `request` into the query form ranking consumes: returns
   /// `request.analyzed` when set (borrowed), otherwise analyzes
@@ -292,6 +323,17 @@ class ExpertFinder {
   Result<RankFragment> RetrieveFragment(const index::AnalyzedQuery& query,
                                         const RankParams& params,
                                         size_t limit) const;
+
+  /// Plan-level scatter entry point: executes an already-lowered and
+  /// pass-optimized Score subtree against this finder's shard of the
+  /// corpus, returning the top `limit` eligible resources (`limit == 0`
+  /// means all). The router lowers ONE plan per sharded rank and fans the
+  /// same Score node to every shard — each shard resolves it against its
+  /// own dictionaries and plan cache. `RetrieveFragment` is a thin wrapper
+  /// that lowers its own plan and delegates here. Requires the frozen
+  /// compiled serving path (`kFailedPrecondition` otherwise); thread-safe.
+  Result<RankFragment> ExecuteFragmentPlan(const plan::PlanNode& score,
+                                           size_t limit) const;
 
   /// Gather half of a sharded rank: runs the Eq. 3 aggregation loop over
   /// `windowed` entries (already globally windowed, in global score-desc /
@@ -330,26 +372,48 @@ class ExpertFinder {
                obs::MetricsRegistry* metrics);
 
   /// Shared tail of both constructors: resolves the serving path, the
-  /// query cache, and the metric handles from the already-set members.
+  /// plan cache, the pass pipeline, and the metric handles from the
+  /// already-set members.
   void InitServingState();
 
   void BuildAssociations();
   RankedExperts RankWithParams(const index::AnalyzedQuery& query,
-                               const RankParams& params) const;
+                               const RankParams& params, bool explain) const;
 
-  /// The retrieval front half shared by Rank and Explain: matched ->
+  /// Shared body of the infallible wrappers (`Rank(ExpertiseNeed)`,
+  /// `RankText`, `RankAnalyzed`): one `ResolveParams`-based validation
+  /// path through `Rank`, aborting with `caller` context on the errors
+  /// override-free requests cannot produce.
+  RankedExperts RankChecked(const RankRequest& request,
+                            const char* caller) const;
+
+  /// Lowers `query` + `params` into the canonical plan and runs the
+  /// serving pass pipeline over it. `trace` (when non-null) receives the
+  /// per-pass outcomes for explain output.
+  plan::QueryPlan PlanFor(const index::AnalyzedQuery& query,
+                          const RankParams& params,
+                          std::vector<plan::PassTrace>* trace) const;
+
+  /// The execution context every plan executes against: this finder's
+  /// frozen index, reachability bytes, plan cache, and (on the compiled
+  /// path) the calling thread's accumulator.
+  plan::ExecContext MakeExecContext() const;
+
+  /// Folds the executor's cache traffic into both counter families
+  /// (`rank.plan_cache.*` and its `rank.query_cache.*` alias).
+  void RecordCacheTraffic(const plan::RetrievalOutcome& outcome) const;
+
+  /// The retrieval front half shared by Rank and Explain: lowers the
+  /// query to a plan, optimizes it, and executes it — matched ->
   /// reachability filter -> window. Returns the windowed scored docs.
-  /// Dispatches to the compiled top-k path or the retained legacy
-  /// full-sort path depending on `compiled_path_`; both return the same
-  /// bytes.
+  /// The plan selects the compiled top-k arm or the retained legacy
+  /// full-sort arm from `compiled_path_`; both return the same bytes.
+  /// When `explain` is non-null it receives the deterministic
+  /// `PlanExplain` of the executed plan.
   std::vector<index::ScoredDoc> WindowedResources(
       const index::AnalyzedQuery& query, const RankParams& params,
-      RankedExperts* stats) const;
-
-  /// Compiled form of `query`, through the LRU cache when enabled. The
-  /// returned pointer owns the compiled query (cache hit or fresh).
-  std::shared_ptr<const index::CompiledQuery> CompiledFor(
-      const index::AnalyzedQuery& query) const;
+      RankedExperts* stats,
+      std::shared_ptr<const plan::PlanExplain>* explain = nullptr) const;
 
   /// Null for snapshot-restored finders — everything the ranking paths
   /// need from the analyzed world is captured in `num_candidates_`,
@@ -367,8 +431,12 @@ class ExpertFinder {
   /// Snapshot epoch this finder was restored from; 0 when built in-process.
   uint64_t epoch_ = 0;
   bool compiled_path_ = false;
-  /// Null = off; thread-safe, shared by concurrent Rank calls.
-  mutable std::unique_ptr<index::CompiledQueryCache> query_cache_;
+  /// Null = off; thread-safe, shared by concurrent Rank calls. Keyed by
+  /// the canonical plan key of the post-pass Score subtree.
+  mutable std::unique_ptr<plan::PlanCache> plan_cache_;
+  /// The serving pass pipeline (single-index: no fanout stage), built once
+  /// at construction; `Run` is const and thread-safe.
+  plan::PassManager pass_manager_;
   /// Null = observability off. Instrument handles are resolved once at
   /// construction so the per-query hot path never takes the registry lock.
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -376,9 +444,15 @@ class ExpertFinder {
   obs::Counter* rank_matched_ = nullptr;
   obs::Counter* rank_reachable_ = nullptr;
   obs::Counter* rank_considered_ = nullptr;
+  /// `rank.query_cache.*` — the legacy dashboard names, kept as aliases.
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
   obs::Counter* cache_evictions_ = nullptr;
+  /// `rank.plan_cache.*` — the canonical names; both families always move
+  /// together.
+  obs::Counter* plan_cache_hits_ = nullptr;
+  obs::Counter* plan_cache_misses_ = nullptr;
+  obs::Counter* plan_cache_evictions_ = nullptr;
   obs::Histogram* rank_latency_ms_ = nullptr;
   /// packed (platform, node) -> candidates that reach it, with distance.
   std::unordered_map<uint64_t, std::vector<Association>> associations_;

@@ -8,6 +8,8 @@
 #include "common/thread_pool.h"
 #include "io/shard_manifest.h"
 #include "obs/metrics.h"
+#include "plan/plan.h"
+#include "plan/planner.h"
 
 namespace crowdex::core {
 
@@ -16,6 +18,15 @@ ShardRouter::ShardRouter(const ShardRouterConfig& config,
     : config_(config), pool_(ctx.pool), metrics_(ctx.metrics) {}
 
 void ShardRouter::InitShards() {
+  // The router is an executor of ShardFanout -> Merge plans: its pipeline
+  // is the serving pipeline plus the fanout-insertion stage sized to the
+  // shard count (applied at any positive count — a single-shard router
+  // still scatters through the fault boundary).
+  plan::PipelineOptions popts;
+  popts.num_shards = static_cast<int>(shards_.size());
+  popts.sharded = true;
+  pass_manager_ = plan::PassManager::ServingPipeline(popts);
+  pass_manager_.AttachMetrics(metrics_);
   for (size_t s = 0; s < shards_.size(); ++s) {
     Shard& sh = *shards_[s];
     // Independent per-shard fault streams: every shard's fault sequence is
@@ -199,12 +210,30 @@ Result<ShardedRankResult> ShardRouter::Rank(const RankRequest& request) const {
   index::AnalyzedQuery storage;
   const index::AnalyzedQuery* query = lead->AnalyzeQueryText(request, &storage);
 
-  // Per-shard prefix bound. With a fixed window the global top-W is
-  // contained in the union of per-shard top-W prefixes; a fraction window
-  // depends on the cross-shard eligible total (unknown until gather), so
-  // each shard returns its full eligible ranking.
-  const size_t limit =
-      params.window_size > 0 ? static_cast<size_t>(params.window_size) : 0;
+  // Lower once on the lead finder and optimize with the sharded pipeline.
+  // The fanout node carries the per-shard prefix bound (the fixed window
+  // size — each shard's top-W prefix provably contains every global top-W
+  // doc — or 0 for fraction/no windows, whose cutoff depends on the
+  // cross-shard eligible total); the Window node carries the global window
+  // applied after the gather.
+  plan::PlanOptions popts;
+  popts.use_compiled = lead->serving_compiled();
+  popts.aggregation = AggregationModeLabel(lead->config().aggregation);
+  plan::QueryPlan plan = plan::Planner::Lower(
+      *query, params.alpha, params.window_size, params.window_fraction, popts);
+  std::vector<plan::PassTrace> traces;
+  pass_manager_.Run(&plan, request.explain ? &traces : nullptr);
+  const plan::PlanNode* fanout =
+      plan::FindNode(plan.root, plan::PlanNodeKind::kShardFanout);
+  const plan::PlanNode* window_node =
+      plan::FindNode(plan.root, plan::PlanNodeKind::kWindow);
+  if (fanout == nullptr || fanout->children.empty() ||
+      window_node == nullptr) {
+    return Status::Internal(
+        "shard router: sharded pipeline produced no ShardFanout plan");
+  }
+  const plan::PlanNode& score = fanout->children[0];
+  const size_t limit = fanout->per_shard_limit;
 
   std::vector<Status> statuses(n, Status::Ok());
   std::vector<ExpertFinder::RankFragment> fragments(n);
@@ -218,7 +247,7 @@ Result<ShardedRankResult> ShardRouter::Rank(const RankRequest& request) const {
       const ExpertFinder& shard_finder = snaps[s]->finder();
       statuses[s] = CallShard(static_cast<int>(s), [&]() -> Status {
         Result<ExpertFinder::RankFragment> frag =
-            shard_finder.RetrieveFragment(*query, params, limit);
+            shard_finder.ExecuteFragmentPlan(score, limit);
         CROWDEX_RETURN_IF_ERROR(frag.status());
         fragments[s] = std::move(frag).value();
         return Status::Ok();
@@ -288,10 +317,10 @@ Result<ShardedRankResult> ShardRouter::Rank(const RankRequest& request) const {
                const ExpertFinder::FragmentEntry& b) {
               return a.score != b.score ? a.score > b.score : a.doc < b.doc;
             });
-  // The global window resolves against the eligible total of the shards
-  // that answered — under degradation the response ranks what was
+  // The plan's Window node resolves against the eligible total of the
+  // shards that answered — under degradation the response ranks what was
   // reachable, and `coverage`/`complete` say what was not.
-  const size_t window = ExpertFinder::ResolveWindow(eligible, params);
+  const size_t window = plan::ResolveWindowSpec(eligible, window_node->window);
   if (merged.size() > window) merged.resize(window);
 
   out.ranked.matched_resources = matched;
@@ -299,6 +328,16 @@ Result<ShardedRankResult> ShardRouter::Rank(const RankRequest& request) const {
   out.ranked.considered_resources = merged.size();
   out.ranked.ranking = ExpertFinder::AggregateExperts(
       lead->config(), lead->num_candidates(), merged);
+  if (request.explain) {
+    auto explain = std::make_shared<plan::PlanExplain>();
+    explain->plan_text = plan::ToString(plan);
+    explain->canonical_key = plan::EscapeKey(score.cache_key);
+    explain->passes = std::move(traces);
+    // Per-shard plan caches serve the fanned-out Score; a single hit bit
+    // would misstate a mixed scatter, so sharded explain leaves it false.
+    explain->cache_hit = false;
+    out.ranked.explain = std::move(explain);
+  }
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/sim_clock.h"
 #include "core/serving.h"
+#include "plan/passes.h"
 
 namespace crowdex::core {
 
@@ -94,13 +95,18 @@ struct ShardedRankResult {
 
 /// Scatter-gather serving tier over doc-partitioned shards: each shard is
 /// a `ServingSnapshot` behind its own `SnapshotManager` (independently
-/// hot-swappable), and `Rank` fans a `RankRequest` across all shards,
-/// wraps every shard call in a fault boundary (deadline + decorrelated-
-/// jitter retry + circuit breaker + seeded fault injection on a private
-/// `SimClock`), and merges the per-shard top-k prefixes into a globally
-/// exact ranking — equal scores merge in global `DocId` order at any
-/// shard count, so the merged ranking is bit-identical to the unsharded
-/// index when all shards answer.
+/// hot-swappable). `Rank` lowers the request into a query plan, runs the
+/// sharded pass pipeline (which rewrites `Window → Score` into
+/// `Window → Merge → ShardFanout → Score`, stamping the per-shard prefix
+/// bound on the fanout node), and then *executes* that plan: the fanout's
+/// Score subtree is fanned across all shards — each call wrapped in a
+/// fault boundary (deadline + decorrelated-jitter retry + circuit breaker
+/// + seeded fault injection on a private `SimClock`) — and the Merge/
+/// Window/Aggregate stages run at the gather. Equal scores merge in
+/// global `DocId` order at any shard count, so the merged ranking is
+/// bit-identical to the unsharded index when all shards answer.
+/// `RankRequest::explain` returns the sharded plan tree and pass trace on
+/// the result, like unsharded serving.
 ///
 /// When shards fail, the router degrades instead of erroring: as long as
 /// `quorum_shards` answered, it returns the merged ranking over the
@@ -227,6 +233,10 @@ class ShardRouter {
 
   ShardRouterConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// The sharded pass pipeline (fold, prune, shard-fanout insertion,
+  /// pushdown, cache-key canonicalization), built in `InitShards` once the
+  /// shard count is known.
+  plan::PassManager pass_manager_;
   const common::ThreadPool* pool_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* m_requests_ = nullptr;

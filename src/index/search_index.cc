@@ -229,27 +229,45 @@ uint32_t SearchIndex::TermFrequency(DocId doc, std::string_view term) const {
 
 std::vector<ScoredDoc> SearchIndex::Search(const AnalyzedQuery& query,
                                            double alpha) const {
+  // Deduplicate query terms but keep multiplicity: Eq. 1 sums over the
+  // terms *in* q, so a repeated query term contributes repeatedly. The
+  // bag's iteration order becomes the group sequence — the accumulation
+  // order of every per-document sum (see `SearchGroups`).
+  std::unordered_map<std::string, uint32_t> query_tf;
+  for (const auto& t : query.terms) ++query_tf[t];
+  std::vector<QueryTermGroup> terms;
+  terms.reserve(query_tf.size());
+  for (const auto& [term, qtf] : query_tf) terms.push_back({term, qtf});
+
+  std::unordered_map<entity::EntityId, uint32_t> query_ef;
+  for (entity::EntityId e : query.entities) ++query_ef[e];
+  std::vector<QueryEntityGroup> entities;
+  entities.reserve(query_ef.size());
+  for (const auto& [eid, qef] : query_ef) entities.push_back({eid, qef});
+
+  return SearchGroups(terms, entities, alpha);
+}
+
+std::vector<ScoredDoc> SearchIndex::SearchGroups(
+    const std::vector<QueryTermGroup>& terms,
+    const std::vector<QueryEntityGroup>& entities, double alpha) const {
   assert(alpha >= 0.0 && alpha <= 1.0);
   if (serving_only_) {
     // No mutable postings to walk — answer through the compiled path,
     // which is bit-identical to this one (DESIGN.md §10).
     ScoreAccumulator acc;
-    return SearchCompiled(Compile(query), alpha, &acc);
+    return SearchCompiled(CompileGroups(terms, entities), alpha, &acc);
   }
   std::unordered_map<DocId, double> scores;
 
   if (alpha > 0.0) {
-    // Deduplicate query terms but keep multiplicity: Eq. 1 sums over the
-    // terms *in* q, so a repeated query term contributes repeatedly.
-    std::unordered_map<std::string, uint32_t> query_tf;
-    for (const auto& t : query.terms) ++query_tf[t];
-    for (const auto& [term, qtf] : query_tf) {
-      auto it = term_postings_.find(term);
+    for (const QueryTermGroup& g : terms) {
+      auto it = term_postings_.find(g.term);
       if (it == term_postings_.end()) continue;
       // The posting list in hand already carries the resource frequency;
       // going through Irf(term) would hash the term a second time.
       double irf = InverseFrequency(it->second.size());
-      double weight = alpha * qtf * irf * irf;
+      double weight = alpha * g.qtf * irf * irf;
       for (const TermPosting& p : it->second) {
         scores[p.doc] += weight * p.tf;
       }
@@ -257,13 +275,11 @@ std::vector<ScoredDoc> SearchIndex::Search(const AnalyzedQuery& query,
   }
 
   if (alpha < 1.0) {
-    std::unordered_map<entity::EntityId, uint32_t> query_ef;
-    for (entity::EntityId e : query.entities) ++query_ef[e];
-    for (const auto& [eid, qef] : query_ef) {
-      auto it = entity_postings_.find(eid);
+    for (const QueryEntityGroup& g : entities) {
+      auto it = entity_postings_.find(g.entity);
       if (it == entity_postings_.end()) continue;
       double eirf = InverseFrequency(it->second.size());
-      double weight = (1.0 - alpha) * qef * eirf * eirf;
+      double weight = (1.0 - alpha) * g.qef * eirf * eirf;
       for (const EntityPosting& p : it->second) {
         // Eq. 2: we(e,r) = 1 + dScore when disambiguation succeeded.
         double we = p.dscore > 0.0 ? 1.0 + p.dscore : 0.0;
@@ -372,31 +388,44 @@ void SearchIndex::Freeze(obs::MetricsRegistry* metrics) {
 }
 
 CompiledQuery SearchIndex::Compile(const AnalyzedQuery& query) const {
-  assert(frozen_);
-  CompiledQuery out;
-
   // Build the query-side bags with the SAME container type and insertion
   // sequence as the legacy `Search`, then resolve in its iteration order.
   // Per-document floating-point sums depend on the order term/entity
   // groups are processed; replicating the legacy order here is what makes
-  // the compiled scores bit-identical (dropping unknown groups is safe —
-  // they contribute to no document).
+  // the compiled scores bit-identical.
   std::unordered_map<std::string, uint32_t> query_tf;
   for (const auto& t : query.terms) ++query_tf[t];
-  out.terms.reserve(query_tf.size());
-  for (const auto& [term, qtf] : query_tf) {
-    auto it = term_dict_.find(term);
-    if (it == term_dict_.end()) continue;
-    out.terms.push_back({it->second, qtf});
-  }
+  std::vector<QueryTermGroup> terms;
+  terms.reserve(query_tf.size());
+  for (const auto& [term, qtf] : query_tf) terms.push_back({term, qtf});
 
   std::unordered_map<entity::EntityId, uint32_t> query_ef;
   for (entity::EntityId e : query.entities) ++query_ef[e];
-  out.entities.reserve(query_ef.size());
-  for (const auto& [eid, qef] : query_ef) {
-    auto it = entity_slot_.find(eid);
+  std::vector<QueryEntityGroup> entities;
+  entities.reserve(query_ef.size());
+  for (const auto& [eid, qef] : query_ef) entities.push_back({eid, qef});
+
+  return CompileGroups(terms, entities);
+}
+
+CompiledQuery SearchIndex::CompileGroups(
+    const std::vector<QueryTermGroup>& terms,
+    const std::vector<QueryEntityGroup>& entities) const {
+  assert(frozen_);
+  CompiledQuery out;
+  // Resolution preserves the caller's group sequence; dropping unknown
+  // groups is safe — they contribute to no document.
+  out.terms.reserve(terms.size());
+  for (const QueryTermGroup& g : terms) {
+    auto it = term_dict_.find(g.term);
+    if (it == term_dict_.end()) continue;
+    out.terms.push_back({it->second, g.qtf});
+  }
+  out.entities.reserve(entities.size());
+  for (const QueryEntityGroup& g : entities) {
+    auto it = entity_slot_.find(g.entity);
     if (it == entity_slot_.end()) continue;
-    out.entities.push_back({it->second, qef});
+    out.entities.push_back({it->second, g.qef});
   }
   return out;
 }

@@ -72,6 +72,23 @@ struct AnalyzedQuery {
   std::vector<entity::EntityId> entities;
 };
 
+/// One aggregated query-side term group: a distinct term with its
+/// multiplicity in the query (`tf(t, q)`). The *sequence* of groups is the
+/// accumulation order of the Eq. 1 sums — callers of the group APIs own
+/// that order (the plan IR captures it at lowering time; `Search` /
+/// `Compile` derive it from their bag's iteration order).
+struct QueryTermGroup {
+  std::string_view term;
+  uint32_t qtf = 0;
+};
+
+/// One aggregated query-side entity group (`ef(e, q)`); same order
+/// contract.
+struct QueryEntityGroup {
+  entity::EntityId entity = entity::kInvalidEntityId;
+  uint32_t qef = 0;
+};
+
 /// A query compiled against one frozen index: terms resolved to interned
 /// `TermId`s, entities to dense dictionary slots, with the query-side
 /// multiplicities (`tf(t, q)` / `ef(e, q)`) pre-aggregated. Compiling once
@@ -271,8 +288,20 @@ class SearchIndex {
   /// Scores every matching document per Eq. 1 and returns them sorted by
   /// descending score (ties broken by ascending doc id for determinism).
   /// Only documents with score > 0 are returned. `alpha` must be in [0,1].
+  /// Equivalent to aggregating the query into groups and calling
+  /// `SearchGroups` (which is exactly how it is implemented).
   std::vector<ScoredDoc> Search(const AnalyzedQuery& query,
                                 double alpha) const;
+
+  /// `Search` over pre-aggregated query groups consumed strictly in the
+  /// given sequence — the order-capture point for the plan executor:
+  /// per-document sums are accumulated group by group in this order, so
+  /// two calls with the same groups produce bit-identical results no
+  /// matter who built the sequence. Unknown terms/entities score nothing
+  /// and are skipped. The views must stay alive for the call.
+  std::vector<ScoredDoc> SearchGroups(
+      const std::vector<QueryTermGroup>& terms,
+      const std::vector<QueryEntityGroup>& entities, double alpha) const;
 
   // --- Frozen serving form -------------------------------------------------
 
@@ -353,6 +382,15 @@ class SearchIndex {
   /// `Search` (per-document sums are accumulated in the same sequence).
   /// Requires `frozen()`.
   CompiledQuery Compile(const AnalyzedQuery& query) const;
+
+  /// `Compile` over pre-aggregated query groups, resolved strictly in the
+  /// given sequence (see `SearchGroups` for the order contract). Dropping
+  /// groups absent from the dictionary happens here — and only here — so
+  /// plan-level rewrites never need dictionary access. Requires
+  /// `frozen()`.
+  CompiledQuery CompileGroups(
+      const std::vector<QueryTermGroup>& terms,
+      const std::vector<QueryEntityGroup>& entities) const;
 
   /// Scores `query` against the frozen arenas into `acc` and collects the
   /// candidates: every document with positive score that passes

@@ -1,0 +1,135 @@
+#include "plan/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace crowdex::plan {
+
+namespace {
+
+/// Projects the Score node's leaf sequence into the group vectors the
+/// index APIs consume — strictly in leaf order (the order contract).
+void GatherGroups(const PlanNode& score,
+                  std::vector<index::QueryTermGroup>* terms,
+                  std::vector<index::QueryEntityGroup>* entities) {
+  for (const PlanNode& leaf : score.children) {
+    if (leaf.kind == PlanNodeKind::kTermLeaf) {
+      terms->push_back({leaf.term, leaf.qtf});
+    } else if (leaf.kind == PlanNodeKind::kEntityLeaf) {
+      entities->push_back({leaf.entity, leaf.qef});
+    }
+  }
+}
+
+/// Resolves the compiled form of `score` through the plan cache when one
+/// is attached, recording the traffic in `out`.
+std::shared_ptr<const index::CompiledQuery> CompiledForScore(
+    const PlanNode& score, const ExecContext& ctx, RetrievalOutcome* out) {
+  std::vector<index::QueryTermGroup> terms;
+  std::vector<index::QueryEntityGroup> entities;
+  if (ctx.cache != nullptr) {
+    // Canonicalization normally ran as a pass; an unstamped node (a plan
+    // executed without the pipeline) gets its key computed here so caching
+    // stays correct either way.
+    const std::string key = score.cache_key.empty()
+                                ? CanonicalScoreKey(score)
+                                : score.cache_key;
+    out->cache_used = true;
+    if (std::shared_ptr<const index::CompiledQuery> hit =
+            ctx.cache->Lookup(key)) {
+      out->cache_hit = true;
+      return hit;
+    }
+    GatherGroups(score, &terms, &entities);
+    auto compiled = std::make_shared<const index::CompiledQuery>(
+        ctx.index->CompileGroups(terms, entities));
+    out->cache_evictions = ctx.cache->Insert(key, compiled);
+    return compiled;
+  }
+  GatherGroups(score, &terms, &entities);
+  return std::make_shared<const index::CompiledQuery>(
+      ctx.index->CompileGroups(terms, entities));
+}
+
+/// The shared scoring core: accumulate (compiled) or full-sort (legacy),
+/// then select `take(eligible)` docs. `take` maps the eligible count to
+/// the number of docs to keep.
+template <typename TakeFn>
+RetrievalOutcome ExecuteScore(const PlanNode& score, const ExecContext& ctx,
+                              TakeFn take) {
+  assert(score.kind == PlanNodeKind::kScore);
+  assert(ctx.index != nullptr);
+  RetrievalOutcome out;
+
+  if (score.use_compiled) {
+    std::shared_ptr<const index::CompiledQuery> compiled =
+        CompiledForScore(score, ctx, &out);
+    index::ScoreAccumulator local;
+    index::ScoreAccumulator* acc = ctx.acc != nullptr ? ctx.acc : &local;
+    const index::RetrievalStats rs = ctx.index->AccumulateCompiled(
+        *compiled, score.alpha, ctx.eligible, acc);
+    out.matched = rs.matched;
+    out.eligible = rs.eligible;
+    acc->TakeTop(take(rs.eligible), &out.windowed);
+    return out;
+  }
+
+  // Legacy arm (retained for equivalence testing and before/after
+  // benchmarking): full-sort retrieval, then the eligibility filter, then
+  // the window — the exact sequence of the pre-plan legacy path.
+  std::vector<index::QueryTermGroup> terms;
+  std::vector<index::QueryEntityGroup> entities;
+  GatherGroups(score, &terms, &entities);
+  std::vector<index::ScoredDoc> matches =
+      ctx.index->SearchGroups(terms, entities, score.alpha);
+  out.matched = matches.size();
+  if (ctx.eligible != nullptr) {
+    std::vector<index::ScoredDoc> filtered;
+    filtered.reserve(matches.size());
+    for (const index::ScoredDoc& doc : matches) {
+      if (ctx.eligible[doc.doc] != 0) filtered.push_back(doc);
+    }
+    matches = std::move(filtered);
+  }
+  out.eligible = matches.size();
+  matches.resize(take(matches.size()));
+  out.windowed = std::move(matches);
+  return out;
+}
+
+}  // namespace
+
+RetrievalOutcome ExecuteRetrieval(const PlanNode& retrieval,
+                                  const ExecContext& ctx) {
+  // Accept both post-pushdown (bare Score with pushed_window) and
+  // pre-pushdown (Window → Score) shapes; they resolve the same window.
+  const PlanNode* score = &retrieval;
+  const WindowSpec* window = nullptr;
+  if (retrieval.kind == PlanNodeKind::kWindow) {
+    assert(retrieval.children.size() == 1 &&
+           retrieval.children[0].kind == PlanNodeKind::kScore);
+    score = &retrieval.children[0];
+    window = &retrieval.window;
+  } else if (retrieval.pushed_window.has_value()) {
+    window = &*retrieval.pushed_window;
+  }
+  return ExecuteScore(*score, ctx, [window](size_t eligible) {
+    return window != nullptr ? ResolveWindowSpec(eligible, *window)
+                             : eligible;
+  });
+}
+
+RetrievalOutcome ExecuteFragment(const PlanNode& score, size_t limit,
+                                 const ExecContext& ctx) {
+  // `limit` bounds this shard's prefix; the router resolves the global
+  // window over the cross-shard eligible total, and the fanout pass set
+  // the limit wide enough that truncation here can never cut a doc the
+  // merged window would keep.
+  return ExecuteScore(score, ctx, [limit](size_t eligible) {
+    return limit == 0 ? eligible : std::min(limit, eligible);
+  });
+}
+
+}  // namespace crowdex::plan

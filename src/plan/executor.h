@@ -1,0 +1,74 @@
+#ifndef CROWDEX_PLAN_EXECUTOR_H_
+#define CROWDEX_PLAN_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/search_index.h"
+#include "plan/plan.h"
+#include "plan/plan_cache.h"
+
+namespace crowdex::plan {
+
+/// Everything a retrieval subtree executes against. The executor owns no
+/// state of its own — callers hand it the frozen (or mutable) index, the
+/// per-doc eligibility filter, an optional plan cache, and a scoring
+/// accumulator (one per thread; a null accumulator makes the compiled arm
+/// fall back to a call-local one).
+struct ExecContext {
+  const index::SearchIndex* index = nullptr;
+  /// Byte-per-doc eligibility filter (the finder's reachability bits);
+  /// null means every document is eligible.
+  const uint8_t* eligible = nullptr;
+  /// Optional compiled-form cache, keyed by the Score node's canonical
+  /// key. Null disables caching.
+  PlanCache* cache = nullptr;
+  /// Dense scoring scratch for the compiled arm (thread-local at call
+  /// sites). Ignored by the legacy arm.
+  index::ScoreAccumulator* acc = nullptr;
+};
+
+/// The result of executing one retrieval subtree, plus the cache traffic
+/// the call generated. The executor never touches metric counters itself —
+/// callers fold the traffic into whichever counter families they own,
+/// which keeps the plan layer free of observability policy.
+struct RetrievalOutcome {
+  /// The windowed scored docs, in (score desc, doc asc) order.
+  std::vector<index::ScoredDoc> windowed;
+  /// Documents with positive Eq. 1 score (before the eligibility filter).
+  size_t matched = 0;
+  /// Matched documents passing the filter — the pool the window applied to.
+  size_t eligible = 0;
+  /// True when a cache lookup happened (compiled arm with a cache).
+  bool cache_used = false;
+  bool cache_hit = false;
+  uint64_t cache_evictions = 0;
+};
+
+/// Executes a retrieval subtree — either a `Window → Score` pair or a bare
+/// `Score` (whose `pushed_window`, when set, bounds the top-k selection) —
+/// against `ctx.index` and returns the windowed resources plus match
+/// statistics. Dispatches on `score.use_compiled`:
+///
+///  - compiled: resolve the compiled form (plan cache, else
+///    `CompileGroups` over the leaves in order), score through the dense
+///    accumulator with the eligibility bytes, `TakeTop` the resolved
+///    window;
+///  - legacy: `SearchGroups` over the leaves in order (full sort), filter
+///    by the eligibility bytes, truncate to the resolved window.
+///
+/// Both arms consume the leaf sequence strictly in order and return the
+/// same bytes (the §10/§13 equivalence argument).
+RetrievalOutcome ExecuteRetrieval(const PlanNode& retrieval,
+                                  const ExecContext& ctx);
+
+/// Executes the Score subtree of a shard fanout: same scoring as
+/// `ExecuteRetrieval`, but the windowing is the fanout's per-shard prefix
+/// bound — `limit == 0` returns every eligible doc (full shard ranking),
+/// otherwise the top `min(limit, eligible)`.
+RetrievalOutcome ExecuteFragment(const PlanNode& score, size_t limit,
+                                 const ExecContext& ctx);
+
+}  // namespace crowdex::plan
+
+#endif  // CROWDEX_PLAN_EXECUTOR_H_

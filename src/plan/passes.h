@@ -1,0 +1,163 @@
+#ifndef CROWDEX_PLAN_PASSES_H_
+#define CROWDEX_PLAN_PASSES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "plan/plan.h"
+
+namespace crowdex::plan {
+
+/// One provably-safe plan rewrite. Passes mutate the plan in place and
+/// report whether they changed anything; every pass carries a safety
+/// argument (in its class comment and DESIGN.md §13) showing the rewrite
+/// cannot change any ranked bit.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  /// Stable lower_snake identifier, used for metric names
+  /// (`plan.pass.<name>.ms` / `.applied`) and `PassTrace`.
+  virtual const char* name() const = 0;
+  /// Rewrites `plan` in place; returns true when the plan changed.
+  virtual bool Run(QueryPlan* plan) const = 0;
+};
+
+/// Marks the side of the Eq. 1 blend that a constant alpha multiplies by
+/// exactly zero: `terms_folded_out` at α == 0, `entities_folded_out` at
+/// α == 1.
+///
+/// Safety: both executor arms guard term work with `alpha > 0.0` and
+/// entity work with `alpha < 1.0` — the folded-out side contributes no
+/// term to any per-document sum and no document to the matched count (a
+/// document only counts as matched when its score ends up positive, in
+/// both arms). Skipping the dead side is therefore bit- and stat-exact.
+class FoldConstantAlphaPass : public Pass {
+ public:
+  const char* name() const override { return "fold_constant_alpha"; }
+  bool Run(QueryPlan* plan) const override;
+};
+
+/// Removes leaves that cannot contribute: leaves on a folded-out side
+/// (see `FoldConstantAlphaPass`) and leaves with zero query-side
+/// multiplicity.
+///
+/// Safety: a folded-out side is never accumulated (guarded by the alpha
+/// comparisons above); a qtf/qef of 0 multiplies every posting weight to
+/// exactly +0.0, and adding +0.0 to the non-negative accumulator slot is a
+/// bitwise no-op that also cannot flip a score to positive — so neither
+/// the per-document bits nor the matched/eligible counts move. The pass
+/// deliberately performs NO dictionary probes (unknown-term dropping stays
+/// in `CompileGroups`): pruning must stay cheap on the plan-cache hit
+/// path.
+class PruneZeroWeightLeavesPass : public Pass {
+ public:
+  const char* name() const override { return "prune_zero_weight_leaves"; }
+  bool Run(QueryPlan* plan) const override;
+};
+
+/// Rewrites `Window → Score` into `Window → Merge → ShardFanout → Score`
+/// when serving across `num_shards` doc partitions (a single-shard router
+/// still scatters through its fault boundary, so the stage applies at any
+/// positive shard count). The fanout's per-shard limit is the enclosing
+/// fixed window size (each shard's top-`size` prefix provably contains
+/// every global top-`size` doc under the strict total order), or 0 (full
+/// shard rankings) for fraction/no windows, whose cutoff depends on the
+/// cross-shard eligible total.
+///
+/// Safety: shards score their own doc ranges with GLOBAL collection
+/// statistics (DESIGN.md §12), so per-doc scores are bit-identical to the
+/// unsharded index; the merge re-sorts on the global (score desc, doc asc)
+/// total order, so the merged prefix equals the unsharded prefix.
+class InsertShardFanoutPass : public Pass {
+ public:
+  explicit InsertShardFanoutPass(int num_shards) : num_shards_(num_shards) {}
+  const char* name() const override { return "insert_shard_fanout"; }
+  bool Run(QueryPlan* plan) const override;
+
+ private:
+  int num_shards_;
+};
+
+/// Pushes a Window whose direct child is a Score into the scorer's
+/// `TakeTop` (`score.pushed_window`), hoisting the Score in place of the
+/// Window. Naturally a no-op on fanout plans (the Window's child is a
+/// Merge there — the global window must apply after the gather).
+///
+/// Safety: (score desc, doc asc) is a strict total order over distinct
+/// documents, so the top-k selection is exactly the first k elements of
+/// the full sort — partial selection can only skip sorting the tail, never
+/// change membership or order (the `ScoreAccumulator::TakeTop` contract).
+class PushWindowIntoTakeTopPass : public Pass {
+ public:
+  const char* name() const override { return "push_window_into_take_top"; }
+  bool Run(QueryPlan* plan) const override;
+};
+
+/// Stamps every Score node with its injective canonical key
+/// (`CanonicalScoreKey`), making the post-prune leaf sequence the cache
+/// identity. Runs last so the key reflects every earlier rewrite.
+///
+/// Safety: keys are injective over leaf sequences, so a plan-cache hit is
+/// exactly the compiled form a fresh `CompileGroups` of the same leaves
+/// would return; alpha is excluded because compiled queries are
+/// alpha-independent.
+class CanonicalizeCacheKeyPass : public Pass {
+ public:
+  const char* name() const override { return "canonicalize_cache_key"; }
+  bool Run(QueryPlan* plan) const override;
+};
+
+/// Options for assembling the standard serving pipeline.
+struct PipelineOptions {
+  /// Number of doc-partitioned shards the plan will execute against
+  /// (meaningful only when `sharded`).
+  int num_shards = 1;
+  /// True for the scatter-gather router's pipeline: inserts the
+  /// ShardFanout/Merge stage (at any positive shard count — even a
+  /// single-shard router scatters through its fault boundary). False for
+  /// single-index serving.
+  bool sharded = false;
+};
+
+/// An ordered pass pipeline with optional per-pass observability. Run is
+/// const and thread-safe (passes are stateless); metric handles are
+/// resolved once at `AttachMetrics` time so the per-rank hot path never
+/// touches the registry lock.
+class PassManager {
+ public:
+  PassManager() = default;
+  PassManager(PassManager&&) = default;
+  PassManager& operator=(PassManager&&) = default;
+
+  /// The standard serving pipeline, in dependency order: constant-α
+  /// folding, zero-weight-leaf pruning, shard-fanout insertion (multi-shard
+  /// only), window pushdown, cache-key canonicalization.
+  static PassManager ServingPipeline(const PipelineOptions& options);
+
+  void Add(std::unique_ptr<Pass> pass);
+
+  /// Resolves `plan.pass.<name>.ms` / `plan.pass.<name>.applied` handles
+  /// for every stage. Null registry leaves the pipeline unobserved (and
+  /// skips the clock calls entirely — metrics never steer the plan).
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
+  /// Runs every pass in order; appends one `PassTrace` per pass to `trace`
+  /// when non-null. Returns true when any pass changed the plan.
+  bool Run(QueryPlan* plan, std::vector<PassTrace>* trace = nullptr) const;
+
+  size_t size() const { return stages_.size(); }
+
+ private:
+  struct Stage {
+    std::unique_ptr<Pass> pass;
+    obs::Histogram* latency = nullptr;
+    obs::Counter* applied = nullptr;
+  };
+  std::vector<Stage> stages_;
+};
+
+}  // namespace crowdex::plan
+
+#endif  // CROWDEX_PLAN_PASSES_H_

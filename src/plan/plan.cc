@@ -1,0 +1,192 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace crowdex::plan {
+
+namespace {
+
+/// Deterministic shortest-ish rendering of a double for plan text.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string FormatWindow(const WindowSpec& w) {
+  std::string out = "size=";
+  out += std::to_string(w.size);
+  out += " fraction=";
+  out += FormatDouble(w.fraction);
+  return out;
+}
+
+void Render(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(PlanNodeKindName(node.kind));
+  switch (node.kind) {
+    case PlanNodeKind::kTermLeaf:
+      out->append("(\"");
+      out->append(node.term);
+      out->append("\" qtf=");
+      out->append(std::to_string(node.qtf));
+      out->append(")");
+      break;
+    case PlanNodeKind::kEntityLeaf:
+      out->append("(entity=");
+      out->append(std::to_string(node.entity));
+      out->append(" qef=");
+      out->append(std::to_string(node.qef));
+      out->append(")");
+      break;
+    case PlanNodeKind::kScore:
+      out->append("(alpha=");
+      out->append(FormatDouble(node.alpha));
+      out->append(node.use_compiled ? " path=compiled" : " path=legacy");
+      if (node.terms_folded_out) out->append(" terms_folded_out");
+      if (node.entities_folded_out) out->append(" entities_folded_out");
+      if (node.pushed_window.has_value()) {
+        out->append(" take_top[");
+        out->append(FormatWindow(*node.pushed_window));
+        out->append("]");
+      }
+      out->append(")");
+      break;
+    case PlanNodeKind::kWindow:
+      out->append("(");
+      out->append(FormatWindow(node.window));
+      out->append(")");
+      break;
+    case PlanNodeKind::kAggregate:
+      out->append("(mode=");
+      out->append(node.aggregation);
+      out->append(")");
+      break;
+    case PlanNodeKind::kShardFanout:
+      out->append("(shards=");
+      out->append(std::to_string(node.num_shards));
+      out->append(" per_shard_limit=");
+      out->append(std::to_string(node.per_shard_limit));
+      out->append(")");
+      break;
+    case PlanNodeKind::kMerge:
+      out->append("()");
+      break;
+  }
+  out->append("\n");
+  for (const PlanNode& child : node.children) Render(child, depth + 1, out);
+}
+
+}  // namespace
+
+const char* PlanNodeKindName(PlanNodeKind kind) {
+  switch (kind) {
+    case PlanNodeKind::kTermLeaf:
+      return "term_leaf";
+    case PlanNodeKind::kEntityLeaf:
+      return "entity_leaf";
+    case PlanNodeKind::kScore:
+      return "score";
+    case PlanNodeKind::kWindow:
+      return "window";
+    case PlanNodeKind::kAggregate:
+      return "aggregate";
+    case PlanNodeKind::kShardFanout:
+      return "shard_fanout";
+    case PlanNodeKind::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+size_t ResolveWindowSpec(size_t eligible, const WindowSpec& spec) {
+  // Window: the number of top relevant resources considered (Sec. 2.4.1).
+  size_t window = eligible;
+  if (spec.size > 0) {
+    window = std::min<size_t>(window, static_cast<size_t>(spec.size));
+  } else if (spec.fraction > 0.0) {
+    window = std::min<size_t>(
+        window, static_cast<size_t>(std::llround(
+                    spec.fraction * static_cast<double>(eligible))));
+  }
+  return window;
+}
+
+const PlanNode* FindNode(const PlanNode& root, PlanNodeKind kind) {
+  if (root.kind == kind) return &root;
+  for (const PlanNode& child : root.children) {
+    if (const PlanNode* found = FindNode(child, kind)) return found;
+  }
+  return nullptr;
+}
+
+PlanNode* FindNode(PlanNode* root, PlanNodeKind kind) {
+  if (root->kind == kind) return root;
+  for (PlanNode& child : root->children) {
+    if (PlanNode* found = FindNode(&child, kind)) return found;
+  }
+  return nullptr;
+}
+
+std::string ToString(const QueryPlan& plan) { return ToString(plan.root); }
+
+std::string ToString(const PlanNode& node) {
+  std::string out;
+  Render(node, 0, &out);
+  return out;
+}
+
+std::string CanonicalScoreKey(const PlanNode& score) {
+  size_t bytes = 3;
+  for (const PlanNode& leaf : score.children) {
+    if (leaf.kind == PlanNodeKind::kTermLeaf) {
+      bytes += leaf.term.size() + 12;
+    } else {
+      bytes += sizeof(entity::EntityId) + sizeof(uint32_t);
+    }
+  }
+  std::string key;
+  key.reserve(bytes);
+  key += "p1";
+  key += '\x1e';
+  for (const PlanNode& leaf : score.children) {
+    if (leaf.kind != PlanNodeKind::kTermLeaf) continue;
+    key += leaf.term;
+    key += '\x1f';
+    key += std::to_string(leaf.qtf);
+    key += '\x1f';
+  }
+  key += '\x1e';
+  for (const PlanNode& leaf : score.children) {
+    if (leaf.kind != PlanNodeKind::kEntityLeaf) continue;
+    // Fixed-width little-endian so ids/frequencies never alias across
+    // leaf boundaries.
+    for (size_t b = 0; b < sizeof(entity::EntityId); ++b) {
+      key += static_cast<char>((leaf.entity >> (8 * b)) & 0xFF);
+    }
+    for (size_t b = 0; b < sizeof(uint32_t); ++b) {
+      key += static_cast<char>((leaf.qef >> (8 * b)) & 0xFF);
+    }
+  }
+  return key;
+}
+
+std::string EscapeKey(const std::string& key) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(key.size());
+  for (unsigned char c : key) {
+    if (c >= 0x20 && c < 0x7f && c != '\\') {
+      out += static_cast<char>(c);
+    } else {
+      out += "\\x";
+      out += kHex[c >> 4];
+      out += kHex[c & 0xF];
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdex::plan

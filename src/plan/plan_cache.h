@@ -1,0 +1,49 @@
+#ifndef CROWDEX_PLAN_PLAN_CACHE_H_
+#define CROWDEX_PLAN_PLAN_CACHE_H_
+
+#include <memory>
+#include <string_view>
+
+#include "index/query_cache.h"
+
+namespace crowdex::plan {
+
+/// The plan cache: compiled Score subtrees keyed by their canonical plan
+/// key (`CanonicalScoreKey`). Subsumes the old analyzed-query
+/// `CompiledQueryCache` — same bounded thread-safe LRU mechanics, but the
+/// identity is now the post-pass leaf sequence, so pruned plans (e.g.
+/// α == 0 dropping every term leaf) cache their own smaller compiled
+/// forms. The key stays injective (see `CanonicalScoreKey`), so a hit is
+/// exactly the compiled form a fresh compile of the same plan returns and
+/// rankings are bit-identical with the cache on or off, at any capacity.
+class PlanCache {
+ public:
+  using Stats = index::CompiledQueryCache::Stats;
+
+  /// `capacity` is the maximum number of cached entries; must be >= 1.
+  explicit PlanCache(size_t capacity) : cache_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  std::shared_ptr<const index::CompiledQuery> Lookup(std::string_view key) {
+    return cache_.Lookup(key);
+  }
+
+  /// Returns the number of entries evicted (0 or 1).
+  size_t Insert(std::string_view key,
+                std::shared_ptr<const index::CompiledQuery> compiled) {
+    return cache_.Insert(key, std::move(compiled));
+  }
+
+  size_t size() const { return cache_.size(); }
+  size_t capacity() const { return cache_.capacity(); }
+  Stats stats() const { return cache_.stats(); }
+
+ private:
+  index::CompiledQueryCache cache_;
+};
+
+}  // namespace crowdex::plan
+
+#endif  // CROWDEX_PLAN_PLAN_CACHE_H_

@@ -1,0 +1,56 @@
+#include "plan/planner.h"
+
+#include <unordered_map>
+#include <utility>
+
+namespace crowdex::plan {
+
+QueryPlan Planner::Lower(const index::AnalyzedQuery& query, double alpha,
+                         int window_size, double window_fraction,
+                         const PlanOptions& options) {
+  PlanNode score;
+  score.kind = PlanNodeKind::kScore;
+  score.alpha = alpha;
+  score.use_compiled = options.use_compiled;
+
+  // Build the query-side bags with the same container type and insertion
+  // sequence as the legacy `Search` and the frozen `Compile`, then emit
+  // leaves in the bag iteration order — the one place the group order is
+  // captured; every executor downstream consumes leaves in order.
+  std::unordered_map<std::string, uint32_t> query_tf;
+  for (const auto& t : query.terms) ++query_tf[t];
+  score.children.reserve(query_tf.size() + query.entities.size());
+  for (const auto& [term, qtf] : query_tf) {
+    PlanNode leaf;
+    leaf.kind = PlanNodeKind::kTermLeaf;
+    leaf.term = term;
+    leaf.qtf = qtf;
+    score.children.push_back(std::move(leaf));
+  }
+
+  std::unordered_map<entity::EntityId, uint32_t> query_ef;
+  for (entity::EntityId e : query.entities) ++query_ef[e];
+  for (const auto& [eid, qef] : query_ef) {
+    PlanNode leaf;
+    leaf.kind = PlanNodeKind::kEntityLeaf;
+    leaf.entity = eid;
+    leaf.qef = qef;
+    score.children.push_back(std::move(leaf));
+  }
+
+  PlanNode window;
+  window.kind = PlanNodeKind::kWindow;
+  window.window = WindowSpec{window_size, window_fraction};
+  window.children.push_back(std::move(score));
+
+  PlanNode aggregate;
+  aggregate.kind = PlanNodeKind::kAggregate;
+  aggregate.aggregation = options.aggregation;
+  aggregate.children.push_back(std::move(window));
+
+  QueryPlan plan;
+  plan.root = std::move(aggregate);
+  return plan;
+}
+
+}  // namespace crowdex::plan

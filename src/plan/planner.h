@@ -1,0 +1,48 @@
+#ifndef CROWDEX_PLAN_PLANNER_H_
+#define CROWDEX_PLAN_PLANNER_H_
+
+#include <string>
+
+#include "index/search_index.h"
+#include "plan/plan.h"
+
+namespace crowdex::plan {
+
+/// Per-finder lowering constants (the resolved per-call parameters arrive
+/// as explicit arguments to `Lower`).
+struct PlanOptions {
+  /// Execution arm recorded on the Score node: true when the finder serves
+  /// through the frozen compiled path.
+  bool use_compiled = false;
+  /// Eq. 3 aggregation label recorded on the Aggregate node (the core
+  /// executor owns the actual enum).
+  std::string aggregation = "weighted_sum";
+};
+
+/// Lowers one analyzed query plus its resolved ranking parameters into the
+/// canonical single-index plan shape:
+///
+///   Aggregate(mode)
+///     Window(size, fraction)
+///       Score(alpha, path)
+///         TermLeaf*  EntityLeaf*
+///
+/// The leaf sequence is the load-bearing part: the lowering aggregates
+/// query-side multiplicities with the SAME container type and insertion
+/// sequence the legacy scorer uses (`std::unordered_map` bags, filled in
+/// query order) and emits leaves in that bag's iteration order. Both
+/// executor arms then accumulate strictly in leaf order, so per-document
+/// floating-point sums are bit-identical to the pre-IR paths (DESIGN.md
+/// §10, §13). Unknown-to-the-collection leaves are NOT dropped here — the
+/// plan is index-independent; dictionary resolution happens at execution
+/// (compile) time, exactly as before.
+class Planner {
+ public:
+  static QueryPlan Lower(const index::AnalyzedQuery& query, double alpha,
+                         int window_size, double window_fraction,
+                         const PlanOptions& options);
+};
+
+}  // namespace crowdex::plan
+
+#endif  // CROWDEX_PLAN_PLANNER_H_

@@ -93,11 +93,15 @@ TEST_F(CompiledRankTest, CompiledMatchesLegacyCacheOnAndOff) {
                             std::to_string(q.id));
     }
   }
-  const auto stats = cached.query_cache_stats();
+  const auto stats = cached.plan_cache_stats();
   EXPECT_EQ(stats.misses, F().world.queries.size());
   EXPECT_EQ(stats.hits, F().world.queries.size());
-  EXPECT_EQ(uncached.query_cache_stats().hits, 0u);
-  EXPECT_EQ(uncached.query_cache_stats().misses, 0u);
+  EXPECT_EQ(uncached.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(uncached.plan_cache_stats().misses, 0u);
+  // The deprecated accessor is a pure alias of the plan-cache stats.
+  EXPECT_EQ(cached.query_cache_stats().hits, stats.hits);
+  EXPECT_EQ(cached.query_cache_stats().misses, stats.misses);
+  EXPECT_EQ(cached.query_cache_stats().evictions, stats.evictions);
 }
 
 TEST_F(CompiledRankTest, ConfigSweepStaysEquivalent) {
@@ -187,9 +191,62 @@ TEST_F(CompiledRankTest, RepeatedQueryHitsTheCache) {
   RankedExperts third = finder.Rank(q);
   ExpectSameRanking(first, second, "second serve");
   ExpectSameRanking(first, third, "third serve");
-  const auto stats = finder.query_cache_stats();
+  const auto stats = finder.plan_cache_stats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST_F(CompiledRankTest, PlanExplainIsDeterministicAndOptIn) {
+  ExpertFinder finder = Make(ExpertFinderConfig{});
+  RankRequest request;
+  request.text = F().world.queries.front().text;
+  request.explain = true;
+  Result<RankedExperts> first = finder.Rank(request);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_NE(first.value().explain, nullptr);
+  const plan::PlanExplain& explain = *first.value().explain;
+  // The post-pass plan: the Window was pushed into the Score's TakeTop,
+  // and the pipeline trace lists every pass in order.
+  EXPECT_NE(explain.plan_text.find("aggregate(mode=weighted_sum)"),
+            std::string::npos)
+      << explain.plan_text;
+  EXPECT_NE(explain.plan_text.find("take_top[size=100"), std::string::npos)
+      << explain.plan_text;
+  EXPECT_FALSE(explain.canonical_key.empty());
+  ASSERT_EQ(explain.passes.size(), 4u);
+  EXPECT_EQ(explain.passes[0].pass, "fold_constant_alpha");
+  EXPECT_EQ(explain.passes[3].pass, "canonicalize_cache_key");
+
+  // Deterministic: the same request explains identically — except the
+  // cache-hit bit, which truthfully reports the second serve was cached.
+  Result<RankedExperts> second = finder.Rank(request);
+  ASSERT_TRUE(second.ok());
+  ASSERT_NE(second.value().explain, nullptr);
+  EXPECT_EQ(second.value().explain->plan_text, explain.plan_text);
+  EXPECT_EQ(second.value().explain->canonical_key, explain.canonical_key);
+  EXPECT_FALSE(explain.cache_hit);
+  EXPECT_TRUE(second.value().explain->cache_hit);
+
+  // Explaining is opt-in and never changes the ranking.
+  ExpectSameRanking(first.value(), second.value(), "explained serves");
+  RankRequest plain = request;
+  plain.explain = false;
+  Result<RankedExperts> unexplained = finder.Rank(plain);
+  EXPECT_EQ(unexplained.value().explain, nullptr);
+  ExpectSameRanking(first.value(), unexplained.value(),
+                    "explained vs unexplained");
+
+  // The legacy arm explains too (its Score node says path=legacy, and no
+  // cache is in the loop).
+  ExpertFinderConfig legacy_cfg;
+  legacy_cfg.compiled_queries = false;
+  ExpertFinder legacy = Make(legacy_cfg);
+  Result<RankedExperts> legacy_ranked = legacy.Rank(request);
+  ASSERT_TRUE(legacy_ranked.ok());
+  ASSERT_NE(legacy_ranked.value().explain, nullptr);
+  EXPECT_NE(legacy_ranked.value().explain->plan_text.find("path=legacy"),
+            std::string::npos);
+  EXPECT_FALSE(legacy_ranked.value().explain->cache_hit);
 }
 
 }  // namespace

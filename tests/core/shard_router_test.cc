@@ -20,6 +20,7 @@
 #include "core/serving.h"
 #include "core/shard_router.h"
 #include "obs/metrics.h"
+#include "plan/plan.h"
 #include "synth/world.h"
 
 namespace crowdex::core {
@@ -159,6 +160,42 @@ TEST_F(ShardRouterTest, FractionWindowAndOverridesMatchUnsharded) {
   bad.alpha = 1.5;
   EXPECT_EQ(base_router.Rank(bad).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardRouterTest, ExplainReturnsTheShardedPlan) {
+  ShardRouter router = MakeRouter(ExpertFinderConfig{}, 4);
+  RankRequest req = Req(F().world.queries.front());
+  req.explain = true;
+  Result<ShardedRankResult> r = router.Rank(req);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_NE(r.value().ranked.explain, nullptr);
+  const plan::PlanExplain& explain = *r.value().ranked.explain;
+  // The sharded shape: the global Window sits above the Merge, and the
+  // fanout carries the shard count and per-shard prefix bound.
+  EXPECT_NE(explain.plan_text.find("merge()"), std::string::npos)
+      << explain.plan_text;
+  EXPECT_NE(explain.plan_text.find("shard_fanout(shards=4 per_shard_limit=100)"),
+            std::string::npos)
+      << explain.plan_text;
+  ASSERT_EQ(explain.passes.size(), 5u);
+  EXPECT_EQ(explain.passes[2].pass, "insert_shard_fanout");
+  EXPECT_TRUE(explain.passes[2].changed);
+  EXPECT_FALSE(explain.cache_hit);  // per-shard caches; no single hit bit
+
+  // Explaining never changes the merged ranking, and the payload is
+  // deterministic across repeats.
+  RankRequest plain = req;
+  plain.explain = false;
+  Result<ShardedRankResult> unexplained = router.Rank(plain);
+  ASSERT_TRUE(unexplained.ok());
+  EXPECT_EQ(unexplained.value().ranked.explain, nullptr);
+  ExpectSameRanking(r.value().ranked, unexplained.value().ranked,
+                    "explained vs unexplained sharded");
+  Result<ShardedRankResult> again = router.Rank(req);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().ranked.explain->plan_text, explain.plan_text);
+  EXPECT_EQ(again.value().ranked.explain->canonical_key,
+            explain.canonical_key);
 }
 
 TEST_F(ShardRouterTest, ParallelFanOutMatchesSequential) {

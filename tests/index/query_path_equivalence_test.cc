@@ -15,6 +15,10 @@
 
 #include "common/thread_pool.h"
 #include "index/search_index.h"
+#include "plan/executor.h"
+#include "plan/passes.h"
+#include "plan/plan_cache.h"
+#include "plan/planner.h"
 
 namespace crowdex::index {
 namespace {
@@ -330,6 +334,196 @@ TEST(QueryPathEquivalenceTest, ConcurrentCompiledSearchesAreIdentical) {
       ExpectSameResults(expected[qi], got[t][qi],
                         "thread " + std::to_string(t) + " query " +
                             std::to_string(qi));
+    }
+  }
+}
+
+/// Lowers `q` through the single-index serving pipeline and executes the
+/// retrieval subtree (full window — no truncation).
+std::vector<ScoredDoc> PlannedRetrieve(const SearchIndex& idx,
+                                       const AnalyzedQuery& q, double alpha,
+                                       bool use_compiled,
+                                       plan::PlanCache* cache = nullptr,
+                                       ScoreAccumulator* acc = nullptr) {
+  plan::PlanOptions opts;
+  opts.use_compiled = use_compiled;
+  plan::QueryPlan p = plan::Planner::Lower(q, alpha, /*window_size=*/0,
+                                           /*window_fraction=*/0.0, opts);
+  plan::PassManager pm = plan::PassManager::ServingPipeline({});
+  pm.Run(&p);
+  plan::ExecContext ctx;
+  ctx.index = &idx;
+  ctx.cache = cache;
+  ctx.acc = acc;
+  return plan::ExecuteRetrieval(p.root.children[0], ctx).windowed;
+}
+
+/// Lowers `q` through the SHARDED pipeline and executes the resulting
+/// ShardFanout → Merge plan by hand against `shards` — the router's
+/// scatter/merge rule without the fault boundary.
+std::vector<ScoredDoc> ShardedPlannedRetrieve(
+    const std::vector<SearchIndex>& shards, size_t total_docs,
+    const AnalyzedQuery& q, double alpha, int window_size) {
+  const int n = static_cast<int>(shards.size());
+  plan::PlanOptions opts;
+  opts.use_compiled = true;  // partitioned shards are serving-only
+  plan::QueryPlan p = plan::Planner::Lower(q, alpha, window_size,
+                                           /*window_fraction=*/0.0, opts);
+  plan::PipelineOptions popts;
+  popts.num_shards = n;
+  popts.sharded = true;
+  plan::PassManager pm = plan::PassManager::ServingPipeline(popts);
+  pm.Run(&p);
+  const plan::PlanNode* fanout =
+      plan::FindNode(p.root, plan::PlanNodeKind::kShardFanout);
+  const plan::PlanNode* window =
+      plan::FindNode(p.root, plan::PlanNodeKind::kWindow);
+  EXPECT_NE(fanout, nullptr);
+  EXPECT_NE(window, nullptr);
+  EXPECT_EQ(fanout->num_shards, n);
+
+  std::vector<ScoredDoc> merged;
+  size_t eligible = 0;
+  for (int s = 0; s < n; ++s) {
+    plan::ExecContext ctx;
+    ctx.index = &shards[s];
+    plan::RetrievalOutcome out =
+        plan::ExecuteFragment(fanout->children[0], fanout->per_shard_limit,
+                              ctx);
+    eligible += out.eligible;
+    const size_t base = SearchIndex::PartitionDocBase(total_docs, n, s);
+    for (ScoredDoc doc : out.windowed) {
+      doc.doc += static_cast<DocId>(base);
+      merged.push_back(doc);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ScoredDoc& a, const ScoredDoc& b) {
+              return a.score != b.score ? a.score > b.score : a.doc < b.doc;
+            });
+  const size_t w = plan::ResolveWindowSpec(eligible, window->window);
+  if (merged.size() > w) merged.resize(w);
+  return merged;
+}
+
+// Every serving path is a lowering of the same plan: the planned legacy
+// arm, the planned compiled arm (cold and cache-hit), and the pre-plan
+// Search/SearchCompiled entry points must all return the same bytes.
+TEST(QueryPathEquivalenceTest, PlannedPathsMatchLegacyAndCompiledBitwise) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    std::mt19937_64 rng(seed);
+    SearchIndex idx;
+    for (const auto& d : RandomCorpus(&rng, 40, 25, 8)) idx.Add(d);
+    idx.Freeze();
+
+    plan::PlanCache cache(16);
+    ScoreAccumulator acc;
+    for (int qi = 0; qi < 8; ++qi) {
+      AnalyzedQuery q = RandomQuery(&rng, 25, 8);
+      for (double alpha : kAlphas) {
+        const std::string ctx = "seed " + std::to_string(seed) + " query " +
+                                std::to_string(qi) + " alpha " +
+                                std::to_string(alpha);
+        const std::vector<ScoredDoc> legacy = idx.Search(q, alpha);
+        ExpectSameResults(legacy,
+                          PlannedRetrieve(idx, q, alpha,
+                                          /*use_compiled=*/false),
+                          ctx + " planned-legacy");
+        ExpectSameResults(legacy,
+                          PlannedRetrieve(idx, q, alpha, /*use_compiled=*/true,
+                                          &cache, &acc),
+                          ctx + " planned-compiled cold");
+        // Second execution resolves the compiled form from the plan cache;
+        // a hit must be byte-for-byte the fresh compile.
+        ExpectSameResults(legacy,
+                          PlannedRetrieve(idx, q, alpha, /*use_compiled=*/true,
+                                          &cache, &acc),
+                          ctx + " planned-compiled cached");
+      }
+    }
+    EXPECT_GT(cache.stats().hits, 0u);
+  }
+}
+
+// The sharded plan (ShardFanout → Merge) must reproduce the unsharded
+// ranking bit for bit at 1, 4, and 16 shards, with and without a fixed
+// window bounding the per-shard prefixes.
+TEST(QueryPathEquivalenceTest, ShardedPlannedPathIsBitIdentical) {
+  std::mt19937_64 rng(31);
+  SearchIndex idx;
+  for (const auto& d : RandomCorpus(&rng, 90, 20, 6)) idx.Add(d);
+  idx.Freeze();
+
+  for (int qi = 0; qi < 6; ++qi) {
+    AnalyzedQuery q = RandomQuery(&rng, 20, 6);
+    for (double alpha : kAlphas) {
+      for (int window_size : {0, 1, 7, 1000}) {
+        const std::vector<ScoredDoc> unsharded = PlannedRetrieve(
+            idx, q, alpha, /*use_compiled=*/true);
+        std::vector<ScoredDoc> expected = unsharded;
+        if (window_size > 0 &&
+            expected.size() > static_cast<size_t>(window_size)) {
+          expected.resize(static_cast<size_t>(window_size));
+        }
+        for (int n : {1, 4, 16}) {
+          Result<std::vector<SearchIndex>> shards = idx.PartitionFrozen(n);
+          ASSERT_TRUE(shards.ok()) << shards.status();
+          ExpectSameResults(
+              expected,
+              ShardedPlannedRetrieve(shards.value(), idx.size(), q, alpha,
+                                     window_size),
+              "query " + std::to_string(qi) + " alpha " +
+                  std::to_string(alpha) + " window " +
+                  std::to_string(window_size) + " shards " +
+                  std::to_string(n));
+        }
+      }
+    }
+  }
+}
+
+// Concurrent planned execution — per-thread accumulators, one shared plan
+// cache — must agree with the single-threaded answer bit for bit at any
+// thread count (also compiled into the TSan binary).
+TEST(QueryPathEquivalenceTest, ConcurrentPlannedExecutionIsIdentical) {
+  std::mt19937_64 rng(37);
+  SearchIndex idx;
+  for (const auto& d : RandomCorpus(&rng, 80, 20, 6)) idx.Add(d);
+  idx.Freeze();
+
+  std::vector<AnalyzedQuery> queries;
+  std::vector<std::vector<ScoredDoc>> expected;
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(RandomQuery(&rng, 20, 6));
+    expected.push_back(
+        PlannedRetrieve(idx, queries.back(), 0.6, /*use_compiled=*/true));
+  }
+
+  for (int threads : {1, 2, 4, 8}) {
+    plan::PlanCache cache(16);
+    std::vector<std::vector<std::vector<ScoredDoc>>> got(
+        static_cast<size_t>(threads));
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        ScoreAccumulator acc;  // one per thread
+        got[t].resize(queries.size());
+        for (int round = 0; round < 10; ++round) {
+          for (size_t qi = 0; qi < queries.size(); ++qi) {
+            got[t][qi] = PlannedRetrieve(idx, queries[qi], 0.6,
+                                         /*use_compiled=*/true, &cache, &acc);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (int t = 0; t < threads; ++t) {
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        ExpectSameResults(expected[qi], got[t][qi],
+                          "threads=" + std::to_string(threads) + " thread " +
+                              std::to_string(t) + " query " +
+                              std::to_string(qi));
+      }
     }
   }
 }

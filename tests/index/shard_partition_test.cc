@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -154,6 +155,46 @@ TEST(ShardPartitionTest, ShardsKeepGlobalCollectionStatistics) {
     local_rf_total += shards[s].ResourceFrequency("swim");
   }
   EXPECT_EQ(local_rf_total, index.ResourceFrequency("swim"));
+}
+
+TEST(ShardPartitionTest, IrfIsNeverRederivedFromShardLocalResourceFrequency) {
+  // Regression for the §12 audit: term `ResourceFrequency` is the one
+  // shard-local accessor (a serving-only index derives it from its
+  // posting-segment length), so nothing score-bearing may read it after
+  // partitioning. If `Irf` ever went back through
+  // `InverseFrequency(ResourceFrequency(term))` on a shard — the mutable
+  // path's derivation — scores would silently drift off the collection
+  // statistic. Pin the divergence: the locally re-derived value differs
+  // from the frozen global statistic on every shard, yet `Irf` (what
+  // Eq. 1 consults, on both execution arms) reports the global one.
+  // A skewed corpus (BuildCorpus is periodic, so every shard's local
+  // N/rf ratio would equal the global one and hide the bug): 12 docs,
+  // "swim" in 9 of them, front-loaded so each 3-doc shard sees a
+  // different density — local ratios 1, 1, 3/2, 3 vs the global 4/3.
+  SearchIndex index;
+  for (int i = 0; i < 12; ++i) {
+    const bool has_swim = i < 8 || i == 9;
+    index.Add(Doc(2000 + i, has_swim
+                                ? std::vector<std::string>{"swim", "lap"}
+                                : std::vector<std::string>{"cook", "pasta"}));
+  }
+  index.Freeze();
+  std::vector<SearchIndex> shards = index.PartitionFrozen(4).value();
+  const double global_irf = index.Irf("swim");
+  ASSERT_GT(global_irf, 0.0);
+  for (int s = 0; s < 4; ++s) {
+    const SearchIndex& sh = shards[s];
+    ASSERT_GT(sh.ResourceFrequency("swim"), 0u) << "shard " << s;
+    // The mutable path's formula, fed shard-local inputs: log(1 + N/rf)
+    // over the shard's own collection.
+    const double local_rederivation =
+        std::log(1.0 + static_cast<double>(sh.size()) /
+                           static_cast<double>(sh.ResourceFrequency("swim")));
+    EXPECT_NE(local_rederivation, global_irf)
+        << "shard " << s
+        << ": fixture cannot distinguish local from global statistics";
+    EXPECT_EQ(sh.Irf("swim"), global_irf) << "shard " << s;
+  }
 }
 
 TEST(ShardPartitionTest, EqualScoreDocsMergeInGlobalDocIdOrder) {

@@ -283,6 +283,17 @@ TEST_F(ObservabilityPipelineTest, ExportedJsonParsesAndNamesEveryStage) {
         "stage_ms.extract", "stage_ms.evaluate", "rank.latency_ms",
         "index.bulk_add_ms", "index.freeze_ms", "rank.query_cache.hits",
         "rank.query_cache.misses", "rank.query_cache.evictions",
+        "rank.plan_cache.hits", "rank.plan_cache.misses",
+        "rank.plan_cache.evictions",
+        "plan.pass.fold_constant_alpha.ms",
+        "plan.pass.fold_constant_alpha.applied",
+        "plan.pass.prune_zero_weight_leaves.ms",
+        "plan.pass.insert_shard_fanout.ms",
+        "plan.pass.insert_shard_fanout.applied",
+        "plan.pass.push_window_into_take_top.ms",
+        "plan.pass.push_window_into_take_top.applied",
+        "plan.pass.canonicalize_cache_key.ms",
+        "plan.pass.canonicalize_cache_key.applied",
         "shard.count", "shard.rank.requests", "shard.rank.degraded",
         "shard.rank.below_quorum", "shard.0.calls", "shard.0.failures",
         "shard.0.retries", "shard.0.deadline_exceeded",
@@ -300,9 +311,19 @@ TEST_F(ObservabilityPipelineTest, ExportedJsonParsesAndNamesEveryStage) {
             F().world.queries.size());
   EXPECT_GT(reg.counter("extract.nodes")->Value(), 0u);
   EXPECT_GT(reg.counter("index.docs_added")->Value(), 0u);
-  // The repeated serve above must have landed in the cache counters.
+  // The repeated serve above must have landed in the cache counters —
+  // both the canonical plan-cache family and its legacy alias, in
+  // lockstep.
   EXPECT_GE(reg.counter("rank.query_cache.hits")->Value() - cache_hits_before,
             1u);
+  EXPECT_EQ(reg.counter("rank.plan_cache.hits")->Value(),
+            reg.counter("rank.query_cache.hits")->Value());
+  EXPECT_EQ(reg.counter("rank.plan_cache.misses")->Value(),
+            reg.counter("rank.query_cache.misses")->Value());
+  // Every rank ran the pass pipeline; the pushdown applies on each.
+  EXPECT_GT(
+      reg.counter("plan.pass.push_window_into_take_top.applied")->Value(),
+      0u);
 }
 
 TEST_F(ObservabilityPipelineTest, FaultPathApiCountersMatchFaultStats) {

@@ -1,0 +1,141 @@
+// Lowering and plan-shape tests: the planner must produce the canonical
+// Aggregate → Window → Score → leaves tree, aggregate query-side
+// multiplicities exactly like the legacy scorer's bags, and render a
+// deterministic explain text. Golden snapshots stick to queries with at
+// most one term and one entity group — multi-group bag iteration order is
+// an implementation detail the equivalence tests pin semantically, not
+// textually.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+#include "plan/planner.h"
+
+namespace crowdex::plan {
+namespace {
+
+index::AnalyzedQuery Query(std::vector<std::string> terms,
+                           std::vector<entity::EntityId> entities) {
+  index::AnalyzedQuery q;
+  q.terms = std::move(terms);
+  q.entities = std::move(entities);
+  return q;
+}
+
+TEST(PlanLoweringTest, GoldenSingleGroupLowering) {
+  PlanOptions opts;
+  opts.use_compiled = true;
+  opts.aggregation = "weighted_sum";
+  QueryPlan plan = Planner::Lower(Query({"swim", "swim"}, {7}), 0.6,
+                                  /*window_size=*/100,
+                                  /*window_fraction=*/0.0, opts);
+  EXPECT_EQ(ToString(plan),
+            "aggregate(mode=weighted_sum)\n"
+            "  window(size=100 fraction=0)\n"
+            "    score(alpha=0.6 path=compiled)\n"
+            "      term_leaf(\"swim\" qtf=2)\n"
+            "      entity_leaf(entity=7 qef=1)\n");
+}
+
+TEST(PlanLoweringTest, GoldenLegacyFractionWindowLowering) {
+  PlanOptions opts;
+  opts.use_compiled = false;
+  opts.aggregation = "votes";
+  QueryPlan plan = Planner::Lower(Query({"cook"}, {}), 1.0,
+                                  /*window_size=*/0,
+                                  /*window_fraction=*/0.25, opts);
+  EXPECT_EQ(ToString(plan),
+            "aggregate(mode=votes)\n"
+            "  window(size=0 fraction=0.25)\n"
+            "    score(alpha=1 path=legacy)\n"
+            "      term_leaf(\"cook\" qtf=1)\n");
+}
+
+TEST(PlanLoweringTest, MultiplicitiesAggregateIntoOneLeafPerGroup) {
+  QueryPlan plan = Planner::Lower(
+      Query({"a", "b", "a", "c", "a"}, {5, 9, 5}), 0.5, 100, 0.0, {});
+  const PlanNode* score = FindNode(plan.root, PlanNodeKind::kScore);
+  ASSERT_NE(score, nullptr);
+
+  size_t term_leaves = 0;
+  size_t entity_leaves = 0;
+  uint32_t qtf_a = 0;
+  uint32_t qef_5 = 0;
+  bool terms_before_entities = true;
+  bool seen_entity = false;
+  for (const PlanNode& leaf : score->children) {
+    if (leaf.kind == PlanNodeKind::kTermLeaf) {
+      if (seen_entity) terms_before_entities = false;
+      ++term_leaves;
+      if (leaf.term == "a") qtf_a = leaf.qtf;
+    } else if (leaf.kind == PlanNodeKind::kEntityLeaf) {
+      seen_entity = true;
+      ++entity_leaves;
+      if (leaf.entity == 5) qef_5 = leaf.qef;
+    }
+  }
+  EXPECT_EQ(term_leaves, 3u);
+  EXPECT_EQ(entity_leaves, 2u);
+  EXPECT_EQ(qtf_a, 3u);
+  EXPECT_EQ(qef_5, 2u);
+  // The lowering emits the term block before the entity block — the
+  // accumulation order both executor arms share.
+  EXPECT_TRUE(terms_before_entities);
+}
+
+TEST(PlanLoweringTest, UnknownLeavesAreKeptPlansAreIndexIndependent) {
+  // Dictionary resolution happens at execution (compile) time; the plan
+  // itself must carry every query group, known to the collection or not.
+  QueryPlan plan =
+      Planner::Lower(Query({"never-indexed"}, {424242}), 0.6, 100, 0.0, {});
+  const PlanNode* score = FindNode(plan.root, PlanNodeKind::kScore);
+  ASSERT_NE(score, nullptr);
+  ASSERT_EQ(score->children.size(), 2u);
+  EXPECT_EQ(score->children[0].term, "never-indexed");
+  EXPECT_EQ(score->children[1].entity, 424242u);
+}
+
+TEST(PlanLoweringTest, EmptyQueryLowersToLeaflessScore) {
+  QueryPlan plan = Planner::Lower(Query({}, {}), 0.6, 100, 0.0, {});
+  const PlanNode* score = FindNode(plan.root, PlanNodeKind::kScore);
+  ASSERT_NE(score, nullptr);
+  EXPECT_TRUE(score->children.empty());
+}
+
+TEST(PlanLoweringTest, ResolveWindowSpecSemantics) {
+  // Fixed size wins, clamped to the pool.
+  EXPECT_EQ(ResolveWindowSpec(50, {100, 0.0}), 50u);
+  EXPECT_EQ(ResolveWindowSpec(200, {100, 0.0}), 100u);
+  // A positive size shadows any fraction.
+  EXPECT_EQ(ResolveWindowSpec(200, {100, 0.1}), 100u);
+  // Fraction of the eligible pool, rounded half away from zero.
+  EXPECT_EQ(ResolveWindowSpec(100, {0, 0.25}), 25u);
+  EXPECT_EQ(ResolveWindowSpec(10, {0, 0.25}), 3u);  // llround(2.5) == 3
+  // No window: everything.
+  EXPECT_EQ(ResolveWindowSpec(42, {0, 0.0}), 42u);
+  EXPECT_EQ(ResolveWindowSpec(0, {100, 0.0}), 0u);
+}
+
+TEST(PlanLoweringTest, FindNodeIsPreOrder) {
+  QueryPlan plan = Planner::Lower(Query({"swim"}, {7}), 0.6, 100, 0.0, {});
+  EXPECT_EQ(FindNode(plan.root, PlanNodeKind::kAggregate), &plan.root);
+  const PlanNode* window = FindNode(plan.root, PlanNodeKind::kWindow);
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(window, &plan.root.children[0]);
+  EXPECT_EQ(FindNode(plan.root, PlanNodeKind::kShardFanout), nullptr);
+}
+
+TEST(PlanLoweringTest, EscapeKeyHexEscapesSeparators) {
+  std::string key;
+  key += "p1";
+  key += '\x1e';
+  key += "swim";
+  key += '\x1f';
+  EXPECT_EQ(EscapeKey(key), "p1\\x1eswim\\x1f");
+}
+
+}  // namespace
+}  // namespace crowdex::plan

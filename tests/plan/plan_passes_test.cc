@@ -1,0 +1,324 @@
+// Per-pass tests: every rewrite in the serving pipeline must prove it
+// cannot move a ranked bit — each pass is executed against a real frozen
+// index with the pass on and off and the results compared bitwise — plus
+// the structural contracts (fanout shape, pushdown no-op on fanout plans,
+// cache-key injectivity, trace and metrics plumbing).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/search_index.h"
+#include "obs/metrics.h"
+#include "plan/executor.h"
+#include "plan/passes.h"
+#include "plan/plan_cache.h"
+#include "plan/planner.h"
+
+namespace crowdex::plan {
+namespace {
+
+index::AnalyzedQuery Query(std::vector<std::string> terms,
+                           std::vector<entity::EntityId> entities) {
+  index::AnalyzedQuery q;
+  q.terms = std::move(terms);
+  q.entities = std::move(entities);
+  return q;
+}
+
+index::SearchIndex BuildIndex() {
+  index::SearchIndex idx;
+  for (int i = 0; i < 20; ++i) {
+    index::IndexableDocument doc;
+    doc.external_id = 100 + i;
+    if (i % 3 == 0) {
+      doc.terms = {"swim", "coach"};
+      doc.entities = {{7, 1, 0.9}};
+    } else if (i % 3 == 1) {
+      doc.terms = {"swim", "gold"};
+      doc.entities = {{7, 2, 0.5}, {9, 1, -0.2}};
+    } else {
+      doc.terms = {"cook"};
+      doc.entities = {{9, 1, 0.7}};
+    }
+    idx.Add(doc);
+  }
+  idx.Freeze();
+  return idx;
+}
+
+/// Executes `plan`'s retrieval subtree (below the Aggregate root).
+std::vector<index::ScoredDoc> Execute(const index::SearchIndex& idx,
+                                      const QueryPlan& plan) {
+  ExecContext ctx;
+  ctx.index = &idx;
+  return ExecuteRetrieval(plan.root.children[0], ctx).windowed;
+}
+
+/// Runs `pass` on a copy of `plan` and checks execution is bit-identical
+/// before and after — the order-preservation proof each pass claims.
+void ExpectPassPreservesExecution(const index::SearchIndex& idx,
+                                  const Pass& pass, const QueryPlan& plan,
+                                  const std::string& context) {
+  const std::vector<index::ScoredDoc> before = Execute(idx, plan);
+  QueryPlan rewritten = plan;
+  pass.Run(&rewritten);
+  const std::vector<index::ScoredDoc> after = Execute(idx, rewritten);
+  ASSERT_EQ(before.size(), after.size()) << context;
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].doc, after[i].doc) << context << " rank " << i;
+    EXPECT_EQ(before[i].score, after[i].score) << context << " rank " << i;
+  }
+}
+
+QueryPlan LowerSwim(double alpha, bool use_compiled, int window_size = 5) {
+  PlanOptions opts;
+  opts.use_compiled = use_compiled;
+  return Planner::Lower(Query({"swim", "coach", "swim"}, {7, 9}), alpha,
+                        window_size, 0.0, opts);
+}
+
+TEST(PlanPassesTest, FoldConstantAlphaMarksExactlyTheDeadSide) {
+  FoldConstantAlphaPass fold;
+  QueryPlan at_zero = LowerSwim(0.0, true);
+  EXPECT_TRUE(fold.Run(&at_zero));
+  const PlanNode* score = FindNode(at_zero.root, PlanNodeKind::kScore);
+  EXPECT_TRUE(score->terms_folded_out);
+  EXPECT_FALSE(score->entities_folded_out);
+  // Idempotent: a second run changes nothing.
+  EXPECT_FALSE(fold.Run(&at_zero));
+
+  QueryPlan at_one = LowerSwim(1.0, true);
+  EXPECT_TRUE(fold.Run(&at_one));
+  score = FindNode(at_one.root, PlanNodeKind::kScore);
+  EXPECT_FALSE(score->terms_folded_out);
+  EXPECT_TRUE(score->entities_folded_out);
+
+  QueryPlan blended = LowerSwim(0.6, true);
+  EXPECT_FALSE(fold.Run(&blended));
+}
+
+TEST(PlanPassesTest, FoldAndPrunePreserveExecutionAtBoundaryAlphas) {
+  const index::SearchIndex idx = BuildIndex();
+  FoldConstantAlphaPass fold;
+  PruneZeroWeightLeavesPass prune;
+  for (double alpha : {0.0, 1.0}) {
+    for (bool compiled : {false, true}) {
+      QueryPlan plan = LowerSwim(alpha, compiled);
+      ExpectPassPreservesExecution(idx, fold, plan,
+                                   "fold alpha=" + std::to_string(alpha));
+      fold.Run(&plan);
+      ExpectPassPreservesExecution(idx, prune, plan,
+                                   "prune alpha=" + std::to_string(alpha));
+      prune.Run(&plan);
+      const PlanNode* score = FindNode(plan.root, PlanNodeKind::kScore);
+      // The folded-out side's leaves are gone.
+      for (const PlanNode& leaf : score->children) {
+        EXPECT_NE(leaf.kind, alpha == 0.0 ? PlanNodeKind::kTermLeaf
+                                          : PlanNodeKind::kEntityLeaf);
+      }
+    }
+  }
+}
+
+TEST(PlanPassesTest, PruneDropsZeroMultiplicityLeavesButKeepsUnknownOnes) {
+  PruneZeroWeightLeavesPass prune;
+  QueryPlan plan = LowerSwim(0.6, true);
+  PlanNode* score = FindNode(&plan.root, PlanNodeKind::kScore);
+  // Unknown-to-any-collection leaves survive (the plan is
+  // index-independent; dictionary dropping happens at compile time) ...
+  PlanNode unknown;
+  unknown.kind = PlanNodeKind::kTermLeaf;
+  unknown.term = "never-indexed";
+  unknown.qtf = 1;
+  score->children.push_back(unknown);
+  // ... but a zero query-side multiplicity is dead weight on any index.
+  PlanNode zero;
+  zero.kind = PlanNodeKind::kTermLeaf;
+  zero.term = "phantom";
+  zero.qtf = 0;
+  score->children.push_back(zero);
+  const size_t before = score->children.size();
+  EXPECT_TRUE(prune.Run(&plan));
+  score = FindNode(&plan.root, PlanNodeKind::kScore);
+  EXPECT_EQ(score->children.size(), before - 1);
+  for (const PlanNode& leaf : score->children) {
+    EXPECT_NE(leaf.term, "phantom");
+  }
+}
+
+TEST(PlanPassesTest, PushWindowPreservesExecutionAcrossWindowShapes) {
+  const index::SearchIndex idx = BuildIndex();
+  PushWindowIntoTakeTopPass push;
+  for (bool compiled : {false, true}) {
+    for (int window_size : {0, 1, 5, 1000}) {
+      QueryPlan plan = LowerSwim(0.6, compiled, window_size);
+      ExpectPassPreservesExecution(
+          idx, push, plan,
+          std::string(compiled ? "compiled" : "legacy") + " window=" +
+              std::to_string(window_size));
+      EXPECT_TRUE(push.Run(&plan));
+      // The Window node is gone; the Score carries the pushed bound.
+      EXPECT_EQ(FindNode(plan.root, PlanNodeKind::kWindow), nullptr);
+      const PlanNode* score = FindNode(plan.root, PlanNodeKind::kScore);
+      ASSERT_TRUE(score->pushed_window.has_value());
+      EXPECT_EQ(score->pushed_window->size, window_size);
+    }
+  }
+}
+
+TEST(PlanPassesTest, ShardFanoutShapeAndPerShardLimit) {
+  for (int n : {1, 4, 16}) {
+    InsertShardFanoutPass fanout_pass(n);
+    QueryPlan plan = LowerSwim(0.6, true, /*window_size=*/7);
+    EXPECT_TRUE(fanout_pass.Run(&plan));
+    const PlanNode* window = FindNode(plan.root, PlanNodeKind::kWindow);
+    ASSERT_NE(window, nullptr);
+    ASSERT_EQ(window->children.size(), 1u);
+    EXPECT_EQ(window->children[0].kind, PlanNodeKind::kMerge);
+    const PlanNode* fanout = FindNode(plan.root, PlanNodeKind::kShardFanout);
+    ASSERT_NE(fanout, nullptr);
+    EXPECT_EQ(fanout->num_shards, n);
+    // Fixed window: each shard's top-7 prefix contains every global top-7.
+    EXPECT_EQ(fanout->per_shard_limit, 7u);
+    ASSERT_EQ(fanout->children.size(), 1u);
+    EXPECT_EQ(fanout->children[0].kind, PlanNodeKind::kScore);
+  }
+
+  // Fraction window: the cutoff needs the cross-shard eligible total, so
+  // shards must return their full rankings.
+  InsertShardFanoutPass fanout_pass(4);
+  PlanOptions opts;
+  opts.use_compiled = true;
+  QueryPlan fraction = Planner::Lower(Query({"swim"}, {}), 0.6,
+                                      /*window_size=*/0,
+                                      /*window_fraction=*/0.25, opts);
+  EXPECT_TRUE(fanout_pass.Run(&fraction));
+  EXPECT_EQ(FindNode(fraction.root, PlanNodeKind::kShardFanout)
+                ->per_shard_limit,
+            0u);
+}
+
+TEST(PlanPassesTest, PushWindowIsANoOpOnFanoutPlans) {
+  // The global window must apply after the gather; once the Window's child
+  // is a Merge, pushdown has nothing safe to do.
+  InsertShardFanoutPass fanout_pass(4);
+  PushWindowIntoTakeTopPass push;
+  QueryPlan plan = LowerSwim(0.6, true);
+  ASSERT_TRUE(fanout_pass.Run(&plan));
+  EXPECT_FALSE(push.Run(&plan));
+  EXPECT_NE(FindNode(plan.root, PlanNodeKind::kWindow), nullptr);
+  EXPECT_FALSE(FindNode(plan.root, PlanNodeKind::kScore)
+                   ->pushed_window.has_value());
+}
+
+TEST(PlanPassesTest, CanonicalKeysAreInjectiveOverLeafSequences) {
+  CanonicalizeCacheKeyPass canon;
+  auto key_of = [&](const index::AnalyzedQuery& q, double alpha) {
+    QueryPlan plan = Planner::Lower(q, alpha, 100, 0.0, {});
+    canon.Run(&plan);
+    return FindNode(plan.root, PlanNodeKind::kScore)->cache_key;
+  };
+
+  const std::string base = key_of(Query({"swim"}, {7}), 0.6);
+  // Same leaves → same key; alpha is deliberately excluded (compiled
+  // queries are alpha-independent, so overrides share cache entries).
+  EXPECT_EQ(key_of(Query({"swim"}, {7}), 0.1), base);
+  // Any leaf-sequence difference → different key.
+  EXPECT_NE(key_of(Query({"swim"}, {}), 0.6), base);
+  EXPECT_NE(key_of(Query({}, {7}), 0.6), base);
+  EXPECT_NE(key_of(Query({"swim", "swim"}, {7}), 0.6), base);  // qtf differs
+  EXPECT_NE(key_of(Query({"swim"}, {7, 7}), 0.6), base);       // qef differs
+  EXPECT_NE(key_of(Query({"swim"}, {8}), 0.6), base);
+  // Multiplicity cannot alias into the term bytes or across groups.
+  EXPECT_NE(key_of(Query({"swim1"}, {}), 0.6), key_of(Query({"swim"}, {}), 0.6));
+  // An empty query still gets a (distinct, stable) key.
+  EXPECT_NE(key_of(Query({}, {}), 0.6), base);
+  EXPECT_EQ(key_of(Query({}, {}), 0.6), key_of(Query({}, {}), 1.0));
+}
+
+TEST(PlanPassesTest, ServingPipelineOrderAndTrace) {
+  PassManager pm = PassManager::ServingPipeline({});
+  EXPECT_EQ(pm.size(), 4u);
+  QueryPlan plan = LowerSwim(0.6, true);
+  std::vector<PassTrace> trace;
+  EXPECT_TRUE(pm.Run(&plan, &trace));
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0].pass, "fold_constant_alpha");
+  EXPECT_EQ(trace[1].pass, "prune_zero_weight_leaves");
+  EXPECT_EQ(trace[2].pass, "push_window_into_take_top");
+  EXPECT_EQ(trace[3].pass, "canonicalize_cache_key");
+  EXPECT_FALSE(trace[0].changed);  // blended alpha: nothing to fold
+  EXPECT_FALSE(trace[1].changed);
+  EXPECT_TRUE(trace[2].changed);
+  EXPECT_TRUE(trace[3].changed);
+
+  PipelineOptions sharded;
+  sharded.num_shards = 4;
+  sharded.sharded = true;
+  PassManager router_pm = PassManager::ServingPipeline(sharded);
+  EXPECT_EQ(router_pm.size(), 5u);
+  QueryPlan sharded_plan = LowerSwim(0.6, true);
+  std::vector<PassTrace> sharded_trace;
+  router_pm.Run(&sharded_plan, &sharded_trace);
+  ASSERT_EQ(sharded_trace.size(), 5u);
+  EXPECT_EQ(sharded_trace[2].pass, "insert_shard_fanout");
+  EXPECT_TRUE(sharded_trace[2].changed);
+  EXPECT_FALSE(sharded_trace[3].changed);  // pushdown no-ops on fanout
+}
+
+TEST(PlanPassesTest, AttachMetricsExportsPerPassTimingsAndApplications) {
+  obs::MetricsRegistry metrics;
+  PassManager pm = PassManager::ServingPipeline({});
+  pm.AttachMetrics(&metrics);
+  QueryPlan plan = LowerSwim(0.6, true);
+  pm.Run(&plan);
+
+  EXPECT_EQ(
+      metrics.counter("plan.pass.push_window_into_take_top.applied")->Value(),
+      1u);
+  EXPECT_EQ(
+      metrics.counter("plan.pass.canonicalize_cache_key.applied")->Value(),
+      1u);
+  EXPECT_EQ(metrics.counter("plan.pass.fold_constant_alpha.applied")->Value(),
+            0u);
+  // Every stage records a latency sample whether or not it applied.
+  for (const auto& [name, snapshot] : metrics.HistogramValues()) {
+    if (name.rfind("plan.pass.", 0) == 0) {
+      EXPECT_EQ(snapshot.count, 1u) << name;
+    }
+  }
+}
+
+TEST(PlanPassesTest, FullPipelinePreservesExecutionWithCache) {
+  // End-to-end: the whole pipeline (vs no passes at all) cannot move a
+  // bit, with the plan cache in the loop on the compiled arm.
+  const index::SearchIndex idx = BuildIndex();
+  PassManager pm = PassManager::ServingPipeline({});
+  PlanCache cache(8);
+  for (double alpha : {0.0, 0.6, 1.0}) {
+    for (bool compiled : {false, true}) {
+      QueryPlan raw = LowerSwim(alpha, compiled);
+      QueryPlan optimized = raw;
+      pm.Run(&optimized);
+      ExecContext ctx;
+      ctx.index = &idx;
+      ctx.cache = compiled ? &cache : nullptr;
+      const std::vector<index::ScoredDoc> a =
+          ExecuteRetrieval(raw.root.children[0], ctx).windowed;
+      const std::vector<index::ScoredDoc> b =
+          ExecuteRetrieval(optimized.root.children[0], ctx).windowed;
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].doc, b[i].doc) << "alpha " << alpha << " rank " << i;
+        EXPECT_EQ(a[i].score, b[i].score)
+            << "alpha " << alpha << " rank " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdex::plan
